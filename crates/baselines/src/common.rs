@@ -1,0 +1,45 @@
+use manthan3_core::SynthesisOutcome;
+use manthan3_dqbf::HenkinVector;
+use std::time::Duration;
+
+/// Outcome of a baseline synthesis run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The verdict, using the same vocabulary as the Manthan3 engine.
+    pub outcome: SynthesisOutcome,
+    /// Wall-clock time of the run.
+    pub runtime: Duration,
+    /// Engine-specific diagnostics (expansion size, arbiter entries, …).
+    pub details: String,
+}
+
+impl BaselineResult {
+    /// The synthesized vector, if the run was successful.
+    pub fn vector(&self) -> Option<&HenkinVector> {
+        match &self.outcome {
+            SynthesisOutcome::Realizable(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the engine produced a Henkin function vector.
+    pub fn is_realizable(&self) -> bool {
+        self.outcome.is_realizable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reflect_outcome() {
+        let r = BaselineResult {
+            outcome: SynthesisOutcome::Unrealizable,
+            runtime: Duration::from_millis(1),
+            details: String::new(),
+        };
+        assert!(!r.is_realizable());
+        assert!(r.vector().is_none());
+    }
+}

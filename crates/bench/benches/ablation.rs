@@ -1,0 +1,92 @@
+//! Ablation benchmarks for Manthan3's design choices (DESIGN.md ABL-*):
+//!
+//! * learning with vs. without other `Y` variables as features,
+//! * the `Ŷ` constraint in the repair formula `G_k` (the paper's §5
+//!   discussion),
+//! * unique-definition preprocessing on vs. off,
+//! * training-sample count sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manthan3_core::{Manthan3, Manthan3Config};
+use manthan3_gen::planted::{planted_true, PlantedParams};
+use std::time::Duration;
+
+fn instance() -> manthan3_gen::Instance {
+    planted_true(
+        &PlantedParams {
+            num_universals: 6,
+            num_existentials: 4,
+            max_dependencies: 3,
+            ..PlantedParams::default()
+        },
+        33,
+    )
+}
+
+fn variants() -> Vec<(&'static str, Manthan3Config)> {
+    vec![
+        ("default", Manthan3Config::fast()),
+        (
+            "no_y_features",
+            Manthan3Config {
+                use_y_features: false,
+                ..Manthan3Config::fast()
+            },
+        ),
+        (
+            "no_y_hat_constraint",
+            Manthan3Config {
+                constrain_y_hat: false,
+                ..Manthan3Config::fast()
+            },
+        ),
+        (
+            "no_unique_definitions",
+            Manthan3Config {
+                use_unique_definitions: false,
+                ..Manthan3Config::fast()
+            },
+        ),
+        (
+            "samples_50",
+            Manthan3Config {
+                num_samples: 50,
+                ..Manthan3Config::fast()
+            },
+        ),
+        (
+            "samples_800",
+            Manthan3Config {
+                num_samples: 800,
+                ..Manthan3Config::fast()
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let instance = instance();
+    let mut group = c.benchmark_group("ablation");
+    for (name, config) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                std::hint::black_box(Manthan3::new(config.clone()).synthesize(&instance.dqbf))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = ablation;
+    config = config();
+    targets = bench_ablations
+}
+criterion_main!(ablation);

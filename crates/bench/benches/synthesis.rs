@@ -1,0 +1,116 @@
+//! End-to-end synthesis benchmarks: one small instance per benchmark family,
+//! each engine (Manthan3, HQS2-like expansion, Pedant-like arbiter).
+//!
+//! These are the per-engine timings underlying the Figure 6–10 data at a
+//! micro scale; the full figure data is produced by the `harness` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
+use manthan3_core::{Manthan3, Manthan3Config};
+use manthan3_gen::controller::{controller, ControllerParams};
+use manthan3_gen::pec::{pec, PecParams};
+use manthan3_gen::planted::{planted_true, PlantedParams};
+use manthan3_gen::skolem::{skolem, SkolemParams};
+use manthan3_gen::succinct::{succinct, SuccinctParams};
+use manthan3_gen::Instance;
+use std::time::Duration;
+
+fn small_instances() -> Vec<Instance> {
+    vec![
+        planted_true(
+            &PlantedParams {
+                num_universals: 5,
+                num_existentials: 3,
+                max_dependencies: 3,
+                ..PlantedParams::default()
+            },
+            21,
+        ),
+        pec(
+            &PecParams {
+                num_inputs: 3,
+                num_gates: 4,
+                num_blackboxes: 1,
+                restrict_observability: false,
+            },
+            21,
+        ),
+        controller(
+            &ControllerParams {
+                num_clients: 3,
+                observation_window: 3,
+            },
+            21,
+        ),
+        succinct(
+            &SuccinctParams {
+                num_propositional: 6,
+                num_clauses: 18,
+                planted_satisfiable: true,
+            },
+            21,
+        ),
+        skolem(
+            &SkolemParams {
+                num_universals: 4,
+                num_existentials: 2,
+                drop_probability: 0.1,
+            },
+            21,
+        ),
+    ]
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    for instance in small_instances() {
+        group.bench_with_input(
+            BenchmarkId::new("manthan3", &instance.name),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        Manthan3::new(Manthan3Config::fast()).synthesize(&inst.dqbf),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hqs2like", &instance.name),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        ExpansionSolver::new(ExpansionConfig::default()).synthesize(&inst.dqbf),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pedantlike", &instance.name),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        ArbiterSolver::new(ArbiterConfig::default()).synthesize(&inst.dqbf),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = synthesis;
+    config = config();
+    targets = bench_engines
+}
+criterion_main!(synthesis);

@@ -1,0 +1,249 @@
+//! The figure/table regeneration harness.
+//!
+//! Runs the three Henkin synthesizers on the seeded synthetic suite and
+//! writes, under the output directory (default `experiments/`):
+//!
+//! * `fig6_cactus.csv`      — Figure 6 (VBS with/without Manthan3 cactus),
+//! * `fig7_scatter.csv`     — Figure 7 (Manthan3 vs VBS of the baselines),
+//! * `fig8_scatter.csv`     — Figure 8 (Manthan3 vs Pedant-like),
+//! * `fig9_scatter.csv`     — Figure 9 (Manthan3 vs HQS2-like),
+//! * `fig10_scatter.csv`    — Figure 10 (Pedant-like vs HQS2-like),
+//! * `summary_table.csv`    — the in-text counts (solved per tool, VBS delta,
+//!   uniquely solved, fastest-on, …),
+//! * `runs.csv`             — the raw per-run records,
+//! * `ablations.csv`        — Manthan3 ablations (Y-features, Ŷ constraint,
+//!   sample count), when `--ablations` is given.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] [--ablations] [--quick]
+//! ```
+
+use manthan3_bench::{csvio, report, run_suite, EngineKind};
+use manthan3_core::{Manthan3, Manthan3Config};
+use manthan3_dqbf::verify;
+use manthan3_gen::suite::suite;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    scale: usize,
+    seed: u64,
+    budget: Duration,
+    out: PathBuf,
+    ablations: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 3,
+        seed: 2023,
+        budget: Duration::from_millis(2000),
+        out: PathBuf::from("experiments"),
+        ablations: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
+            "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(2023),
+            "--budget-ms" => {
+                let ms = iter.next().and_then(|v| v.parse().ok()).unwrap_or(2000);
+                args.budget = Duration::from_millis(ms);
+            }
+            "--out" => {
+                if let Some(dir) = iter.next() {
+                    args.out = PathBuf::from(dir);
+                }
+            }
+            "--ablations" => args.ablations = true,
+            "--quick" => {
+                args.scale = 1;
+                args.budget = Duration::from_millis(500);
+            }
+            other => {
+                eprintln!("warning: ignoring unknown argument {other:?}");
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let instances = suite(args.seed, args.scale);
+    println!(
+        "running {} instances x {} engines (budget {:?} per run)…",
+        instances.len(),
+        EngineKind::ALL.len(),
+        args.budget
+    );
+    let start = Instant::now();
+    let records = run_suite(&instances, args.budget);
+    println!("finished in {:?}", start.elapsed());
+
+    // Raw records.
+    let raw_rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.instance.clone(),
+                r.family.clone(),
+                r.engine.to_string(),
+                r.synthesized.to_string(),
+                r.decided.to_string(),
+                r.outcome.clone(),
+                format!("{:.4}", r.seconds()),
+            ]
+        })
+        .collect();
+    csvio::write_csv(
+        &args.out.join("runs.csv"),
+        &["instance", "family", "engine", "synthesized", "decided", "outcome", "seconds"],
+        &raw_rows,
+    )
+    .expect("write runs.csv");
+
+    // Figure 6.
+    csvio::write_csv(
+        &args.out.join("fig6_cactus.csv"),
+        &["instances_synthesized", "vbs_hqs2_pedant_s", "vbs_plus_manthan3_s"],
+        &report::fig6_rows(&records),
+    )
+    .expect("write fig6");
+
+    // Figures 7–10 (scatter plots).
+    let scatters = [
+        (
+            "fig7_scatter.csv",
+            vec![EngineKind::Hqs2Like, EngineKind::PedantLike],
+            vec![EngineKind::Manthan3],
+            "vbs_hqs2_pedant_s",
+            "manthan3_s",
+        ),
+        (
+            "fig8_scatter.csv",
+            vec![EngineKind::PedantLike],
+            vec![EngineKind::Manthan3],
+            "pedantlike_s",
+            "manthan3_s",
+        ),
+        (
+            "fig9_scatter.csv",
+            vec![EngineKind::Hqs2Like],
+            vec![EngineKind::Manthan3],
+            "hqs2like_s",
+            "manthan3_s",
+        ),
+        (
+            "fig10_scatter.csv",
+            vec![EngineKind::Hqs2Like],
+            vec![EngineKind::PedantLike],
+            "hqs2like_s",
+            "pedantlike_s",
+        ),
+    ];
+    for (file, xs, ys, x_label, y_label) in scatters {
+        csvio::write_csv(
+            &args.out.join(file),
+            &["instance", x_label, y_label],
+            &report::scatter_rows(&records, &xs, &ys, args.budget),
+        )
+        .expect("write scatter");
+    }
+
+    // Summary table (the in-text counts).
+    let summary = report::summary(&records);
+    csvio::write_csv(
+        &args.out.join("summary_table.csv"),
+        &["metric", "value"],
+        &summary.rows(),
+    )
+    .expect("write summary");
+    println!("\n== summary (paper Section 6 counts) ==\n{summary}");
+
+    if args.ablations {
+        run_ablations(&args, &instances);
+    }
+    println!("\nCSV output written to {}", args.out.display());
+}
+
+/// The ablation study: Manthan3 with individual design choices disabled, on
+/// the true instances of the suite.
+fn run_ablations(args: &Args, instances: &[manthan3_gen::Instance]) {
+    let variants: Vec<(&str, Manthan3Config)> = vec![
+        ("default", Manthan3Config::default()),
+        (
+            "no_y_features",
+            Manthan3Config {
+                use_y_features: false,
+                ..Manthan3Config::default()
+            },
+        ),
+        (
+            "no_y_hat_constraint",
+            Manthan3Config {
+                constrain_y_hat: false,
+                ..Manthan3Config::default()
+            },
+        ),
+        (
+            "no_unique_definitions",
+            Manthan3Config {
+                use_unique_definitions: false,
+                ..Manthan3Config::default()
+            },
+        ),
+        (
+            "samples_50",
+            Manthan3Config {
+                num_samples: 50,
+                ..Manthan3Config::default()
+            },
+        ),
+        (
+            "samples_1000",
+            Manthan3Config {
+                num_samples: 1000,
+                ..Manthan3Config::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, base) in variants {
+        let mut synthesized = 0usize;
+        let mut total_time = 0.0f64;
+        for instance in instances {
+            let config = Manthan3Config {
+                time_budget: Some(args.budget),
+                ..base.clone()
+            };
+            let start = Instant::now();
+            let result = Manthan3::new(config).synthesize(&instance.dqbf);
+            let elapsed = start.elapsed().as_secs_f64();
+            total_time += elapsed;
+            if let manthan3_core::SynthesisOutcome::Realizable(v) = &result.outcome {
+                if verify::check(&instance.dqbf, v).is_valid() {
+                    synthesized += 1;
+                }
+            }
+        }
+        println!(
+            "ablation {name:<22} synthesized {synthesized:>4} / {} (total {total_time:.1}s)",
+            instances.len()
+        );
+        rows.push(vec![
+            name.to_string(),
+            synthesized.to_string(),
+            instances.len().to_string(),
+            format!("{total_time:.2}"),
+        ]);
+    }
+    csvio::write_csv(
+        &args.out.join("ablations.csv"),
+        &["variant", "synthesized", "instances", "total_seconds"],
+        &rows,
+    )
+    .expect("write ablations");
+}

@@ -1,0 +1,67 @@
+//! Minimal CSV writing helpers (no external dependency).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as CSV text with the given header.
+///
+/// Fields containing commas or quotes are quoted.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row.iter().map(|f| escape(f)).collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes CSV text to a file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates any I/O error from directory creation or the file write.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv(header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["x,y".into(), "q\"".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "\"x,y\",\"q\"\"\"");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("manthan3_csv_test");
+        let path = dir.join("nested").join("out.csv");
+        write_csv(&path, &["h"], &[vec!["v".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("h\nv"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,187 @@
+//! Benchmark harness for regenerating the paper's evaluation.
+//!
+//! This crate provides the plumbing shared by the `harness` binary (which
+//! writes the CSV data behind every figure and table of the paper) and the
+//! Criterion micro-benchmarks:
+//!
+//! * [`EngineKind`] / [`run_engine`] / [`run_suite`] — run the three Henkin
+//!   synthesizers (Manthan3 and the two baselines standing in for HQS2 and
+//!   Pedant) on generated instances under a per-instance budget, verifying
+//!   every produced vector with the independent certificate checker,
+//! * [`report`] — Virtual Best Synthesizer (VBS) bookkeeping, cactus and
+//!   scatter series, and the summary table with the counts reported in the
+//!   paper's text (solved per tool, VBS improvement, uniquely solved, …),
+//! * [`csvio`] — tiny CSV writing helpers (no external dependency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvio;
+pub mod report;
+
+use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
+use manthan3_core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3_dqbf::verify;
+use manthan3_gen::Instance;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The synthesis engines taking part in the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// The paper's contribution (`manthan3-core`).
+    Manthan3,
+    /// The expansion-based baseline standing in for HQS2.
+    Hqs2Like,
+    /// The definition + arbiter baseline standing in for Pedant.
+    PedantLike,
+}
+
+impl EngineKind {
+    /// All engines, in the order used by the reports.
+    pub const ALL: [EngineKind; 3] =
+        [EngineKind::Manthan3, EngineKind::Hqs2Like, EngineKind::PedantLike];
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EngineKind::Manthan3 => "manthan3",
+            EngineKind::Hqs2Like => "hqs2like",
+            EngineKind::PedantLike => "pedantlike",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The result of running one engine on one instance.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Instance name.
+    pub instance: String,
+    /// Instance family (`pec`, `controller`, …).
+    pub family: String,
+    /// Engine that produced this record.
+    pub engine: EngineKind,
+    /// `true` if a Henkin function vector was synthesized *and* passed the
+    /// independent certificate check (the paper's notion of "synthesized").
+    pub synthesized: bool,
+    /// `true` if the engine decided the instance (synthesized or proved
+    /// false).
+    pub decided: bool,
+    /// Short outcome label (`realizable`, `unrealizable`, `unknown:…`).
+    pub outcome: String,
+    /// Wall-clock runtime of the engine call.
+    pub time: Duration,
+}
+
+impl RunRecord {
+    /// Runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+}
+
+/// Runs `engine` on `instance` with the given per-instance wall-clock budget.
+///
+/// Every claimed Henkin vector is re-checked with
+/// [`manthan3_dqbf::verify::check`]; a vector that fails the check is counted
+/// as *not* synthesized (this never happens for the engines in this
+/// workspace, but the harness does not take their word for it).
+pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> RunRecord {
+    let start = Instant::now();
+    let outcome = match engine {
+        EngineKind::Manthan3 => {
+            let config = Manthan3Config {
+                time_budget: Some(budget),
+                ..Manthan3Config::default()
+            };
+            Manthan3::new(config).synthesize(&instance.dqbf).outcome
+        }
+        EngineKind::Hqs2Like => {
+            let config = ExpansionConfig {
+                time_budget: Some(budget),
+                ..ExpansionConfig::default()
+            };
+            ExpansionSolver::new(config).synthesize(&instance.dqbf).outcome
+        }
+        EngineKind::PedantLike => {
+            let config = ArbiterConfig {
+                time_budget: Some(budget),
+                ..ArbiterConfig::default()
+            };
+            ArbiterSolver::new(config).synthesize(&instance.dqbf).outcome
+        }
+    };
+    let time = start.elapsed();
+    let (synthesized, decided, label) = match &outcome {
+        SynthesisOutcome::Realizable(vector) => {
+            let valid = verify::check(&instance.dqbf, vector).is_valid();
+            (valid, valid, if valid { "realizable" } else { "invalid" }.to_string())
+        }
+        SynthesisOutcome::Unrealizable => (false, true, "unrealizable".to_string()),
+        SynthesisOutcome::Unknown(reason) => (false, false, format!("unknown:{reason:?}")),
+    };
+    RunRecord {
+        instance: instance.name.clone(),
+        family: instance.family.to_string(),
+        engine,
+        synthesized,
+        decided,
+        outcome: label,
+        time,
+    }
+}
+
+/// Runs every engine on every instance.
+pub fn run_suite(instances: &[Instance], budget: Duration) -> Vec<RunRecord> {
+    let mut records = Vec::with_capacity(instances.len() * EngineKind::ALL.len());
+    for instance in instances {
+        for engine in EngineKind::ALL {
+            records.push(run_engine(engine, instance, budget));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_gen::planted::{planted_true, PlantedParams};
+
+    #[test]
+    fn all_engines_solve_a_small_planted_instance() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        for engine in EngineKind::ALL {
+            let record = run_engine(engine, &instance, Duration::from_secs(5));
+            assert!(record.synthesized, "{engine} failed: {}", record.outcome);
+            assert!(record.decided);
+        }
+    }
+
+    #[test]
+    fn run_suite_produces_one_record_per_engine_and_instance() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instances = vec![planted_true(&params, 1), planted_true(&params, 2)];
+        let records = run_suite(&instances, Duration::from_secs(5));
+        assert_eq!(records.len(), 6);
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(EngineKind::Manthan3.to_string(), "manthan3");
+        assert_eq!(EngineKind::Hqs2Like.to_string(), "hqs2like");
+        assert_eq!(EngineKind::PedantLike.to_string(), "pedantlike");
+    }
+}

@@ -1,0 +1,346 @@
+//! VBS bookkeeping, cactus/scatter series and the summary table
+//! (the data behind Figures 6–10 and the in-text counts of the paper).
+
+use crate::{EngineKind, RunRecord};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Duration;
+
+/// Per-instance synthesis time of one engine (only instances it synthesized).
+pub fn solved_times(records: &[RunRecord], engine: EngineKind) -> BTreeMap<String, f64> {
+    records
+        .iter()
+        .filter(|r| r.engine == engine && r.synthesized)
+        .map(|r| (r.instance.clone(), r.seconds()))
+        .collect()
+}
+
+/// The Virtual Best Synthesizer over a set of engines: per instance, the
+/// minimum synthesis time among the engines that synthesized it.
+pub fn vbs(records: &[RunRecord], engines: &[EngineKind]) -> BTreeMap<String, f64> {
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    for &engine in engines {
+        for (instance, time) in solved_times(records, engine) {
+            best.entry(instance)
+                .and_modify(|t| *t = t.min(time))
+                .or_insert(time);
+        }
+    }
+    best
+}
+
+/// Turns per-instance times into a cactus series: the `i`-th entry is the
+/// time below which `i + 1` instances were synthesized.
+pub fn cactus(times: &BTreeMap<String, f64>) -> Vec<f64> {
+    let mut sorted: Vec<f64> = times.values().copied().collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted
+}
+
+/// Rows of the Figure 6 cactus plot: `(instances_synthesized, time_vbs,
+/// time_vbs_plus_manthan3)`; entries are padded with empty strings when one
+/// portfolio has synthesized fewer instances.
+pub fn fig6_rows(records: &[RunRecord]) -> Vec<Vec<String>> {
+    let without = cactus(&vbs(records, &[EngineKind::Hqs2Like, EngineKind::PedantLike]));
+    let with = cactus(&vbs(records, &EngineKind::ALL));
+    let len = without.len().max(with.len());
+    (0..len)
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                without.get(i).map(|t| format!("{t:.4}")).unwrap_or_default(),
+                with.get(i).map(|t| format!("{t:.4}")).unwrap_or_default(),
+            ]
+        })
+        .collect()
+}
+
+/// Rows of a scatter plot comparing two portfolios: per instance, the
+/// synthesis time of each side (or `timeout` seconds when not synthesized).
+pub fn scatter_rows(
+    records: &[RunRecord],
+    x_engines: &[EngineKind],
+    y_engines: &[EngineKind],
+    timeout: Duration,
+) -> Vec<Vec<String>> {
+    let xs = vbs(records, x_engines);
+    let ys = vbs(records, y_engines);
+    let instances: BTreeSet<String> = records.iter().map(|r| r.instance.clone()).collect();
+    let cap = timeout.as_secs_f64();
+    instances
+        .into_iter()
+        .map(|name| {
+            let x = xs.get(&name).copied().unwrap_or(cap);
+            let y = ys.get(&name).copied().unwrap_or(cap);
+            vec![name, format!("{x:.4}"), format!("{y:.4}")]
+        })
+        .collect()
+}
+
+/// The aggregate counts reported in the text of the paper's evaluation
+/// section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total number of instances.
+    pub total_instances: usize,
+    /// Instances synthesized per engine.
+    pub synthesized: BTreeMap<EngineKind, usize>,
+    /// Instances decided (synthesized or proved false) per engine.
+    pub decided: BTreeMap<EngineKind, usize>,
+    /// Instances synthesized by the VBS of the two baselines.
+    pub vbs_without_manthan3: usize,
+    /// Instances synthesized by the VBS of all three engines.
+    pub vbs_with_manthan3: usize,
+    /// Instances only Manthan3 synthesized.
+    pub manthan3_unique: usize,
+    /// Instances where Manthan3 was the (strictly) fastest synthesizer.
+    pub manthan3_fastest: usize,
+    /// Instances Manthan3 synthesized but the HQS2-like engine did not.
+    pub manthan3_not_hqs2: usize,
+    /// Instances Manthan3 synthesized but the Pedant-like engine did not.
+    pub manthan3_not_pedant: usize,
+    /// Instances some baseline synthesized but Manthan3 did not.
+    pub missed_by_manthan3: usize,
+    /// Instances within 10 seconds of the baseline VBS for Manthan3
+    /// (the green region of Figure 7).
+    pub manthan3_within_10s_of_vbs: usize,
+}
+
+/// Computes the summary table from the run records.
+pub fn summary(records: &[RunRecord]) -> Summary {
+    let instances: BTreeSet<String> = records.iter().map(|r| r.instance.clone()).collect();
+    let per_engine: BTreeMap<EngineKind, BTreeMap<String, f64>> = EngineKind::ALL
+        .iter()
+        .map(|&e| (e, solved_times(records, e)))
+        .collect();
+    let baseline_vbs = vbs(records, &[EngineKind::Hqs2Like, EngineKind::PedantLike]);
+    let full_vbs = vbs(records, &EngineKind::ALL);
+    let manthan3 = &per_engine[&EngineKind::Manthan3];
+    let hqs = &per_engine[&EngineKind::Hqs2Like];
+    let pedant = &per_engine[&EngineKind::PedantLike];
+
+    let synthesized = EngineKind::ALL
+        .iter()
+        .map(|&e| (e, per_engine[&e].len()))
+        .collect();
+    let decided = EngineKind::ALL
+        .iter()
+        .map(|&e| {
+            (
+                e,
+                records
+                    .iter()
+                    .filter(|r| r.engine == e && r.decided)
+                    .count(),
+            )
+        })
+        .collect();
+
+    let manthan3_unique = manthan3
+        .keys()
+        .filter(|i| !baseline_vbs.contains_key(*i))
+        .count();
+    let manthan3_fastest = manthan3
+        .iter()
+        .filter(|(i, t)| baseline_vbs.get(*i).map_or(true, |b| *t < b))
+        .count();
+    let manthan3_not_hqs2 = manthan3.keys().filter(|i| !hqs.contains_key(*i)).count();
+    let manthan3_not_pedant = manthan3.keys().filter(|i| !pedant.contains_key(*i)).count();
+    let missed_by_manthan3 = baseline_vbs
+        .keys()
+        .filter(|i| !manthan3.contains_key(*i))
+        .count();
+    let manthan3_within_10s_of_vbs = manthan3
+        .iter()
+        .filter(|(i, t)| baseline_vbs.get(*i).map_or(false, |b| **t <= *b + 10.0))
+        .count();
+
+    Summary {
+        total_instances: instances.len(),
+        synthesized,
+        decided,
+        vbs_without_manthan3: baseline_vbs.len(),
+        vbs_with_manthan3: full_vbs.len(),
+        manthan3_unique,
+        manthan3_fastest,
+        manthan3_not_hqs2,
+        manthan3_not_pedant,
+        missed_by_manthan3,
+        manthan3_within_10s_of_vbs,
+    }
+}
+
+impl Summary {
+    /// Renders the summary as CSV rows `(metric, value)`.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![
+            vec!["total_instances".into(), self.total_instances.to_string()],
+            vec![
+                "vbs_without_manthan3".into(),
+                self.vbs_without_manthan3.to_string(),
+            ],
+            vec![
+                "vbs_with_manthan3".into(),
+                self.vbs_with_manthan3.to_string(),
+            ],
+            vec!["manthan3_unique".into(), self.manthan3_unique.to_string()],
+            vec!["manthan3_fastest".into(), self.manthan3_fastest.to_string()],
+            vec![
+                "manthan3_not_hqs2".into(),
+                self.manthan3_not_hqs2.to_string(),
+            ],
+            vec![
+                "manthan3_not_pedant".into(),
+                self.manthan3_not_pedant.to_string(),
+            ],
+            vec![
+                "missed_by_manthan3".into(),
+                self.missed_by_manthan3.to_string(),
+            ],
+            vec![
+                "manthan3_within_10s_of_vbs".into(),
+                self.manthan3_within_10s_of_vbs.to_string(),
+            ],
+        ];
+        for engine in EngineKind::ALL {
+            rows.push(vec![
+                format!("synthesized_{engine}"),
+                self.synthesized[&engine].to_string(),
+            ]);
+            rows.push(vec![
+                format!("decided_{engine}"),
+                self.decided[&engine].to_string(),
+            ]);
+        }
+        rows
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instances:                 {}", self.total_instances)?;
+        for engine in EngineKind::ALL {
+            writeln!(
+                f,
+                "synthesized by {engine:<11} {} (decided {})",
+                self.synthesized[&engine], self.decided[&engine]
+            )?;
+        }
+        writeln!(f, "VBS(HQS2+Pedant):          {}", self.vbs_without_manthan3)?;
+        writeln!(f, "VBS(+Manthan3):            {}", self.vbs_with_manthan3)?;
+        writeln!(f, "Manthan3 unique:           {}", self.manthan3_unique)?;
+        writeln!(f, "Manthan3 fastest:          {}", self.manthan3_fastest)?;
+        writeln!(f, "Manthan3 not HQS2-like:    {}", self.manthan3_not_hqs2)?;
+        writeln!(f, "Manthan3 not Pedant-like:  {}", self.manthan3_not_pedant)?;
+        writeln!(f, "missed by Manthan3:        {}", self.missed_by_manthan3)?;
+        write!(
+            f,
+            "Manthan3 within +10s of VBS: {}",
+            self.manthan3_within_10s_of_vbs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        instance: &str,
+        engine: EngineKind,
+        synthesized: bool,
+        seconds: f64,
+    ) -> RunRecord {
+        RunRecord {
+            instance: instance.to_string(),
+            family: "planted".to_string(),
+            engine,
+            synthesized,
+            decided: synthesized,
+            outcome: if synthesized { "realizable" } else { "unknown" }.to_string(),
+            time: Duration::from_secs_f64(seconds),
+        }
+    }
+
+    fn sample_records() -> Vec<RunRecord> {
+        vec![
+            // i1: all three solve, manthan3 fastest.
+            record("i1", EngineKind::Manthan3, true, 0.1),
+            record("i1", EngineKind::Hqs2Like, true, 0.5),
+            record("i1", EngineKind::PedantLike, true, 0.9),
+            // i2: only manthan3 solves.
+            record("i2", EngineKind::Manthan3, true, 1.0),
+            record("i2", EngineKind::Hqs2Like, false, 2.0),
+            record("i2", EngineKind::PedantLike, false, 2.0),
+            // i3: only hqs solves.
+            record("i3", EngineKind::Manthan3, false, 2.0),
+            record("i3", EngineKind::Hqs2Like, true, 0.2),
+            record("i3", EngineKind::PedantLike, false, 2.0),
+        ]
+    }
+
+    #[test]
+    fn vbs_takes_the_minimum() {
+        let records = sample_records();
+        let all = vbs(&records, &EngineKind::ALL);
+        assert_eq!(all.len(), 3);
+        assert!((all["i1"] - 0.1).abs() < 1e-9);
+        let baseline = vbs(&records, &[EngineKind::Hqs2Like, EngineKind::PedantLike]);
+        assert_eq!(baseline.len(), 2);
+    }
+
+    #[test]
+    fn cactus_is_sorted_and_cumulative() {
+        let records = sample_records();
+        let series = cactus(&vbs(&records, &EngineKind::ALL));
+        assert_eq!(series.len(), 3);
+        assert!(series.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn summary_counts_match_hand_computation() {
+        let records = sample_records();
+        let s = summary(&records);
+        assert_eq!(s.total_instances, 3);
+        assert_eq!(s.synthesized[&EngineKind::Manthan3], 2);
+        assert_eq!(s.synthesized[&EngineKind::Hqs2Like], 2);
+        assert_eq!(s.synthesized[&EngineKind::PedantLike], 1);
+        assert_eq!(s.vbs_without_manthan3, 2);
+        assert_eq!(s.vbs_with_manthan3, 3);
+        assert_eq!(s.manthan3_unique, 1);
+        assert_eq!(s.manthan3_fastest, 2);
+        assert_eq!(s.manthan3_not_hqs2, 1);
+        assert_eq!(s.manthan3_not_pedant, 1);
+        assert_eq!(s.missed_by_manthan3, 1);
+        assert_eq!(s.manthan3_within_10s_of_vbs, 1);
+        let text = s.to_string();
+        assert!(text.contains("Manthan3 unique:           1"));
+        assert!(s.rows().len() >= 9);
+    }
+
+    #[test]
+    fn fig6_rows_have_two_series() {
+        let records = sample_records();
+        let rows = fig6_rows(&records);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 3);
+        // The third entry exists only for the +Manthan3 portfolio.
+        assert!(rows[2][1].is_empty());
+        assert!(!rows[2][2].is_empty());
+    }
+
+    #[test]
+    fn scatter_rows_cover_every_instance() {
+        let records = sample_records();
+        let rows = scatter_rows(
+            &records,
+            &[EngineKind::Hqs2Like],
+            &[EngineKind::Manthan3],
+            Duration::from_secs(10),
+        );
+        assert_eq!(rows.len(), 3);
+        // i2 is a timeout for the HQS2-like engine.
+        let i2 = rows.iter().find(|r| r[0] == "i2").unwrap();
+        assert_eq!(i2[1], "10.0000");
+    }
+}

@@ -1,0 +1,264 @@
+use crate::{Lit, Var};
+use std::fmt;
+
+/// A total assignment of Boolean values to the first `n` variables.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::{Assignment, Lit, Var};
+/// let mut a = Assignment::new_false(3);
+/// a.set(Var::new(1), true);
+/// assert!(a.value(Var::new(1)));
+/// assert!(!a.value(Var::new(0)));
+/// assert!(a.lit_value(Lit::negative(Var::new(2))));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+impl Assignment {
+    /// Creates an all-false assignment over `num_vars` variables.
+    pub fn new_false(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![false; num_vars],
+        }
+    }
+
+    /// Creates an assignment from a vector of values; index `i` is the value
+    /// of variable `i`.
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Assignment { values }
+    }
+
+    /// Number of variables covered by this assignment.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the assignment covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the assignment.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Returns the value of `var`, or `None` if it is outside the assignment.
+    pub fn get(&self, var: Var) -> Option<bool> {
+        self.values.get(var.index()).copied()
+    }
+
+    /// Returns the truth value of a literal under this assignment.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Sets the value of `var`, growing the assignment with `false` values if
+    /// necessary.
+    pub fn set(&mut self, var: Var, value: bool) {
+        if var.index() >= self.values.len() {
+            self.values.resize(var.index() + 1, false);
+        }
+        self.values[var.index()] = value;
+    }
+
+    /// Makes a literal true under this assignment.
+    pub fn set_lit(&mut self, lit: Lit) {
+        self.set(lit.var(), lit.is_positive());
+    }
+
+    /// Returns the underlying value vector.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Restricts the assignment to the given variables, returning the values
+    /// in the same order as `vars`.
+    pub fn restrict(&self, vars: &[Var]) -> Vec<bool> {
+        vars.iter().map(|&v| self.value(v)).collect()
+    }
+
+    /// Iterates over `(Var, bool)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (Var::new(i as u32), b))
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment[")?;
+        for (i, b) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", if *b { i as i64 + 1 } else { -(i as i64 + 1) })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::ops::Index<Var> for Assignment {
+    type Output = bool;
+
+    fn index(&self, var: Var) -> &bool {
+        &self.values[var.index()]
+    }
+}
+
+/// A partial assignment: each variable is true, false, or unassigned.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::{PartialAssignment, Var};
+/// let mut p = PartialAssignment::new(2);
+/// assert_eq!(p.get(Var::new(0)), None);
+/// p.assign(Var::new(0), true);
+/// assert_eq!(p.get(Var::new(0)), Some(true));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct PartialAssignment {
+    values: Vec<Option<bool>>,
+}
+
+impl PartialAssignment {
+    /// Creates an all-unassigned partial assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        PartialAssignment {
+            values: vec![None; num_vars],
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value of `var` if assigned.
+    pub fn get(&self, var: Var) -> Option<bool> {
+        self.values.get(var.index()).copied().flatten()
+    }
+
+    /// Returns the truth value of a literal, if its variable is assigned.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.get(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    /// Assigns a value to `var`, growing the structure if necessary.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        if var.index() >= self.values.len() {
+            self.values.resize(var.index() + 1, None);
+        }
+        self.values[var.index()] = Some(value);
+    }
+
+    /// Removes the assignment of `var`.
+    pub fn unassign(&mut self, var: Var) {
+        if var.index() < self.values.len() {
+            self.values[var.index()] = None;
+        }
+    }
+
+    /// Number of assigned variables.
+    pub fn assigned_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Completes the partial assignment into a total [`Assignment`],
+    /// defaulting unassigned variables to `default`.
+    pub fn complete(&self, default: bool) -> Assignment {
+        Assignment::from_values(self.values.iter().map(|v| v.unwrap_or(default)).collect())
+    }
+}
+
+impl fmt::Debug for PartialAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PartialAssignment[")?;
+        let mut first = true;
+        for (i, v) in self.values.iter().enumerate() {
+            if let Some(b) = v {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                write!(f, "{}", if *b { i as i64 + 1 } else { -(i as i64 + 1) })?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_set_and_get() {
+        let mut a = Assignment::new_false(4);
+        a.set(Var::new(2), true);
+        assert!(a.value(Var::new(2)));
+        assert!(!a.value(Var::new(0)));
+        assert_eq!(a.get(Var::new(9)), None);
+    }
+
+    #[test]
+    fn assignment_grows_on_set() {
+        let mut a = Assignment::new_false(1);
+        a.set(Var::new(5), true);
+        assert_eq!(a.len(), 6);
+        assert!(a.value(Var::new(5)));
+        assert!(!a.value(Var::new(3)));
+    }
+
+    #[test]
+    fn literal_values_respect_polarity() {
+        let mut a = Assignment::new_false(2);
+        a.set(Var::new(0), true);
+        assert!(a.lit_value(Lit::positive(Var::new(0))));
+        assert!(!a.lit_value(Lit::negative(Var::new(0))));
+        assert!(a.lit_value(Lit::negative(Var::new(1))));
+    }
+
+    #[test]
+    fn restriction_preserves_order() {
+        let a = Assignment::from_values(vec![true, false, true, true]);
+        let r = a.restrict(&[Var::new(3), Var::new(1)]);
+        assert_eq!(r, vec![true, false]);
+    }
+
+    #[test]
+    fn partial_assignment_complete() {
+        let mut p = PartialAssignment::new(3);
+        p.assign(Var::new(1), true);
+        let total = p.complete(false);
+        assert_eq!(total.as_slice(), &[false, true, false]);
+        assert_eq!(p.assigned_count(), 1);
+        p.unassign(Var::new(1));
+        assert_eq!(p.assigned_count(), 0);
+    }
+
+    #[test]
+    fn set_lit_sets_polarity() {
+        let mut a = Assignment::new_false(2);
+        a.set_lit(Lit::negative(Var::new(0)));
+        a.set_lit(Lit::positive(Var::new(1)));
+        assert!(!a.value(Var::new(0)));
+        assert!(a.value(Var::new(1)));
+    }
+}

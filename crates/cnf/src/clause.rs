@@ -1,0 +1,229 @@
+use crate::{Assignment, Lit, PartialAssignment, Var};
+use std::fmt;
+
+/// A disjunction of literals.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::{Clause, Lit, Var};
+/// let a = Lit::positive(Var::new(0));
+/// let b = Lit::negative(Var::new(1));
+/// let c = Clause::new(vec![a, b]);
+/// assert_eq!(c.len(), 2);
+/// assert!(c.contains(a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from the given literals.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+
+    /// Creates an empty (unsatisfiable) clause.
+    pub fn empty() -> Self {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Creates a unit clause.
+    pub fn unit(lit: Lit) -> Self {
+        Clause { lits: vec![lit] }
+    }
+
+    /// Number of literals in the clause.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` if the clause has no literals.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if the clause contains the given literal.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns the literals of the clause.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Iterates over the literals of the clause.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Returns `true` if the clause contains both a literal and its negation.
+    pub fn is_tautology(&self) -> bool {
+        let mut sorted: Vec<Lit> = self.lits.clone();
+        sorted.sort();
+        sorted.windows(2).any(|w| w[0] == !w[1] || w[0].var() == w[1].var() && w[0] != w[1])
+    }
+
+    /// Returns a copy of the clause with duplicate literals removed and
+    /// literals sorted. Tautologies are preserved (use
+    /// [`is_tautology`](Clause::is_tautology) first if they must be dropped).
+    pub fn normalized(&self) -> Clause {
+        let mut lits = self.lits.clone();
+        lits.sort();
+        lits.dedup();
+        Clause { lits }
+    }
+
+    /// Evaluates the clause under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        self.lits.iter().any(|&l| assignment.lit_value(l))
+    }
+
+    /// Evaluates the clause under a partial assignment: `Some(true)` if some
+    /// literal is satisfied, `Some(false)` if every literal is falsified,
+    /// `None` otherwise.
+    pub fn eval_partial(&self, assignment: &PartialAssignment) -> Option<bool> {
+        let mut all_false = true;
+        for &l in &self.lits {
+            match assignment.lit_value(l) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => all_false = false,
+            }
+        }
+        if all_false {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the largest variable mentioned by this clause, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.lits.iter().map(|l| l.var()).max()
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause::new(lits)
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<T: IntoIterator<Item = Lit>>(iter: T) -> Self {
+        Clause::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lits {
+            write!(f, "{l} ")?;
+        }
+        write!(f, "0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::new(vec![lit(1), lit(-1)]).is_tautology());
+        assert!(Clause::new(vec![lit(2), lit(1), lit(-2)]).is_tautology());
+        assert!(!Clause::new(vec![lit(1), lit(2)]).is_tautology());
+        assert!(!Clause::empty().is_tautology());
+    }
+
+    #[test]
+    fn normalization_dedups_and_sorts() {
+        let c = Clause::new(vec![lit(3), lit(1), lit(3), lit(-2)]);
+        let n = c.normalized();
+        assert_eq!(n.len(), 3);
+        assert!(n.contains(lit(1)));
+        assert!(n.contains(lit(3)));
+        assert!(n.contains(lit(-2)));
+    }
+
+    #[test]
+    fn clause_evaluation() {
+        let c = Clause::new(vec![lit(1), lit(-2)]);
+        let mut a = Assignment::new_false(2);
+        assert!(c.eval(&a)); // -2 is true
+        a.set(Var::new(1), true);
+        assert!(!c.eval(&a));
+        a.set(Var::new(0), true);
+        assert!(c.eval(&a));
+    }
+
+    #[test]
+    fn partial_evaluation_three_valued() {
+        let c = Clause::new(vec![lit(1), lit(2)]);
+        let mut p = PartialAssignment::new(2);
+        assert_eq!(c.eval_partial(&p), None);
+        p.assign(Var::new(0), false);
+        assert_eq!(c.eval_partial(&p), None);
+        p.assign(Var::new(1), false);
+        assert_eq!(c.eval_partial(&p), Some(false));
+        p.assign(Var::new(1), true);
+        assert_eq!(c.eval_partial(&p), Some(true));
+    }
+
+    #[test]
+    fn unit_and_empty_constructors() {
+        assert_eq!(Clause::unit(lit(5)).len(), 1);
+        assert!(Clause::empty().is_empty());
+    }
+
+    #[test]
+    fn max_var_of_clause() {
+        let c = Clause::new(vec![lit(1), lit(-7), lit(3)]);
+        assert_eq!(c.max_var(), Some(Var::from_dimacs(7)));
+        assert_eq!(Clause::empty().max_var(), None);
+    }
+
+    #[test]
+    fn display_is_dimacs_row() {
+        let c = Clause::new(vec![lit(1), lit(-2)]);
+        assert_eq!(c.to_string(), "1 -2 0");
+    }
+}

@@ -1,0 +1,450 @@
+//! The main synthesis loop (Algorithm 1 of the paper).
+
+use crate::config::Manthan3Config;
+use crate::learn::learn_candidate;
+use crate::order::{DependencyState, Order};
+use crate::preprocess::extract_unique_definitions;
+use crate::repair::{repair_vector, Sigma};
+use crate::stats::SynthesisStats;
+use manthan3_cnf::{CnfBuilder, Lit, Var};
+use manthan3_dqbf::{verify, Dqbf, HenkinVector};
+use manthan3_sampler::{Sampler, SamplerConfig};
+use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Why a synthesis run ended without a definitive answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnknownReason {
+    /// The repair loop could not modify any candidate for the current
+    /// counterexample (the incompleteness discussed in §5 of the paper).
+    RepairStuck,
+    /// The configured number of repair iterations was exhausted.
+    IterationLimit,
+    /// The configured wall-clock budget was exhausted.
+    TimeBudget,
+    /// A budgeted SAT oracle call gave up.
+    OracleBudget,
+}
+
+/// The verdict of a synthesis run.
+#[derive(Debug, Clone)]
+pub enum SynthesisOutcome {
+    /// The formula is true; the returned vector is a Henkin function vector
+    /// (each function expressed over its Henkin dependencies only).
+    Realizable(HenkinVector),
+    /// The formula is false: no Henkin function vector exists.
+    Unrealizable,
+    /// The engine gave up for the stated reason.
+    Unknown(UnknownReason),
+}
+
+impl SynthesisOutcome {
+    /// Returns `true` for [`SynthesisOutcome::Realizable`].
+    pub fn is_realizable(&self) -> bool {
+        matches!(self, SynthesisOutcome::Realizable(_))
+    }
+}
+
+/// Outcome and statistics of one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The verdict.
+    pub outcome: SynthesisOutcome,
+    /// Counters and timings.
+    pub stats: SynthesisStats,
+}
+
+/// The Manthan3 synthesis engine.
+///
+/// See the [crate-level documentation](crate) for the algorithm and an
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct Manthan3 {
+    config: Manthan3Config,
+}
+
+impl Manthan3 {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: Manthan3Config) -> Self {
+        Manthan3 { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Manthan3Config {
+        &self.config
+    }
+
+    /// Synthesizes a Henkin function vector for `dqbf` (Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dqbf` fails [`Dqbf::validate`].
+    pub fn synthesize(&self, dqbf: &Dqbf) -> SynthesisResult {
+        dqbf.validate().expect("well-formed DQBF");
+        let start = Instant::now();
+        let deadline = self.config.time_budget.map(|b| start + b);
+        let mut stats = SynthesisStats::default();
+
+        let finish = |outcome: SynthesisOutcome, mut stats: SynthesisStats| {
+            stats.total_time = start.elapsed();
+            SynthesisResult { outcome, stats }
+        };
+
+        // A DQBF with an unsatisfiable matrix is trivially false.
+        let solver_config = match self.config.sat_conflict_budget {
+            Some(budget) => SolverConfig::budgeted(budget),
+            None => SolverConfig::default(),
+        };
+        let mut phi_solver = Solver::with_config(solver_config);
+        phi_solver.add_cnf(dqbf.matrix());
+        phi_solver.ensure_vars(dqbf.num_vars());
+        match phi_solver.solve() {
+            SolveResult::Unsat => return finish(SynthesisOutcome::Unrealizable, stats),
+            SolveResult::Unknown => {
+                return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
+            }
+            SolveResult::Sat => {}
+        }
+
+        // Preprocessing: unique definitions.
+        let mut vector = HenkinVector::new();
+        let defined = extract_unique_definitions(dqbf, &mut vector, &self.config, &mut stats);
+
+        // Phase 1: data generation.
+        let sampling_start = Instant::now();
+        let mut sampler = Sampler::new(
+            dqbf.matrix(),
+            SamplerConfig {
+                seed: self.config.seed,
+                ..SamplerConfig::default()
+            },
+        );
+        let samples = sampler.sample(self.config.num_samples);
+        stats.samples = samples.len();
+        stats.sampling_time = sampling_start.elapsed();
+        if samples.is_empty() {
+            return finish(SynthesisOutcome::Unrealizable, stats);
+        }
+
+        // Phase 2: candidate learning with dependency bookkeeping.
+        let learning_start = Instant::now();
+        let mut dependency_state = DependencyState::new(dqbf.existentials());
+        for &yi in dqbf.existentials() {
+            for &yj in dqbf.existentials() {
+                if yi == yj {
+                    continue;
+                }
+                let hi = dqbf.dependencies(yi);
+                let hj = dqbf.dependencies(yj);
+                if hj.is_subset(hi) && hj != hi {
+                    // H_j ⊂ H_i ⇒ y_i may depend on y_j (Algorithm 1, lines 3–5).
+                    dependency_state.record_subset_constraint(yi, yj);
+                }
+            }
+        }
+        for &y in dqbf.existentials() {
+            if defined.contains(&y) {
+                continue;
+            }
+            let learned = learn_candidate(
+                dqbf,
+                &samples,
+                y,
+                &dependency_state,
+                &mut vector,
+                &self.config,
+            );
+            debug_assert!(learned.tree_splits <= self.config.tree.max_depth * samples.len() + 1);
+            vector.set(y, learned.function);
+            for supplier in learned.used_existentials {
+                dependency_state.record_dependency(y, supplier);
+            }
+            stats.candidates_learned += 1;
+        }
+        let order = Order::from_dependencies(dqbf.existentials(), &dependency_state);
+        debug_assert_eq!(order.sequence().len(), dqbf.existentials().len());
+        stats.learning_time = learning_start.elapsed();
+
+        // Phases 3–5: verify / repair loop.
+        for _ in 0..self.config.max_repair_iterations {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return finish(SynthesisOutcome::Unknown(UnknownReason::TimeBudget), stats);
+                }
+            }
+            let verification_start = Instant::now();
+            stats.verification_checks += 1;
+            let error_result = self.check_error_formula(dqbf, &vector);
+            stats.verification_time += verification_start.elapsed();
+            let delta = match error_result {
+                ErrorCheck::Valid => {
+                    // Success: expand inter-candidate references so every
+                    // function is over its Henkin dependencies only
+                    // (Algorithm 1, line 19).
+                    vector.substitute_down(&order.substitution_order());
+                    debug_assert_eq!(vector.dependency_violation(dqbf), None);
+                    return finish(SynthesisOutcome::Realizable(vector), stats);
+                }
+                ErrorCheck::Budget => {
+                    return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
+                }
+                ErrorCheck::CounterExample(delta) => delta,
+            };
+
+            // Can δ[X] be extended to a model of ϕ? (Algorithm 1, line 13.)
+            let x_assumptions: Vec<Lit> = dqbf
+                .universals()
+                .iter()
+                .map(|&x| x.lit(delta.x.get(&x).copied().unwrap_or(false)))
+                .collect();
+            let pi = match phi_solver.solve_with_assumptions(&x_assumptions) {
+                SolveResult::Unsat => {
+                    return finish(SynthesisOutcome::Unrealizable, stats);
+                }
+                SolveResult::Unknown => {
+                    return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
+                }
+                SolveResult::Sat => phi_solver.model(),
+            };
+
+            let repair_start = Instant::now();
+            stats.repair_iterations += 1;
+            let mut sigma = Sigma {
+                x: delta.x,
+                y: dqbf
+                    .existentials()
+                    .iter()
+                    .map(|&y| (y, pi.get(y).unwrap_or(false)))
+                    .collect(),
+                y_prime: delta.y_prime,
+            };
+            let outcome = repair_vector(
+                dqbf,
+                &self.config,
+                &mut phi_solver,
+                &mut vector,
+                &order,
+                &mut sigma,
+                &mut stats,
+            );
+            stats.repair_time += repair_start.elapsed();
+            if outcome.stuck {
+                return finish(SynthesisOutcome::Unknown(UnknownReason::RepairStuck), stats);
+            }
+        }
+        finish(SynthesisOutcome::Unknown(UnknownReason::IterationLimit), stats)
+    }
+
+    /// Builds and solves the error formula
+    /// `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f(X, Y'))`.
+    ///
+    /// The original existential variables play the role of `Y'`: candidate
+    /// functions that still mention other existential variables read those
+    /// values from the corresponding `Y'` literals, exactly as in the paper.
+    fn check_error_formula(&self, dqbf: &Dqbf, vector: &HenkinVector) -> ErrorCheck {
+        let mut builder = CnfBuilder::new(dqbf.num_vars());
+        verify::encode_negated_matrix(dqbf, &mut builder);
+        let input_map: HashMap<usize, Lit> = (0..dqbf.num_vars())
+            .map(|i| (i, Var::new(i as u32).positive()))
+            .collect();
+        for &y in dqbf.existentials() {
+            let f = vector.get(y).expect("every output has a candidate");
+            let out = vector.aig().encode_cnf(f, &mut builder, &input_map);
+            builder.assert_equiv(y.positive(), out);
+        }
+        let solver_config = match self.config.sat_conflict_budget {
+            Some(budget) => SolverConfig::budgeted(budget),
+            None => SolverConfig::default(),
+        };
+        let mut solver = Solver::with_config(solver_config);
+        solver.add_cnf(builder.cnf());
+        match solver.solve() {
+            SolveResult::Unsat => ErrorCheck::Valid,
+            SolveResult::Unknown => ErrorCheck::Budget,
+            SolveResult::Sat => {
+                let model = solver.model();
+                ErrorCheck::CounterExample(Delta {
+                    x: dqbf
+                        .universals()
+                        .iter()
+                        .map(|&x| (x, model.get(x).unwrap_or(false)))
+                        .collect(),
+                    y_prime: dqbf
+                        .existentials()
+                        .iter()
+                        .map(|&y| (y, model.get(y).unwrap_or(false)))
+                        .collect(),
+                })
+            }
+        }
+    }
+}
+
+/// A model of the error formula: `δ[X]` and `δ[Y']`.
+#[derive(Debug, Clone)]
+struct Delta {
+    x: BTreeMap<Var, bool>,
+    y_prime: BTreeMap<Var, bool>,
+}
+
+enum ErrorCheck {
+    Valid,
+    Budget,
+    CounterExample(Delta),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_dqbf::verify::check;
+
+    fn synthesize(dqbf: &Dqbf) -> SynthesisResult {
+        Manthan3::new(Manthan3Config::fast()).synthesize(dqbf)
+    }
+
+    #[test]
+    fn solves_the_paper_example() {
+        let dqbf = Dqbf::paper_example();
+        let result = synthesize(&dqbf);
+        match result.outcome {
+            SynthesisOutcome::Realizable(vector) => {
+                assert!(check(&dqbf, &vector).is_valid());
+            }
+            other => panic!("expected Realizable, got {other:?}"),
+        }
+        assert!(result.stats.samples > 0);
+    }
+
+    #[test]
+    fn solves_simple_skolem_instance() {
+        // ∀x1 x2 ∃y (Skolem): y ↔ (x1 ⊕ x2).
+        let (x1, x2, y) = (Var::new(0), Var::new(1), Var::new(2));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x1);
+        dqbf.add_universal(x2);
+        dqbf.add_existential(y, [x1, x2]);
+        dqbf.add_clause([y.negative(), x1.positive(), x2.positive()]);
+        dqbf.add_clause([y.negative(), x1.negative(), x2.negative()]);
+        dqbf.add_clause([y.positive(), x1.positive(), x2.negative()]);
+        dqbf.add_clause([y.positive(), x1.negative(), x2.positive()]);
+        let result = synthesize(&dqbf);
+        match result.outcome {
+            SynthesisOutcome::Realizable(vector) => {
+                assert!(check(&dqbf, &vector).is_valid());
+                // The unique-definition preprocessing should have picked this
+                // up without any repair iterations.
+                assert_eq!(result.stats.unique_definitions, 1);
+            }
+            other => panic!("expected Realizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_false_instances_as_unrealizable() {
+        // ∀x ∃^{x}y. (¬x) ∧ y is false, and the X-extension check
+        // (Algorithm 1, line 13) detects it: for x = 1 the matrix has no
+        // model at all.
+        let (x, y) = (Var::new(0), Var::new(1));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y, [x]);
+        dqbf.add_clause([x.negative()]);
+        dqbf.add_clause([y.positive()]);
+        let result = synthesize(&dqbf);
+        assert!(matches!(result.outcome, SynthesisOutcome::Unrealizable));
+    }
+
+    #[test]
+    fn dependency_restricted_false_instance_is_not_misreported() {
+        // ∀x1 x2 ∃^{x1}y. (y ↔ x2) is false, but every σ[X] extends to a
+        // model of ϕ, so Manthan3 cannot prove falsity; per the paper it must
+        // end in the incompleteness case (repair stuck), never claim a
+        // Henkin vector.
+        let (x1, x2, y) = (Var::new(0), Var::new(1), Var::new(2));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x1);
+        dqbf.add_universal(x2);
+        dqbf.add_existential(y, [x1]);
+        dqbf.add_clause([y.negative(), x2.positive()]);
+        dqbf.add_clause([y.positive(), x2.negative()]);
+        let result = synthesize(&dqbf);
+        match result.outcome {
+            SynthesisOutcome::Unknown(_) | SynthesisOutcome::Unrealizable => {}
+            SynthesisOutcome::Realizable(_) => panic!("false instance cannot be realizable"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_matrix_is_unrealizable() {
+        let (x, y) = (Var::new(0), Var::new(1));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y, [x]);
+        dqbf.add_clause([y.positive()]);
+        dqbf.add_clause([y.negative()]);
+        let result = synthesize(&dqbf);
+        assert!(matches!(result.outcome, SynthesisOutcome::Unrealizable));
+    }
+
+    #[test]
+    fn time_budget_is_honoured() {
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..Manthan3Config::fast()
+        };
+        let result = Manthan3::new(config).synthesize(&dqbf);
+        // Either it was solved before the first deadline check (preprocessing
+        // can already produce a full vector) or the budget fired.
+        match result.outcome {
+            SynthesisOutcome::Realizable(_)
+            | SynthesisOutcome::Unknown(UnknownReason::TimeBudget) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_functions_respect_dependencies() {
+        let dqbf = Dqbf::paper_example();
+        let result = synthesize(&dqbf);
+        if let SynthesisOutcome::Realizable(vector) = result.outcome {
+            assert_eq!(vector.dependency_violation(&dqbf), None);
+        } else {
+            panic!("expected Realizable");
+        }
+    }
+
+    #[test]
+    fn skolem_xor_chain_is_synthesized() {
+        // ∀x1..x3 ∃y1 y2 (full dependencies): y1 ↔ x1⊕x2, y2 ↔ y1⊕x3 encoded
+        // via CNF; tests the learning + repair loop on a slightly larger
+        // instance with Y-to-Y structure.
+        let x: Vec<Var> = (0..3).map(Var::new).collect();
+        let y1 = Var::new(3);
+        let y2 = Var::new(4);
+        let mut dqbf = Dqbf::new();
+        for &xi in &x {
+            dqbf.add_universal(xi);
+        }
+        dqbf.add_existential(y1, x.iter().copied());
+        dqbf.add_existential(y2, x.iter().copied());
+        // y1 ↔ x1 ⊕ x2
+        dqbf.add_clause([y1.negative(), x[0].positive(), x[1].positive()]);
+        dqbf.add_clause([y1.negative(), x[0].negative(), x[1].negative()]);
+        dqbf.add_clause([y1.positive(), x[0].positive(), x[1].negative()]);
+        dqbf.add_clause([y1.positive(), x[0].negative(), x[1].positive()]);
+        // y2 ↔ y1 ⊕ x3
+        dqbf.add_clause([y2.negative(), y1.positive(), x[2].positive()]);
+        dqbf.add_clause([y2.negative(), y1.negative(), x[2].negative()]);
+        dqbf.add_clause([y2.positive(), y1.positive(), x[2].negative()]);
+        dqbf.add_clause([y2.positive(), y1.negative(), x[2].positive()]);
+        let result = synthesize(&dqbf);
+        match result.outcome {
+            SynthesisOutcome::Realizable(vector) => {
+                assert!(check(&dqbf, &vector).is_valid());
+            }
+            other => panic!("expected Realizable, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Manthan3: data-driven Henkin function synthesis.
+//!
+//! This crate implements the core contribution of *"Synthesis with Explicit
+//! Dependencies"* (DATE 2023): given a DQBF
+//! `∀X ∃^{H1}y1 … ∃^{Hm}ym. ϕ(X,Y)`, synthesize a Henkin function vector
+//! `f = ⟨f1,…,fm⟩` (each `f_i` over its dependency set `H_i` only) such that
+//! `ϕ(X, f(H))` is a tautology — or report that the formula is false.
+//!
+//! The engine follows the paper's Algorithms 1–3:
+//!
+//! 1. **Data generation** — sample satisfying assignments of ϕ
+//!    (`manthan3-sampler`).
+//! 2. **Candidate learning** — per output, learn a decision tree over the
+//!    valuations of its Henkin dependencies (plus compatible `Y` variables)
+//!    and take the disjunction of all paths to label 1 (`manthan3-dtree`).
+//! 3. **Ordering** — derive a linear extension of the learned inter-output
+//!    dependencies.
+//! 4. **Verification** — SAT check of the error formula
+//!    `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)`.
+//! 5. **Repair** — MaxSAT-based selection of repair candidates and
+//!    UNSAT-core-guided strengthening/weakening of the selected candidates.
+//!
+//! Manthan3 is sound (every returned vector passes the independent
+//! certificate check of `manthan3_dqbf::verify`) but **not complete**: for
+//! some true instances the repair loop cannot make progress (the paper's §5
+//! "Limitations"); the engine then reports
+//! [`UnknownReason::RepairStuck`].
+//!
+//! # Examples
+//!
+//! ```
+//! use manthan3_core::{Manthan3, Manthan3Config, SynthesisOutcome};
+//! use manthan3_dqbf::{verify, Dqbf};
+//!
+//! let dqbf = Dqbf::paper_example();
+//! let engine = Manthan3::new(Manthan3Config::default());
+//! let result = engine.synthesize(&dqbf);
+//! match result.outcome {
+//!     SynthesisOutcome::Realizable(vector) => {
+//!         assert!(verify::check(&dqbf, &vector).is_valid());
+//!     }
+//!     other => panic!("expected synthesis to succeed, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod learn;
+mod order;
+mod preprocess;
+mod repair;
+mod stats;
+
+pub use config::Manthan3Config;
+pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult, UnknownReason};
+pub use stats::SynthesisStats;

@@ -1,0 +1,55 @@
+//! Preprocessing: unique-definition extraction (the role of the UNIQUE tool
+//! in the paper's implementation).
+
+use crate::config::Manthan3Config;
+use crate::stats::SynthesisStats;
+use manthan3_cnf::Var;
+use manthan3_dqbf::{unique, Dqbf, HenkinVector};
+
+/// Extracts functions for uniquely defined outputs before learning starts.
+///
+/// Returns the variables whose function was fixed by preprocessing; those
+/// variables are skipped by the learning phase (their definitions already
+/// respect the Henkin dependencies by construction).
+pub fn extract_unique_definitions(
+    dqbf: &Dqbf,
+    vector: &mut HenkinVector,
+    config: &Manthan3Config,
+    stats: &mut SynthesisStats,
+) -> Vec<Var> {
+    if !config.use_unique_definitions {
+        return Vec::new();
+    }
+    let defined = unique::extract_definitions(dqbf, vector, config.max_unique_definition_deps);
+    stats.unique_definitions = defined.len();
+    defined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_can_be_disabled() {
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config {
+            use_unique_definitions: false,
+            ..Manthan3Config::default()
+        };
+        let mut stats = SynthesisStats::default();
+        let mut vector = HenkinVector::new();
+        assert!(extract_unique_definitions(&dqbf, &mut vector, &config, &mut stats).is_empty());
+        assert_eq!(stats.unique_definitions, 0);
+    }
+
+    #[test]
+    fn paper_example_extracts_y3() {
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config::default();
+        let mut stats = SynthesisStats::default();
+        let mut vector = HenkinVector::new();
+        let defined = extract_unique_definitions(&dqbf, &mut vector, &config, &mut stats);
+        assert!(defined.contains(&Var::new(5)));
+        assert_eq!(stats.unique_definitions, defined.len());
+    }
+}

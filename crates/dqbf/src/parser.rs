@@ -1,0 +1,230 @@
+//! DQDIMACS parsing and printing.
+//!
+//! DQDIMACS extends DIMACS with quantifier lines:
+//!
+//! * `a l1 l2 … 0` — universally quantified variables,
+//! * `e l1 l2 … 0` — existentially quantified variables that depend on **all
+//!   universals declared so far** (QBF-style),
+//! * `d y x1 x2 … 0` — an existentially quantified variable `y` with the
+//!   explicit Henkin dependency set `{x1, x2, …}`.
+
+use crate::Dqbf;
+use manthan3_cnf::{Lit, Var};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing a DQDIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDqdimacsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDqdimacsError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseDqdimacsError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number at which the error occurred.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDqdimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDqdimacsError {}
+
+fn parse_vars(line: usize, tokens: &[&str]) -> Result<Vec<Var>, ParseDqdimacsError> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        let value: i64 = tok
+            .parse()
+            .map_err(|_| ParseDqdimacsError::new(line, format!("invalid variable token {tok:?}")))?;
+        if value == 0 {
+            break;
+        }
+        if value < 0 {
+            return Err(ParseDqdimacsError::new(
+                line,
+                "quantifier lines must list positive variable identifiers",
+            ));
+        }
+        out.push(Var::from_dimacs(value as u32));
+    }
+    Ok(out)
+}
+
+/// Parses a DQDIMACS string into a [`Dqbf`].
+///
+/// # Errors
+///
+/// Returns [`ParseDqdimacsError`] on malformed headers, quantifier lines or
+/// clause literals.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_dqbf::parse_dqdimacs;
+/// let text = "p cnf 3 1\na 1 2 0\nd 3 1 0\n1 3 0\n";
+/// let dqbf = parse_dqdimacs(text)?;
+/// assert_eq!(dqbf.universals().len(), 2);
+/// assert_eq!(dqbf.existentials().len(), 1);
+/// # Ok::<(), manthan3_dqbf::ParseDqdimacsError>(())
+/// ```
+pub fn parse_dqdimacs(input: &str) -> Result<Dqbf, ParseDqdimacsError> {
+    let mut dqbf = Dqbf::new();
+    let mut current_clause: Vec<Lit> = Vec::new();
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDqdimacsError::new(lineno, "expected 'p cnf' header"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("a ") {
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            for v in parse_vars(lineno, &tokens)? {
+                dqbf.add_universal(v);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("e ") {
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            let deps: Vec<Var> = dqbf.universals().to_vec();
+            for v in parse_vars(lineno, &tokens)? {
+                dqbf.add_existential(v, deps.iter().copied());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("d ") {
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            let vars = parse_vars(lineno, &tokens)?;
+            let Some((&y, deps)) = vars.split_first() else {
+                return Err(ParseDqdimacsError::new(lineno, "empty 'd' line"));
+            };
+            dqbf.add_existential(y, deps.iter().copied());
+            continue;
+        }
+        // Clause line(s).
+        for tok in line.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| {
+                ParseDqdimacsError::new(lineno, format!("invalid literal token {tok:?}"))
+            })?;
+            if value == 0 {
+                dqbf.add_clause(current_clause.drain(..));
+            } else {
+                current_clause.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current_clause.is_empty() {
+        dqbf.add_clause(current_clause.drain(..));
+    }
+    Ok(dqbf)
+}
+
+/// Writes a [`Dqbf`] in DQDIMACS syntax (universals on one `a` line, one `d`
+/// line per existential, then the matrix clauses).
+pub fn write_dqdimacs(dqbf: &Dqbf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "p cnf {} {}\n",
+        dqbf.num_vars(),
+        dqbf.num_clauses()
+    ));
+    if !dqbf.universals().is_empty() {
+        out.push('a');
+        for &x in dqbf.universals() {
+            out.push_str(&format!(" {}", x.to_dimacs()));
+        }
+        out.push_str(" 0\n");
+    }
+    for &y in dqbf.existentials() {
+        out.push_str(&format!("d {}", y.to_dimacs()));
+        for &x in dqbf.dependencies(y) {
+            out.push_str(&format!(" {}", x.to_dimacs()));
+        }
+        out.push_str(" 0\n");
+    }
+    for clause in dqbf.matrix().clauses() {
+        for &lit in clause {
+            out.push_str(&format!("{} ", lit.to_dimacs()));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_explicit_dependencies() {
+        let text = "c example\np cnf 4 2\na 1 2 0\nd 3 1 0\nd 4 2 0\n1 3 0\n-2 4 0\n";
+        let dqbf = parse_dqdimacs(text).unwrap();
+        assert_eq!(dqbf.universals().len(), 2);
+        assert_eq!(dqbf.existentials().len(), 2);
+        assert_eq!(dqbf.num_clauses(), 2);
+        let y3 = Var::from_dimacs(3);
+        assert!(dqbf.dependencies(y3).contains(&Var::from_dimacs(1)));
+        assert!(!dqbf.dependencies(y3).contains(&Var::from_dimacs(2)));
+        assert!(dqbf.validate().is_ok());
+    }
+
+    #[test]
+    fn e_lines_depend_on_all_prior_universals() {
+        let text = "p cnf 3 1\na 1 0\ne 2 0\na 3 0\n1 2 3 0\n";
+        let dqbf = parse_dqdimacs(text).unwrap();
+        let y = Var::from_dimacs(2);
+        assert!(dqbf.dependencies(y).contains(&Var::from_dimacs(1)));
+        assert!(!dqbf.dependencies(y).contains(&Var::from_dimacs(3)));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let dqbf = Dqbf::paper_example();
+        let text = write_dqdimacs(&dqbf);
+        let parsed = parse_dqdimacs(&text).unwrap();
+        assert_eq!(parsed.universals(), dqbf.universals());
+        assert_eq!(parsed.existentials(), dqbf.existentials());
+        assert_eq!(parsed.num_clauses(), dqbf.num_clauses());
+        for &y in dqbf.existentials() {
+            assert_eq!(parsed.dependencies(y), dqbf.dependencies(y));
+        }
+    }
+
+    #[test]
+    fn rejects_negative_quantifier_entries() {
+        let err = parse_dqdimacs("a -1 0\n").unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_tokens() {
+        assert!(parse_dqdimacs("p qcnf 1 1\n").is_err());
+        assert!(parse_dqdimacs("1 x 0\n").is_err());
+        assert!(parse_dqdimacs("d 0\n").is_err());
+    }
+
+    #[test]
+    fn trailing_clause_without_terminator() {
+        let dqbf = parse_dqdimacs("a 1 0\nd 2 1 0\n1 2").unwrap();
+        assert_eq!(dqbf.num_clauses(), 1);
+    }
+}

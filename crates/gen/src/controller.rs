@@ -1,0 +1,164 @@
+//! Controller synthesis instances: a request/grant arbiter with partial
+//! observation.
+//!
+//! `k` clients issue requests `r_1..r_k` (universal). The controller must
+//! produce grants `g_1..g_k` (existential), but grant `g_i` may only observe
+//! a window of `w` request lines starting at its own. The safety/serviceability
+//! specification is:
+//!
+//! * a grant is only given to a requesting client: `g_i → r_i`,
+//! * grants are mutually exclusive: `¬g_i ∨ ¬g_j`,
+//! * every request is answered by *some* grant: `r_i → (g_1 ∨ … ∨ g_k)`.
+//!
+//! With full observation (`w = k`) a priority arbiter realizes the
+//! specification, so the instance is true. With a strict window the grants
+//! cannot coordinate and (for `k ≥ 2`) the specification is unrealizable —
+//! the classic "distributed synthesis needs information" phenomenon that
+//! DQBF captures and QBF cannot.
+
+use crate::{Family, Instance};
+use manthan3_cnf::Var;
+use manthan3_dqbf::Dqbf;
+
+/// Parameters of the controller generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerParams {
+    /// Number of clients (request/grant pairs).
+    pub num_clients: usize,
+    /// Number of consecutive request lines each grant can observe (starting
+    /// from its own index, wrapping around).
+    pub observation_window: usize,
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        ControllerParams {
+            num_clients: 4,
+            observation_window: 4,
+        }
+    }
+}
+
+/// Generates a request/grant controller instance.
+///
+/// The `seed` only influences the instance name (the construction is
+/// deterministic given the parameters); it is kept for interface uniformity
+/// with the other generators.
+pub fn controller(params: &ControllerParams, seed: u64) -> Instance {
+    let k = params.num_clients.max(1);
+    let w = params.observation_window.clamp(1, k);
+    let request = |i: usize| Var::new(i as u32);
+    let grant = |i: usize| Var::new((k + i) as u32);
+
+    let mut dqbf = Dqbf::new();
+    for i in 0..k {
+        dqbf.add_universal(request(i));
+    }
+    for i in 0..k {
+        let deps: Vec<Var> = (0..w).map(|offset| request((i + offset) % k)).collect();
+        dqbf.add_existential(grant(i), deps);
+    }
+    // g_i → r_i
+    for i in 0..k {
+        dqbf.add_clause([grant(i).negative(), request(i).positive()]);
+    }
+    // mutual exclusion
+    for i in 0..k {
+        for j in (i + 1)..k {
+            dqbf.add_clause([grant(i).negative(), grant(j).negative()]);
+        }
+    }
+    // every request is answered by some grant
+    for i in 0..k {
+        let mut clause = vec![request(i).negative()];
+        clause.extend((0..k).map(|j| grant(j).positive()));
+        dqbf.add_clause(clause);
+    }
+
+    let expected = if w == k || k == 1 {
+        // A priority arbiter over the full request vector realizes the spec.
+        Some(true)
+    } else if w == 1 {
+        // With purely local observation every requested client must be
+        // granted (consider the input where only that client requests), which
+        // violates mutual exclusion as soon as two clients request.
+        Some(false)
+    } else {
+        // Intermediate windows: status depends on k and w; left to the
+        // engines / the brute-force oracle.
+        None
+    };
+    Instance::new(
+        format!("controller_k{k}_w{w}_s{seed}"),
+        Family::Controller,
+        dqbf,
+        expected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_dqbf::semantics::brute_force_truth;
+
+    #[test]
+    fn full_observation_is_realizable() {
+        let params = ControllerParams {
+            num_clients: 3,
+            observation_window: 3,
+        };
+        let inst = controller(&params, 0);
+        assert!(inst.dqbf.validate().is_ok());
+        assert_eq!(inst.expected, Some(true));
+        assert_eq!(brute_force_truth(&inst.dqbf, 30), Some(true));
+    }
+
+    #[test]
+    fn partial_observation_is_unrealizable() {
+        let params = ControllerParams {
+            num_clients: 3,
+            observation_window: 1,
+        };
+        let inst = controller(&params, 0);
+        assert_eq!(inst.expected, Some(false));
+        assert_eq!(brute_force_truth(&inst.dqbf, 30), Some(false));
+    }
+
+    #[test]
+    fn intermediate_window_is_left_to_the_oracle() {
+        let params = ControllerParams {
+            num_clients: 3,
+            observation_window: 2,
+        };
+        let inst = controller(&params, 0);
+        assert_eq!(inst.expected, None);
+        // Whatever the status is, the brute-force oracle can decide it on
+        // this size, and the generator must not contradict it.
+        assert!(brute_force_truth(&inst.dqbf, 30).is_some());
+    }
+
+    #[test]
+    fn single_client_is_trivially_realizable() {
+        let params = ControllerParams {
+            num_clients: 1,
+            observation_window: 1,
+        };
+        let inst = controller(&params, 0);
+        assert_eq!(brute_force_truth(&inst.dqbf, 30), Some(true));
+        assert_eq!(inst.expected, Some(true));
+    }
+
+    #[test]
+    fn grant_dependencies_follow_the_window() {
+        let params = ControllerParams {
+            num_clients: 4,
+            observation_window: 2,
+        };
+        let inst = controller(&params, 0);
+        let g0 = Var::new(4);
+        let deps = inst.dqbf.dependencies(g0);
+        assert!(deps.contains(&Var::new(0)));
+        assert!(deps.contains(&Var::new(1)));
+        assert!(!deps.contains(&Var::new(2)));
+    }
+}

@@ -1,0 +1,248 @@
+//! Random gate-planted DQBF instances.
+//!
+//! Each existential output `y_i` receives a random dependency set `H_i` and a
+//! random *planted* function `g_i` over (a subset of) `H_i`. The matrix
+//! consists of the CNF clauses of `y_i ↔ g_i(H_i)` with a random fraction of
+//! clauses dropped. Dropping clauses only weakens the matrix, so the planted
+//! functions remain a Henkin vector and the instance is **true by
+//! construction**. The false variant additionally forces one output to equal
+//! a universal variable outside its dependency set, which no Henkin function
+//! can achieve.
+
+use crate::{Family, Instance};
+use manthan3_cnf::{Lit, Var};
+use manthan3_dqbf::Dqbf;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the planted-random generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedParams {
+    /// Number of universal variables.
+    pub num_universals: usize,
+    /// Number of existential outputs.
+    pub num_existentials: usize,
+    /// Maximum dependency-set size per output.
+    pub max_dependencies: usize,
+    /// Probability of dropping each gate clause.
+    pub drop_probability: f64,
+    /// Number of extra random clauses over the universal variables only
+    /// (these never affect realizability but add matrix structure). Clauses
+    /// that would be falsifiable by a universal assignment alone are
+    /// tautologies over X, so we add implications between planted clauses
+    /// instead; set to 0 to disable.
+    pub extra_universal_implications: usize,
+}
+
+impl Default for PlantedParams {
+    fn default() -> Self {
+        PlantedParams {
+            num_universals: 6,
+            num_existentials: 4,
+            max_dependencies: 3,
+            drop_probability: 0.2,
+            extra_universal_implications: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GateKind {
+    And,
+    Or,
+    Xor,
+    Literal,
+}
+
+fn random_gate_clauses(
+    rng: &mut SmallRng,
+    y: Var,
+    deps: &[Var],
+    drop_probability: f64,
+    out: &mut Vec<Vec<Lit>>,
+) {
+    // Choose the planted function shape.
+    let kind = if deps.len() < 2 {
+        GateKind::Literal
+    } else {
+        *[GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Literal]
+            .choose(rng)
+            .expect("non-empty")
+    };
+    let a_var = deps.choose(rng).copied();
+    let b_var = deps.choose(rng).copied();
+    let polarity_a: bool = rng.gen();
+    let polarity_b: bool = rng.gen();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    match (kind, a_var, b_var) {
+        (_, None, _) => {
+            // No dependencies: plant a constant.
+            let value: bool = rng.gen();
+            clauses.push(vec![y.lit(value)]);
+        }
+        (GateKind::Literal, Some(a), _) => {
+            let a = a.lit(polarity_a);
+            clauses.push(vec![!a, y.positive()]);
+            clauses.push(vec![a, y.negative()]);
+        }
+        (GateKind::And, Some(a), Some(b)) => {
+            let (a, b) = (a.lit(polarity_a), b.lit(polarity_b));
+            clauses.push(vec![y.negative(), a]);
+            clauses.push(vec![y.negative(), b]);
+            clauses.push(vec![y.positive(), !a, !b]);
+        }
+        (GateKind::Or, Some(a), Some(b)) => {
+            let (a, b) = (a.lit(polarity_a), b.lit(polarity_b));
+            clauses.push(vec![y.positive(), !a]);
+            clauses.push(vec![y.positive(), !b]);
+            clauses.push(vec![y.negative(), a, b]);
+        }
+        (GateKind::Xor, Some(a), Some(b)) => {
+            let (a, b) = (a.lit(polarity_a), b.lit(polarity_b));
+            clauses.push(vec![y.negative(), a, b]);
+            clauses.push(vec![y.negative(), !a, !b]);
+            clauses.push(vec![y.positive(), a, !b]);
+            clauses.push(vec![y.positive(), !a, b]);
+        }
+        _ => unreachable!("two dependencies available for binary gates"),
+    }
+    for clause in clauses {
+        if rng.gen::<f64>() >= drop_probability {
+            out.push(clause);
+        }
+    }
+}
+
+fn build(params: &PlantedParams, seed: u64, make_false: bool) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut dqbf = Dqbf::new();
+    let xs: Vec<Var> = (0..params.num_universals as u32).map(Var::new).collect();
+    for &x in &xs {
+        dqbf.add_universal(x);
+    }
+    let ys: Vec<Var> = (0..params.num_existentials as u32)
+        .map(|i| Var::new(params.num_universals as u32 + i))
+        .collect();
+
+    let mut clause_buffer: Vec<Vec<Lit>> = Vec::new();
+    let mut dep_sets: Vec<Vec<Var>> = Vec::new();
+    for &y in &ys {
+        let size = rng.gen_range(1..=params.max_dependencies.min(xs.len()).max(1));
+        let mut deps = xs.clone();
+        deps.shuffle(&mut rng);
+        deps.truncate(size);
+        deps.sort();
+        dqbf.add_existential(y, deps.iter().copied());
+        random_gate_clauses(&mut rng, y, &deps, params.drop_probability, &mut clause_buffer);
+        dep_sets.push(deps);
+    }
+
+    let mut expected = Some(true);
+    if make_false {
+        // Force one output to equal a universal variable it cannot observe.
+        let victim_index = rng.gen_range(0..ys.len());
+        let victim = ys[victim_index];
+        let outside: Vec<Var> = xs
+            .iter()
+            .copied()
+            .filter(|x| !dep_sets[victim_index].contains(x))
+            .collect();
+        if let Some(&hidden) = outside.first() {
+            clause_buffer.push(vec![victim.negative(), hidden.positive()]);
+            clause_buffer.push(vec![victim.positive(), hidden.negative()]);
+            expected = Some(false);
+        }
+    }
+
+    for clause in clause_buffer {
+        dqbf.add_clause(clause);
+    }
+    let kind = if make_false { "false" } else { "true" };
+    Instance::new(
+        format!(
+            "planted_{kind}_x{}_y{}_s{seed}",
+            params.num_universals, params.num_existentials
+        ),
+        Family::Planted,
+        dqbf,
+        expected,
+    )
+}
+
+/// Generates a guaranteed-true planted instance.
+pub fn planted_true(params: &PlantedParams, seed: u64) -> Instance {
+    build(params, seed, false)
+}
+
+/// Generates a guaranteed-false planted instance (one output is forced to
+/// copy a universal variable outside its dependency set).
+///
+/// Falls back to a true instance when every output happens to depend on all
+/// universals (the `expected` field then says `Some(true)`).
+pub fn planted_false(params: &PlantedParams, seed: u64) -> Instance {
+    build(params, seed, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_dqbf::semantics::brute_force_truth;
+
+    #[test]
+    fn true_instances_are_true() {
+        for seed in 0..10 {
+            let params = PlantedParams {
+                num_universals: 3,
+                num_existentials: 2,
+                max_dependencies: 2,
+                ..PlantedParams::default()
+            };
+            let inst = planted_true(&params, seed);
+            assert!(inst.dqbf.validate().is_ok());
+            assert_eq!(inst.expected, Some(true));
+            assert_eq!(
+                brute_force_truth(&inst.dqbf, 16),
+                Some(true),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn false_instances_are_false() {
+        for seed in 0..10 {
+            let params = PlantedParams {
+                num_universals: 3,
+                num_existentials: 2,
+                max_dependencies: 2,
+                ..PlantedParams::default()
+            };
+            let inst = planted_false(&params, seed);
+            assert!(inst.dqbf.validate().is_ok());
+            if inst.expected == Some(false) {
+                assert_eq!(
+                    brute_force_truth(&inst.dqbf, 16),
+                    Some(false),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = PlantedParams::default();
+        let a = planted_true(&params, 42);
+        let b = planted_true(&params, 42);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.dqbf, b.dqbf);
+    }
+
+    #[test]
+    fn names_include_seed_and_sizes() {
+        let inst = planted_true(&PlantedParams::default(), 5);
+        assert!(inst.name.contains("x6"));
+        assert!(inst.name.contains("s5"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Full-dependency (Skolem) instances.
+//!
+//! When every dependency set equals the full universal set the DQBF is an
+//! ordinary 2-QBF and Henkin synthesis degenerates to Skolem synthesis (the
+//! problem solved by the original Manthan). These instances exercise exactly
+//! that degenerate path and give the expansion baseline its hardest time
+//! (the number of copies per output is `2^|X|`).
+
+use crate::planted::{planted_true, PlantedParams};
+use crate::{Family, Instance};
+
+/// Parameters of the Skolem generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkolemParams {
+    /// Number of universal variables.
+    pub num_universals: usize,
+    /// Number of existential outputs.
+    pub num_existentials: usize,
+    /// Probability of dropping each gate clause.
+    pub drop_probability: f64,
+}
+
+impl Default for SkolemParams {
+    fn default() -> Self {
+        SkolemParams {
+            num_universals: 5,
+            num_existentials: 3,
+            drop_probability: 0.15,
+        }
+    }
+}
+
+/// Generates a guaranteed-true Skolem (full-dependency) instance.
+pub fn skolem(params: &SkolemParams, seed: u64) -> Instance {
+    let planted = PlantedParams {
+        num_universals: params.num_universals,
+        num_existentials: params.num_existentials,
+        max_dependencies: params.num_universals,
+        drop_probability: params.drop_probability,
+        extra_universal_implications: 0,
+    };
+    let base = planted_true(&planted, seed ^ 0x5C01E);
+    // Re-declare every output with the full dependency set.
+    let mut dqbf = manthan3_dqbf::Dqbf::new();
+    for &x in base.dqbf.universals() {
+        dqbf.add_universal(x);
+    }
+    let all: Vec<_> = base.dqbf.universals().to_vec();
+    for &y in base.dqbf.existentials() {
+        dqbf.add_existential(y, all.iter().copied());
+    }
+    for clause in base.dqbf.matrix().clauses() {
+        dqbf.add_clause(clause.iter().copied());
+    }
+    Instance::new(
+        format!(
+            "skolem_x{}_y{}_s{seed}",
+            params.num_universals, params.num_existentials
+        ),
+        Family::Skolem,
+        dqbf,
+        Some(true),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_skolem_and_true() {
+        let inst = skolem(&SkolemParams::default(), 3);
+        assert!(inst.dqbf.validate().is_ok());
+        assert!(inst.dqbf.is_skolem());
+        assert_eq!(inst.expected, Some(true));
+        assert_eq!(inst.family, Family::Skolem);
+    }
+
+    #[test]
+    fn small_instances_verified_by_brute_force() {
+        use manthan3_dqbf::semantics::brute_force_truth;
+        let params = SkolemParams {
+            num_universals: 2,
+            num_existentials: 2,
+            drop_probability: 0.0,
+        };
+        for seed in 0..5 {
+            let inst = skolem(&params, seed);
+            assert_eq!(brute_force_truth(&inst.dqbf, 16), Some(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let params = SkolemParams::default();
+        assert_eq!(skolem(&params, 1).dqbf, skolem(&params, 1).dqbf);
+    }
+}

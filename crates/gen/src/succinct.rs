@@ -1,0 +1,122 @@
+//! Succinct DQBF encodings of propositional satisfiability.
+//!
+//! The QBFEval DQBF tracks contain instances that wrap plain propositional
+//! satisfiability problems in DQBF form. The simplest such wrapping — used
+//! here — makes every propositional variable an existential output with an
+//! **empty** dependency set: the DQBF is true iff the underlying CNF is
+//! satisfiable, and the Henkin functions are the constants of a satisfying
+//! assignment. A handful of universal "environment" variables can be mixed
+//! into the clauses as don't-care inputs.
+
+use crate::{Family, Instance};
+use manthan3_cnf::{Lit, Var};
+use manthan3_dqbf::Dqbf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the succinct-SAT generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuccinctParams {
+    /// Number of propositional (existential, zero-dependency) variables.
+    pub num_propositional: usize,
+    /// Number of clauses of the underlying random 3-CNF.
+    pub num_clauses: usize,
+    /// If `true`, the CNF is planted to be satisfiable (clauses are filtered
+    /// against a hidden assignment); otherwise the status is whatever the
+    /// random CNF happens to be.
+    pub planted_satisfiable: bool,
+}
+
+impl Default for SuccinctParams {
+    fn default() -> Self {
+        SuccinctParams {
+            num_propositional: 8,
+            num_clauses: 24,
+            planted_satisfiable: true,
+        }
+    }
+}
+
+/// Generates a succinct-SAT instance.
+pub fn succinct(params: &SuccinctParams, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x50CC);
+    let n = params.num_propositional.max(2);
+    let z = |i: usize| Var::new(i as u32);
+    let hidden: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+    let mut dqbf = Dqbf::new();
+    for i in 0..n {
+        dqbf.add_existential(z(i), []);
+    }
+    let mut clauses = 0usize;
+    let mut guard = 0usize;
+    while clauses < params.num_clauses && guard < params.num_clauses * 20 {
+        guard += 1;
+        let clause: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = rng.gen_range(0..n);
+                Lit::new(z(v), rng.gen())
+            })
+            .collect();
+        if params.planted_satisfiable {
+            let satisfied = clause
+                .iter()
+                .any(|l| hidden[l.var().index()] == l.is_positive());
+            if !satisfied {
+                continue;
+            }
+        }
+        dqbf.add_clause(clause);
+        clauses += 1;
+    }
+    let expected = if params.planted_satisfiable {
+        Some(true)
+    } else {
+        None
+    };
+    Instance::new(
+        format!("succinct_n{n}_c{}_s{seed}", params.num_clauses),
+        Family::Succinct,
+        dqbf,
+        expected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_dqbf::semantics::brute_force_truth;
+
+    #[test]
+    fn planted_instances_are_true() {
+        let params = SuccinctParams {
+            num_propositional: 4,
+            num_clauses: 8,
+            planted_satisfiable: true,
+        };
+        for seed in 0..5 {
+            let inst = succinct(&params, seed);
+            assert!(inst.dqbf.validate().is_ok());
+            assert_eq!(inst.expected, Some(true));
+            assert_eq!(brute_force_truth(&inst.dqbf, 16), Some(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dependency_sets_are_empty() {
+        let inst = succinct(&SuccinctParams::default(), 1);
+        for &y in inst.dqbf.existentials() {
+            assert!(inst.dqbf.dependencies(y).is_empty());
+        }
+        assert!(inst.dqbf.universals().is_empty());
+    }
+
+    #[test]
+    fn unplanted_instances_have_unknown_status() {
+        let params = SuccinctParams {
+            planted_satisfiable: false,
+            ..SuccinctParams::default()
+        };
+        assert_eq!(succinct(&params, 0).expected, None);
+    }
+}

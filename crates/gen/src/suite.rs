@@ -1,0 +1,188 @@
+//! The deterministic benchmark suite used by the figure-regeneration
+//! harness.
+//!
+//! The paper evaluates on 563 instances mixing equivalence checking,
+//! controller synthesis and succinct propositional encodings. [`suite`]
+//! builds a seeded synthetic mix of the same families whose size scales
+//! linearly with the `scale` parameter (`scale = 8` yields a suite of
+//! comparable cardinality to the paper's).
+
+use crate::controller::{controller, ControllerParams};
+use crate::pec::{pec, PecParams};
+use crate::planted::{planted_false, planted_true, PlantedParams};
+use crate::skolem::{skolem, SkolemParams};
+use crate::succinct::{succinct, SuccinctParams};
+use crate::{Family, Instance};
+use manthan3_cnf::Var;
+use manthan3_dqbf::Dqbf;
+
+/// Builds a chain of `pairs` copies of the paper's §5 incompleteness example
+/// (`∃^{x1,x2}y1 ∃^{x2,x3}y2. ¬(y1 ⊕ y2)` with incomparable dependency sets).
+/// These instances are true but defeat Manthan3's repair; the expansion
+/// baseline solves them easily — the source of the "missed by Manthan3"
+/// population in the paper's evaluation.
+fn limitation_chain(pairs: usize, seed: u64) -> Instance {
+    let pairs = pairs.max(1);
+    let mut dqbf = Dqbf::new();
+    for p in 0..pairs {
+        let base = (5 * p) as u32;
+        let x = |i: u32| Var::new(base + i);
+        let y = |i: u32| Var::new(base + 3 + i);
+        for i in 0..3 {
+            dqbf.add_universal(x(i));
+        }
+        dqbf.add_existential(y(0), [x(0), x(1)]);
+        dqbf.add_existential(y(1), [x(1), x(2)]);
+        dqbf.add_clause([y(0).positive(), y(1).negative()]);
+        dqbf.add_clause([y(0).negative(), y(1).positive()]);
+    }
+    Instance::new(
+        format!("limitation_p{pairs}_s{seed}"),
+        Family::Planted,
+        dqbf,
+        Some(true),
+    )
+}
+
+/// Builds the deterministic mixed suite.
+///
+/// For each unit of `scale` the suite contains, per size step, instances of
+/// every family (true and false planted variants, full- and
+/// restricted-observability PEC and controller variants), so the engines see
+/// both realizable and unrealizable formulas of growing size.
+pub fn suite(seed: u64, scale: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    let scale = scale.max(1);
+    for round in 0..scale as u64 {
+        let base_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round * 101);
+        for step in 0..6u64 {
+            let s = base_seed.wrapping_add(step * 7919);
+            let size = step as usize;
+
+            // Planted random DQBF (true and false variants). The larger
+            // steps exceed the expansion baseline's universal budget while
+            // keeping dependency sets small — the regime in which the
+            // learning-based approach pays off.
+            let planted_params = PlantedParams {
+                num_universals: 4 + 3 * size,
+                num_existentials: 3 + size,
+                max_dependencies: (2 + size).min(5),
+                drop_probability: 0.2,
+                extra_universal_implications: 0,
+            };
+            out.push(planted_true(&planted_params, s));
+            out.push(planted_false(&planted_params, s.wrapping_add(1)));
+
+            // Partial equivalence checking.
+            let pec_params = PecParams {
+                num_inputs: 3 + 2 * size,
+                num_gates: 4 + 2 * size,
+                num_blackboxes: 1 + size / 2,
+                restrict_observability: false,
+            };
+            out.push(pec(&pec_params, s));
+            out.push(pec(
+                &PecParams {
+                    restrict_observability: true,
+                    ..pec_params
+                },
+                s.wrapping_add(2),
+            ));
+
+            // Controller synthesis (full and partial observation).
+            let clients = 3 + size;
+            out.push(controller(
+                &ControllerParams {
+                    num_clients: clients,
+                    observation_window: clients,
+                },
+                s,
+            ));
+            out.push(controller(
+                &ControllerParams {
+                    num_clients: clients,
+                    observation_window: 1,
+                },
+                s.wrapping_add(3),
+            ));
+
+            // Succinct propositional satisfiability.
+            out.push(succinct(
+                &SuccinctParams {
+                    num_propositional: 6 + 2 * size,
+                    num_clauses: 18 + 6 * size,
+                    planted_satisfiable: true,
+                },
+                s,
+            ));
+
+            // Skolem (full-dependency) instances.
+            out.push(skolem(
+                &SkolemParams {
+                    num_universals: 4 + size,
+                    num_existentials: 2 + size,
+                    drop_probability: 0.15,
+                },
+                s,
+            ));
+
+            // The incompleteness family (paper §5): true instances on which
+            // Manthan3's repair gets stuck while the expansion engine
+            // succeeds.
+            out.push(limitation_chain(1 + size / 2, s));
+        }
+    }
+    // Make names unique even if two rounds collide.
+    for (i, inst) in out.iter_mut().enumerate() {
+        inst.name = format!("{:03}_{}", i, inst.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite(7, 1);
+        let b = suite(7, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.dqbf, y.dqbf);
+        }
+    }
+
+    #[test]
+    fn suite_scales_linearly() {
+        assert_eq!(suite(1, 2).len(), 2 * suite(1, 1).len());
+    }
+
+    #[test]
+    fn names_are_unique_and_families_mixed() {
+        let s = suite(3, 2);
+        let names: HashSet<_> = s.iter().map(|i| i.name.clone()).collect();
+        assert_eq!(names.len(), s.len());
+        let families: HashSet<_> = s.iter().map(|i| i.family).collect();
+        assert_eq!(families.len(), 5);
+    }
+
+    #[test]
+    fn all_instances_are_well_formed() {
+        for inst in suite(11, 1) {
+            assert!(inst.dqbf.validate().is_ok(), "{}", inst.name);
+            assert!(inst.dqbf.num_clauses() > 0, "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn suite_contains_both_true_and_false_instances() {
+        let s = suite(5, 1);
+        assert!(s.iter().any(|i| i.expected == Some(true)));
+        assert!(s.iter().any(|i| i.expected == Some(false)));
+    }
+}

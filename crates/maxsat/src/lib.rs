@@ -1,0 +1,43 @@
+//! A weighted partial MaxSAT solver for the Manthan3 reproduction.
+//!
+//! This crate plays the role of Open-WBO in the original Manthan3 toolchain.
+//! Manthan3 uses MaxSAT inside `FindCandi` (Algorithm 3, line 2): the
+//! specification `ϕ(X,Y) ∧ (X ↔ σ[X])` is added as *hard* clauses and each
+//! `(y_i ↔ σ[y'_i])` as a *soft* clause; the candidates selected for repair
+//! are exactly the outputs whose soft clause is violated in the optimal
+//! solution.
+//!
+//! The implementation relaxes each soft clause with a fresh relaxation
+//! variable and performs a linear UNSAT→SAT search over the number of
+//! violated softs, using a totalizer cardinality encoding and
+//! assumption-based bounds on top of the [`manthan3_sat`] CDCL solver.
+//! Integer weights are supported by replicating relaxation literals inside
+//! the totalizer.
+//!
+//! # Examples
+//!
+//! ```
+//! use manthan3_cnf::{Lit, Var};
+//! use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
+//!
+//! let a = Var::new(0).positive();
+//! let b = Var::new(1).positive();
+//! let mut solver = MaxSatSolver::new();
+//! solver.add_hard([a, b]);        // a ∨ b must hold
+//! let s1 = solver.add_soft([!a], 1); // prefer ¬a
+//! let s2 = solver.add_soft([!b], 1); // prefer ¬b
+//! let result = solver.solve();
+//! assert_eq!(result, MaxSatResult::Optimum { cost: 1 });
+//! // Exactly one of the two soft clauses is violated.
+//! assert_eq!(solver.violated_softs().len(), 1);
+//! assert!(solver.violated_softs()[0] == s1 || solver.violated_softs()[0] == s2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+mod totalizer;
+
+pub use solver::{MaxSatResult, MaxSatSolver, SoftId};
+pub use totalizer::Totalizer;

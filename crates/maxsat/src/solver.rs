@@ -1,0 +1,367 @@
+use crate::Totalizer;
+use manthan3_cnf::{Assignment, Clause, Cnf, Lit};
+use manthan3_sat::{SolveResult, Solver, SolverConfig};
+
+/// Identifier of a soft clause, returned by [`MaxSatSolver::add_soft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoftId(usize);
+
+impl SoftId {
+    /// Index of the soft clause in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Outcome of a [`MaxSatSolver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxSatResult {
+    /// An optimal solution was found; `cost` is the total weight of violated
+    /// soft clauses.
+    Optimum {
+        /// Total weight of violated soft clauses in the optimum.
+        cost: u64,
+    },
+    /// The hard clauses alone are unsatisfiable.
+    HardUnsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct SoftClause {
+    lits: Vec<Lit>,
+    weight: u64,
+    relax: Lit,
+}
+
+/// A weighted partial MaxSAT solver.
+///
+/// See the [crate-level documentation](crate) for the algorithm and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct MaxSatSolver {
+    solver: Solver,
+    softs: Vec<SoftClause>,
+    model: Option<Assignment>,
+}
+
+impl Default for MaxSatSolver {
+    fn default() -> Self {
+        MaxSatSolver::new()
+    }
+}
+
+impl MaxSatSolver {
+    /// Creates an empty MaxSAT instance.
+    pub fn new() -> Self {
+        MaxSatSolver {
+            solver: Solver::new(),
+            softs: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// Creates an instance whose SAT oracle calls are limited to
+    /// `max_conflicts` conflicts each. When the budget is exhausted,
+    /// [`MaxSatSolver::solve`] returns [`MaxSatResult::Unknown`].
+    pub fn with_conflict_budget(max_conflicts: u64) -> Self {
+        MaxSatSolver {
+            solver: Solver::with_config(SolverConfig::budgeted(max_conflicts)),
+            softs: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// Adds a hard clause.
+    pub fn add_hard<C>(&mut self, clause: C)
+    where
+        C: IntoIterator<Item = Lit>,
+    {
+        self.solver.add_clause(clause);
+    }
+
+    /// Adds every clause of `cnf` as a hard clause.
+    pub fn add_hard_cnf(&mut self, cnf: &Cnf) {
+        self.solver.add_cnf(cnf);
+    }
+
+    /// Adds a soft clause with the given positive weight and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn add_soft<C>(&mut self, clause: C, weight: u64) -> SoftId
+    where
+        C: IntoIterator<Item = Lit>,
+    {
+        assert!(weight > 0, "soft clauses must have positive weight");
+        let lits: Vec<Lit> = clause.into_iter().collect();
+        for l in &lits {
+            self.solver.ensure_vars(l.var().index() + 1);
+        }
+        let relax = self.solver.new_var().positive();
+        let mut relaxed = lits.clone();
+        relaxed.push(relax);
+        self.solver.add_clause(relaxed);
+        let id = SoftId(self.softs.len());
+        self.softs.push(SoftClause {
+            lits,
+            weight,
+            relax,
+        });
+        id
+    }
+
+    /// Number of soft clauses.
+    pub fn num_softs(&self) -> usize {
+        self.softs.len()
+    }
+
+    /// Total weight of all soft clauses.
+    pub fn total_weight(&self) -> u64 {
+        self.softs.iter().map(|s| s.weight).sum()
+    }
+
+    /// Finds an assignment satisfying all hard clauses that minimizes the
+    /// total weight of violated soft clauses.
+    pub fn solve(&mut self) -> MaxSatResult {
+        self.model = None;
+        // Is the hard part satisfiable at all?
+        match self.solver.solve() {
+            SolveResult::Unsat => return MaxSatResult::HardUnsat,
+            SolveResult::Unknown => return MaxSatResult::Unknown,
+            SolveResult::Sat => {}
+        }
+        if self.softs.is_empty() {
+            self.model = Some(self.solver.model());
+            return MaxSatResult::Optimum { cost: 0 };
+        }
+        // Optimistic check: can every soft clause be satisfied?
+        let all_relaxed_off: Vec<Lit> = self.softs.iter().map(|s| !s.relax).collect();
+        match self.solver.solve_with_assumptions(&all_relaxed_off) {
+            SolveResult::Sat => {
+                self.model = Some(self.solver.model());
+                return MaxSatResult::Optimum { cost: 0 };
+            }
+            SolveResult::Unknown => return MaxSatResult::Unknown,
+            SolveResult::Unsat => {}
+        }
+        // Linear UNSAT→SAT search over the violated weight, using a totalizer
+        // over weight-replicated relaxation literals.
+        let mut counters: Vec<Lit> = Vec::new();
+        for s in &self.softs {
+            for _ in 0..s.weight {
+                counters.push(s.relax);
+            }
+        }
+        let totalizer = Totalizer::encode(&mut self.solver, &counters);
+        let total = counters.len() as u64;
+        for bound in 1..total {
+            let assumption = !totalizer.outputs()[bound as usize];
+            match self.solver.solve_with_assumptions(&[assumption]) {
+                SolveResult::Sat => {
+                    self.model = Some(self.solver.model());
+                    return MaxSatResult::Optimum {
+                        cost: self.cost_of_current_model(),
+                    };
+                }
+                SolveResult::Unknown => return MaxSatResult::Unknown,
+                SolveResult::Unsat => {}
+            }
+        }
+        // Every soft clause may have to be violated.
+        match self.solver.solve() {
+            SolveResult::Sat => {
+                self.model = Some(self.solver.model());
+                MaxSatResult::Optimum {
+                    cost: self.cost_of_current_model(),
+                }
+            }
+            SolveResult::Unknown => MaxSatResult::Unknown,
+            SolveResult::Unsat => MaxSatResult::HardUnsat,
+        }
+    }
+
+    fn cost_of_current_model(&self) -> u64 {
+        let model = self.model.as_ref().expect("model available");
+        self.softs
+            .iter()
+            .filter(|s| !Clause::new(s.lits.clone()).eval(model))
+            .map(|s| s.weight)
+            .sum()
+    }
+
+    /// Returns the model of the last [`MaxSatResult::Optimum`] outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last solve call did not produce an optimum.
+    pub fn model(&self) -> Assignment {
+        self.model.clone().expect("no MaxSAT model available")
+    }
+
+    /// Returns the soft clauses violated by the last optimum's model, in
+    /// insertion order.
+    pub fn violated_softs(&self) -> Vec<SoftId> {
+        let model = self.model.as_ref().expect("no MaxSAT model available");
+        self.softs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !Clause::new(s.lits.clone()).eval(model))
+            .map(|(i, _)| SoftId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_cnf::Var;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn all_softs_satisfiable() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        s.add_soft([lit(1)], 1);
+        s.add_soft([lit(2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 0 });
+        assert!(s.violated_softs().is_empty());
+    }
+
+    #[test]
+    fn must_violate_one_soft() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]); // at least one true
+        let s1 = s.add_soft([lit(-1)], 1);
+        let s2 = s.add_soft([lit(-2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        let violated = s.violated_softs();
+        assert_eq!(violated.len(), 1);
+        assert!(violated[0] == s1 || violated[0] == s2);
+    }
+
+    #[test]
+    fn weights_steer_the_optimum() {
+        // Hard: exactly one of x1, x2 true. Soft: prefer x1 (weight 5) and
+        // x2 (weight 1): the optimum keeps x1 and violates the cheap soft.
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        s.add_hard([lit(-1), lit(-2)]);
+        s.add_soft([lit(1)], 5);
+        let cheap = s.add_soft([lit(2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        assert_eq!(s.violated_softs(), vec![cheap]);
+        assert_eq!(s.model().value(Var::new(0)), true);
+    }
+
+    #[test]
+    fn hard_unsat_detected() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1)]);
+        s.add_hard([lit(-1)]);
+        s.add_soft([lit(2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::HardUnsat);
+    }
+
+    #[test]
+    fn all_softs_violated() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1)]);
+        s.add_hard([lit(2)]);
+        s.add_soft([lit(-1)], 1);
+        s.add_soft([lit(-2)], 2);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 3 });
+        assert_eq!(s.violated_softs().len(), 2);
+    }
+
+    #[test]
+    fn no_softs_is_plain_sat() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 0 });
+        let _ = s.model();
+    }
+
+    #[test]
+    fn multi_literal_soft_clauses() {
+        // Hard: ¬x1 ∧ ¬x2. Soft: (x1 ∨ x2) cannot be satisfied.
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(-1)]);
+        s.add_hard([lit(-2)]);
+        let broken = s.add_soft([lit(1), lit(2)], 3);
+        let fine = s.add_soft([lit(-1), lit(2)], 2);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 3 });
+        assert_eq!(s.violated_softs(), vec![broken]);
+        let _ = fine;
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_rejected() {
+        let mut s = MaxSatSolver::new();
+        s.add_soft([lit(1)], 0);
+    }
+
+    /// Reference check against brute force on random small instances.
+    #[test]
+    fn agrees_with_brute_force() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for round in 0..30 {
+            let num_vars = 4;
+            let mut hard = Cnf::new(num_vars);
+            for _ in 0..rng.gen_range(1..5) {
+                let clause: Vec<Lit> = (0..rng.gen_range(1..3))
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                    .collect();
+                hard.add_clause(clause);
+            }
+            let softs: Vec<(Vec<Lit>, u64)> = (0..rng.gen_range(1..5))
+                .map(|_| {
+                    let clause: Vec<Lit> = (0..rng.gen_range(1..3))
+                        .map(|_| {
+                            Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen())
+                        })
+                        .collect();
+                    (clause, rng.gen_range(1..4) as u64)
+                })
+                .collect();
+
+            // Brute-force optimum.
+            let mut best: Option<u64> = None;
+            for bits in 0..1u32 << num_vars {
+                let a = Assignment::from_values(
+                    (0..num_vars).map(|i| bits >> i & 1 == 1).collect(),
+                );
+                if !hard.eval(&a) {
+                    continue;
+                }
+                let cost: u64 = softs
+                    .iter()
+                    .filter(|(c, _)| !Clause::new(c.clone()).eval(&a))
+                    .map(|(_, w)| *w)
+                    .sum();
+                best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+            }
+
+            let mut solver = MaxSatSolver::new();
+            solver.add_hard_cnf(&hard);
+            for (c, w) in &softs {
+                solver.add_soft(c.clone(), *w);
+            }
+            let result = solver.solve();
+            match best {
+                None => assert_eq!(result, MaxSatResult::HardUnsat, "round {round}"),
+                Some(opt) => {
+                    assert_eq!(result, MaxSatResult::Optimum { cost: opt }, "round {round}")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! A totalizer cardinality encoding.
+
+use manthan3_cnf::Lit;
+use manthan3_sat::Solver;
+
+/// A totalizer over a set of input literals.
+///
+/// After construction, `outputs()[k]` is a literal that is forced to be true
+/// whenever **at least `k + 1`** of the inputs are true. Assuming
+/// `¬outputs()[k]` therefore bounds the number of true inputs by `k`.
+///
+/// Only the "inputs → outputs" direction is encoded, which is sufficient (and
+/// standard) for assumption-based upper-bounding in MaxSAT search.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::Lit;
+/// use manthan3_maxsat::Totalizer;
+/// use manthan3_sat::{SolveResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let lits: Vec<Lit> = (0..3).map(|_| solver.new_var().positive()).collect();
+/// let totalizer = Totalizer::encode(&mut solver, &lits);
+/// // Force all three inputs true, then bound the count by 2: unsatisfiable.
+/// for &l in &lits {
+///     solver.add_clause([l]);
+/// }
+/// assert_eq!(
+///     solver.solve_with_assumptions(&[!totalizer.outputs()[2]]),
+///     SolveResult::Unsat
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Totalizer {
+    outputs: Vec<Lit>,
+}
+
+impl Totalizer {
+    /// Encodes a totalizer over `inputs` into `solver` and returns it.
+    ///
+    /// An empty input list yields an empty output list.
+    pub fn encode(solver: &mut Solver, inputs: &[Lit]) -> Self {
+        let outputs = Self::build(solver, inputs);
+        Totalizer { outputs }
+    }
+
+    fn build(solver: &mut Solver, inputs: &[Lit]) -> Vec<Lit> {
+        match inputs.len() {
+            0 => Vec::new(),
+            1 => vec![inputs[0]],
+            _ => {
+                let mid = inputs.len() / 2;
+                let left = Self::build(solver, &inputs[..mid]);
+                let right = Self::build(solver, &inputs[mid..]);
+                Self::merge(solver, &left, &right)
+            }
+        }
+    }
+
+    /// Merges two sorted count vectors: `out[k]` must become true whenever
+    /// `left` provides `i` and `right` provides `j` true counters with
+    /// `i + j >= k + 1`.
+    fn merge(solver: &mut Solver, left: &[Lit], right: &[Lit]) -> Vec<Lit> {
+        let n = left.len() + right.len();
+        let out: Vec<Lit> = (0..n).map(|_| solver.new_var().positive()).collect();
+        // left alone / right alone
+        for (i, &a) in left.iter().enumerate() {
+            solver.add_clause([!a, out[i]]);
+        }
+        for (j, &b) in right.iter().enumerate() {
+            solver.add_clause([!b, out[j]]);
+        }
+        // combined counts
+        for (i, &a) in left.iter().enumerate() {
+            for (j, &b) in right.iter().enumerate() {
+                solver.add_clause([!a, !b, out[i + j + 1]]);
+            }
+        }
+        out
+    }
+
+    /// Output literals; `outputs()[k]` means "at least `k + 1` inputs true".
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Number of inputs the totalizer counts.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns `true` if the totalizer was built over no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_sat::SolveResult;
+
+    /// Checks that bounding the totalizer at `k` admits exactly the input
+    /// patterns with at most `k` true literals.
+    #[test]
+    fn bounds_are_exact_for_small_inputs() {
+        for n in 1..=4usize {
+            for k in 0..n {
+                for pattern in 0..1u32 << n {
+                    let mut solver = Solver::new();
+                    let lits: Vec<Lit> =
+                        (0..n).map(|_| solver.new_var().positive()).collect();
+                    let tot = Totalizer::encode(&mut solver, &lits);
+                    for (i, &l) in lits.iter().enumerate() {
+                        let value = pattern >> i & 1 == 1;
+                        solver.add_clause([l.apply_sign(value)]);
+                    }
+                    let true_count = pattern.count_ones() as usize;
+                    let res = solver.solve_with_assumptions(&[!tot.outputs()[k]]);
+                    let expected = if true_count <= k {
+                        SolveResult::Sat
+                    } else {
+                        SolveResult::Unsat
+                    };
+                    assert_eq!(res, expected, "n={n} k={k} pattern={pattern:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_totalizer() {
+        let mut solver = Solver::new();
+        let tot = Totalizer::encode(&mut solver, &[]);
+        assert!(tot.is_empty());
+        assert_eq!(tot.len(), 0);
+    }
+
+    #[test]
+    fn single_input_is_its_own_counter() {
+        let mut solver = Solver::new();
+        let l = solver.new_var().positive();
+        let tot = Totalizer::encode(&mut solver, &[l]);
+        assert_eq!(tot.outputs(), &[l]);
+    }
+}

@@ -1,0 +1,66 @@
+//! A CDCL SAT solver for the Manthan3 reproduction.
+//!
+//! This crate plays the role of PicoSAT / CryptoMiniSat in the original
+//! Manthan3 toolchain. It provides:
+//!
+//! * conflict-driven clause learning with two-watched-literal propagation,
+//!   VSIDS branching, phase saving, Luby restarts and learnt-clause deletion,
+//! * incremental solving under **assumptions**, with extraction of an
+//!   **unsatisfiable core** over the assumption literals (the mechanism
+//!   Manthan3 uses to compute repair cubes from `UnsatCore(G_k)`),
+//! * configurable randomized branching and polarities, used by the
+//!   constrained sampler crate `manthan3-sampler`.
+//!
+//! # Examples
+//!
+//! ```
+//! use manthan3_sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! solver.add_clause([a, b]);
+//! solver.add_clause([!a, b]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(b.var()), Some(true));
+//!
+//! // Under the assumption ¬b the formula is unsatisfiable, and the core
+//! // names the failing assumption.
+//! assert_eq!(solver.solve_with_assumptions(&[!b]), SolveResult::Unsat);
+//! assert_eq!(solver.unsat_core(), &[!b]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod luby;
+mod solver;
+
+pub use config::SolverConfig;
+pub use solver::{SolveResult, Solver};
+
+use manthan3_cnf::{Assignment, Cnf};
+
+/// Convenience helper: decides satisfiability of a [`Cnf`] and returns a
+/// model if one exists, `None` if the formula is unsatisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::dimacs::parse_dimacs;
+/// use manthan3_sat::solve_cnf;
+///
+/// let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// let model = solve_cnf(&cnf).expect("satisfiable");
+/// assert!(cnf.eval(&model));
+/// # Ok::<(), manthan3_cnf::ParseDimacsError>(())
+/// ```
+pub fn solve_cnf(cnf: &Cnf) -> Option<Assignment> {
+    let mut solver = Solver::new();
+    solver.add_cnf(cnf);
+    match solver.solve() {
+        SolveResult::Sat => Some(solver.model()),
+        _ => None,
+    }
+}

@@ -1,0 +1,48 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (0-based) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`.
+///
+/// The solver restarts after `restart_base * luby(i)` conflicts in the `i`-th
+/// restart interval.
+pub fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, and the index of i
+    // within that subsequence (classic MiniSat implementation).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_elements_match_reference() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn maximum_grows_logarithmically() {
+        let max: u64 = (0..1023).map(luby).max().unwrap();
+        assert_eq!(max, 512);
+    }
+}

@@ -1,0 +1,1075 @@
+use crate::config::SolverConfig;
+use crate::luby::luby;
+use manthan3_cnf::{Assignment, Cnf, Lit, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// The formula (under the given assumptions) is satisfiable; a model is
+    /// available through [`Solver::model`] / [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable; a core of
+    /// assumption literals is available through [`Solver::unsat_core`].
+    Unsat,
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+/// Runtime counters exposed for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered so far.
+    pub conflicts: u64,
+    /// Number of decisions made so far.
+    pub decisions: u64,
+    /// Number of literals propagated so far.
+    pub propagations: u64,
+    /// Number of restarts performed so far.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: usize,
+}
+
+type ClauseRef = usize;
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.activity == other.activity && self.var == other.var
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.var.cmp(&other.var))
+    }
+}
+
+const VALUE_UNASSIGNED: i8 = 0;
+const VALUE_TRUE: i8 = 1;
+const VALUE_FALSE: i8 = -1;
+
+enum SearchStatus {
+    Sat,
+    Unsat,
+    Restart,
+    Budget,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate-level documentation](crate) for an overview and examples.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: Vec<ClauseData>,
+    learnt_refs: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    values: Vec<i8>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<ClauseRef>>,
+    phases: Vec<bool>,
+    activities: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: BinaryHeap<HeapEntry>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    seen: Vec<bool>,
+    ok: bool,
+    assumptions: Vec<Lit>,
+    conflict_core: Vec<Lit>,
+    model_values: Vec<i8>,
+    have_model: bool,
+    max_learnts: usize,
+    stats: SolverStats,
+    rng: SmallRng,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let max_learnts = config.first_reduce_db;
+        Solver {
+            config,
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            phases: Vec::new(),
+            activities: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: BinaryHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            seen: Vec::new(),
+            ok: true,
+            assumptions: Vec::new(),
+            conflict_core: Vec::new(),
+            model_values: Vec::new(),
+            have_model: false,
+            max_learnts,
+            stats: SolverStats::default(),
+            rng,
+        }
+    }
+
+    /// Returns the current configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to change the random seed or
+    /// polarity mode between incremental solve calls).
+    pub fn config_mut(&mut self) -> &mut SolverConfig {
+        &mut self.config
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.learnt_refs.len();
+        s
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len() - self.learnt_refs.len()
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.values.len() as u32);
+        self.values.push(VALUE_UNASSIGNED);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.phases.push(self.config.default_polarity);
+        self.activities.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    fn lit_value(&self, lit: Lit) -> i8 {
+        let v = self.values[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Adds a clause to the solver. Returns `false` if the clause database is
+    /// already known to be unsatisfiable (in which case the clause is ignored).
+    pub fn add_clause<C>(&mut self, clause: C) -> bool
+    where
+        C: IntoIterator<Item = Lit>,
+    {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.have_model = false;
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = clause.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
+            self.ensure_vars(max + 1);
+        }
+        lits.sort();
+        lits.dedup();
+        // Detect tautologies and drop falsified / satisfied literals at level 0.
+        let mut write = 0;
+        for i in 0..lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: p and ¬p are adjacent after sorting
+            }
+            match self.lit_value(l) {
+                VALUE_TRUE if self.levels[l.var().index()] == 0 => return true,
+                VALUE_FALSE if self.levels[l.var().index()] == 0 => {}
+                _ => {
+                    lits[write] = l;
+                    write += 1;
+                }
+            }
+        }
+        lits.truncate(write);
+
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    /// Adds every clause of a [`Cnf`] and declares its variables.
+    pub fn add_cnf(&mut self, cnf: &Cnf) {
+        self.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            self.add_clause(clause.iter().copied());
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        }
+        self.watches[(!w0).code()].push(Watcher {
+            cref,
+            blocker: w1,
+        });
+        self.watches[(!w1).code()].push(Watcher {
+            cref,
+            blocker: w0,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(lit), VALUE_UNASSIGNED);
+        let idx = lit.var().index();
+        self.values[idx] = if lit.is_positive() {
+            VALUE_TRUE
+        } else {
+            VALUE_FALSE
+        };
+        self.levels[idx] = self.decision_level() as u32;
+        self.reasons[idx] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < watchers.len() {
+                let w = watchers[i];
+                // Fast path: blocker already satisfied.
+                if self.lit_value(w.blocker) == VALUE_TRUE {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                if self.clauses[cref].deleted {
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal (¬p) is at position 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[cref].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == VALUE_TRUE {
+                    // Clause already satisfied; update blocker.
+                    watchers[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                {
+                    let lits = &self.clauses[cref].lits;
+                    for k in 2..lits.len() {
+                        if self.lit_value(lits[k]) != VALUE_FALSE {
+                            new_watch = Some(k);
+                            break;
+                        }
+                    }
+                }
+                if let Some(k) = new_watch {
+                    let lits = &mut self.clauses[cref].lits;
+                    lits.swap(1, k);
+                    let moved = lits[1];
+                    self.watches[(!moved).code()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    watchers.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting under the current assignment.
+                if self.lit_value(first) == VALUE_FALSE {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                    i += 1;
+                }
+            }
+            self.watches[p.code()] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for i in (bound..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let idx = lit.var().index();
+            self.phases[idx] = self.values[idx] == VALUE_TRUE;
+            self.values[idx] = VALUE_UNASSIGNED;
+            self.reasons[idx] = None;
+            self.heap.push(HeapEntry {
+                activity: self.activities[idx],
+                var: lit.var(),
+            });
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let idx = var.index();
+        self.activities[idx] += self.var_inc;
+        if self.activities[idx] > 1e100 {
+            for a in &mut self.activities {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.values[idx] == VALUE_UNASSIGNED {
+            self.heap.push(HeapEntry {
+                activity: self.activities[idx],
+                var,
+            });
+        }
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &lr in &self.learnt_refs {
+                self.clauses[lr].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder
+        let mut path_count = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
+            for q in lits {
+                let idx = q.var().index();
+                if !self.seen[idx] && self.levels[idx] > 0 {
+                    self.seen[idx] = true;
+                    self.bump_var(q.var());
+                    if self.levels[idx] as usize >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal (latest seen literal on the trail).
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reasons[pl.var().index()].expect("non-decision literal has a reason");
+        }
+        learnt[0] = !p.expect("conflict analysis visited at least one literal");
+
+        // Compute backtrack level and move the corresponding literal to slot 1.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()] as usize
+        };
+
+        // Clear the `seen` flags of the literals kept in the learnt clause.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, backtrack_level)
+    }
+
+    /// Computes the subset of assumptions responsible for the failed
+    /// assumption literal `p` (which is currently false).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let idx = lit.var().index();
+            if !self.seen[idx] {
+                continue;
+            }
+            match self.reasons[idx] {
+                None => {
+                    // A decision below the assumption levels is an assumption.
+                    self.conflict_core.push(lit);
+                }
+                Some(cref) => {
+                    let lits: Vec<Lit> = self.clauses[cref].lits[1..].to_vec();
+                    for q in lits {
+                        if self.levels[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[idx] = false;
+        }
+        self.seen[p.var().index()] = false;
+        // Keep only literals that are actual assumptions (the failing literal p
+        // always is), preserving the caller's literal orientation.
+        let assumptions = self.assumptions.clone();
+        self.conflict_core.retain(|l| assumptions.contains(l));
+        self.conflict_core.sort();
+        self.conflict_core.dedup();
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        // Optional random decision.
+        if self.config.random_var_freq > 0.0
+            && self.rng.gen::<f64>() < self.config.random_var_freq
+        {
+            let unassigned: Vec<usize> = (0..self.num_vars())
+                .filter(|&i| self.values[i] == VALUE_UNASSIGNED)
+                .collect();
+            if let Some(&idx) = unassigned.get(self.rng.gen_range(0..unassigned.len().max(1))) {
+                let var = Var::new(idx as u32);
+                let polarity = if self.config.random_polarity {
+                    self.rng.gen()
+                } else {
+                    self.phases[idx]
+                };
+                return Some(Lit::new(var, polarity));
+            }
+        }
+        // Highest-activity unassigned variable.
+        loop {
+            match self.heap.pop() {
+                None => {
+                    // Rebuild in case lazy entries were exhausted.
+                    let mut rebuilt = false;
+                    for i in 0..self.num_vars() {
+                        if self.values[i] == VALUE_UNASSIGNED {
+                            self.heap.push(HeapEntry {
+                                activity: self.activities[i],
+                                var: Var::new(i as u32),
+                            });
+                            rebuilt = true;
+                        }
+                    }
+                    if !rebuilt {
+                        return None;
+                    }
+                }
+                Some(entry) => {
+                    let idx = entry.var.index();
+                    if self.values[idx] != VALUE_UNASSIGNED {
+                        continue;
+                    }
+                    let polarity = if self.config.random_polarity {
+                        self.rng.gen()
+                    } else {
+                        self.phases[idx]
+                    };
+                    return Some(Lit::new(entry.var, polarity));
+                }
+            }
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let mut refs = self.learnt_refs.clone();
+        refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(Ordering::Equal)
+        });
+        let to_remove = refs.len() / 2;
+        let mut removed = 0;
+        for &cref in refs.iter() {
+            if removed >= to_remove {
+                break;
+            }
+            if self.is_locked(cref) || self.clauses[cref].lits.len() <= 2 {
+                continue;
+            }
+            self.clauses[cref].deleted = true;
+            removed += 1;
+        }
+        self.learnt_refs.retain(|&c| !self.clauses[c].deleted);
+        self.rebuild_watches();
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.lit_value(first) == VALUE_TRUE && self.reasons[first.var().index()] == Some(cref)
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.clauses.len() {
+            if self.clauses[cref].deleted || self.clauses[cref].lits.len() < 2 {
+                continue;
+            }
+            let w0 = self.clauses[cref].lits[0];
+            let w1 = self.clauses[cref].lits[1];
+            self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+            self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
+        }
+    }
+
+    fn search(&mut self, conflict_budget: u64, total_conflicts: &mut u64) -> SearchStatus {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                *total_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.conflict_core.clear();
+                    return SearchStatus::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.decay_activities();
+            } else {
+                if let Some(limit) = self.config.max_conflicts {
+                    if *total_conflicts >= limit {
+                        self.cancel_until(0);
+                        return SearchStatus::Budget;
+                    }
+                }
+                if conflicts_here >= conflict_budget {
+                    self.cancel_until(0);
+                    self.stats.restarts += 1;
+                    return SearchStatus::Restart;
+                }
+                if self.learnt_refs.len() > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.config.reduce_db_increment;
+                }
+                // Assumptions first, then heuristic decisions.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < self.assumptions.len() {
+                    let p = self.assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        VALUE_TRUE => self.new_decision_level(),
+                        VALUE_FALSE => {
+                            self.analyze_final(p);
+                            return SearchStatus::Unsat;
+                        }
+                        _ => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch_lit() {
+                        Some(l) => l,
+                        None => return SearchStatus::Sat,
+                    },
+                };
+                self.stats.decisions += 1;
+                self.new_decision_level();
+                self.unchecked_enqueue(decision, None);
+            }
+        }
+    }
+
+    /// Decides satisfiability of the clause database.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides satisfiability of the clause database under the given
+    /// assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::unsat_core`] returns a subset of
+    /// the assumptions that is already unsatisfiable together with the
+    /// clauses. On [`SolveResult::Sat`], [`Solver::model`] returns a model.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.have_model = false;
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for a in assumptions {
+            self.ensure_vars(a.var().index() + 1);
+        }
+        self.assumptions = assumptions.to_vec();
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            self.assumptions.clear();
+            return SolveResult::Unsat;
+        }
+
+        let mut total_conflicts = 0u64;
+        let mut restarts = 0u64;
+        let result = loop {
+            let budget = self.config.restart_base * luby(restarts);
+            restarts += 1;
+            match self.search(budget, &mut total_conflicts) {
+                SearchStatus::Sat => {
+                    self.model_values = self.values.clone();
+                    self.have_model = true;
+                    break SolveResult::Sat;
+                }
+                SearchStatus::Unsat => break SolveResult::Unsat,
+                SearchStatus::Budget => break SolveResult::Unknown,
+                SearchStatus::Restart => continue,
+            }
+        };
+        self.cancel_until(0);
+        self.assumptions.clear();
+        result
+    }
+
+    /// Returns the model found by the last successful `solve` call.
+    ///
+    /// Unassigned variables (possible when a variable occurs in no clause)
+    /// default to `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last solve call did not return [`SolveResult::Sat`].
+    pub fn model(&self) -> Assignment {
+        assert!(self.have_model, "no model available: last solve was not SAT");
+        Assignment::from_values(self.model_values.iter().map(|&v| v == VALUE_TRUE).collect())
+    }
+
+    /// Returns the value of `var` in the last model, or `None` if no model is
+    /// available or the variable is unknown.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        if !self.have_model || var.index() >= self.model_values.len() {
+            return None;
+        }
+        Some(self.model_values[var.index()] == VALUE_TRUE)
+    }
+
+    /// Returns the subset of assumption literals involved in the last
+    /// unsatisfiability verdict (empty if the formula is unsatisfiable even
+    /// without assumptions).
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Returns `true` if the clause database has been proved unsatisfiable
+    /// independently of any assumptions.
+    pub fn is_known_unsat(&self) -> bool {
+        !self.ok
+    }
+
+    /// Sets the preferred decision polarity of `var`.
+    ///
+    /// The phase is used whenever `var` is picked as a decision variable and
+    /// [`SolverConfig::random_polarity`] is off. The sampler crate uses this
+    /// to bias models towards under-represented valuations (adaptive
+    /// weighted sampling).
+    pub fn set_phase(&mut self, var: Var, phase: bool) {
+        self.ensure_vars(var.index() + 1);
+        self.phases[var.index()] = phase;
+    }
+
+    /// Re-seeds the solver's internal random number generator.
+    pub fn reseed(&mut self, seed: u64) {
+        self.config.seed = seed;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        s.ensure_vars(1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.is_known_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        // x1 → x2 → x3 → x4, with x1 forced.
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        s.add_clause([lit(-3), lit(4)]);
+        s.add_clause([lit(1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in 0..4 {
+            assert_eq!(s.value(Var::new(v)), Some(true));
+        }
+    }
+
+    #[test]
+    fn learns_from_conflicts() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ c) ∧ (¬a ∨ ¬c) is UNSAT.
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(1), lit(-2)]);
+        s.add_clause([lit(-1), lit(3)]);
+        s.add_clause([lit(-1), lit(-3)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j. i in 0..3, j in 0..2.
+        let var = |i: usize, j: usize| Var::new((i * 2 + j) as u32);
+        let mut s = Solver::new();
+        for i in 0..3 {
+            s.add_clause([var(i, 0).positive(), var(i, 1).positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([var(i1, j).negative(), var(i2, j).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause([lit(1), lit(2), lit(3)]);
+        cnf.add_clause([lit(-1), lit(-2)]);
+        cnf.add_clause([lit(-2), lit(-3)]);
+        cnf.add_clause([lit(2), lit(3)]);
+        let mut s = Solver::new();
+        s.add_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(cnf.eval(&s.model()));
+    }
+
+    #[test]
+    fn assumptions_flip_result_and_produce_core() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(2)]);
+        // Satisfiable in general…
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // …but not when assuming ¬2.
+        assert_eq!(s.solve_with_assumptions(&[lit(-2)]), SolveResult::Unsat);
+        assert_eq!(s.unsat_core(), &[lit(-2)]);
+        // Still satisfiable afterwards (incremental reuse).
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn core_contains_only_relevant_assumptions() {
+        let mut s = Solver::new();
+        // x1 and x2 conflict via the clause (¬1 ∨ ¬2); x3 is irrelevant.
+        s.add_clause([lit(-1), lit(-2)]);
+        s.ensure_vars(3);
+        let res = s.solve_with_assumptions(&[lit(1), lit(3), lit(2)]);
+        assert_eq!(res, SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&lit(1)) || core.contains(&lit(2)));
+        assert!(!core.contains(&lit(3)));
+        assert!(core.len() <= 2);
+    }
+
+    #[test]
+    fn empty_core_when_unsat_without_assumptions() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(2)]), SolveResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn conflicting_assumptions_detected() {
+        let mut s = Solver::new();
+        s.ensure_vars(1);
+        let res = s.solve_with_assumptions(&[lit(1), lit(-1)]);
+        assert_eq!(res, SolveResult::Unsat);
+        assert!(!s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn budget_reports_unknown() {
+        // A moderately hard pigeonhole instance with an absurdly small budget.
+        let n = 6;
+        let var = |i: usize, j: usize| Var::new((i * n + j) as u32);
+        let mut s = Solver::with_config(SolverConfig::budgeted(1));
+        for i in 0..=n {
+            let clause: Vec<Lit> = (0..n).map(|j| var(i, j).positive()).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([var(i1, j).negative(), var(i2, j).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::new(1)), Some(true));
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_harmless() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(1), lit(-1)]);
+        s.add_clause([lit(2), lit(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::new(1)), Some(true));
+    }
+
+    #[test]
+    fn random_polarity_still_correct() {
+        let mut s = Solver::with_config(SolverConfig::sampling(1234));
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(-2)]);
+        s.add_clause([lit(-1), lit(-3)]);
+        s.add_clause([lit(-2), lit(-3)]);
+        for _ in 0..20 {
+            assert_eq!(s.solve(), SolveResult::Sat);
+            let m = s.model();
+            let count = (0..3).filter(|&i| m.value(Var::new(i))).count();
+            assert_eq!(count, 1, "exactly one variable may be true");
+        }
+    }
+
+    #[test]
+    fn stats_are_updated() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(1), lit(-2)]);
+        let _ = s.solve();
+        let stats = s.stats();
+        assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    /// Brute-force reference check on random 3-CNF formulas.
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for round in 0..60 {
+            let num_vars = 3 + (round % 6);
+            let num_clauses = 2 + rng.gen_range(0..(num_vars * 4));
+            let mut cnf = Cnf::new(num_vars);
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3);
+                let mut clause = Vec::new();
+                for _ in 0..len {
+                    let v = rng.gen_range(0..num_vars) as u32;
+                    clause.push(Lit::new(Var::new(v), rng.gen()));
+                }
+                cnf.add_clause(clause);
+            }
+            let brute_sat = (0..1u32 << num_vars).any(|bits| {
+                let a = Assignment::from_values(
+                    (0..num_vars).map(|i| bits >> i & 1 == 1).collect(),
+                );
+                cnf.eval(&a)
+            });
+            let mut s = Solver::new();
+            s.add_cnf(&cnf);
+            let res = s.solve();
+            assert_eq!(
+                res,
+                if brute_sat {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                },
+                "disagreement on round {round}"
+            );
+            if res == SolveResult::Sat {
+                assert!(cnf.eval(&s.model()));
+            }
+        }
+    }
+}

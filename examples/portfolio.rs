@@ -1,0 +1,83 @@
+//! A miniature version of the paper's evaluation: run the three engines on a
+//! small generated suite, compute the Virtual Best Synthesizer (VBS) with and
+//! without Manthan3, and print the summary counts (the full-scale version is
+//! the `harness` binary in `manthan3-bench`).
+//!
+//! Run with `cargo run --release --example portfolio`.
+
+use manthan3::baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
+use manthan3::core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3::dqbf::verify;
+use manthan3::gen::suite::suite;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let budget = Duration::from_millis(1500);
+    let instances = suite(7, 1);
+    println!(
+        "running {} instances with a {:?} per-engine budget…\n",
+        instances.len(),
+        budget
+    );
+
+    let mut solved: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
+    for instance in &instances {
+        for engine in ["manthan3", "hqs2like", "pedantlike"] {
+            let start = Instant::now();
+            let outcome = match engine {
+                "manthan3" => {
+                    Manthan3::new(Manthan3Config {
+                        time_budget: Some(budget),
+                        ..Manthan3Config::default()
+                    })
+                    .synthesize(&instance.dqbf)
+                    .outcome
+                }
+                "hqs2like" => {
+                    ExpansionSolver::new(ExpansionConfig {
+                        time_budget: Some(budget),
+                        ..ExpansionConfig::default()
+                    })
+                    .synthesize(&instance.dqbf)
+                    .outcome
+                }
+                _ => {
+                    ArbiterSolver::new(ArbiterConfig {
+                        time_budget: Some(budget),
+                        ..ArbiterConfig::default()
+                    })
+                    .synthesize(&instance.dqbf)
+                    .outcome
+                }
+            };
+            let elapsed = start.elapsed().as_secs_f64();
+            if let SynthesisOutcome::Realizable(vector) = &outcome {
+                if verify::check(&instance.dqbf, vector).is_valid() {
+                    solved
+                        .entry(engine)
+                        .or_default()
+                        .insert(instance.name.clone(), elapsed);
+                }
+            }
+        }
+    }
+
+    for (engine, times) in &solved {
+        println!("{engine:<10} synthesized {:>3} instances", times.len());
+    }
+    let vbs = |engines: &[&str]| -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for e in engines {
+            if let Some(times) = solved.get(e) {
+                set.extend(times.keys().cloned());
+            }
+        }
+        set.len()
+    };
+    let without = vbs(&["hqs2like", "pedantlike"]);
+    let with = vbs(&["manthan3", "hqs2like", "pedantlike"]);
+    println!("\nVBS(HQS2-like + Pedant-like):      {without}");
+    println!("VBS(+ Manthan3):                   {with}");
+    println!("instances added by Manthan3:       {}", with - without);
+}

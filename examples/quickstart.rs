@@ -1,0 +1,51 @@
+//! Quickstart: build a DQBF, synthesize Henkin functions with Manthan3, and
+//! verify the result with the independent certificate checker.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use manthan3::cnf::Var;
+use manthan3::core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3::dqbf::{verify, write_dqdimacs, Dqbf};
+
+fn main() {
+    // ∀x1 x2 x3 ∃^{x1}y1 ∃^{x1,x2}y2 ∃^{x2,x3}y3.
+    //   (x1 ∨ y1) ∧ (y2 ↔ (y1 ∨ ¬x2)) ∧ (y3 ↔ (x2 ∨ x3))
+    // — the running example of the paper (Example 1, Section 5).
+    let dqbf = Dqbf::paper_example();
+    println!("specification ({}):", dqbf.summary());
+    print!("{}", write_dqdimacs(&dqbf));
+
+    let engine = Manthan3::new(Manthan3Config::default());
+    let result = engine.synthesize(&dqbf);
+    println!("\nstatistics: {}", result.stats.summary());
+
+    match result.outcome {
+        SynthesisOutcome::Realizable(vector) => {
+            println!("\nHenkin functions (truth tables over the dependency sets):");
+            for &y in dqbf.existentials() {
+                let deps: Vec<Var> = dqbf.dependencies(y).iter().copied().collect();
+                let mut table = Vec::new();
+                for bits in 0..1u32 << deps.len() {
+                    let mut values = vec![false; dqbf.num_vars()];
+                    for (i, d) in deps.iter().enumerate() {
+                        values[d.index()] = bits >> i & 1 == 1;
+                    }
+                    let out = vector.eval_one(y, &values).expect("function defined");
+                    table.push(if out { '1' } else { '0' });
+                }
+                let deps_str: Vec<String> = deps.iter().map(|d| d.to_string()).collect();
+                println!(
+                    "  f_{}({}) -> table {}",
+                    y,
+                    deps_str.join(","),
+                    table.into_iter().collect::<String>()
+                );
+            }
+            let check = verify::check(&dqbf, &vector);
+            println!("\nindependent certificate check: {check:?}");
+            assert!(check.is_valid());
+        }
+        SynthesisOutcome::Unrealizable => println!("the formula is false"),
+        SynthesisOutcome::Unknown(reason) => println!("gave up: {reason:?}"),
+    }
+}

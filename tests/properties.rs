@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! soundness invariants of the synthesis engines.
+
+use manthan3::baselines::ExpansionSolver;
+use manthan3::cnf::{dimacs, Assignment, Clause, Cnf, Lit, Var};
+use manthan3::core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3::dqbf::{parse_dqdimacs, semantics, verify, write_dqdimacs, Dqbf};
+use manthan3::dtree::{Dataset, DecisionTree, DecisionTreeConfig};
+use manthan3::maxsat::{MaxSatResult, MaxSatSolver};
+use manthan3::sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+/// Strategy: a random CNF over `num_vars` variables.
+fn arb_cnf(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..num_vars, any::<bool>()), 1..=3);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new(num_vars);
+        for clause in clauses {
+            cnf.add_clause(
+                clause
+                    .into_iter()
+                    .map(|(v, pol)| Lit::new(Var::new(v as u32), pol)),
+            );
+        }
+        cnf
+    })
+}
+
+/// Strategy: a random small DQBF with 3 universals and 2 existentials with
+/// random dependency sets.
+fn arb_dqbf() -> impl Strategy<Value = Dqbf> {
+    let deps = proptest::collection::vec(any::<bool>(), 3);
+    let clause = proptest::collection::vec((0..5usize, any::<bool>()), 1..=3);
+    (deps.clone(), deps, proptest::collection::vec(clause, 1..=6)).prop_map(
+        |(d1, d2, clauses)| {
+            let mut dqbf = Dqbf::new();
+            let xs: Vec<Var> = (0..3).map(Var::new).collect();
+            for &x in &xs {
+                dqbf.add_universal(x);
+            }
+            let pick = |mask: &[bool]| -> Vec<Var> {
+                xs.iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(&x, _)| x)
+                    .collect()
+            };
+            dqbf.add_existential(Var::new(3), pick(&d1));
+            dqbf.add_existential(Var::new(4), pick(&d2));
+            for clause in clauses {
+                dqbf.add_clause(
+                    clause
+                        .into_iter()
+                        .map(|(v, pol)| Lit::new(Var::new(v as u32), pol)),
+                );
+            }
+            dqbf
+        },
+    )
+}
+
+fn brute_force_sat(cnf: &Cnf) -> Option<Assignment> {
+    let n = cnf.num_vars();
+    (0..1u32 << n)
+        .map(|bits| Assignment::from_values((0..n).map(|i| bits >> i & 1 == 1).collect()))
+        .find(|a| cnf.eval(a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CDCL solver agrees with brute force, and its models satisfy the
+    /// formula.
+    #[test]
+    fn sat_solver_matches_brute_force(cnf in arb_cnf(5, 12)) {
+        let brute = brute_force_sat(&cnf);
+        let mut solver = Solver::new();
+        solver.add_cnf(&cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(brute.is_some());
+                prop_assert!(cnf.eval(&solver.model()));
+            }
+            SolveResult::Unsat => prop_assert!(brute.is_none()),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// DIMACS writing followed by parsing preserves the formula's semantics.
+    #[test]
+    fn dimacs_round_trip_preserves_semantics(cnf in arb_cnf(4, 8)) {
+        let reparsed = dimacs::parse_dimacs(&dimacs::write_dimacs(&cnf)).unwrap();
+        prop_assert_eq!(reparsed.num_vars(), cnf.num_vars());
+        for bits in 0..1u32 << cnf.num_vars() {
+            let a = Assignment::from_values(
+                (0..cnf.num_vars()).map(|i| bits >> i & 1 == 1).collect(),
+            );
+            prop_assert_eq!(cnf.eval(&a), reparsed.eval(&a));
+        }
+    }
+
+    /// The MaxSAT optimum never exceeds the cost of any concrete assignment
+    /// and equals the brute-force optimum.
+    #[test]
+    fn maxsat_is_optimal(hard in arb_cnf(4, 6), soft in arb_cnf(4, 4)) {
+        prop_assume!(!soft.clauses().is_empty());
+        let mut solver = MaxSatSolver::new();
+        solver.add_hard_cnf(&hard);
+        for clause in soft.clauses() {
+            solver.add_soft(clause.iter().copied(), 1);
+        }
+        let brute: Option<u64> = (0..1u32 << 4)
+            .filter_map(|bits| {
+                let a = Assignment::from_values((0..4).map(|i| bits >> i & 1 == 1).collect());
+                if !hard.eval(&a) {
+                    return None;
+                }
+                Some(soft.clauses().iter().filter(|c| !c.eval(&a)).count() as u64)
+            })
+            .min();
+        match solver.solve() {
+            MaxSatResult::Optimum { cost } => {
+                prop_assert_eq!(Some(cost), brute);
+                let model = solver.model();
+                prop_assert!(hard.eval(&model));
+            }
+            MaxSatResult::HardUnsat => prop_assert!(brute.is_none()),
+            MaxSatResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// A decision tree learned on noise-free data generated by a hidden
+    /// Boolean function reproduces that function on the training set.
+    #[test]
+    fn decision_tree_fits_consistent_data(rows in proptest::collection::vec(
+        proptest::collection::vec(any::<bool>(), 4), 1..40)) {
+        let dataset = Dataset::from_rows(
+            rows.iter()
+                .map(|f| (f.clone(), f[0] ^ (f[1] && f[3])))
+                .collect(),
+        );
+        let tree = DecisionTree::learn(&dataset, &DecisionTreeConfig::default());
+        prop_assert_eq!(tree.training_accuracy(&dataset), 1.0);
+        // Every path literal refers to an existing feature.
+        for path in tree.paths_to(true) {
+            for pl in path {
+                prop_assert!(pl.feature < 4);
+            }
+        }
+    }
+
+    /// Clause normalization never changes the clause's truth value.
+    #[test]
+    fn clause_normalization_is_semantics_preserving(
+        lits in proptest::collection::vec((0..4usize, any::<bool>()), 1..6),
+        values in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let clause = Clause::new(
+            lits.into_iter()
+                .map(|(v, p)| Lit::new(Var::new(v as u32), p))
+                .collect(),
+        );
+        let assignment = Assignment::from_values(values);
+        prop_assert_eq!(clause.eval(&assignment), clause.normalized().eval(&assignment));
+    }
+
+    /// The expansion baseline agrees with the brute-force DQBF oracle, and
+    /// Manthan3 is sound with respect to it (it may return Unknown, but never
+    /// the wrong definite verdict).
+    #[test]
+    fn engines_are_sound_on_random_dqbf(dqbf in arb_dqbf()) {
+        prop_assume!(dqbf.validate().is_ok());
+        let truth = semantics::brute_force_truth(&dqbf, 16).expect("small instance");
+        let expansion = ExpansionSolver::default().synthesize(&dqbf);
+        match &expansion.outcome {
+            SynthesisOutcome::Realizable(v) => {
+                prop_assert!(truth);
+                prop_assert!(verify::check(&dqbf, v).is_valid());
+            }
+            SynthesisOutcome::Unrealizable => prop_assert!(!truth),
+            SynthesisOutcome::Unknown(_) => prop_assert!(false, "within budget"),
+        }
+        let config = Manthan3Config { num_samples: 40, max_repair_iterations: 40,
+            ..Manthan3Config::default() };
+        match Manthan3::new(config).synthesize(&dqbf).outcome {
+            SynthesisOutcome::Realizable(v) => {
+                prop_assert!(truth);
+                prop_assert!(verify::check(&dqbf, &v).is_valid());
+            }
+            SynthesisOutcome::Unrealizable => prop_assert!(!truth),
+            SynthesisOutcome::Unknown(_) => {}
+        }
+    }
+
+    /// DQDIMACS writing followed by parsing preserves prefix and matrix.
+    #[test]
+    fn dqdimacs_round_trip(dqbf in arb_dqbf()) {
+        let reparsed = parse_dqdimacs(&write_dqdimacs(&dqbf)).unwrap();
+        prop_assert_eq!(reparsed.universals(), dqbf.universals());
+        prop_assert_eq!(reparsed.existentials(), dqbf.existentials());
+        prop_assert_eq!(reparsed.num_clauses(), dqbf.num_clauses());
+        for &y in dqbf.existentials() {
+            prop_assert_eq!(reparsed.dependencies(y), dqbf.dependencies(y));
+        }
+    }
+}
