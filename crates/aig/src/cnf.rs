@@ -43,7 +43,28 @@ impl Aig {
         input_lit: &HashMap<usize, Lit>,
     ) -> Lit {
         let mut cache: HashMap<usize, Lit> = HashMap::new();
-        self.encode_rec(f, builder, input_lit, &mut cache)
+        self.encode_cnf_cached(f, builder, input_lit, &mut cache)
+    }
+
+    /// Like [`Aig::encode_cnf`], but reuses (and extends) a caller-owned
+    /// node-to-literal cache, so that repeated encodings of overlapping cones
+    /// into the same builder share their Tseitin variables and clauses.
+    ///
+    /// This is the mechanism behind incremental verification: when a repair
+    /// step extends a candidate cone, only the nodes not yet in `cache` cost
+    /// fresh variables and clauses.
+    ///
+    /// The cache is keyed by node id, so it must only ever be used with one
+    /// AIG and one builder; mixing caches across AIGs or builders produces
+    /// nonsense encodings.
+    pub fn encode_cnf_cached(
+        &self,
+        f: AigRef,
+        builder: &mut CnfBuilder,
+        input_lit: &HashMap<usize, Lit>,
+        cache: &mut HashMap<usize, Lit>,
+    ) -> Lit {
+        self.encode_rec(f, builder, input_lit, cache)
     }
 
     fn encode_rec(
@@ -141,6 +162,38 @@ mod tests {
         let b = aig.ite(ins[2], a, ins[3]);
         let f = aig.or(b, ins[0]);
         check_encoding(&aig, f, 4);
+    }
+
+    #[test]
+    fn cached_encoding_shares_tseitin_variables() {
+        let mut aig = Aig::new();
+        let x = aig.input(0);
+        let y = aig.input(1);
+        let z = aig.input(2);
+        let shared = aig.and(x, y);
+        let f = aig.or(shared, z);
+        let g = aig.xor(shared, z);
+
+        let map: HashMap<usize, Lit> = (0..3).map(|i| (i, Var::new(i as u32).positive())).collect();
+
+        // Encoding f then g with a shared cache must not re-encode `shared`.
+        let mut builder = CnfBuilder::new(3);
+        let mut cache = HashMap::new();
+        let _ = aig.encode_cnf_cached(f, &mut builder, &map, &mut cache);
+        let vars_after_f = builder.num_vars();
+        let _ = aig.encode_cnf_cached(g, &mut builder, &map, &mut cache);
+        let incremental_vars = builder.num_vars() - vars_after_f;
+
+        // Without the cache the second cone re-allocates `shared`'s variable.
+        let mut builder2 = CnfBuilder::new(3);
+        let _ = aig.encode_cnf(f, &mut builder2, &map);
+        let vars_after_f2 = builder2.num_vars();
+        let _ = aig.encode_cnf(g, &mut builder2, &map);
+        let scratch_vars = builder2.num_vars() - vars_after_f2;
+        assert!(
+            incremental_vars < scratch_vars,
+            "cached encoding allocated {incremental_vars} vars, scratch {scratch_vars}"
+        );
     }
 
     #[test]

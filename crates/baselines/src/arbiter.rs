@@ -21,9 +21,9 @@
 
 use crate::common::BaselineResult;
 use manthan3_cnf::{Lit, Var};
-use manthan3_core::{SynthesisOutcome, UnknownReason};
+use manthan3_core::{Budget, Oracle, SynthesisOutcome, UnknownReason};
 use manthan3_dqbf::{unique, verify, Dqbf, HenkinVector};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use manthan3_sat::{SolveResult, SolverConfig};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -86,40 +86,55 @@ impl ArbiterSolver {
     pub fn synthesize(&self, dqbf: &Dqbf) -> BaselineResult {
         dqbf.validate().expect("well-formed DQBF");
         let start = Instant::now();
-        let deadline = self.config.time_budget.map(|b| start + b);
-        let finish = |outcome: SynthesisOutcome, details: String| BaselineResult {
+        // All oracle calls share one budget: the engine deadline and the
+        // per-call conflict cap are enforced by the oracle layer.
+        let mut oracle = Oracle::new(Budget::new(
+            self.config.time_budget,
+            self.config.sat_conflict_budget,
+            None,
+        ));
+        let finish = |outcome: SynthesisOutcome, details: String, oracle: &Oracle| BaselineResult {
             outcome,
             runtime: start.elapsed(),
             details,
+            oracle: *oracle.stats(),
         };
 
-        let solver_config = match self.config.sat_conflict_budget {
-            Some(b) => SolverConfig::budgeted(b),
-            None => SolverConfig::default(),
-        };
-        let mut phi_solver = Solver::with_config(solver_config);
+        let mut phi_solver = oracle.new_solver();
         phi_solver.add_cnf(dqbf.matrix());
         phi_solver.ensure_vars(dqbf.num_vars());
-        match phi_solver.solve() {
+        match oracle.solve(&mut phi_solver) {
             SolveResult::Unsat => {
                 return finish(
                     SynthesisOutcome::Unrealizable,
                     "matrix is unsatisfiable".to_string(),
+                    &oracle,
                 )
             }
             SolveResult::Unknown => {
                 return finish(
-                    SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
+                    SynthesisOutcome::Unknown(oracle.give_up_reason()),
                     "matrix satisfiability check gave up".to_string(),
+                    &oracle,
                 )
             }
             SolveResult::Sat => {}
         }
 
-        // Phase 1: definitions.
+        // Phase 1: definitions (SAT calls capped by the engine's per-call
+        // conflict budget, like every other oracle interaction).
         let mut vector = HenkinVector::new();
         let defined: Vec<Var> = if self.config.use_definitions {
-            unique::extract_definitions(dqbf, &mut vector, self.config.max_definition_deps)
+            let solver_config = match self.config.sat_conflict_budget {
+                Some(budget) => SolverConfig::budgeted(budget),
+                None => SolverConfig::default(),
+            };
+            unique::extract_definitions_with(
+                dqbf,
+                &mut vector,
+                self.config.max_definition_deps,
+                &solver_config,
+            )
         } else {
             Vec::new()
         };
@@ -144,16 +159,19 @@ impl ArbiterSolver {
             if iterations > self.config.max_iterations {
                 return finish(
                     SynthesisOutcome::Unknown(UnknownReason::IterationLimit),
-                    format!("gave up after {} CEGIS iterations", self.config.max_iterations),
+                    format!(
+                        "gave up after {} CEGIS iterations",
+                        self.config.max_iterations
+                    ),
+                    &oracle,
                 );
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(
-                        SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
-                        format!("time budget exhausted after {iterations} iterations"),
-                    );
-                }
+            if oracle.budget().expired() {
+                return finish(
+                    SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
+                    format!("time budget exhausted after {iterations} iterations"),
+                    &oracle,
+                );
             }
             // Materialize the arbiter tables into the vector.
             for &y in &undefined {
@@ -170,6 +188,7 @@ impl ArbiterSolver {
                             "definitions={} arbiter_entries={entries} iterations={iterations}",
                             defined.len()
                         ),
+                        &oracle,
                     );
                 }
                 verify::CheckOutcome::MissingFunction(_)
@@ -184,7 +203,8 @@ impl ArbiterSolver {
                         .iter()
                         .map(|&x| x.lit(cex.assignment.get(x).unwrap_or(false)))
                         .collect();
-                    let witness = match phi_solver.solve_with_assumptions(&assumptions) {
+                    let witness = match oracle.solve_with_assumptions(&mut phi_solver, &assumptions)
+                    {
                         SolveResult::Unsat => {
                             return finish(
                                 SynthesisOutcome::Unrealizable,
@@ -192,12 +212,14 @@ impl ArbiterSolver {
                                     "universal assignment with no extension found after \
                                      {iterations} iterations"
                                 ),
+                                &oracle,
                             )
                         }
                         SolveResult::Unknown => {
                             return finish(
-                                SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
+                                SynthesisOutcome::Unknown(oracle.give_up_reason()),
                                 "extension check gave up".to_string(),
+                                &oracle,
                             )
                         }
                         SolveResult::Sat => phi_solver.model(),
@@ -217,6 +239,7 @@ impl ArbiterSolver {
                             return finish(
                                 SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
                                 "arbiter table budget exceeded".to_string(),
+                                &oracle,
                             );
                         }
                         let previous = table.insert(key, value);
@@ -232,6 +255,7 @@ impl ArbiterSolver {
                         return finish(
                             SynthesisOutcome::Unknown(UnknownReason::RepairStuck),
                             format!("no arbiter progress after {iterations} iterations"),
+                            &oracle,
                         );
                     }
                 }
@@ -282,6 +306,9 @@ mod tests {
         let vector = result.vector().expect("true instance");
         assert!(check(&dqbf, vector).is_valid());
         assert!(result.details.contains("definitions"));
+        // The engine's SAT work went through the shared oracle layer.
+        assert_eq!(result.oracle.sat_solvers_constructed, 1);
+        assert!(result.oracle.sat_calls >= 1);
     }
 
     #[test]

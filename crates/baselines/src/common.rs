@@ -1,4 +1,4 @@
-use manthan3_core::SynthesisOutcome;
+use manthan3_core::{OracleStats, SynthesisOutcome};
 use manthan3_dqbf::HenkinVector;
 use std::time::Duration;
 
@@ -11,6 +11,10 @@ pub struct BaselineResult {
     pub runtime: Duration,
     /// Engine-specific diagnostics (expansion size, arbiter entries, …).
     pub details: String,
+    /// Oracle-layer counters, directly comparable with
+    /// [`SynthesisStats::oracle`](manthan3_core::SynthesisStats) of the
+    /// Manthan3 engine (all engines share the same oracle layer).
+    pub oracle: OracleStats,
 }
 
 impl BaselineResult {
@@ -38,6 +42,7 @@ mod tests {
             outcome: SynthesisOutcome::Unrealizable,
             runtime: Duration::from_millis(1),
             details: String::new(),
+            oracle: OracleStats::default(),
         };
         assert!(!r.is_realizable());
         assert!(r.vector().is_none());

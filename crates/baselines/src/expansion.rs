@@ -15,9 +15,9 @@
 
 use crate::common::BaselineResult;
 use manthan3_cnf::{Lit, Var};
-use manthan3_core::{SynthesisOutcome, UnknownReason};
+use manthan3_core::{Budget, Oracle, SynthesisOutcome, UnknownReason};
 use manthan3_dqbf::{Dqbf, HenkinVector};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use manthan3_sat::SolveResult;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -75,11 +75,18 @@ impl ExpansionSolver {
     pub fn synthesize(&self, dqbf: &Dqbf) -> BaselineResult {
         dqbf.validate().expect("well-formed DQBF");
         let start = Instant::now();
-        let deadline = self.config.time_budget.map(|b| start + b);
-        let finish = |outcome: SynthesisOutcome, details: String| BaselineResult {
+        // The grounding deadline and the final SAT call share one budget
+        // through the oracle layer.
+        let mut oracle = Oracle::new(Budget::new(
+            self.config.time_budget,
+            self.config.sat_conflict_budget,
+            None,
+        ));
+        let finish = |outcome: SynthesisOutcome, details: String, oracle: &Oracle| BaselineResult {
             outcome,
             runtime: start.elapsed(),
             details,
+            oracle: *oracle.stats(),
         };
 
         let num_x = dqbf.universals().len();
@@ -87,6 +94,7 @@ impl ExpansionSolver {
             return finish(
                 SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
                 format!("expansion over {num_x} universals exceeds the budget"),
+                &oracle,
             );
         }
         // Allocate copy variables y_i^α.
@@ -102,6 +110,7 @@ impl ExpansionSolver {
                 return finish(
                     SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
                     "dependency set too large to expand".to_string(),
+                    &oracle,
                 );
             }
             copy_base.push(total_copies);
@@ -110,29 +119,25 @@ impl ExpansionSolver {
                 return finish(
                     SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
                     format!("{total_copies}+ existential copies exceed the budget"),
+                    &oracle,
                 );
             }
         }
 
         // Ground the matrix over all universal assignments.
-        let solver_config = match self.config.sat_conflict_budget {
-            Some(b) => SolverConfig::budgeted(b),
-            None => SolverConfig::default(),
-        };
-        let mut solver = Solver::with_config(solver_config);
+        let mut solver = oracle.new_solver();
         solver.ensure_vars(total_copies);
         let mut seen_clauses: HashSet<Vec<Lit>> = HashSet::new();
         let mut ground_clauses = 0usize;
         let universals: Vec<Var> = dqbf.universals().to_vec();
 
         for xi_bits in 0u64..(1u64 << num_x) {
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(
-                        SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
-                        "expansion interrupted by the time budget".to_string(),
-                    );
-                }
+            if oracle.budget().expired() {
+                return finish(
+                    SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
+                    "expansion interrupted by the time budget".to_string(),
+                    &oracle,
+                );
             }
             let x_value = |v: Var| -> Option<bool> {
                 universals
@@ -168,6 +173,7 @@ impl ExpansionSolver {
                     return finish(
                         SynthesisOutcome::Unrealizable,
                         format!("universal assignment {xi_bits:b} falsifies the matrix"),
+                        &oracle,
                     );
                 }
                 ground.sort();
@@ -178,6 +184,7 @@ impl ExpansionSolver {
                         return finish(
                             SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
                             "grounded clause budget exceeded".to_string(),
+                            &oracle,
                         );
                     }
                     solver.add_clause(ground);
@@ -185,14 +192,16 @@ impl ExpansionSolver {
             }
         }
 
-        match solver.solve() {
+        match oracle.solve(&mut solver) {
             SolveResult::Unsat => finish(
                 SynthesisOutcome::Unrealizable,
                 format!("expansion with {total_copies} copies is unsatisfiable"),
+                &oracle,
             ),
             SolveResult::Unknown => finish(
-                SynthesisOutcome::Unknown(UnknownReason::OracleBudget),
+                SynthesisOutcome::Unknown(oracle.give_up_reason()),
                 "SAT call on the expansion gave up".to_string(),
+                &oracle,
             ),
             SolveResult::Sat => {
                 let model = solver.model();
@@ -223,9 +232,8 @@ impl ExpansionSolver {
                 }
                 finish(
                     SynthesisOutcome::Realizable(vector),
-                    format!(
-                        "expansion: {total_copies} copies, {ground_clauses} grounded clauses"
-                    ),
+                    format!("expansion: {total_copies} copies, {ground_clauses} grounded clauses"),
+                    &oracle,
                 )
             }
         }
@@ -244,6 +252,9 @@ mod tests {
         let vector = result.vector().expect("true instance");
         assert!(check(&dqbf, vector).is_valid());
         assert!(result.details.contains("copies"));
+        // One grounding solver, one final SAT call, via the oracle layer.
+        assert_eq!(result.oracle.sat_solvers_constructed, 1);
+        assert_eq!(result.oracle.sat_calls, 1);
     }
 
     #[test]
@@ -318,9 +329,7 @@ mod tests {
             for _ in 0..rng.gen_range(1..5) {
                 let len = rng.gen_range(1..=3);
                 let clause: Vec<Lit> = (0..len)
-                    .map(|_| {
-                        Lit::new(Var::new(rng.gen_range(0..total_vars) as u32), rng.gen())
-                    })
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..total_vars) as u32), rng.gen()))
                     .collect();
                 dqbf.add_clause(clause);
             }

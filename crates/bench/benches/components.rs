@@ -63,7 +63,9 @@ fn bench_dtree(c: &mut Criterion) {
     // 400 rows over 12 features with a hidden 3-variable function.
     let rows: Vec<(Vec<bool>, bool)> = (0..400u32)
         .map(|i| {
-            let features: Vec<bool> = (0..12).map(|j| (i * 2654435761).wrapping_shr(j) & 1 == 1).collect();
+            let features: Vec<bool> = (0..12)
+                .map(|j| (i * 2654435761).wrapping_shr(j) & 1 == 1)
+                .collect();
             let label = features[2] ^ (features[5] & features[9]);
             (features, label)
         })
@@ -71,7 +73,10 @@ fn bench_dtree(c: &mut Criterion) {
     let dataset = Dataset::from_rows(rows);
     c.bench_function("dtree/learn_400x12", |b| {
         b.iter(|| {
-            std::hint::black_box(DecisionTree::learn(&dataset, &DecisionTreeConfig::default()))
+            std::hint::black_box(DecisionTree::learn(
+                &dataset,
+                &DecisionTreeConfig::default(),
+            ))
         })
     });
 }
@@ -84,7 +89,9 @@ fn bench_aig_encode(c: &mut Criterion) {
         let x = aig.xor(chunk[0], chunk[1]);
         acc = aig.ite(x, acc, chunk[1]);
     }
-    let map: HashMap<usize, Lit> = (0..16).map(|i| (i, Var::new(i as u32).positive())).collect();
+    let map: HashMap<usize, Lit> = (0..16)
+        .map(|i| (i, Var::new(i as u32).positive()))
+        .collect();
     c.bench_function("aig/encode_cnf_16_inputs", |b| {
         b.iter(|| {
             let mut builder = CnfBuilder::new(16);

@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
-use manthan3_core::{Manthan3, Manthan3Config};
+use manthan3_core::{Budget, Manthan3, Manthan3Config, Oracle, VerifySession};
+use manthan3_dqbf::{Dqbf, HenkinVector};
 use manthan3_gen::controller::{controller, ControllerParams};
 use manthan3_gen::pec::{pec, PecParams};
 use manthan3_gen::planted::{planted_true, PlantedParams};
@@ -101,6 +102,90 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a verification workload: a planted instance, plus two candidate
+/// vectors sharing one AIG that differ in a single output — the shape of a
+/// repair iteration (one candidate changed, the rest untouched).
+fn verification_workload() -> (Dqbf, HenkinVector, HenkinVector) {
+    let instance = planted_true(
+        &PlantedParams {
+            num_universals: 8,
+            num_existentials: 6,
+            max_dependencies: 4,
+            ..PlantedParams::default()
+        },
+        5,
+    );
+    let dqbf = instance.dqbf;
+    let mut base = HenkinVector::new();
+    for &y in dqbf.existentials() {
+        // Arbitrary (mostly wrong) candidates: the parity of the first two
+        // dependencies, or constant false.
+        let deps: Vec<_> = dqbf.dependencies(y).iter().copied().collect();
+        let f = match deps.as_slice() {
+            [] => base.aig().constant(false),
+            [d] => {
+                let i = base.aig_mut().input(d.index());
+                i
+            }
+            [a, b, ..] => {
+                let ia = base.aig_mut().input(a.index());
+                let ib = base.aig_mut().input(b.index());
+                base.aig_mut().xor(ia, ib)
+            }
+        };
+        base.set(y, f);
+    }
+    // The alternative generation: one output's candidate is extended, the
+    // way repair strengthens/weakens a function.
+    let &swapped = dqbf.existentials().first().expect("instance has outputs");
+    let current = base.get(swapped).expect("candidate set");
+    let first_universal = dqbf.universals()[0];
+    let extra = base.aig_mut().input(first_universal.index());
+    let extended = base.aig_mut().or(current, extra);
+    let mut alt = base.clone();
+    alt.set(swapped, extended);
+    (dqbf, base, alt)
+}
+
+/// The acceptance benchmark for the persistent session: a verify loop of
+/// `LOOP_ITERATIONS` iterations with one candidate change per iteration —
+/// the shape of the engine's verify–repair loop. On the reused incremental
+/// session each iteration pays only for the changed candidate (activation
+/// swap + cached encoding); the from-scratch variant re-encodes the error
+/// formula and rebuilds the solver every iteration, so its cost scales with
+/// the full encoding instead of the change.
+fn bench_verification_session(c: &mut Criterion) {
+    const LOOP_ITERATIONS: usize = 24;
+    let (dqbf, base, alt) = verification_workload();
+    let mut group = c.benchmark_group("verify_session");
+
+    group.bench_function("incremental_reuse", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(Budget::unlimited());
+            let mut session = VerifySession::new(&dqbf, &mut oracle);
+            for i in 0..LOOP_ITERATIONS {
+                let vector = if i % 2 == 0 { &base } else { &alt };
+                std::hint::black_box(session.verify(&dqbf, vector, &mut oracle));
+            }
+        })
+    });
+
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            for i in 0..LOOP_ITERATIONS {
+                let vector = if i % 2 == 0 { &base } else { &alt };
+                // The pre-oracle-layer behaviour: fresh solver + full error
+                // formula encoding on every iteration.
+                let mut oracle = Oracle::new(Budget::unlimited());
+                let mut session = VerifySession::new(&dqbf, &mut oracle);
+                std::hint::black_box(session.verify(&dqbf, vector, &mut oracle));
+            }
+        })
+    });
+
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -111,6 +196,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = synthesis;
     config = config();
-    targets = bench_engines
+    targets = bench_engines, bench_verification_session
 }
 criterion_main!(synthesis);

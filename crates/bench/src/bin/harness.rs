@@ -100,7 +100,15 @@ fn main() {
         .collect();
     csvio::write_csv(
         &args.out.join("runs.csv"),
-        &["instance", "family", "engine", "synthesized", "decided", "outcome", "seconds"],
+        &[
+            "instance",
+            "family",
+            "engine",
+            "synthesized",
+            "decided",
+            "outcome",
+            "seconds",
+        ],
         &raw_rows,
     )
     .expect("write runs.csv");
@@ -108,7 +116,11 @@ fn main() {
     // Figure 6.
     csvio::write_csv(
         &args.out.join("fig6_cactus.csv"),
-        &["instances_synthesized", "vbs_hqs2_pedant_s", "vbs_plus_manthan3_s"],
+        &[
+            "instances_synthesized",
+            "vbs_hqs2_pedant_s",
+            "vbs_plus_manthan3_s",
+        ],
         &report::fig6_rows(&records),
     )
     .expect("write fig6");

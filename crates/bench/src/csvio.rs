@@ -47,7 +47,10 @@ mod tests {
     fn renders_header_and_rows() {
         let csv = to_csv(
             &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["x,y".into(), "q\"".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["x,y".into(), "q\"".into()],
+            ],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b");

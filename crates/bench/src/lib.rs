@@ -39,8 +39,11 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engines, in the order used by the reports.
-    pub const ALL: [EngineKind; 3] =
-        [EngineKind::Manthan3, EngineKind::Hqs2Like, EngineKind::PedantLike];
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Manthan3,
+        EngineKind::Hqs2Like,
+        EngineKind::PedantLike,
+    ];
 }
 
 impl fmt::Display for EngineKind {
@@ -103,21 +106,29 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
                 time_budget: Some(budget),
                 ..ExpansionConfig::default()
             };
-            ExpansionSolver::new(config).synthesize(&instance.dqbf).outcome
+            ExpansionSolver::new(config)
+                .synthesize(&instance.dqbf)
+                .outcome
         }
         EngineKind::PedantLike => {
             let config = ArbiterConfig {
                 time_budget: Some(budget),
                 ..ArbiterConfig::default()
             };
-            ArbiterSolver::new(config).synthesize(&instance.dqbf).outcome
+            ArbiterSolver::new(config)
+                .synthesize(&instance.dqbf)
+                .outcome
         }
     };
     let time = start.elapsed();
     let (synthesized, decided, label) = match &outcome {
         SynthesisOutcome::Realizable(vector) => {
             let valid = verify::check(&instance.dqbf, vector).is_valid();
-            (valid, valid, if valid { "realizable" } else { "invalid" }.to_string())
+            (
+                valid,
+                valid,
+                if valid { "realizable" } else { "invalid" }.to_string(),
+            )
         }
         SynthesisOutcome::Unrealizable => (false, true, "unrealizable".to_string()),
         SynthesisOutcome::Unknown(reason) => (false, false, format!("unknown:{reason:?}")),

@@ -41,14 +41,20 @@ pub fn cactus(times: &BTreeMap<String, f64>) -> Vec<f64> {
 /// time_vbs_plus_manthan3)`; entries are padded with empty strings when one
 /// portfolio has synthesized fewer instances.
 pub fn fig6_rows(records: &[RunRecord]) -> Vec<Vec<String>> {
-    let without = cactus(&vbs(records, &[EngineKind::Hqs2Like, EngineKind::PedantLike]));
+    let without = cactus(&vbs(
+        records,
+        &[EngineKind::Hqs2Like, EngineKind::PedantLike],
+    ));
     let with = cactus(&vbs(records, &EngineKind::ALL));
     let len = without.len().max(with.len());
     (0..len)
         .map(|i| {
             vec![
                 (i + 1).to_string(),
-                without.get(i).map(|t| format!("{t:.4}")).unwrap_or_default(),
+                without
+                    .get(i)
+                    .map(|t| format!("{t:.4}"))
+                    .unwrap_or_default(),
                 with.get(i).map(|t| format!("{t:.4}")).unwrap_or_default(),
             ]
         })
@@ -142,7 +148,7 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         .count();
     let manthan3_fastest = manthan3
         .iter()
-        .filter(|(i, t)| baseline_vbs.get(*i).map_or(true, |b| *t < b))
+        .filter(|(i, t)| baseline_vbs.get(*i).is_none_or(|b| *t < b))
         .count();
     let manthan3_not_hqs2 = manthan3.keys().filter(|i| !hqs.contains_key(*i)).count();
     let manthan3_not_pedant = manthan3.keys().filter(|i| !pedant.contains_key(*i)).count();
@@ -152,7 +158,7 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         .count();
     let manthan3_within_10s_of_vbs = manthan3
         .iter()
-        .filter(|(i, t)| baseline_vbs.get(*i).map_or(false, |b| **t <= *b + 10.0))
+        .filter(|(i, t)| baseline_vbs.get(*i).is_some_and(|b| **t <= *b + 10.0))
         .count();
 
     Summary {
@@ -226,7 +232,11 @@ impl fmt::Display for Summary {
                 self.synthesized[&engine], self.decided[&engine]
             )?;
         }
-        writeln!(f, "VBS(HQS2+Pedant):          {}", self.vbs_without_manthan3)?;
+        writeln!(
+            f,
+            "VBS(HQS2+Pedant):          {}",
+            self.vbs_without_manthan3
+        )?;
         writeln!(f, "VBS(+Manthan3):            {}", self.vbs_with_manthan3)?;
         writeln!(f, "Manthan3 unique:           {}", self.manthan3_unique)?;
         writeln!(f, "Manthan3 fastest:          {}", self.manthan3_fastest)?;
@@ -245,12 +255,7 @@ impl fmt::Display for Summary {
 mod tests {
     use super::*;
 
-    fn record(
-        instance: &str,
-        engine: EngineKind,
-        synthesized: bool,
-        seconds: f64,
-    ) -> RunRecord {
+    fn record(instance: &str, engine: EngineKind, synthesized: bool, seconds: f64) -> RunRecord {
         RunRecord {
             instance: instance.to_string(),
             family: "planted".to_string(),

@@ -63,7 +63,9 @@ impl Clause {
     pub fn is_tautology(&self) -> bool {
         let mut sorted: Vec<Lit> = self.lits.clone();
         sorted.sort();
-        sorted.windows(2).any(|w| w[0] == !w[1] || w[0].var() == w[1].var() && w[0] != w[1])
+        sorted
+            .windows(2)
+            .any(|w| w[0] == !w[1] || w[0].var() == w[1].var() && w[0] != w[1])
     }
 
     /// Returns a copy of the clause with duplicate literals removed and

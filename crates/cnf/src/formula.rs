@@ -111,7 +111,8 @@ impl Cnf {
         }
         seen.iter()
             .enumerate()
-            .filter_map(|(i, &s)| s.then(|| Var::new(i as u32)))
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| Var::new(i as u32))
             .collect()
     }
 

@@ -35,6 +35,10 @@ pub struct Manthan3Config {
     pub time_budget: Option<Duration>,
     /// Optional conflict budget for each SAT oracle call (`None` = unlimited).
     pub sat_conflict_budget: Option<u64>,
+    /// Optional bound on the total number of SAT oracle calls per synthesis
+    /// run (`None` = unlimited). Enforced by the shared
+    /// [`Budget`](crate::Budget).
+    pub sat_call_budget: Option<u64>,
 }
 
 impl Default for Manthan3Config {
@@ -51,6 +55,7 @@ impl Default for Manthan3Config {
             constrain_y_hat: true,
             time_budget: None,
             sat_conflict_budget: None,
+            sat_call_budget: None,
         }
     }
 }

@@ -1,31 +1,28 @@
-//! The main synthesis loop (Algorithm 1 of the paper).
+//! The main synthesis loop (Algorithm 1 of the paper), organised as an
+//! explicit pipeline of stages sharing one [`SynthesisCtx`]:
+//!
+//! ```text
+//! Preprocess → Sample → Learn → Order → VerifyRepair
+//! ```
+//!
+//! Every stage draws its SAT/MaxSAT/sampling power from the context's
+//! [`Oracle`], and the `VerifyRepair` stage runs on a persistent
+//! [`VerifySession`] — the error formula is encoded once and re-solved
+//! under assumptions, with repairs only *adding* clauses.
 
 use crate::config::Manthan3Config;
 use crate::learn::learn_candidate;
+use crate::oracle::{Budget, Oracle, UnknownReason};
 use crate::order::{DependencyState, Order};
 use crate::preprocess::extract_unique_definitions;
 use crate::repair::{repair_vector, Sigma};
+use crate::session::{VerifyOutcome, VerifySession};
 use crate::stats::SynthesisStats;
-use manthan3_cnf::{CnfBuilder, Lit, Var};
-use manthan3_dqbf::{verify, Dqbf, HenkinVector};
-use manthan3_sampler::{Sampler, SamplerConfig};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
-use std::collections::{BTreeMap, HashMap};
+use manthan3_cnf::{Assignment, Lit, Var};
+use manthan3_dqbf::{Dqbf, HenkinVector};
+use manthan3_sampler::SamplerConfig;
+use manthan3_sat::SolveResult;
 use std::time::Instant;
-
-/// Why a synthesis run ended without a definitive answer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum UnknownReason {
-    /// The repair loop could not modify any candidate for the current
-    /// counterexample (the incompleteness discussed in §5 of the paper).
-    RepairStuck,
-    /// The configured number of repair iterations was exhausted.
-    IterationLimit,
-    /// The configured wall-clock budget was exhausted.
-    TimeBudget,
-    /// A budgeted SAT oracle call gave up.
-    OracleBudget,
-}
 
 /// The verdict of a synthesis run.
 #[derive(Debug, Clone)]
@@ -51,8 +48,56 @@ impl SynthesisOutcome {
 pub struct SynthesisResult {
     /// The verdict.
     pub outcome: SynthesisOutcome,
-    /// Counters and timings.
+    /// Counters and timings, including the oracle-layer statistics.
     pub stats: SynthesisStats,
+}
+
+/// Shared state of one synthesis run, threaded through the pipeline stages.
+struct SynthesisCtx<'a> {
+    dqbf: &'a Dqbf,
+    config: &'a Manthan3Config,
+    /// Budgets and statistics for every oracle interaction of the run.
+    oracle: Oracle,
+    stats: SynthesisStats,
+    /// The candidate vector being grown and repaired (one shared AIG).
+    vector: HenkinVector,
+    /// Outputs fixed by unique-definition preprocessing.
+    defined: Vec<Var>,
+    /// Training data for candidate learning.
+    samples: Vec<Assignment>,
+    /// Learned inter-candidate dependency bookkeeping.
+    dependency_state: DependencyState,
+    /// Linear extension of the dependencies (set by the Order stage).
+    order: Option<Order>,
+    /// The persistent incremental verify/repair session (set by Preprocess).
+    session: Option<VerifySession>,
+}
+
+impl<'a> SynthesisCtx<'a> {
+    fn new(dqbf: &'a Dqbf, config: &'a Manthan3Config) -> Self {
+        let budget = Budget::new(
+            config.time_budget,
+            config.sat_conflict_budget,
+            config.sat_call_budget,
+        );
+        SynthesisCtx {
+            dqbf,
+            config,
+            oracle: Oracle::new(budget),
+            stats: SynthesisStats::default(),
+            vector: HenkinVector::new(),
+            defined: Vec::new(),
+            samples: Vec::new(),
+            dependency_state: DependencyState::new(dqbf.existentials()),
+            order: None,
+            session: None,
+        }
+    }
+
+    /// Maps an exhausted-oracle verdict to an outcome.
+    fn give_up(&self) -> SynthesisOutcome {
+        SynthesisOutcome::Unknown(self.oracle.give_up_reason())
+    }
 }
 
 /// The Manthan3 synthesis engine.
@@ -75,223 +120,198 @@ impl Manthan3 {
         &self.config
     }
 
-    /// Synthesizes a Henkin function vector for `dqbf` (Algorithm 1).
+    /// Synthesizes a Henkin function vector for `dqbf` (Algorithm 1), running
+    /// the `Preprocess → Sample → Learn → Order → VerifyRepair` pipeline.
     ///
     /// # Panics
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize(&self, dqbf: &Dqbf) -> SynthesisResult {
         dqbf.validate().expect("well-formed DQBF");
-        let start = Instant::now();
-        let deadline = self.config.time_budget.map(|b| start + b);
-        let mut stats = SynthesisStats::default();
+        let mut ctx = SynthesisCtx::new(dqbf, &self.config);
 
-        let finish = |outcome: SynthesisOutcome, mut stats: SynthesisStats| {
-            stats.total_time = start.elapsed();
-            SynthesisResult { outcome, stats }
-        };
+        let outcome = stage_preprocess(&mut ctx)
+            .or_else(|| stage_sample(&mut ctx))
+            .or_else(|| stage_learn(&mut ctx))
+            .or_else(|| stage_order(&mut ctx))
+            .unwrap_or_else(|| stage_verify_repair(&mut ctx));
 
-        // A DQBF with an unsatisfiable matrix is trivially false.
-        let solver_config = match self.config.sat_conflict_budget {
-            Some(budget) => SolverConfig::budgeted(budget),
-            None => SolverConfig::default(),
-        };
-        let mut phi_solver = Solver::with_config(solver_config);
-        phi_solver.add_cnf(dqbf.matrix());
-        phi_solver.ensure_vars(dqbf.num_vars());
-        match phi_solver.solve() {
-            SolveResult::Unsat => return finish(SynthesisOutcome::Unrealizable, stats),
-            SolveResult::Unknown => {
-                return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
-            }
-            SolveResult::Sat => {}
-        }
+        let mut stats = ctx.stats;
+        stats.oracle = *ctx.oracle.stats();
+        stats.total_time = ctx.oracle.budget().elapsed();
+        SynthesisResult { outcome, stats }
+    }
+}
 
-        // Preprocessing: unique definitions.
-        let mut vector = HenkinVector::new();
-        let defined = extract_unique_definitions(dqbf, &mut vector, &self.config, &mut stats);
+/// Pipeline stage 1 — **Preprocess**: open the persistent oracle session,
+/// rule out a trivially false matrix, and extract unique definitions.
+fn stage_preprocess(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
+    let mut session = VerifySession::new(ctx.dqbf, &mut ctx.oracle);
+    match session.check_matrix(&mut ctx.oracle) {
+        SolveResult::Unsat => return Some(SynthesisOutcome::Unrealizable),
+        SolveResult::Unknown => return Some(ctx.give_up()),
+        SolveResult::Sat => {}
+    }
+    ctx.session = Some(session);
+    ctx.defined = extract_unique_definitions(ctx.dqbf, &mut ctx.vector, ctx.config, &mut ctx.stats);
+    // Extraction runs budgeted SAT calls outside the oracle's call counter;
+    // re-check the wall clock before moving on.
+    if let Some(reason) = ctx.oracle.exhausted() {
+        return Some(SynthesisOutcome::Unknown(reason));
+    }
+    None
+}
 
-        // Phase 1: data generation.
-        let sampling_start = Instant::now();
-        let mut sampler = Sampler::new(
-            dqbf.matrix(),
-            SamplerConfig {
-                seed: self.config.seed,
-                ..SamplerConfig::default()
-            },
-        );
-        let samples = sampler.sample(self.config.num_samples);
-        stats.samples = samples.len();
-        stats.sampling_time = sampling_start.elapsed();
-        if samples.is_empty() {
-            return finish(SynthesisOutcome::Unrealizable, stats);
-        }
+/// Pipeline stage 2 — **Sample**: draw training data from the matrix.
+fn stage_sample(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
+    let sampling_start = Instant::now();
+    let mut sampler = ctx.oracle.new_sampler(
+        ctx.dqbf.matrix(),
+        SamplerConfig {
+            seed: ctx.config.seed,
+            ..SamplerConfig::default()
+        },
+    );
+    ctx.samples = sampler.sample(ctx.config.num_samples);
+    ctx.stats.samples = ctx.samples.len();
+    ctx.stats.sampling_time = sampling_start.elapsed();
+    if ctx.samples.is_empty() {
+        // The matrix check already succeeded, so an empty batch means the
+        // sampler's budget was exhausted, not unsatisfiability — unless the
+        // sampler itself proved UNSAT (possible when budgets differ).
+        return Some(match sampler.known_satisfiable() {
+            Some(false) => SynthesisOutcome::Unrealizable,
+            _ => ctx.give_up(),
+        });
+    }
+    None
+}
 
-        // Phase 2: candidate learning with dependency bookkeeping.
-        let learning_start = Instant::now();
-        let mut dependency_state = DependencyState::new(dqbf.existentials());
-        for &yi in dqbf.existentials() {
-            for &yj in dqbf.existentials() {
-                if yi == yj {
-                    continue;
-                }
-                let hi = dqbf.dependencies(yi);
-                let hj = dqbf.dependencies(yj);
-                if hj.is_subset(hi) && hj != hi {
-                    // H_j ⊂ H_i ⇒ y_i may depend on y_j (Algorithm 1, lines 3–5).
-                    dependency_state.record_subset_constraint(yi, yj);
-                }
-            }
-        }
-        for &y in dqbf.existentials() {
-            if defined.contains(&y) {
+/// Pipeline stage 3 — **Learn**: per undefined output, learn a candidate
+/// decision tree over its allowed features and record the inter-candidate
+/// dependencies it introduces.
+fn stage_learn(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
+    let learning_start = Instant::now();
+    for &yi in ctx.dqbf.existentials() {
+        for &yj in ctx.dqbf.existentials() {
+            if yi == yj {
                 continue;
             }
-            let learned = learn_candidate(
-                dqbf,
-                &samples,
-                y,
-                &dependency_state,
-                &mut vector,
-                &self.config,
-            );
-            debug_assert!(learned.tree_splits <= self.config.tree.max_depth * samples.len() + 1);
-            vector.set(y, learned.function);
-            for supplier in learned.used_existentials {
-                dependency_state.record_dependency(y, supplier);
-            }
-            stats.candidates_learned += 1;
-        }
-        let order = Order::from_dependencies(dqbf.existentials(), &dependency_state);
-        debug_assert_eq!(order.sequence().len(), dqbf.existentials().len());
-        stats.learning_time = learning_start.elapsed();
-
-        // Phases 3–5: verify / repair loop.
-        for _ in 0..self.config.max_repair_iterations {
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return finish(SynthesisOutcome::Unknown(UnknownReason::TimeBudget), stats);
-                }
-            }
-            let verification_start = Instant::now();
-            stats.verification_checks += 1;
-            let error_result = self.check_error_formula(dqbf, &vector);
-            stats.verification_time += verification_start.elapsed();
-            let delta = match error_result {
-                ErrorCheck::Valid => {
-                    // Success: expand inter-candidate references so every
-                    // function is over its Henkin dependencies only
-                    // (Algorithm 1, line 19).
-                    vector.substitute_down(&order.substitution_order());
-                    debug_assert_eq!(vector.dependency_violation(dqbf), None);
-                    return finish(SynthesisOutcome::Realizable(vector), stats);
-                }
-                ErrorCheck::Budget => {
-                    return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
-                }
-                ErrorCheck::CounterExample(delta) => delta,
-            };
-
-            // Can δ[X] be extended to a model of ϕ? (Algorithm 1, line 13.)
-            let x_assumptions: Vec<Lit> = dqbf
-                .universals()
-                .iter()
-                .map(|&x| x.lit(delta.x.get(&x).copied().unwrap_or(false)))
-                .collect();
-            let pi = match phi_solver.solve_with_assumptions(&x_assumptions) {
-                SolveResult::Unsat => {
-                    return finish(SynthesisOutcome::Unrealizable, stats);
-                }
-                SolveResult::Unknown => {
-                    return finish(SynthesisOutcome::Unknown(UnknownReason::OracleBudget), stats)
-                }
-                SolveResult::Sat => phi_solver.model(),
-            };
-
-            let repair_start = Instant::now();
-            stats.repair_iterations += 1;
-            let mut sigma = Sigma {
-                x: delta.x,
-                y: dqbf
-                    .existentials()
-                    .iter()
-                    .map(|&y| (y, pi.get(y).unwrap_or(false)))
-                    .collect(),
-                y_prime: delta.y_prime,
-            };
-            let outcome = repair_vector(
-                dqbf,
-                &self.config,
-                &mut phi_solver,
-                &mut vector,
-                &order,
-                &mut sigma,
-                &mut stats,
-            );
-            stats.repair_time += repair_start.elapsed();
-            if outcome.stuck {
-                return finish(SynthesisOutcome::Unknown(UnknownReason::RepairStuck), stats);
+            let hi = ctx.dqbf.dependencies(yi);
+            let hj = ctx.dqbf.dependencies(yj);
+            if hj.is_subset(hi) && hj != hi {
+                // H_j ⊂ H_i ⇒ y_i may depend on y_j (Algorithm 1, lines 3–5).
+                ctx.dependency_state.record_subset_constraint(yi, yj);
             }
         }
-        finish(SynthesisOutcome::Unknown(UnknownReason::IterationLimit), stats)
     }
-
-    /// Builds and solves the error formula
-    /// `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f(X, Y'))`.
-    ///
-    /// The original existential variables play the role of `Y'`: candidate
-    /// functions that still mention other existential variables read those
-    /// values from the corresponding `Y'` literals, exactly as in the paper.
-    fn check_error_formula(&self, dqbf: &Dqbf, vector: &HenkinVector) -> ErrorCheck {
-        let mut builder = CnfBuilder::new(dqbf.num_vars());
-        verify::encode_negated_matrix(dqbf, &mut builder);
-        let input_map: HashMap<usize, Lit> = (0..dqbf.num_vars())
-            .map(|i| (i, Var::new(i as u32).positive()))
-            .collect();
-        for &y in dqbf.existentials() {
-            let f = vector.get(y).expect("every output has a candidate");
-            let out = vector.aig().encode_cnf(f, &mut builder, &input_map);
-            builder.assert_equiv(y.positive(), out);
+    for &y in ctx.dqbf.existentials() {
+        if ctx.defined.contains(&y) {
+            continue;
         }
-        let solver_config = match self.config.sat_conflict_budget {
-            Some(budget) => SolverConfig::budgeted(budget),
-            None => SolverConfig::default(),
+        let learned = learn_candidate(
+            ctx.dqbf,
+            &ctx.samples,
+            y,
+            &ctx.dependency_state,
+            &mut ctx.vector,
+            ctx.config,
+        );
+        debug_assert!(learned.tree_splits <= ctx.config.tree.max_depth * ctx.samples.len() + 1);
+        ctx.vector.set(y, learned.function);
+        for supplier in learned.used_existentials {
+            ctx.dependency_state.record_dependency(y, supplier);
+        }
+        ctx.stats.candidates_learned += 1;
+    }
+    ctx.stats.learning_time = learning_start.elapsed();
+    None
+}
+
+/// Pipeline stage 4 — **Order**: linearise the learned dependencies.
+fn stage_order(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
+    let order = Order::from_dependencies(ctx.dqbf.existentials(), &ctx.dependency_state);
+    debug_assert_eq!(order.sequence().len(), ctx.dqbf.existentials().len());
+    ctx.order = Some(order);
+    None
+}
+
+/// Pipeline stage 5 — **VerifyRepair**: the CEGIS loop on the persistent
+/// session. Verification re-solves the incrementally maintained error
+/// formula under activation assumptions; repair adds clauses and swaps
+/// activation literals, never reconstructing a solver.
+fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
+    let mut session = ctx.session.take().expect("preprocess ran");
+    let order = ctx.order.take().expect("order ran");
+
+    for _ in 0..ctx.config.max_repair_iterations {
+        if let Some(reason) = ctx.oracle.exhausted() {
+            return SynthesisOutcome::Unknown(reason);
+        }
+        let verification_start = Instant::now();
+        ctx.stats.verification_checks += 1;
+        let verdict = session.verify(ctx.dqbf, &ctx.vector, &mut ctx.oracle);
+        ctx.stats.verification_time += verification_start.elapsed();
+        let delta = match verdict {
+            VerifyOutcome::Valid => {
+                // Success: expand inter-candidate references so every
+                // function is over its Henkin dependencies only
+                // (Algorithm 1, line 19).
+                let mut vector = std::mem::take(&mut ctx.vector);
+                vector.substitute_down(&order.substitution_order());
+                debug_assert_eq!(vector.dependency_violation(ctx.dqbf), None);
+                return SynthesisOutcome::Realizable(vector);
+            }
+            VerifyOutcome::Budget => return ctx.give_up(),
+            VerifyOutcome::CounterExample(delta) => delta,
         };
-        let mut solver = Solver::with_config(solver_config);
-        solver.add_cnf(builder.cnf());
-        match solver.solve() {
-            SolveResult::Unsat => ErrorCheck::Valid,
-            SolveResult::Unknown => ErrorCheck::Budget,
-            SolveResult::Sat => {
-                let model = solver.model();
-                ErrorCheck::CounterExample(Delta {
-                    x: dqbf
-                        .universals()
-                        .iter()
-                        .map(|&x| (x, model.get(x).unwrap_or(false)))
-                        .collect(),
-                    y_prime: dqbf
-                        .existentials()
-                        .iter()
-                        .map(|&y| (y, model.get(y).unwrap_or(false)))
-                        .collect(),
-                })
+
+        // Can δ[X] be extended to a model of ϕ? (Algorithm 1, line 13.)
+        let x_assumptions: Vec<Lit> = ctx
+            .dqbf
+            .universals()
+            .iter()
+            .map(|&x| x.lit(delta.x.get(&x).copied().unwrap_or(false)))
+            .collect();
+        let pi = match session.solve_phi(&mut ctx.oracle, &x_assumptions) {
+            SolveResult::Unsat => return SynthesisOutcome::Unrealizable,
+            SolveResult::Unknown => return ctx.give_up(),
+            SolveResult::Sat => session.phi_model(),
+        };
+
+        let repair_start = Instant::now();
+        ctx.stats.repair_iterations += 1;
+        let mut sigma = Sigma {
+            x: delta.x,
+            y: ctx
+                .dqbf
+                .existentials()
+                .iter()
+                .map(|&y| (y, pi.get(y).unwrap_or(false)))
+                .collect(),
+            y_prime: delta.y_prime,
+        };
+        let outcome = repair_vector(
+            ctx.dqbf,
+            ctx.config,
+            &mut session,
+            &mut ctx.oracle,
+            &mut ctx.vector,
+            &order,
+            &mut sigma,
+            &mut ctx.stats,
+        );
+        ctx.stats.repair_time += repair_start.elapsed();
+        if outcome.stuck {
+            // Distinguish the paper's algorithmic incompleteness from a
+            // repair pass that was merely starved of oracle budget.
+            if let Some(reason) = ctx.oracle.exhausted() {
+                return SynthesisOutcome::Unknown(reason);
             }
+            return SynthesisOutcome::Unknown(UnknownReason::RepairStuck);
         }
     }
-}
-
-/// A model of the error formula: `δ[X]` and `δ[Y']`.
-#[derive(Debug, Clone)]
-struct Delta {
-    x: BTreeMap<Var, bool>,
-    y_prime: BTreeMap<Var, bool>,
-}
-
-enum ErrorCheck {
-    Valid,
-    Budget,
-    CounterExample(Delta),
+    SynthesisOutcome::Unknown(UnknownReason::IterationLimit)
 }
 
 #[cfg(test)]
@@ -405,6 +425,21 @@ mod tests {
     }
 
     #[test]
+    fn call_budget_is_honoured() {
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config {
+            sat_call_budget: Some(1),
+            ..Manthan3Config::fast()
+        };
+        let result = Manthan3::new(config).synthesize(&dqbf);
+        match result.outcome {
+            SynthesisOutcome::Unknown(UnknownReason::OracleBudget) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(result.stats.oracle.sat_calls <= 1);
+    }
+
+    #[test]
     fn final_functions_respect_dependencies() {
         let dqbf = Dqbf::paper_example();
         let result = synthesize(&dqbf);
@@ -413,6 +448,19 @@ mod tests {
         } else {
             panic!("expected Realizable");
         }
+    }
+
+    #[test]
+    fn oracle_stats_reflect_session_reuse() {
+        let dqbf = Dqbf::paper_example();
+        let result = synthesize(&dqbf);
+        assert!(result.outcome.is_realizable());
+        let oracle = &result.stats.oracle;
+        // Whatever the number of verify/repair iterations, the run builds
+        // exactly one matrix solver and one error-formula solver.
+        assert_eq!(oracle.sat_solvers_constructed, 2);
+        assert_eq!(oracle.samplers_constructed, 1);
+        assert!(oracle.sat_calls >= result.stats.verification_checks);
     }
 
     #[test]

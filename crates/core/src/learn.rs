@@ -172,8 +172,14 @@ mod tests {
         let c1 = learn_candidate(&dqbf, &samples, Var::new(3), &state, &mut vector, &config);
         vector.set(Var::new(3), c1.function);
         // f1 = ¬x1 on these samples.
-        assert_eq!(vector.eval_one(Var::new(3), &[false, false, false]), Some(true));
-        assert_eq!(vector.eval_one(Var::new(3), &[true, false, false]), Some(false));
+        assert_eq!(
+            vector.eval_one(Var::new(3), &[false, false, false]),
+            Some(true)
+        );
+        assert_eq!(
+            vector.eval_one(Var::new(3), &[true, false, false]),
+            Some(false)
+        );
 
         let c3 = learn_candidate(&dqbf, &samples, Var::new(5), &state, &mut vector, &config);
         vector.set(Var::new(5), c3.function);

@@ -6,19 +6,46 @@
 //! `f = ⟨f1,…,fm⟩` (each `f_i` over its dependency set `H_i` only) such that
 //! `ϕ(X, f(H))` is a tautology — or report that the formula is false.
 //!
-//! The engine follows the paper's Algorithms 1–3:
+//! # Architecture: a staged pipeline on a persistent oracle layer
 //!
-//! 1. **Data generation** — sample satisfying assignments of ϕ
+//! [`Manthan3::synthesize`] runs five explicit stages that share one
+//! `SynthesisCtx` (the run's candidate vector, statistics, and [`Oracle`]):
+//!
+//! ```text
+//! Preprocess → Sample → Learn → Order → VerifyRepair
+//! ```
+//!
+//! 1. **Preprocess** — open the run's persistent [`VerifySession`], rule out
+//!    a trivially false matrix, and extract unique definitions via Padoa's
+//!    method (the role of the UNIQUE tool in the paper's implementation).
+//! 2. **Sample** — draw satisfying assignments of ϕ as training data
 //!    (`manthan3-sampler`).
-//! 2. **Candidate learning** — per output, learn a decision tree over the
-//!    valuations of its Henkin dependencies (plus compatible `Y` variables)
-//!    and take the disjunction of all paths to label 1 (`manthan3-dtree`).
-//! 3. **Ordering** — derive a linear extension of the learned inter-output
-//!    dependencies.
-//! 4. **Verification** — SAT check of the error formula
-//!    `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)`.
-//! 5. **Repair** — MaxSAT-based selection of repair candidates and
-//!    UNSAT-core-guided strengthening/weakening of the selected candidates.
+//! 3. **Learn** — per output, learn a decision tree over the valuations of
+//!    its Henkin dependencies (plus compatible `Y` variables) and take the
+//!    disjunction of all paths to label 1 (`manthan3-dtree`), recording the
+//!    inter-candidate dependencies this introduces.
+//! 4. **Order** — derive a linear extension of the learned dependencies.
+//! 5. **VerifyRepair** — the CEGIS loop (Algorithms 1 and 3).
+//!
+//! Two pieces make the hot loop incremental:
+//!
+//! * The [`Oracle`] owns the run's [`Budget`] (wall-clock deadline, per-call
+//!   conflict budget, total call budget) and funnels the synthesis loop's
+//!   SAT, MaxSAT, and sampling calls through it, collecting [`OracleStats`]
+//!   (unique-definition preprocessing runs its own solvers but inherits the
+//!   conflict cap). The baseline engines in `manthan3-baselines` run on the
+//!   same layer, so all engines share budget semantics and report comparable
+//!   counters.
+//! * The [`VerifySession`] Tseitin-encodes the error formula
+//!   `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)` **once**, guards each candidate
+//!   function's equivalence behind an activation literal, and re-solves
+//!   under assumptions on each verification. When repair replaces a
+//!   candidate, the old activation literal is retired and a fresh guarded
+//!   equivalence is appended — the solver, its learnt clauses, and the
+//!   shared encoding cache all survive, so iteration cost tracks the *size
+//!   of the change*, not the size of the formula. The repair queries `G_k`
+//!   (and their UNSAT cores, which become repair cubes) run on the same
+//!   session's persistent matrix solver.
 //!
 //! Manthan3 is sound (every returned vector passes the independent
 //! certificate check of `manthan3_dqbf::verify`) but **not complete**: for
@@ -41,6 +68,33 @@
 //!     }
 //!     other => panic!("expected synthesis to succeed, got {other:?}"),
 //! }
+//! // However many repair iterations ran, the whole loop used one matrix
+//! // solver and one error-formula solver.
+//! assert_eq!(result.stats.oracle.sat_solvers_constructed, 2);
+//! ```
+//!
+//! Driving the session directly (as the benchmarks do):
+//!
+//! ```
+//! use manthan3_core::{Budget, Oracle, VerifyOutcome, VerifySession};
+//! use manthan3_dqbf::{Dqbf, HenkinVector};
+//! use manthan3_cnf::Var;
+//!
+//! let dqbf = Dqbf::paper_example();
+//! let mut oracle = Oracle::new(Budget::unlimited());
+//! let mut session = VerifySession::new(&dqbf, &mut oracle);
+//!
+//! // The hand-derived correct vector from the paper.
+//! let mut vector = HenkinVector::new();
+//! let x1 = vector.aig_mut().input(0);
+//! let x2 = vector.aig_mut().input(1);
+//! let x3 = vector.aig_mut().input(2);
+//! vector.set(Var::new(3), !x1);
+//! let f2 = vector.aig_mut().or(!x2, !x1);
+//! vector.set(Var::new(4), f2);
+//! let f3 = vector.aig_mut().or(x2, x3);
+//! vector.set(Var::new(5), f3);
+//! assert_eq!(session.verify(&dqbf, &vector, &mut oracle), VerifyOutcome::Valid);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,11 +103,15 @@
 mod config;
 mod engine;
 mod learn;
+mod oracle;
 mod order;
 mod preprocess;
 mod repair;
+mod session;
 mod stats;
 
 pub use config::Manthan3Config;
-pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult, UnknownReason};
+pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult};
+pub use oracle::{Budget, Oracle, OracleStats, UnknownReason};
+pub use session::{Delta, VerifyOutcome, VerifySession};
 pub use stats::SynthesisStats;

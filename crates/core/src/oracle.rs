@@ -1,0 +1,328 @@
+//! The shared oracle layer.
+//!
+//! Every SAT, MaxSAT, and sampling interaction of the synthesis loop is
+//! funnelled through an [`Oracle`], which owns the run's [`Budget`]
+//! (wall-clock deadline, per-call conflict budget, total call budget) and
+//! collects [`OracleStats`]. The one exception is unique-definition
+//! preprocessing, which runs inside `manthan3-dqbf` with its own solvers:
+//! those calls inherit the budget's conflict cap (via
+//! `unique::extract_definitions_with`) and the engine re-checks the deadline
+//! after extraction, but they are not counted in [`OracleStats`].
+//! This replaces the ad-hoc `Instant` deadline checks and per-call solver
+//! construction that used to be scattered through the engine: budgets are
+//! enforced in one place, and the statistics let tests and benchmarks assert
+//! structural properties such as "the verify–repair loop constructed exactly
+//! one error-formula solver" (see [`crate::VerifySession`]).
+
+use manthan3_cnf::{Cnf, Lit};
+use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
+use manthan3_sampler::{Sampler, SamplerConfig};
+use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use std::time::{Duration, Instant};
+
+/// Why a synthesis run ended without a definitive answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnknownReason {
+    /// The repair loop could not modify any candidate for the current
+    /// counterexample (the incompleteness discussed in §5 of the paper).
+    RepairStuck,
+    /// The configured number of repair iterations was exhausted.
+    IterationLimit,
+    /// The configured wall-clock budget was exhausted.
+    TimeBudget,
+    /// A budgeted oracle call gave up (conflict or call budget).
+    OracleBudget,
+}
+
+/// The resource budget shared by every oracle call of one synthesis run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    start: Instant,
+    deadline: Option<Instant>,
+    conflicts_per_call: Option<u64>,
+    max_sat_calls: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Budget::new(None, None, None)
+    }
+
+    /// A budget with the given wall-clock, per-call conflict, and total
+    /// SAT-call limits (each `None` = unlimited). The clock starts now.
+    pub fn new(
+        time: Option<Duration>,
+        conflicts_per_call: Option<u64>,
+        max_sat_calls: Option<u64>,
+    ) -> Self {
+        let start = Instant::now();
+        Budget {
+            start,
+            deadline: time.map(|t| start + t),
+            conflicts_per_call,
+            max_sat_calls,
+        }
+    }
+
+    /// Returns `true` once the wall-clock deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time elapsed since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The per-call conflict limit, if any.
+    pub fn conflicts_per_call(&self) -> Option<u64> {
+        self.conflicts_per_call
+    }
+
+    /// The total SAT-call limit, if any.
+    pub fn max_sat_calls(&self) -> Option<u64> {
+        self.max_sat_calls
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// Counters for every oracle interaction of one run.
+///
+/// Fed into [`SynthesisStats`](crate::SynthesisStats) by the engine; the
+/// baseline engines report the same counters on their results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of CDCL solvers constructed through the oracle. The persistent
+    /// verify–repair session keeps this at two (matrix + error formula) per
+    /// run, however many repair iterations execute.
+    pub sat_solvers_constructed: usize,
+    /// Number of MaxSAT solvers constructed through the oracle.
+    pub maxsat_solvers_constructed: usize,
+    /// Number of samplers constructed through the oracle.
+    pub samplers_constructed: usize,
+    /// Number of SAT solve calls (with or without assumptions).
+    pub sat_calls: usize,
+    /// Number of MaxSAT solve calls.
+    pub maxsat_calls: usize,
+    /// Total SAT conflicts across all oracle-routed solve calls.
+    pub conflicts: u64,
+    /// Number of calls that gave up because a budget was exhausted.
+    pub budget_exhaustions: usize,
+}
+
+/// Constructs solvers and funnels every solve call through the shared
+/// [`Budget`], collecting [`OracleStats`] on the way.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    budget: Budget,
+    stats: OracleStats,
+}
+
+impl Oracle {
+    /// Creates an oracle enforcing `budget`.
+    pub fn new(budget: Budget) -> Self {
+        Oracle {
+            budget,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    /// The reason to report when an oracle call gave up: the wall clock if
+    /// the deadline has passed, the per-call/total budgets otherwise.
+    pub fn give_up_reason(&self) -> UnknownReason {
+        if self.budget.expired() {
+            UnknownReason::TimeBudget
+        } else {
+            UnknownReason::OracleBudget
+        }
+    }
+
+    /// Returns the exhausted-budget reason if no further oracle call may be
+    /// made, `None` while resources remain.
+    pub fn exhausted(&self) -> Option<UnknownReason> {
+        if self.budget.expired() {
+            return Some(UnknownReason::TimeBudget);
+        }
+        if let Some(max) = self.budget.max_sat_calls {
+            if self.stats.sat_calls as u64 >= max {
+                return Some(UnknownReason::OracleBudget);
+            }
+        }
+        None
+    }
+
+    /// Constructs a CDCL solver with the budget's per-call conflict limit.
+    pub fn new_solver(&mut self) -> Solver {
+        let config = match self.budget.conflicts_per_call {
+            Some(c) => SolverConfig::budgeted(c),
+            None => SolverConfig::default(),
+        };
+        self.new_solver_with(config)
+    }
+
+    /// Constructs a CDCL solver from an explicit configuration, still
+    /// counting it and capping its conflicts by the budget.
+    pub fn new_solver_with(&mut self, mut config: SolverConfig) -> Solver {
+        if config.max_conflicts.is_none() {
+            config.max_conflicts = self.budget.conflicts_per_call;
+        }
+        self.stats.sat_solvers_constructed += 1;
+        Solver::with_config(config)
+    }
+
+    /// Solves `solver` under the shared budget.
+    pub fn solve(&mut self, solver: &mut Solver) -> SolveResult {
+        self.solve_with_assumptions(solver, &[])
+    }
+
+    /// Solves `solver` under `assumptions` and the shared budget.
+    ///
+    /// Returns [`SolveResult::Unknown`] without touching the solver when the
+    /// budget is already exhausted; use [`Oracle::give_up_reason`] to map the
+    /// verdict to an [`UnknownReason`].
+    pub fn solve_with_assumptions(
+        &mut self,
+        solver: &mut Solver,
+        assumptions: &[Lit],
+    ) -> SolveResult {
+        if self.exhausted().is_some() {
+            self.stats.budget_exhaustions += 1;
+            return SolveResult::Unknown;
+        }
+        let before = solver.stats().conflicts;
+        let result = solver.solve_with_assumptions(assumptions);
+        self.stats.sat_calls += 1;
+        self.stats.conflicts += solver.stats().conflicts - before;
+        if result == SolveResult::Unknown {
+            self.stats.budget_exhaustions += 1;
+        }
+        result
+    }
+
+    /// Constructs a MaxSAT solver with the budget's per-call conflict limit.
+    pub fn new_maxsat(&mut self) -> MaxSatSolver {
+        self.stats.maxsat_solvers_constructed += 1;
+        match self.budget.conflicts_per_call {
+            Some(c) => MaxSatSolver::with_conflict_budget(c),
+            None => MaxSatSolver::new(),
+        }
+    }
+
+    /// Runs a MaxSAT solve under the shared budget.
+    pub fn solve_maxsat(&mut self, solver: &mut MaxSatSolver) -> MaxSatResult {
+        if self.budget.expired() {
+            self.stats.budget_exhaustions += 1;
+            return MaxSatResult::Unknown;
+        }
+        let result = solver.solve();
+        self.stats.maxsat_calls += 1;
+        if result == MaxSatResult::Unknown {
+            self.stats.budget_exhaustions += 1;
+        }
+        result
+    }
+
+    /// Constructs a sampler for `cnf`, inheriting the budget's per-call
+    /// conflict limit when `config` does not set its own.
+    pub fn new_sampler(&mut self, cnf: &Cnf, mut config: SamplerConfig) -> Sampler {
+        if config.max_conflicts_per_sample.is_none() {
+            config.max_conflicts_per_sample = self.budget.conflicts_per_call;
+        }
+        self.stats.samplers_constructed += 1;
+        Sampler::new(cnf, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_cnf::Var;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.expired());
+        assert_eq!(b.conflicts_per_call(), None);
+        assert_eq!(b.max_sat_calls(), None);
+    }
+
+    #[test]
+    fn zero_time_budget_expires_immediately() {
+        let oracle = Oracle::new(Budget::new(Some(Duration::ZERO), None, None));
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::TimeBudget));
+        assert_eq!(oracle.give_up_reason(), UnknownReason::TimeBudget);
+    }
+
+    #[test]
+    fn solve_counts_calls_and_conflicts() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut solver = oracle.new_solver();
+        solver.add_clause([lit(1), lit(2)]);
+        solver.add_clause([lit(-1), lit(2)]);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        assert_eq!(
+            oracle.solve_with_assumptions(&mut solver, &[lit(-2)]),
+            SolveResult::Unsat
+        );
+        let stats = oracle.stats();
+        assert_eq!(stats.sat_solvers_constructed, 1);
+        assert_eq!(stats.sat_calls, 2);
+        assert_eq!(stats.budget_exhaustions, 0);
+    }
+
+    #[test]
+    fn call_budget_cuts_off_further_solves() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(1)));
+        let mut solver = oracle.new_solver();
+        solver.ensure_vars(1);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
+        assert_eq!(oracle.give_up_reason(), UnknownReason::OracleBudget);
+        assert_eq!(oracle.stats().budget_exhaustions, 1);
+        // The refused call is not counted as performed.
+        assert_eq!(oracle.stats().sat_calls, 1);
+    }
+
+    #[test]
+    fn conflict_budget_is_inherited_by_constructed_solvers() {
+        let mut oracle = Oracle::new(Budget::new(None, Some(7), None));
+        let solver = oracle.new_solver();
+        assert_eq!(solver.config().max_conflicts, Some(7));
+        let sampler_cnf = Cnf::new(2);
+        let _ = oracle.new_sampler(&sampler_cnf, SamplerConfig::default());
+        assert_eq!(oracle.stats().samplers_constructed, 1);
+    }
+
+    #[test]
+    fn maxsat_goes_through_the_budget() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut maxsat = oracle.new_maxsat();
+        maxsat.add_hard([Var::new(0).positive(), Var::new(1).positive()]);
+        maxsat.add_soft([Var::new(0).negative()], 1);
+        let result = oracle.solve_maxsat(&mut maxsat);
+        assert_eq!(result, MaxSatResult::Optimum { cost: 0 });
+        assert_eq!(oracle.stats().maxsat_solvers_constructed, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 1);
+    }
+}

@@ -185,7 +185,7 @@ mod tests {
         let mut d = DependencyState::new(&ys);
         d.record_dependency(v(0), v(1)); // f0 uses y1
         d.record_dependency(v(1), v(2)); // f1 uses y2
-        // y2 now has both y1 and y0 as (transitive) dependents.
+                                         // y2 now has both y1 and y0 as (transitive) dependents.
         let dependents = d.dependents(v(2));
         assert!(dependents.contains(&v(0)));
         assert!(dependents.contains(&v(1)));

@@ -5,12 +5,14 @@ use crate::config::Manthan3Config;
 use crate::stats::SynthesisStats;
 use manthan3_cnf::Var;
 use manthan3_dqbf::{unique, Dqbf, HenkinVector};
+use manthan3_sat::SolverConfig;
 
 /// Extracts functions for uniquely defined outputs before learning starts.
 ///
 /// Returns the variables whose function was fixed by preprocessing; those
 /// variables are skipped by the learning phase (their definitions already
-/// respect the Henkin dependencies by construction).
+/// respect the Henkin dependencies by construction). The Padoa and
+/// enumeration SAT calls run under the engine's per-call conflict budget.
 pub fn extract_unique_definitions(
     dqbf: &Dqbf,
     vector: &mut HenkinVector,
@@ -20,7 +22,16 @@ pub fn extract_unique_definitions(
     if !config.use_unique_definitions {
         return Vec::new();
     }
-    let defined = unique::extract_definitions(dqbf, vector, config.max_unique_definition_deps);
+    let solver_config = match config.sat_conflict_budget {
+        Some(budget) => SolverConfig::budgeted(budget),
+        None => SolverConfig::default(),
+    };
+    let defined = unique::extract_definitions_with(
+        dqbf,
+        vector,
+        config.max_unique_definition_deps,
+        &solver_config,
+    );
     stats.unique_definitions = defined.len();
     defined
 }

@@ -1,14 +1,21 @@
 //! `RepairHkF`: counterexample-guided candidate repair
 //! (Algorithm 3 of the paper).
+//!
+//! All SAT and MaxSAT queries run through the synthesis run's [`Oracle`];
+//! the `G_k` queries (and the UNSAT cores that become repair cubes) are
+//! answered by the persistent [`VerifySession`]'s incremental matrix solver,
+//! so repair never constructs a SAT solver of its own.
 
 use crate::config::Manthan3Config;
+use crate::oracle::Oracle;
 use crate::order::Order;
+use crate::session::VerifySession;
 use crate::stats::SynthesisStats;
 use manthan3_aig::AigRef;
 use manthan3_cnf::{Lit, Var};
 use manthan3_dqbf::{Dqbf, HenkinVector};
-use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
-use manthan3_sat::{SolveResult, Solver};
+use manthan3_maxsat::MaxSatResult;
+use manthan3_sat::SolveResult;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The counterexample `σ = π[X] + π[Y] + δ[Y']` of Algorithm 1, line 16.
@@ -38,9 +45,10 @@ pub struct RepairOutcome {
 pub fn find_candidates_to_repair(
     dqbf: &Dqbf,
     sigma: &Sigma,
+    oracle: &mut Oracle,
     stats: &mut SynthesisStats,
 ) -> Vec<Var> {
-    let mut maxsat = MaxSatSolver::new();
+    let mut maxsat = oracle.new_maxsat();
     maxsat.add_hard_cnf(dqbf.matrix());
     for (&x, &value) in &sigma.x {
         maxsat.add_hard([x.lit(value)]);
@@ -52,7 +60,7 @@ pub fn find_candidates_to_repair(
         soft_vars.push((id, y));
     }
     stats.maxsat_calls += 1;
-    match maxsat.solve() {
+    match oracle.solve_maxsat(&mut maxsat) {
         MaxSatResult::Optimum { .. } => {
             let violated: BTreeSet<_> = maxsat.violated_softs().into_iter().collect();
             soft_vars
@@ -94,24 +102,34 @@ pub fn y_hat(dqbf: &Dqbf, order: &Order, target: Var, config: &Manthan3Config) -
 }
 
 /// Repairs the candidate vector against the counterexample `sigma`
-/// (Algorithm 3). `phi_solver` must contain exactly the matrix ϕ; it is
-/// queried under assumptions, so it can be reused across iterations.
+/// (Algorithm 3). The `G_k` queries are answered by `session`'s persistent
+/// matrix solver under assumptions, so the UNSAT cores come from the same
+/// incremental session as the verification checks, and repair only extends
+/// the vector's AIG — it never rebuilds a solver or an encoding.
+#[allow(clippy::too_many_arguments)]
 pub fn repair_vector(
     dqbf: &Dqbf,
     config: &Manthan3Config,
-    phi_solver: &mut Solver,
+    session: &mut VerifySession,
+    oracle: &mut Oracle,
     vector: &mut HenkinVector,
     order: &Order,
     sigma: &mut Sigma,
     stats: &mut SynthesisStats,
 ) -> RepairOutcome {
-    let mut queue: Vec<Var> = find_candidates_to_repair(dqbf, sigma, stats);
+    let mut queue: Vec<Var> = find_candidates_to_repair(dqbf, sigma, oracle, stats);
     let mut queued: BTreeSet<Var> = queue.iter().copied().collect();
     let mut repaired = Vec::new();
     let mut processed = 0usize;
     let mut index = 0usize;
 
     while index < queue.len() && processed < config.max_repairs_per_iteration {
+        // A repair pass cut short by an exhausted budget must not look like
+        // the algorithmic stuck case; the engine re-checks the oracle and
+        // reports the budget reason.
+        if oracle.exhausted().is_some() {
+            break;
+        }
         let yk = queue[index];
         index += 1;
         processed += 1;
@@ -128,13 +146,19 @@ pub fn repair_vector(
         for &yj in &hat {
             assumptions.push(yj.lit(sigma.y_prime.get(&yj).copied().unwrap_or(false)));
         }
-        stats.repair_sat_calls += 1;
-        match phi_solver.solve_with_assumptions(&assumptions) {
+        let performed_before = oracle.stats().sat_calls;
+        let result = session.solve_phi(oracle, &assumptions);
+        // Only count G_k queries the oracle actually ran (a refused call
+        // leaves the solver untouched).
+        if oracle.stats().sat_calls > performed_before {
+            stats.repair_sat_calls += 1;
+        }
+        match result {
             SolveResult::Unsat => {
                 // The UNSAT core yields the repair cube β (Algorithm 3,
                 // lines 11–13).
-                let core: Vec<Lit> = phi_solver
-                    .unsat_core()
+                let core: Vec<Lit> = session
+                    .phi_unsat_core()
                     .iter()
                     .copied()
                     .filter(|l| l.var() != yk)
@@ -157,7 +181,7 @@ pub fn repair_vector(
             SolveResult::Sat => {
                 // G_k is satisfiable: look for alternative candidates whose
                 // current output disagrees with the witness (lines 15–17).
-                let model = phi_solver.model();
+                let model = session.phi_model();
                 let hat_set: BTreeSet<Var> = hat.into_iter().collect();
                 for &yt in dqbf.existentials() {
                     if hat_set.contains(&yt) || queued.contains(&yt) {
@@ -204,6 +228,7 @@ fn build_cube(vector: &mut HenkinVector, literals: &[Lit]) -> AigRef {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::Budget;
     use crate::order::DependencyState;
 
     fn x(i: u32) -> Var {
@@ -247,13 +272,15 @@ mod tests {
     #[test]
     fn find_candidates_selects_y2_on_paper_example() {
         let (dqbf, _vector, _order, sigma) = paper_repair_state();
+        let mut oracle = Oracle::new(Budget::unlimited());
         let mut stats = SynthesisStats::default();
-        let candidates = find_candidates_to_repair(&dqbf, &sigma, &mut stats);
+        let candidates = find_candidates_to_repair(&dqbf, &sigma, &mut oracle, &mut stats);
         // With x = (1,0,0), ϕ forces y2 = y1 ∨ ¬x2 = y1 ∨ 1 = 1, so the soft
         // constraint y2 ↔ 0 must be dropped; y1 and y3 can keep their
         // candidate outputs (0 and 0).
         assert_eq!(candidates, vec![y(1)]);
         assert_eq!(stats.maxsat_calls, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 1);
     }
 
     #[test]
@@ -276,13 +303,14 @@ mod tests {
         let (dqbf, mut vector, order, mut sigma) = paper_repair_state();
         let config = Manthan3Config::default();
         let mut stats = SynthesisStats::default();
-        let mut phi_solver = Solver::new();
-        phi_solver.add_cnf(dqbf.matrix());
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
 
         let outcome = repair_vector(
             &dqbf,
             &config,
-            &mut phi_solver,
+            &mut session,
+            &mut oracle,
             &mut vector,
             &order,
             &mut sigma,
@@ -306,6 +334,8 @@ mod tests {
         );
         assert_eq!(stats.repairs_applied, 1);
         assert_eq!(sigma.y.get(&y(1)), Some(&false));
+        // The repair query ran on the session's persistent matrix solver.
+        assert_eq!(oracle.stats().sat_solvers_constructed, 2);
     }
 
     #[test]
@@ -322,17 +352,23 @@ mod tests {
         let state = DependencyState::new(dqbf.existentials());
         let order = Order::from_dependencies(dqbf.existentials(), &state);
         let mut sigma = Sigma {
-            x: [(Var::new(0), false), (Var::new(1), false), (Var::new(2), false)].into(),
+            x: [
+                (Var::new(0), false),
+                (Var::new(1), false),
+                (Var::new(2), false),
+            ]
+            .into(),
             y: [(Var::new(3), false), (Var::new(4), false)].into(),
             y_prime: [(Var::new(3), false), (Var::new(4), true)].into(),
         };
-        let mut phi_solver = Solver::new();
-        phi_solver.add_cnf(dqbf.matrix());
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
         let mut stats = SynthesisStats::default();
         let outcome = repair_vector(
             &dqbf,
             &config,
-            &mut phi_solver,
+            &mut session,
+            &mut oracle,
             &mut vector,
             &order,
             &mut sigma,

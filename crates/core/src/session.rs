@@ -1,0 +1,362 @@
+//! Persistent incremental verification sessions.
+//!
+//! The verify–repair loop used to rebuild the error formula
+//! `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)` — and a fresh SAT solver for it — on every
+//! iteration, even though repair only ever *extends* candidate cones. A
+//! [`VerifySession`] instead encodes the formula once and keeps two
+//! incremental solvers alive for the whole synthesis run:
+//!
+//! * the **error solver** holds `¬ϕ(X,Y')` (encoded once, lazily, on the
+//!   first verification)
+//!   plus one guarded equivalence `a_i → (y_i ↔ f_i)` per candidate
+//!   generation. Each verification solves under the assumptions
+//!   `{a_1, …, a_m}` of the *current* generations. When repair replaces
+//!   `f_i`, the old activation literal is retired (asserted false) and a
+//!   fresh guarded equivalence is added — the solver, its learnt clauses,
+//!   and the shared Tseitin encoding cache survive. Because candidate cones
+//!   grow monotonically inside one shared AIG, re-encoding a repaired
+//!   candidate only pays for the *new* nodes
+//!   ([`Aig::encode_cnf_cached`](manthan3_aig::Aig::encode_cnf_cached)).
+//! * the **matrix solver** holds `ϕ` and serves the trivial-falsity check,
+//!   the counterexample X-extension check, and the repair queries `G_k`
+//!   (whose UNSAT cores become repair cubes) — all under assumptions.
+//!
+//! Both solvers are constructed through the run's [`Oracle`], so budgets and
+//! statistics are shared; `OracleStats::sat_solvers_constructed` staying at
+//! two per run is the observable witness of the reuse.
+
+use crate::oracle::Oracle;
+use manthan3_aig::AigRef;
+use manthan3_cnf::{Assignment, CnfBuilder, Lit, Var};
+use manthan3_dqbf::{verify, Dqbf, HenkinVector};
+use manthan3_sat::{SolveResult, Solver};
+use std::collections::{BTreeMap, HashMap};
+
+/// A model of the error formula: the counterexample parts `δ[X]` and
+/// `δ[Y']`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Values of the universal variables.
+    pub x: BTreeMap<Var, bool>,
+    /// Outputs of the current candidate functions.
+    pub y_prime: BTreeMap<Var, bool>,
+}
+
+/// Verdict of one incremental verification query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The error formula is unsatisfiable: the candidate vector realizes the
+    /// specification.
+    Valid,
+    /// An oracle budget was exhausted before a verdict was reached.
+    Budget,
+    /// The error formula is satisfiable; the model is returned.
+    CounterExample(Delta),
+}
+
+/// One candidate generation: the activation literal guarding its
+/// equivalence clauses and the function it encodes.
+#[derive(Debug, Clone, Copy)]
+struct CandidateSlot {
+    activation: Lit,
+    function: AigRef,
+}
+
+/// A persistent incremental oracle session for one synthesis run. See the
+/// [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct VerifySession {
+    /// Incremental solver over the matrix `ϕ` (X-extension checks, repair
+    /// queries `G_k` and their UNSAT cores).
+    phi: Solver,
+    /// Incremental solver over the error formula `¬ϕ ∧ (Y' ↔ f)`.
+    error: Solver,
+    /// Fresh-variable allocator and clause buffer for the error encoding.
+    builder: CnfBuilder,
+    /// Number of builder clauses already fed into `error`.
+    fed_clauses: usize,
+    /// Whether `¬ϕ` has been encoded into the error solver (done lazily on
+    /// the first verification so preprocessing-only runs never pay for it).
+    error_encoded: bool,
+    /// Persistent AIG-node → CNF-literal cache for candidate cones.
+    encode_cache: HashMap<usize, Lit>,
+    /// Identity map: formula variable index → its own positive literal
+    /// (candidate functions read other outputs from the `Y'` variables).
+    input_map: HashMap<usize, Lit>,
+    /// Current candidate generation per output.
+    slots: BTreeMap<Var, CandidateSlot>,
+    /// Number of candidate cones encoded over the session's lifetime.
+    encodings: usize,
+}
+
+impl VerifySession {
+    /// Creates a session for `dqbf`: constructs the two incremental solvers
+    /// through `oracle`. The error formula's `¬ϕ` part is encoded lazily on
+    /// the first [`VerifySession::verify`] call, so a run that ends in
+    /// preprocessing (unsatisfiable matrix, budget) never pays for it.
+    pub fn new(dqbf: &Dqbf, oracle: &mut Oracle) -> Self {
+        let mut phi = oracle.new_solver();
+        phi.add_cnf(dqbf.matrix());
+        phi.ensure_vars(dqbf.num_vars());
+
+        let builder = CnfBuilder::new(dqbf.num_vars());
+        let error = oracle.new_solver();
+        let input_map = (0..dqbf.num_vars())
+            .map(|i| (i, Var::new(i as u32).positive()))
+            .collect();
+        VerifySession {
+            phi,
+            error,
+            builder,
+            fed_clauses: 0,
+            error_encoded: false,
+            encode_cache: HashMap::new(),
+            input_map,
+            slots: BTreeMap::new(),
+            encodings: 0,
+        }
+    }
+
+    /// Feeds clauses buffered in the builder into the error solver.
+    fn flush(&mut self) {
+        let cnf = self.builder.cnf();
+        self.error.ensure_vars(cnf.num_vars());
+        let clauses = cnf.clauses();
+        for clause in &clauses[self.fed_clauses..] {
+            self.error.add_clause(clause.iter().copied());
+        }
+        self.fed_clauses = clauses.len();
+    }
+
+    /// Checks satisfiability of the bare matrix `ϕ` (a DQBF with an
+    /// unsatisfiable matrix is trivially false).
+    pub fn check_matrix(&mut self, oracle: &mut Oracle) -> SolveResult {
+        oracle.solve(&mut self.phi)
+    }
+
+    /// Solves `ϕ` under `assumptions` (X-extension checks and the repair
+    /// queries `G_k`).
+    pub fn solve_phi(&mut self, oracle: &mut Oracle, assumptions: &[Lit]) -> SolveResult {
+        oracle.solve_with_assumptions(&mut self.phi, assumptions)
+    }
+
+    /// The model of the last satisfiable `ϕ` query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last `ϕ` query was not satisfiable.
+    pub fn phi_model(&self) -> Assignment {
+        self.phi.model()
+    }
+
+    /// The UNSAT core (over the assumption literals) of the last
+    /// unsatisfiable `ϕ` query — the raw material of repair cubes.
+    pub fn phi_unsat_core(&self) -> &[Lit] {
+        self.phi.unsat_core()
+    }
+
+    /// Verifies `vector` against the specification: refreshes the guarded
+    /// candidate equivalences for outputs whose function changed since the
+    /// last call, then re-solves the persistent error formula under the
+    /// current activation assumptions.
+    ///
+    /// All functions must live in one shared, monotonically growing AIG
+    /// (as maintained by the engine's repair loop); the session's encoding
+    /// cache is keyed by node identity within that AIG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some existential variable of `dqbf` has no function in
+    /// `vector`.
+    pub fn verify(
+        &mut self,
+        dqbf: &Dqbf,
+        vector: &HenkinVector,
+        oracle: &mut Oracle,
+    ) -> VerifyOutcome {
+        if !self.error_encoded {
+            verify::encode_negated_matrix(dqbf, &mut self.builder);
+            self.error_encoded = true;
+        }
+        for &y in dqbf.existentials() {
+            let f = vector.get(y).expect("every output has a candidate");
+            if self.slots.get(&y).is_some_and(|slot| slot.function == f) {
+                continue;
+            }
+            let retired = self.slots.get(&y).map(|old| old.activation);
+            // Gate (Tseitin) clauses are unconditional and flow through the
+            // builder; only the per-generation equivalence is guarded.
+            let out = vector.aig().encode_cnf_cached(
+                f,
+                &mut self.builder,
+                &self.input_map,
+                &mut self.encode_cache,
+            );
+            let activation = self.builder.fresh_lit();
+            self.flush();
+            // activation → (y ↔ out), retractable via the activation guard.
+            self.error
+                .add_guarded_clause(activation, [y.negative(), out]);
+            self.error
+                .add_guarded_clause(activation, [y.positive(), !out]);
+            if let Some(old) = retired {
+                // Permanently disable the previous generation's equivalence.
+                self.error.retire_activation(old);
+            }
+            self.slots.insert(
+                y,
+                CandidateSlot {
+                    activation,
+                    function: f,
+                },
+            );
+            self.encodings += 1;
+        }
+        self.flush();
+
+        let assumptions: Vec<Lit> = self.slots.values().map(|slot| slot.activation).collect();
+        match oracle.solve_with_assumptions(&mut self.error, &assumptions) {
+            SolveResult::Unsat => VerifyOutcome::Valid,
+            SolveResult::Unknown => VerifyOutcome::Budget,
+            SolveResult::Sat => {
+                let model = self.error.model();
+                VerifyOutcome::CounterExample(Delta {
+                    x: dqbf
+                        .universals()
+                        .iter()
+                        .map(|&x| (x, model.get(x).unwrap_or(false)))
+                        .collect(),
+                    y_prime: dqbf
+                        .existentials()
+                        .iter()
+                        .map(|&y| (y, model.get(y).unwrap_or(false)))
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Number of candidate cones encoded over the session's lifetime
+    /// (initial encodings plus one per applied repair).
+    pub fn candidate_encodings(&self) -> usize {
+        self.encodings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Budget;
+    use manthan3_dqbf::verify::check;
+
+    fn x(i: u32) -> Var {
+        Var::new(i)
+    }
+    fn y(i: u32) -> Var {
+        Var::new(3 + i)
+    }
+
+    /// The hand-derived valid vector for the paper example.
+    fn paper_vector() -> HenkinVector {
+        let mut v = HenkinVector::new();
+        let in_x1 = v.aig_mut().input(x(0).index());
+        let in_x2 = v.aig_mut().input(x(1).index());
+        let in_x3 = v.aig_mut().input(x(2).index());
+        v.set(y(0), !in_x1);
+        let f2 = v.aig_mut().or(!in_x2, !in_x1);
+        v.set(y(1), f2);
+        let f3 = v.aig_mut().or(in_x2, in_x3);
+        v.set(y(2), f3);
+        v
+    }
+
+    #[test]
+    fn session_accepts_a_valid_vector() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let vector = paper_vector();
+        assert_eq!(
+            session.verify(&dqbf, &vector, &mut oracle),
+            VerifyOutcome::Valid
+        );
+        assert_eq!(session.candidate_encodings(), 3);
+    }
+
+    #[test]
+    fn session_finds_counterexamples_that_falsify_the_matrix() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let mut vector = paper_vector();
+        // Break f3: constant false. The clause y3 ↔ (x2 ∨ x3) must fail.
+        vector.set(y(2), vector.aig().constant(false));
+        match session.verify(&dqbf, &vector, &mut oracle) {
+            VerifyOutcome::CounterExample(delta) => {
+                // Replaying δ[X], δ[Y'] on the matrix must falsify it.
+                let mut values = vec![false; dqbf.num_vars()];
+                for (&v, &b) in delta.x.iter().chain(delta.y_prime.iter()) {
+                    values[v.index()] = b;
+                }
+                let assignment = Assignment::from_values(values);
+                assert!(!dqbf.eval_matrix(&assignment));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_swaps_reuse_the_same_solvers() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let mut vector = paper_vector();
+
+        // Sabotage f2, verify (counterexample), then restore it in several
+        // generations; the session must keep using the same two solvers.
+        let good_f2 = vector.get(y(1)).unwrap();
+        for round in 0..4 {
+            let broken = if round % 2 == 0 {
+                vector.aig().constant(round % 4 == 0)
+            } else {
+                let in_x1 = vector.aig_mut().input(x(0).index());
+                in_x1
+            };
+            vector.set(y(1), broken);
+            let verdict = session.verify(&dqbf, &vector, &mut oracle);
+            assert!(
+                matches!(verdict, VerifyOutcome::CounterExample(_)),
+                "round {round}"
+            );
+            // Consistency with the independent from-scratch checker.
+            assert!(!check(&dqbf, &vector).is_valid(), "round {round}");
+        }
+        vector.set(y(1), good_f2);
+        assert_eq!(
+            session.verify(&dqbf, &vector, &mut oracle),
+            VerifyOutcome::Valid
+        );
+        assert!(check(&dqbf, &vector).is_valid());
+
+        // Round 0 encodes all three candidates; rounds 1–3 and the final
+        // restoration re-encode only the y2 generation that changed.
+        assert_eq!(session.candidate_encodings(), 7);
+        // One matrix solver + one error solver, despite 5 verification calls.
+        assert_eq!(oracle.stats().sat_solvers_constructed, 2);
+        assert_eq!(oracle.stats().sat_calls, 5);
+    }
+
+    #[test]
+    fn phi_queries_share_the_session() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
+        assert_eq!(session.check_matrix(&mut oracle), SolveResult::Sat);
+        // x1 = 1 forces y1 = … the matrix clause (x1 ∨ y1) is satisfied;
+        // assuming ¬(x1 ∨ y1) literals yields UNSAT with a core.
+        let result = session.solve_phi(&mut oracle, &[x(0).negative(), y(0).negative()]);
+        assert_eq!(result, SolveResult::Unsat);
+        assert!(!session.phi_unsat_core().is_empty());
+        assert_eq!(oracle.stats().sat_solvers_constructed, 2);
+    }
+}

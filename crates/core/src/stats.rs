@@ -1,9 +1,13 @@
+use crate::oracle::OracleStats;
 use std::time::Duration;
 
 /// Counters and timings collected during one synthesis run.
 ///
 /// The benchmark harness reports these per instance; the component
-/// benchmarks in `manthan3-bench` exercise the phases individually.
+/// benchmarks in `manthan3-bench` exercise the phases individually. The
+/// [`SynthesisStats::oracle`] field carries the unified oracle-layer
+/// counters (solver constructions, SAT/MaxSAT calls, conflicts), which the
+/// session-reuse regression tests assert on.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SynthesisStats {
     /// Number of satisfying assignments used as training data.
@@ -22,6 +26,8 @@ pub struct SynthesisStats {
     pub maxsat_calls: usize,
     /// Number of `G_k` SAT calls made during repair.
     pub repair_sat_calls: usize,
+    /// Unified oracle-layer counters (shared with the baseline engines).
+    pub oracle: OracleStats,
     /// Wall-clock time spent generating samples.
     pub sampling_time: Duration,
     /// Wall-clock time spent learning candidates.
@@ -38,12 +44,14 @@ impl SynthesisStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "samples={} learned={} defs={} iters={} repairs={} total={:?}",
+            "samples={} learned={} defs={} iters={} repairs={} solvers={} sat_calls={} total={:?}",
             self.samples,
             self.candidates_learned,
             self.unique_definitions,
             self.repair_iterations,
             self.repairs_applied,
+            self.oracle.sat_solvers_constructed,
+            self.oracle.sat_calls,
             self.total_time
         )
     }
@@ -63,5 +71,20 @@ mod tests {
         let s = stats.summary();
         assert!(s.contains("samples=10"));
         assert!(s.contains("iters=3"));
+    }
+
+    #[test]
+    fn summary_reports_oracle_counters() {
+        let stats = SynthesisStats {
+            oracle: OracleStats {
+                sat_solvers_constructed: 2,
+                sat_calls: 17,
+                ..OracleStats::default()
+            },
+            ..SynthesisStats::default()
+        };
+        let s = stats.summary();
+        assert!(s.contains("solvers=2"));
+        assert!(s.contains("sat_calls=17"));
     }
 }

@@ -1,0 +1,105 @@
+//! Regression tests for the persistent incremental oracle layer: however
+//! many verify/repair iterations a run takes, it must construct exactly one
+//! matrix solver and one error-formula solver, and its verdicts must agree
+//! with the independent from-scratch certificate checker.
+
+use manthan3_core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3_dqbf::verify;
+use manthan3_gen::suite::suite;
+
+#[test]
+fn suite_runs_reuse_one_incremental_session() {
+    let engine = Manthan3::new(Manthan3Config::fast());
+    let mut repair_heavy_runs = 0usize;
+    for instance in suite(5, 1) {
+        let result = engine.synthesize(&instance.dqbf);
+        let oracle = &result.stats.oracle;
+
+        // The whole verify–repair loop runs on one persistent session: one
+        // matrix solver + one error-formula solver, independent of how many
+        // iterations were needed. (A run that never reaches verification
+        // may legitimately construct fewer.)
+        assert!(
+            oracle.sat_solvers_constructed <= 2,
+            "{}: constructed {} solvers over {} verification checks",
+            instance.name,
+            oracle.sat_solvers_constructed,
+            result.stats.verification_checks
+        );
+        assert!(
+            oracle.samplers_constructed <= 1,
+            "{}: constructed {} samplers",
+            instance.name,
+            oracle.samplers_constructed
+        );
+        if result.stats.repair_iterations > 0 {
+            repair_heavy_runs += 1;
+        }
+
+        // Verdicts must be identical to the from-scratch path: realizable
+        // vectors pass the independent re-encoding check, and definite
+        // verdicts match the generator's ground truth.
+        match &result.outcome {
+            SynthesisOutcome::Realizable(vector) => {
+                assert!(
+                    verify::check(&instance.dqbf, vector).is_valid(),
+                    "{}: vector fails the from-scratch certificate check",
+                    instance.name
+                );
+                if let Some(expected) = instance.expected {
+                    assert!(expected, "{}: synthesized a false instance", instance.name);
+                }
+            }
+            SynthesisOutcome::Unrealizable => {
+                if let Some(expected) = instance.expected {
+                    assert!(!expected, "{}: misreported a true instance", instance.name);
+                }
+            }
+            SynthesisOutcome::Unknown(_) => {}
+        }
+    }
+    // The suite must actually exercise the repair path, otherwise the
+    // reuse assertion above is vacuous.
+    assert!(
+        repair_heavy_runs > 0,
+        "no suite instance exercised the repair loop"
+    );
+}
+
+#[test]
+fn many_repair_iterations_share_one_error_solver() {
+    // A planted instance that needs repair: force learning from few samples
+    // so initial candidates are wrong and several repair iterations run.
+    let config = Manthan3Config {
+        num_samples: 4,
+        use_unique_definitions: false,
+        ..Manthan3Config::fast()
+    };
+    let engine = Manthan3::new(config);
+    let mut exercised = false;
+    for seed in 0..8u64 {
+        let instance = manthan3_gen::planted::planted_true(
+            &manthan3_gen::planted::PlantedParams::default(),
+            seed,
+        );
+        let result = engine.synthesize(&instance.dqbf);
+        if result.stats.repair_iterations >= 2 {
+            exercised = true;
+            assert_eq!(
+                result.stats.oracle.sat_solvers_constructed, 2,
+                "seed {seed}: repair iterations must not construct new solvers"
+            );
+            // Every verification and every repair G_k query went through the
+            // same two solvers.
+            assert!(
+                result.stats.oracle.sat_calls
+                    >= result.stats.verification_checks + result.stats.repair_sat_calls,
+                "seed {seed}: oracle accounting is inconsistent"
+            );
+        }
+        if let SynthesisOutcome::Realizable(vector) = &result.outcome {
+            assert!(verify::check(&instance.dqbf, vector).is_valid());
+        }
+    }
+    assert!(exercised, "no seed produced a repair-heavy run");
+}

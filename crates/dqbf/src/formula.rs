@@ -309,10 +309,7 @@ mod tests {
         let mut duplicate = Dqbf::new();
         duplicate.add_universal(x);
         duplicate.add_existential(x, []);
-        assert_eq!(
-            duplicate.validate(),
-            Err(DqbfError::DuplicateVariable(x))
-        );
+        assert_eq!(duplicate.validate(), Err(DqbfError::DuplicateVariable(x)));
 
         let mut bad_dep = Dqbf::new();
         bad_dep.add_universal(x);
@@ -342,8 +339,16 @@ mod tests {
         // Check the matrix against a direct evaluation of the specification.
         for bits in 0..64u32 {
             let a = Assignment::from_values((0..6).map(|i| bits >> i & 1 == 1).collect());
-            let (x1, x2, x3) = (a.value(Var::new(0)), a.value(Var::new(1)), a.value(Var::new(2)));
-            let (y1, y2, y3) = (a.value(Var::new(3)), a.value(Var::new(4)), a.value(Var::new(5)));
+            let (x1, x2, x3) = (
+                a.value(Var::new(0)),
+                a.value(Var::new(1)),
+                a.value(Var::new(2)),
+            );
+            let (y1, y2, y3) = (
+                a.value(Var::new(3)),
+                a.value(Var::new(4)),
+                a.value(Var::new(5)),
+            );
             let spec = (x1 || y1) && (y2 == (y1 || !x2)) && (y3 == (x2 || x3));
             assert_eq!(dqbf.eval_matrix(&a), spec, "assignment {bits:06b}");
         }

@@ -77,9 +77,13 @@ impl HenkinVector {
 
     /// The support of `f_y` as variable indices, if `y` is defined.
     pub fn support(&self, y: Var) -> Option<Vec<Var>> {
-        self.functions
-            .get(&y)
-            .map(|&f| self.aig.support(f).into_iter().map(|i| Var::new(i as u32)).collect())
+        self.functions.get(&y).map(|&f| {
+            self.aig
+                .support(f)
+                .into_iter()
+                .map(|i| Var::new(i as u32))
+                .collect()
+        })
     }
 
     /// Evaluates `f_y` under an assignment given by variable index
@@ -93,7 +97,12 @@ impl HenkinVector {
     /// the given order. Functions may refer to previously evaluated
     /// existential variables, so `order` must be a valid topological order
     /// (later functions may depend on earlier ones).
-    pub fn extend_assignment(&self, dqbf: &Dqbf, x_values: &Assignment, order: &[Var]) -> Assignment {
+    pub fn extend_assignment(
+        &self,
+        dqbf: &Dqbf,
+        x_values: &Assignment,
+        order: &[Var],
+    ) -> Assignment {
         let mut values = vec![false; dqbf.num_vars()];
         for &x in dqbf.universals() {
             values[x.index()] = x_values.get(x).unwrap_or(false);

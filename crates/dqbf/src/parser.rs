@@ -45,9 +45,9 @@ impl Error for ParseDqdimacsError {}
 fn parse_vars(line: usize, tokens: &[&str]) -> Result<Vec<Var>, ParseDqdimacsError> {
     let mut out = Vec::new();
     for tok in tokens {
-        let value: i64 = tok
-            .parse()
-            .map_err(|_| ParseDqdimacsError::new(line, format!("invalid variable token {tok:?}")))?;
+        let value: i64 = tok.parse().map_err(|_| {
+            ParseDqdimacsError::new(line, format!("invalid variable token {tok:?}"))
+        })?;
         if value == 0 {
             break;
         }

@@ -15,7 +15,7 @@
 
 use crate::{Dqbf, HenkinVector};
 use manthan3_cnf::{Lit, Var};
-use manthan3_sat::{SolveResult, Solver};
+use manthan3_sat::{SolveResult, Solver, SolverConfig};
 
 /// Decides, with Padoa's method, whether `y` is uniquely defined by its
 /// Henkin dependency set relative to the matrix of `dqbf`.
@@ -42,12 +42,19 @@ use manthan3_sat::{SolveResult, Solver};
 /// assert!(unique::is_uniquely_defined(&dqbf, y));
 /// ```
 pub fn is_uniquely_defined(dqbf: &Dqbf, y: Var) -> bool {
+    is_uniquely_defined_with(dqbf, y, &SolverConfig::default())
+}
+
+/// Like [`is_uniquely_defined`], but the Padoa SAT call runs under the given
+/// solver configuration (in particular its conflict budget). A call that
+/// gives up within the budget conservatively reports "not defined".
+pub fn is_uniquely_defined_with(dqbf: &Dqbf, y: Var, config: &SolverConfig) -> bool {
     let deps = dqbf.dependencies(y);
     let n = dqbf.num_vars();
     let shift = |v: Var| Var::new((v.index() + n) as u32);
     let shift_lit = |l: Lit| Lit::new(shift(l.var()), l.is_positive());
 
-    let mut solver = Solver::new();
+    let mut solver = Solver::with_config(config.clone());
     solver.add_cnf(dqbf.matrix());
     for clause in dqbf.matrix().clauses() {
         solver.add_clause(clause.iter().map(|&l| shift_lit(l)));
@@ -70,16 +77,30 @@ pub fn is_uniquely_defined(dqbf: &Dqbf, y: Var) -> bool {
 /// Variables with larger dependency sets are skipped even if they are
 /// defined (extraction would require enumerating `2^|H|` valuations).
 pub fn extract_definitions(dqbf: &Dqbf, vector: &mut HenkinVector, max_deps: usize) -> Vec<Var> {
+    extract_definitions_with(dqbf, vector, max_deps, &SolverConfig::default())
+}
+
+/// Like [`extract_definitions`], but every SAT call runs under the given
+/// solver configuration (in particular its conflict budget), so a shared
+/// engine budget caps preprocessing too. Variables whose definability or
+/// definition cannot be settled within the budget are skipped (sound: they
+/// fall through to the learning phase).
+pub fn extract_definitions_with(
+    dqbf: &Dqbf,
+    vector: &mut HenkinVector,
+    max_deps: usize,
+    config: &SolverConfig,
+) -> Vec<Var> {
     let mut extracted = Vec::new();
     for &y in dqbf.existentials() {
         let deps: Vec<Var> = dqbf.dependencies(y).iter().copied().collect();
         if deps.len() > max_deps {
             continue;
         }
-        if !is_uniquely_defined(dqbf, y) {
+        if !is_uniquely_defined_with(dqbf, y, config) {
             continue;
         }
-        if let Some(f) = definition_by_enumeration(dqbf, y, &deps, vector) {
+        if let Some(f) = definition_by_enumeration(dqbf, y, &deps, vector, config) {
             vector.set(y, f);
             extracted.push(y);
         }
@@ -88,14 +109,18 @@ pub fn extract_definitions(dqbf: &Dqbf, vector: &mut HenkinVector, max_deps: usi
 }
 
 /// Builds the definition of a uniquely defined `y` as a DNF over its
-/// dependency valuations, using one SAT call per valuation.
+/// dependency valuations, using one SAT call per valuation. Returns `None`
+/// when `y` turns out not to be defined for some valuation, or when any call
+/// gives up within its conflict budget (an `Unknown` must not be mistaken
+/// for "forced", so the whole extraction is abandoned for `y`).
 fn definition_by_enumeration(
     dqbf: &Dqbf,
     y: Var,
     deps: &[Var],
     vector: &mut HenkinVector,
+    config: &SolverConfig,
 ) -> Option<manthan3_aig::AigRef> {
-    let mut solver = Solver::new();
+    let mut solver = Solver::with_config(config.clone());
     solver.add_cnf(dqbf.matrix());
     let mut positive_cubes = Vec::new();
     for valuation in 0u64..(1u64 << deps.len()) {
@@ -105,9 +130,14 @@ fn definition_by_enumeration(
             .map(|(i, &d)| d.lit(valuation >> i & 1 == 1))
             .collect();
         assumptions.push(y.positive());
-        let can_be_true = solver.solve_with_assumptions(&assumptions) == SolveResult::Sat;
+        let true_result = solver.solve_with_assumptions(&assumptions);
         *assumptions.last_mut().expect("non-empty") = y.negative();
-        let can_be_false = solver.solve_with_assumptions(&assumptions) == SolveResult::Sat;
+        let false_result = solver.solve_with_assumptions(&assumptions);
+        if true_result == SolveResult::Unknown || false_result == SolveResult::Unknown {
+            return None;
+        }
+        let can_be_true = true_result == SolveResult::Sat;
+        let can_be_false = false_result == SolveResult::Sat;
         match (can_be_true, can_be_false) {
             (true, true) => return None, // not actually defined for this valuation
             (true, false) => {

@@ -86,9 +86,8 @@ impl DecisionTree {
         let parent_impurity = dataset.gini(rows);
         let mut best: Option<(usize, f64, Vec<usize>, Vec<usize>)> = None;
         for feature in 0..dataset.num_features() {
-            let (low, high): (Vec<usize>, Vec<usize>) = rows
-                .iter()
-                .partition(|&&i| !dataset.features(i)[feature]);
+            let (low, high): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&i| !dataset.features(i)[feature]);
             if low.len() < config.min_samples_leaf || high.len() < config.min_samples_leaf {
                 continue;
             }
@@ -99,7 +98,7 @@ impl DecisionTree {
             // the best split even when the gain is zero (needed e.g. to learn
             // XOR, where no single split reduces the impurity at the root).
             let gain = parent_impurity - weighted;
-            if best.as_ref().map_or(true, |(_, g, _, _)| gain > *g + 1e-12) {
+            if best.as_ref().is_none_or(|(_, g, _, _)| gain > *g + 1e-12) {
                 best = Some((feature, gain, low, high));
             }
         }
@@ -304,10 +303,9 @@ mod tests {
         let paths = t.paths_to(true);
         // Evaluate the DNF given by the paths and compare with predict().
         let eval_dnf = |features: &[bool]| {
-            paths.iter().any(|path| {
-                path.iter()
-                    .all(|pl| features[pl.feature] == pl.value)
-            })
+            paths
+                .iter()
+                .any(|path| path.iter().all(|pl| features[pl.feature] == pl.value))
         };
         for bits in 0..4u32 {
             let f = vec![bits & 1 == 1, bits & 2 == 2];

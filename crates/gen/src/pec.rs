@@ -121,11 +121,11 @@ pub fn pec(params: &PecParams, seed: u64) -> Instance {
         dqbf.add_existential(golden_wire(g), all_inputs.iter().copied());
     }
     let mut expected = Some(true);
-    for g in 0..num_gates {
+    for (g, gate_support) in support.iter().enumerate().take(num_gates) {
         if blackbox_gates.contains(&g) {
             // Black box: dependency set is the original cone's input support,
             // optionally restricted by one input.
-            let mut deps: Vec<Var> = support[g].iter().map(|&i| input(i)).collect();
+            let mut deps: Vec<Var> = gate_support.iter().map(|&i| input(i)).collect();
             if deps.is_empty() {
                 deps.push(input(0));
             }

@@ -66,9 +66,14 @@ fn random_gate_clauses(
     let kind = if deps.len() < 2 {
         GateKind::Literal
     } else {
-        *[GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Literal]
-            .choose(rng)
-            .expect("non-empty")
+        *[
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Literal,
+        ]
+        .choose(rng)
+        .expect("non-empty")
     };
     let a_var = deps.choose(rng).copied();
     let b_var = deps.choose(rng).copied();
@@ -134,7 +139,13 @@ fn build(params: &PlantedParams, seed: u64, make_false: bool) -> Instance {
         deps.truncate(size);
         deps.sort();
         dqbf.add_existential(y, deps.iter().copied());
-        random_gate_clauses(&mut rng, y, &deps, params.drop_probability, &mut clause_buffer);
+        random_gate_clauses(
+            &mut rng,
+            y,
+            &deps,
+            params.drop_probability,
+            &mut clause_buffer,
+        );
         dep_sets.push(deps);
     }
 
@@ -201,11 +212,7 @@ mod tests {
             let inst = planted_true(&params, seed);
             assert!(inst.dqbf.validate().is_ok());
             assert_eq!(inst.expected, Some(true));
-            assert_eq!(
-                brute_force_truth(&inst.dqbf, 16),
-                Some(true),
-                "seed {seed}"
-            );
+            assert_eq!(brute_force_truth(&inst.dqbf, 16), Some(true), "seed {seed}");
         }
     }
 

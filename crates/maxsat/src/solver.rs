@@ -256,7 +256,7 @@ mod tests {
         let cheap = s.add_soft([lit(2)], 1);
         assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
         assert_eq!(s.violated_softs(), vec![cheap]);
-        assert_eq!(s.model().value(Var::new(0)), true);
+        assert!(s.model().value(Var::new(0)));
     }
 
     #[test]
@@ -325,9 +325,7 @@ mod tests {
             let softs: Vec<(Vec<Lit>, u64)> = (0..rng.gen_range(1..5))
                 .map(|_| {
                     let clause: Vec<Lit> = (0..rng.gen_range(1..3))
-                        .map(|_| {
-                            Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen())
-                        })
+                        .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
                         .collect();
                     (clause, rng.gen_range(1..4) as u64)
                 })
@@ -336,9 +334,8 @@ mod tests {
             // Brute-force optimum.
             let mut best: Option<u64> = None;
             for bits in 0..1u32 << num_vars {
-                let a = Assignment::from_values(
-                    (0..num_vars).map(|i| bits >> i & 1 == 1).collect(),
-                );
+                let a =
+                    Assignment::from_values((0..num_vars).map(|i| bits >> i & 1 == 1).collect());
                 if !hard.eval(&a) {
                     continue;
                 }

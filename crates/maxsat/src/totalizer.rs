@@ -109,8 +109,7 @@ mod tests {
             for k in 0..n {
                 for pattern in 0..1u32 << n {
                     let mut solver = Solver::new();
-                    let lits: Vec<Lit> =
-                        (0..n).map(|_| solver.new_var().positive()).collect();
+                    let lits: Vec<Lit> = (0..n).map(|_| solver.new_var().positive()).collect();
                     let tot = Totalizer::encode(&mut solver, &lits);
                     for (i, &l) in lits.iter().enumerate() {
                         let value = pattern >> i & 1 == 1;

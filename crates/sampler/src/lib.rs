@@ -221,8 +221,7 @@ mod tests {
         cnf.add_clause([lit(1)]);
         let mut s = Sampler::new(&cnf, SamplerConfig::default());
         let samples = s.sample(60);
-        let distinct: HashSet<Vec<bool>> =
-            samples.iter().map(|a| a.as_slice().to_vec()).collect();
+        let distinct: HashSet<Vec<bool>> = samples.iter().map(|a| a.as_slice().to_vec()).collect();
         assert!(
             distinct.len() >= 6,
             "expected diverse samples, got {} distinct",

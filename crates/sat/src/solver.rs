@@ -300,14 +300,8 @@ impl Solver {
         if learnt {
             self.learnt_refs.push(cref);
         }
-        self.watches[(!w0).code()].push(Watcher {
-            cref,
-            blocker: w1,
-        });
-        self.watches[(!w1).code()].push(Watcher {
-            cref,
-            blocker: w0,
-        });
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
         cref
     }
 
@@ -375,8 +369,8 @@ impl Solver {
                 let mut new_watch = None;
                 {
                     let lits = &self.clauses[cref].lits;
-                    for k in 2..lits.len() {
-                        if self.lit_value(lits[k]) != VALUE_FALSE {
+                    for (k, &l) in lits.iter().enumerate().skip(2) {
+                        if self.lit_value(l) != VALUE_FALSE {
                             new_watch = Some(k);
                             break;
                         }
@@ -516,8 +510,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -574,8 +567,7 @@ impl Solver {
 
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         // Optional random decision.
-        if self.config.random_var_freq > 0.0
-            && self.rng.gen::<f64>() < self.config.random_var_freq
+        if self.config.random_var_freq > 0.0 && self.rng.gen::<f64>() < self.config.random_var_freq
         {
             let unassigned: Vec<usize> = (0..self.num_vars())
                 .filter(|&i| self.values[i] == VALUE_UNASSIGNED)
@@ -796,7 +788,10 @@ impl Solver {
     ///
     /// Panics if the last solve call did not return [`SolveResult::Sat`].
     pub fn model(&self) -> Assignment {
-        assert!(self.have_model, "no model available: last solve was not SAT");
+        assert!(
+            self.have_model,
+            "no model available: last solve was not SAT"
+        );
         Assignment::from_values(self.model_values.iter().map(|&v| v == VALUE_TRUE).collect())
     }
 
@@ -820,6 +815,56 @@ impl Solver {
     /// independently of any assumptions.
     pub fn is_known_unsat(&self) -> bool {
         !self.ok
+    }
+
+    /// Allocates a fresh activation literal for guarded (retractable)
+    /// clauses.
+    ///
+    /// Clauses added with [`Solver::add_guarded_clause`] under this literal
+    /// are enforced only while the literal is passed as an assumption to
+    /// [`Solver::solve_with_assumptions`]; they can later be permanently
+    /// disabled with [`Solver::retire_activation`]. This is the standard
+    /// incremental-SAT idiom for swapping parts of a formula (e.g. candidate
+    /// definitions in a verify–repair loop) without rebuilding the solver.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use manthan3_sat::{SolveResult, Solver};
+    ///
+    /// let mut solver = Solver::new();
+    /// let x = solver.new_var().positive();
+    /// let a = solver.new_activation_lit();
+    /// solver.add_guarded_clause(a, [!x]);
+    /// solver.add_clause([x]);
+    /// // Enforcing the guarded clause makes the formula unsatisfiable…
+    /// assert_eq!(solver.solve_with_assumptions(&[a]), SolveResult::Unsat);
+    /// // …but without the activation assumption it is satisfiable.
+    /// assert_eq!(solver.solve(), SolveResult::Sat);
+    /// // Retiring the activation keeps it permanently disabled.
+    /// solver.retire_activation(a);
+    /// assert_eq!(solver.solve_with_assumptions(&[a]), SolveResult::Unsat);
+    /// ```
+    pub fn new_activation_lit(&mut self) -> Lit {
+        self.new_var().positive()
+    }
+
+    /// Adds `clause` guarded by `activation`: the clause is enforced only
+    /// when `activation` is assumed. Returns `false` if the database is
+    /// already unsatisfiable.
+    pub fn add_guarded_clause<C>(&mut self, activation: Lit, clause: C) -> bool
+    where
+        C: IntoIterator<Item = Lit>,
+    {
+        let guarded = std::iter::once(!activation).chain(clause);
+        self.add_clause(guarded)
+    }
+
+    /// Permanently disables the guard `activation`: its guarded clauses can
+    /// never be enforced again (the solver may simplify them away). Returns
+    /// `false` if the database is already unsatisfiable.
+    pub fn retire_activation(&mut self, activation: Lit) -> bool {
+        self.add_clause([!activation])
     }
 
     /// Sets the preferred decision polarity of `var`.
@@ -1020,6 +1065,44 @@ mod tests {
     }
 
     #[test]
+    fn guarded_clauses_toggle_with_activations() {
+        // Two generations of a definition x ↔ v, swapped via activations —
+        // the idiom the verify session uses for candidate functions.
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let gen1 = s.new_activation_lit();
+        // Generation 1: x must be true.
+        s.add_guarded_clause(gen1, [x]);
+        assert_eq!(s.solve_with_assumptions(&[gen1]), SolveResult::Sat);
+        assert_eq!(s.value(x.var()), Some(true));
+
+        // Generation 2: x must be false; generation 1 is retired.
+        let gen2 = s.new_activation_lit();
+        s.add_guarded_clause(gen2, [!x]);
+        s.retire_activation(gen1);
+        assert_eq!(s.solve_with_assumptions(&[gen2]), SolveResult::Sat);
+        assert_eq!(s.value(x.var()), Some(false));
+    }
+
+    #[test]
+    fn guarded_clauses_report_cores_over_activations() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let a1 = s.new_activation_lit();
+        let a2 = s.new_activation_lit();
+        s.add_guarded_clause(a1, [x]);
+        s.add_guarded_clause(a2, [!x]);
+        // Both generations active at once is contradictory; the core names
+        // at least one activation.
+        assert_eq!(s.solve_with_assumptions(&[a1, a2]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a1) || core.contains(&a2));
+        // Each generation on its own is fine.
+        assert_eq!(s.solve_with_assumptions(&[a1]), SolveResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[a2]), SolveResult::Sat);
+    }
+
+    #[test]
     fn stats_are_updated() {
         let mut s = Solver::new();
         s.add_clause([lit(1), lit(2)]);
@@ -1050,9 +1133,8 @@ mod tests {
                 cnf.add_clause(clause);
             }
             let brute_sat = (0..1u32 << num_vars).any(|bits| {
-                let a = Assignment::from_values(
-                    (0..num_vars).map(|i| bits >> i & 1 == 1).collect(),
-                );
+                let a =
+                    Assignment::from_values((0..num_vars).map(|i| bits >> i & 1 == 1).collect());
                 cnf.eval(&a)
             });
             let mut s = Solver::new();

@@ -45,8 +45,8 @@ fn main() {
             }
             SynthesisOutcome::Unknown(reason) => {
                 println!("   Manthan3 gave up ({reason:?}); trying the expansion baseline…");
-                let expansion = manthan3::baselines::ExpansionSolver::default()
-                    .synthesize(&instance.dqbf);
+                let expansion =
+                    manthan3::baselines::ExpansionSolver::default().synthesize(&instance.dqbf);
                 match expansion.outcome {
                     SynthesisOutcome::Realizable(_) => println!("   expansion found a controller"),
                     SynthesisOutcome::Unrealizable => {
@@ -56,6 +56,9 @@ fn main() {
                 }
             }
         }
-        println!("   expected status from the generator: {:?}\n", instance.expected);
+        println!(
+            "   expected status from the generator: {:?}\n",
+            instance.expected
+        );
     }
 }

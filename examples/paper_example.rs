@@ -43,7 +43,12 @@ fn main() {
     let learn = |features: &[Var], target: Var| -> DecisionTree {
         let rows: Vec<(Vec<bool>, bool)> = samples
             .iter()
-            .map(|s| (features.iter().map(|&v| s.value(v)).collect(), s.value(target)))
+            .map(|s| {
+                (
+                    features.iter().map(|&v| s.value(v)).collect(),
+                    s.value(target),
+                )
+            })
             .collect();
         DecisionTree::learn(&Dataset::from_rows(rows), &DecisionTreeConfig::default())
     };
@@ -51,9 +56,21 @@ fn main() {
     let t2 = learn(&[x(0), x(1), y(0)], y(1));
     let t3 = learn(&[x(1), x(2)], y(2));
     println!("\nFigures 3–5 — learned decision trees:");
-    println!("  tree for y1: {} split(s), depth {}", t1.num_splits(), t1.depth());
-    println!("  tree for y2: {} split(s), depth {}", t2.num_splits(), t2.depth());
-    println!("  tree for y3: {} split(s), depth {}", t3.num_splits(), t3.depth());
+    println!(
+        "  tree for y1: {} split(s), depth {}",
+        t1.num_splits(),
+        t1.depth()
+    );
+    println!(
+        "  tree for y2: {} split(s), depth {}",
+        t2.num_splits(),
+        t2.depth()
+    );
+    println!(
+        "  tree for y3: {} split(s), depth {}",
+        t3.num_splits(),
+        t3.depth()
+    );
 
     // The candidates of Section 5: f1 = ¬x1, f2 = y1, f3 = x3 ∨ (¬x3 ∧ x2).
     let mut vector = HenkinVector::new();

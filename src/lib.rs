@@ -13,15 +13,20 @@
 //! | module | crate | role |
 //! |--------|-------|------|
 //! | [`cnf`] | `manthan3-cnf` | literals, clauses, DIMACS, Tseitin builder |
-//! | [`sat`] | `manthan3-sat` | CDCL SAT solver with assumptions and cores |
+//! | [`sat`] | `manthan3-sat` | CDCL SAT solver: assumptions, cores, activation literals |
 //! | [`maxsat`] | `manthan3-maxsat` | weighted partial MaxSAT (Open-WBO stand-in) |
 //! | [`sampler`] | `manthan3-sampler` | near-uniform sampling (CMSGen stand-in) |
 //! | [`aig`] | `manthan3-aig` | And-Inverter Graphs (ABC stand-in) |
 //! | [`dtree`] | `manthan3-dtree` | ID3/Gini decision trees (scikit-learn stand-in) |
 //! | [`dqbf`] | `manthan3-dqbf` | DQBF formulas, DQDIMACS, certificates |
-//! | [`core`] | `manthan3-core` | the Manthan3 synthesis engine |
-//! | [`baselines`] | `manthan3-baselines` | HQS2-like and Pedant-like engines |
+//! | [`core`] | `manthan3-core` | the synthesis pipeline and the shared oracle layer |
+//! | [`baselines`] | `manthan3-baselines` | HQS2-like and Pedant-like engines (same oracle layer) |
 //! | [`gen`] | `manthan3-gen` | synthetic benchmark families |
+//!
+//! The benchmark harness lives in the unexported `manthan3-bench` crate
+//! (`cargo run --release -p manthan3-bench --bin harness`). The workspace
+//! builds offline: `rand`, `criterion`, and `proptest` are vendored API
+//! stand-ins under `vendor/`.
 //!
 //! # Quickstart
 //!
@@ -36,6 +41,8 @@
 //! } else {
 //!     panic!("the paper example is a true DQBF");
 //! }
+//! // The verify–repair loop ran on one persistent incremental session:
+//! assert_eq!(result.stats.oracle.sat_solvers_constructed, 2);
 //! ```
 
 #![forbid(unsafe_code)]

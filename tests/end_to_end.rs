@@ -63,7 +63,9 @@ fn xor_limitation_example_is_never_misreported() {
         "true instance declared false"
     );
     let expansion = ExpansionSolver::default().synthesize(&dqbf);
-    let vector = expansion.vector().expect("expansion solves the XOR example");
+    let vector = expansion
+        .vector()
+        .expect("expansion solves the XOR example");
     assert!(verify::check(&dqbf, vector).is_valid());
 }
 
@@ -111,7 +113,12 @@ fn pec_instances_are_synthesized_and_verified() {
     for seed in 0..3 {
         let instance = pec(&params, seed);
         let result = manthan3_fast().synthesize(&instance.dqbf);
-        assert_sound("manthan3/pec", &instance.dqbf, &result.outcome, instance.expected);
+        assert_sound(
+            "manthan3/pec",
+            &instance.dqbf,
+            &result.outcome,
+            instance.expected,
+        );
         let expansion = ExpansionSolver::default().synthesize(&instance.dqbf);
         assert_sound(
             "expansion/pec",
@@ -180,9 +187,19 @@ fn succinct_and_skolem_families_are_solved() {
     );
     for instance in [&succinct_instance, &skolem_instance] {
         let result = manthan3_fast().synthesize(&instance.dqbf);
-        assert_sound("manthan3", &instance.dqbf, &result.outcome, instance.expected);
+        assert_sound(
+            "manthan3",
+            &instance.dqbf,
+            &result.outcome,
+            instance.expected,
+        );
         let arbiter = ArbiterSolver::default().synthesize(&instance.dqbf);
-        assert_sound("arbiter", &instance.dqbf, &arbiter.outcome, instance.expected);
+        assert_sound(
+            "arbiter",
+            &instance.dqbf,
+            &arbiter.outcome,
+            instance.expected,
+        );
     }
 }
 
@@ -200,7 +217,12 @@ fn dqdimacs_round_trip_preserves_synthesis_results() {
     let text = write_dqdimacs(&instance.dqbf);
     let reparsed = parse_dqdimacs(&text).expect("writer output parses");
     let result = manthan3_fast().synthesize(&reparsed);
-    assert_sound("manthan3/reparsed", &reparsed, &result.outcome, instance.expected);
+    assert_sound(
+        "manthan3/reparsed",
+        &reparsed,
+        &result.outcome,
+        instance.expected,
+    );
 }
 
 #[test]
@@ -217,10 +239,15 @@ fn engines_never_contradict_the_brute_force_oracle_on_the_small_suite() {
             assert_eq!(expected, truth, "generator mislabeled {}", instance.name);
         }
         for (name, outcome) in [
-            ("manthan3", manthan3_fast().synthesize(&instance.dqbf).outcome),
+            (
+                "manthan3",
+                manthan3_fast().synthesize(&instance.dqbf).outcome,
+            ),
             (
                 "expansion",
-                ExpansionSolver::default().synthesize(&instance.dqbf).outcome,
+                ExpansionSolver::default()
+                    .synthesize(&instance.dqbf)
+                    .outcome,
             ),
             (
                 "arbiter",
@@ -230,7 +257,10 @@ fn engines_never_contradict_the_brute_force_oracle_on_the_small_suite() {
             assert_sound(name, &instance.dqbf, &outcome, Some(truth));
         }
     }
-    assert!(checked > 0, "the suite must contain brute-forceable instances");
+    assert!(
+        checked > 0,
+        "the suite must contain brute-forceable instances"
+    );
 }
 
 #[test]

@@ -31,32 +31,30 @@ fn arb_cnf(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
 fn arb_dqbf() -> impl Strategy<Value = Dqbf> {
     let deps = proptest::collection::vec(any::<bool>(), 3);
     let clause = proptest::collection::vec((0..5usize, any::<bool>()), 1..=3);
-    (deps.clone(), deps, proptest::collection::vec(clause, 1..=6)).prop_map(
-        |(d1, d2, clauses)| {
-            let mut dqbf = Dqbf::new();
-            let xs: Vec<Var> = (0..3).map(Var::new).collect();
-            for &x in &xs {
-                dqbf.add_universal(x);
-            }
-            let pick = |mask: &[bool]| -> Vec<Var> {
-                xs.iter()
-                    .zip(mask)
-                    .filter(|(_, &m)| m)
-                    .map(|(&x, _)| x)
-                    .collect()
-            };
-            dqbf.add_existential(Var::new(3), pick(&d1));
-            dqbf.add_existential(Var::new(4), pick(&d2));
-            for clause in clauses {
-                dqbf.add_clause(
-                    clause
-                        .into_iter()
-                        .map(|(v, pol)| Lit::new(Var::new(v as u32), pol)),
-                );
-            }
-            dqbf
-        },
-    )
+    (deps.clone(), deps, proptest::collection::vec(clause, 1..=6)).prop_map(|(d1, d2, clauses)| {
+        let mut dqbf = Dqbf::new();
+        let xs: Vec<Var> = (0..3).map(Var::new).collect();
+        for &x in &xs {
+            dqbf.add_universal(x);
+        }
+        let pick = |mask: &[bool]| -> Vec<Var> {
+            xs.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(&x, _)| x)
+                .collect()
+        };
+        dqbf.add_existential(Var::new(3), pick(&d1));
+        dqbf.add_existential(Var::new(4), pick(&d2));
+        for clause in clauses {
+            dqbf.add_clause(
+                clause
+                    .into_iter()
+                    .map(|(v, pol)| Lit::new(Var::new(v as u32), pol)),
+            );
+        }
+        dqbf
+    })
 }
 
 fn brute_force_sat(cnf: &Cnf) -> Option<Assignment> {

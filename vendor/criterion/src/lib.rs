@@ -1,0 +1,320 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the criterion API used by the workspace's bench
+//! targets (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`) backed by a simple
+//! wall-clock timing loop.
+//!
+//! It has no statistics engine: each benchmark runs a warm-up phase and then
+//! `sample_size` timed batches, reporting the per-iteration mean and the
+//! fastest/slowest batch. That is sufficient for the relative comparisons
+//! the workspace's benches make (engine vs. engine, incremental vs.
+//! from-scratch).
+//!
+//! When a bench target is compiled for `cargo test` (cargo passes
+//! `--test`), every benchmark body runs exactly once so the target is
+//! smoke-tested without paying for measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&self, name: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: if self.test_mode {
+                Mode::Once
+            } else {
+                Mode::Measure {
+                    sample_size: self.sample_size,
+                    warm_up_time: self.warm_up_time,
+                    measurement_time: self.measurement_time,
+                }
+            },
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.test_mode => println!(
+                "{name:<48} time: [{} {} {}]",
+                fmt_duration(r.min),
+                fmt_duration(r.mean),
+                fmt_duration(r.max)
+            ),
+            _ => {
+                if self.test_mode {
+                    println!("{name:<48} (test mode: ran once)");
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Once,
+    Measure {
+        sample_size: usize,
+        warm_up_time: Duration,
+        measurement_time: Duration,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Handed to each benchmark body; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `f`, discarding its output via an implicit black box.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure {
+                sample_size,
+                warm_up_time,
+                measurement_time,
+            } => {
+                // Warm-up: run until the warm-up budget elapses (at least
+                // once) while estimating the per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                loop {
+                    std::hint::black_box(f());
+                    warm_iters += 1;
+                    if warm_start.elapsed() >= warm_up_time {
+                        break;
+                    }
+                }
+                let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+                // Pick a batch size so all samples fit the measurement budget.
+                let per_sample = measurement_time / sample_size.max(1) as u32;
+                let batch = if per_iter.is_zero() {
+                    1
+                } else {
+                    (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+                };
+
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                let mut max = Duration::ZERO;
+                let mut iters = 0u32;
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    let each = elapsed / batch;
+                    min = min.min(each);
+                    max = max.max(each);
+                    total += elapsed;
+                    iters += batch;
+                }
+                self.report = Some(Report {
+                    mean: total / iters.max(1),
+                    min,
+                    max,
+                });
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of a parameter value only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1_000_000.0)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1_000.0)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::new("engine", "instance-3");
+        assert_eq!(id.label, "engine/instance-3");
+        let id = BenchmarkId::from_parameter(42);
+        assert_eq!(id.label, "42");
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate re-implements exactly the subset of the rand 0.8 API
+//! that the workspace uses: [`rngs::SmallRng`] (an xoshiro256** generator
+//! seeded via SplitMix64), the [`Rng`] / [`SeedableRng`] traits with
+//! `gen`, `gen_range` over integer ranges, and [`seq::SliceRandom`] with
+//! `shuffle` / `choose`.
+//!
+//! The statistical quality is more than sufficient for the workspace's
+//! uses (diversified SAT branching, instance generation, property tests);
+//! it is *not* a cryptographic generator.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled from the "standard" distribution
+/// (`Rng::gen::<T>()`): uniform over the domain for integers and `bool`,
+/// uniform in `[0, 1)` for floats.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types that can be sampled uniformly from a range
+/// (`Rng::gen_range`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value uniformly from `[low, high]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Modulo draw; the bias is negligible for the small spans
+                // used in this workspace.
+                let offset = rng.next_u64() % (span + 1);
+                ((low as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+             i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Returns the inclusive `(low, high)` bounds of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn inclusive_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for Range<T> {
+    fn inclusive_bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        (self.start, self.end.minus_one())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn inclusive_bounds(self) -> (T, T) {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from an empty range");
+        (low, high)
+    }
+}
+
+/// Helper for converting half-open ranges to inclusive bounds.
+pub trait One {
+    /// Returns `self - 1`.
+    fn minus_one(self) -> Self;
+}
+
+macro_rules! one_int {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn minus_one(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+one_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (low, high) = range.inclusive_bounds();
+        T::sample_inclusive(self, low, high)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256**),
+    /// mirroring `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut n = [s0, s1, s2, s3];
+            n[2] ^= n[0];
+            n[3] ^= n[1];
+            n[1] ^= n[2];
+            n[0] ^= n[3];
+            n[2] ^= t;
+            n[3] = n[3].rotate_left(45);
+            self.state = n;
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait for random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if the slice is
+        /// empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: usize = rng.gen_range(1..=2);
+            assert!((1..=2).contains(&w));
+            let s: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn standard_samples_cover_both_booleans() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let draws: Vec<bool> = (0..100).map(|_| rng.gen()).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+        for _ in 0..100 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_and_choose_preserve_elements() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut items: Vec<u32> = (0..20).collect();
+        items.shuffle(&mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(items.choose(&mut rng).is_some());
+        let empty: Vec<u32> = Vec::new();
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
