@@ -84,15 +84,27 @@ impl ArbiterSolver {
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize(&self, dqbf: &Dqbf) -> BaselineResult {
-        dqbf.validate().expect("well-formed DQBF");
-        let start = Instant::now();
         // All oracle calls share one budget: the engine deadline and the
         // per-call conflict cap are enforced by the oracle layer.
-        let mut oracle = Oracle::new(Budget::new(
+        let budget = Budget::new(
             self.config.time_budget,
             self.config.sat_conflict_budget,
             None,
-        ));
+        );
+        self.synthesize_with_budget(dqbf, budget)
+    }
+
+    /// Like [`ArbiterSolver::synthesize`], but under an externally supplied
+    /// [`Budget`] — the way a portfolio runner shares one deadline and one
+    /// cancellation token across racing engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dqbf` fails [`Dqbf::validate`].
+    pub fn synthesize_with_budget(&self, dqbf: &Dqbf, budget: Budget) -> BaselineResult {
+        dqbf.validate().expect("well-formed DQBF");
+        let start = Instant::now();
+        let mut oracle = Oracle::new(budget);
         let finish = |outcome: SynthesisOutcome, details: String, oracle: &Oracle| BaselineResult {
             outcome,
             runtime: start.elapsed(),
@@ -125,9 +137,10 @@ impl ArbiterSolver {
         // conflict budget, like every other oracle interaction).
         let mut vector = HenkinVector::new();
         let defined: Vec<Var> = if self.config.use_definitions {
-            let solver_config = match self.config.sat_conflict_budget {
-                Some(budget) => SolverConfig::budgeted(budget),
-                None => SolverConfig::default(),
+            let solver_config = SolverConfig {
+                max_conflicts: oracle.budget().conflicts_per_call(),
+                cancel: Some(oracle.budget().cancel_token().clone()),
+                ..SolverConfig::default()
             };
             unique::extract_definitions_with(
                 dqbf,
@@ -166,10 +179,10 @@ impl ArbiterSolver {
                     &oracle,
                 );
             }
-            if oracle.budget().expired() {
+            if let Some(reason) = oracle.exhausted() {
                 return finish(
-                    SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
-                    format!("time budget exhausted after {iterations} iterations"),
+                    SynthesisOutcome::Unknown(reason),
+                    format!("shared budget exhausted ({reason:?}) after {iterations} iterations"),
                     &oracle,
                 );
             }

@@ -73,15 +73,27 @@ impl ExpansionSolver {
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize(&self, dqbf: &Dqbf) -> BaselineResult {
-        dqbf.validate().expect("well-formed DQBF");
-        let start = Instant::now();
         // The grounding deadline and the final SAT call share one budget
         // through the oracle layer.
-        let mut oracle = Oracle::new(Budget::new(
+        let budget = Budget::new(
             self.config.time_budget,
             self.config.sat_conflict_budget,
             None,
-        ));
+        );
+        self.synthesize_with_budget(dqbf, budget)
+    }
+
+    /// Like [`ExpansionSolver::synthesize`], but under an externally
+    /// supplied [`Budget`] — the way a portfolio runner shares one deadline
+    /// and one cancellation token across racing engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dqbf` fails [`Dqbf::validate`].
+    pub fn synthesize_with_budget(&self, dqbf: &Dqbf, budget: Budget) -> BaselineResult {
+        dqbf.validate().expect("well-formed DQBF");
+        let start = Instant::now();
+        let mut oracle = Oracle::new(budget);
         let finish = |outcome: SynthesisOutcome, details: String, oracle: &Oracle| BaselineResult {
             outcome,
             runtime: start.elapsed(),
@@ -132,10 +144,10 @@ impl ExpansionSolver {
         let universals: Vec<Var> = dqbf.universals().to_vec();
 
         for xi_bits in 0u64..(1u64 << num_x) {
-            if oracle.budget().expired() {
+            if let Some(reason) = oracle.exhausted() {
                 return finish(
-                    SynthesisOutcome::Unknown(UnknownReason::TimeBudget),
-                    "expansion interrupted by the time budget".to_string(),
+                    SynthesisOutcome::Unknown(reason),
+                    format!("expansion interrupted by the shared budget ({reason:?})"),
                     &oracle,
                 );
             }

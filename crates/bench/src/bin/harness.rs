@@ -17,14 +17,23 @@
 //! Usage:
 //!
 //! ```text
-//! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] [--ablations] [--quick]
+//! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR]
+//!         [--engine NAME]... [--ablations] [--quick]
 //! ```
+//!
+//! `--engine NAME` (repeatable) adds an engine to the run set; the set
+//! defaults to the three sequential engines. `--engine portfolio` is the
+//! interesting use: it adds the parallel portfolio, so `fig6_cactus.csv` and
+//! `summary_table.csv` report its *true wall-clock* numbers next to the
+//! post-hoc VBS columns. Malformed flag values abort with a diagnostic and a
+//! non-zero exit status.
 
-use manthan3_bench::{csvio, report, run_suite, EngineKind};
+use manthan3_bench::{csvio, report, run_suite_with_engines, EngineKind};
 use manthan3_core::{Manthan3, Manthan3Config};
 use manthan3_dqbf::verify;
 use manthan3_gen::suite::suite;
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -32,7 +41,35 @@ struct Args {
     seed: u64,
     budget: Duration,
     out: PathBuf,
+    engines: Vec<EngineKind>,
     ablations: bool,
+}
+
+/// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
+/// failures must not silently degrade to defaults).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] \
+         [--engine NAME]... [--ablations] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses the value of `flag`, aborting with a diagnostic when the value is
+/// missing or malformed.
+fn parse_value<T>(flag: &str, value: Option<String>) -> T
+where
+    T: FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = value else {
+        usage_error(&format!("{flag} requires a value"));
+    };
+    match raw.parse() {
+        Ok(parsed) => parsed,
+        Err(err) => usage_error(&format!("invalid value {raw:?} for {flag}: {err}")),
+    }
 }
 
 fn parse_args() -> Args {
@@ -41,20 +78,26 @@ fn parse_args() -> Args {
         seed: 2023,
         budget: Duration::from_millis(2000),
         out: PathBuf::from("experiments"),
+        engines: EngineKind::ALL.to_vec(),
         ablations: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         match flag.as_str() {
-            "--scale" => args.scale = iter.next().and_then(|v| v.parse().ok()).unwrap_or(3),
-            "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(2023),
+            "--scale" => args.scale = parse_value("--scale", iter.next()),
+            "--seed" => args.seed = parse_value("--seed", iter.next()),
             "--budget-ms" => {
-                let ms = iter.next().and_then(|v| v.parse().ok()).unwrap_or(2000);
+                let ms: u64 = parse_value("--budget-ms", iter.next());
                 args.budget = Duration::from_millis(ms);
             }
-            "--out" => {
-                if let Some(dir) = iter.next() {
-                    args.out = PathBuf::from(dir);
+            "--out" => match iter.next() {
+                Some(dir) => args.out = PathBuf::from(dir),
+                None => usage_error("--out requires a value"),
+            },
+            "--engine" => {
+                let engine: EngineKind = parse_value("--engine", iter.next());
+                if !args.engines.contains(&engine) {
+                    args.engines.push(engine);
                 }
             }
             "--ablations" => args.ablations = true,
@@ -63,7 +106,7 @@ fn parse_args() -> Args {
                 args.budget = Duration::from_millis(500);
             }
             other => {
-                eprintln!("warning: ignoring unknown argument {other:?}");
+                usage_error(&format!("unknown argument {other:?}"));
             }
         }
     }
@@ -76,11 +119,11 @@ fn main() {
     println!(
         "running {} instances x {} engines (budget {:?} per run)…",
         instances.len(),
-        EngineKind::ALL.len(),
+        args.engines.len(),
         args.budget
     );
     let start = Instant::now();
-    let records = run_suite(&instances, args.budget);
+    let records = run_suite_with_engines(&instances, &args.engines, args.budget);
     println!("finished in {:?}", start.elapsed());
 
     // Raw records.
@@ -113,13 +156,15 @@ fn main() {
     )
     .expect("write runs.csv");
 
-    // Figure 6.
+    // Figure 6. The portfolio column carries true wall-clock times and is
+    // populated only when `--engine portfolio` ran.
     csvio::write_csv(
         &args.out.join("fig6_cactus.csv"),
         &[
             "instances_synthesized",
             "vbs_hqs2_pedant_s",
             "vbs_plus_manthan3_s",
+            "portfolio_wall_s",
         ],
         &report::fig6_rows(&records),
     )

@@ -23,7 +23,9 @@ use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, Expansio
 use manthan3_core::{Manthan3, Manthan3Config, SynthesisOutcome};
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
+use manthan3_portfolio::{Portfolio, PortfolioConfig};
 use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 /// The synthesis engines taking part in the comparison.
@@ -35,10 +37,16 @@ pub enum EngineKind {
     Hqs2Like,
     /// The definition + arbiter baseline standing in for Pedant.
     PedantLike,
+    /// The parallel portfolio racing the three engines above under one
+    /// shared budget with cooperative cancellation — the live counterpart
+    /// of the post-hoc VBS (`manthan3-portfolio`).
+    Portfolio,
 }
 
 impl EngineKind {
-    /// All engines, in the order used by the reports.
+    /// The sequential engines, in the order used by the reports. The
+    /// portfolio is opt-in (`--engine portfolio` in the harness) because its
+    /// runs subsume the sequential ones.
     pub const ALL: [EngineKind; 3] = [
         EngineKind::Manthan3,
         EngineKind::Hqs2Like,
@@ -52,8 +60,25 @@ impl fmt::Display for EngineKind {
             EngineKind::Manthan3 => "manthan3",
             EngineKind::Hqs2Like => "hqs2like",
             EngineKind::PedantLike => "pedantlike",
+            EngineKind::Portfolio => "portfolio",
         };
         write!(f, "{name}")
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "manthan3" => Ok(EngineKind::Manthan3),
+            "hqs2like" => Ok(EngineKind::Hqs2Like),
+            "pedantlike" => Ok(EngineKind::PedantLike),
+            "portfolio" => Ok(EngineKind::Portfolio),
+            other => Err(format!(
+                "unknown engine {other:?} (expected manthan3, hqs2like, pedantlike or portfolio)"
+            )),
+        }
     }
 }
 
@@ -119,6 +144,10 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
                 .synthesize(&instance.dqbf)
                 .outcome
         }
+        EngineKind::Portfolio => {
+            let config = PortfolioConfig::with_time_budget(budget);
+            Portfolio::new(config).run(&instance.dqbf).outcome
+        }
     };
     let time = start.elapsed();
     let (synthesized, decided, label) = match &outcome {
@@ -144,11 +173,21 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
     }
 }
 
-/// Runs every engine on every instance.
+/// Runs every sequential engine on every instance.
 pub fn run_suite(instances: &[Instance], budget: Duration) -> Vec<RunRecord> {
-    let mut records = Vec::with_capacity(instances.len() * EngineKind::ALL.len());
+    run_suite_with_engines(instances, &EngineKind::ALL, budget)
+}
+
+/// Runs the given engines on every instance (the harness adds
+/// [`EngineKind::Portfolio`] to the set with `--engine portfolio`).
+pub fn run_suite_with_engines(
+    instances: &[Instance],
+    engines: &[EngineKind],
+    budget: Duration,
+) -> Vec<RunRecord> {
+    let mut records = Vec::with_capacity(instances.len() * engines.len());
     for instance in instances {
-        for engine in EngineKind::ALL {
+        for &engine in engines {
             records.push(run_engine(engine, instance, budget));
         }
     }
@@ -194,5 +233,28 @@ mod tests {
         assert_eq!(EngineKind::Manthan3.to_string(), "manthan3");
         assert_eq!(EngineKind::Hqs2Like.to_string(), "hqs2like");
         assert_eq!(EngineKind::PedantLike.to_string(), "pedantlike");
+        assert_eq!(EngineKind::Portfolio.to_string(), "portfolio");
+    }
+
+    #[test]
+    fn engine_names_round_trip_through_fromstr() {
+        for engine in EngineKind::ALL.into_iter().chain([EngineKind::Portfolio]) {
+            assert_eq!(engine.to_string().parse::<EngineKind>(), Ok(engine));
+        }
+        assert!("hqs3like".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn portfolio_engine_produces_verified_records() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        let record = run_engine(EngineKind::Portfolio, &instance, Duration::from_secs(5));
+        assert!(record.synthesized, "portfolio failed: {}", record.outcome);
+        assert!(record.decided);
     }
 }

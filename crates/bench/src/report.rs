@@ -38,24 +38,29 @@ pub fn cactus(times: &BTreeMap<String, f64>) -> Vec<f64> {
 }
 
 /// Rows of the Figure 6 cactus plot: `(instances_synthesized, time_vbs,
-/// time_vbs_plus_manthan3)`; entries are padded with empty strings when one
-/// portfolio has synthesized fewer instances.
+/// time_vbs_plus_manthan3, time_portfolio)`; entries are padded with empty
+/// strings when one series has synthesized fewer instances. The last column
+/// holds the *true wall-clock* times of the parallel portfolio engine and is
+/// entirely empty unless the records contain [`EngineKind::Portfolio`] runs
+/// (harness flag `--engine portfolio`) — unlike the two VBS columns, which
+/// are post-hoc minima over sequential runs.
 pub fn fig6_rows(records: &[RunRecord]) -> Vec<Vec<String>> {
     let without = cactus(&vbs(
         records,
         &[EngineKind::Hqs2Like, EngineKind::PedantLike],
     ));
     let with = cactus(&vbs(records, &EngineKind::ALL));
-    let len = without.len().max(with.len());
+    let live = cactus(&solved_times(records, EngineKind::Portfolio));
+    let len = without.len().max(with.len()).max(live.len());
+    let fmt =
+        |series: &[f64], i: usize| series.get(i).map(|t| format!("{t:.4}")).unwrap_or_default();
     (0..len)
         .map(|i| {
             vec![
                 (i + 1).to_string(),
-                without
-                    .get(i)
-                    .map(|t| format!("{t:.4}"))
-                    .unwrap_or_default(),
-                with.get(i).map(|t| format!("{t:.4}")).unwrap_or_default(),
+                fmt(&without, i),
+                fmt(&with, i),
+                fmt(&live, i),
             ]
         })
         .collect()
@@ -110,6 +115,13 @@ pub struct Summary {
     /// Instances within 10 seconds of the baseline VBS for Manthan3
     /// (the green region of Figure 7).
     pub manthan3_within_10s_of_vbs: usize,
+    /// Instances synthesized by the live parallel portfolio engine, when its
+    /// records are present (`--engine portfolio`): the wall-clock
+    /// counterpart of `vbs_with_manthan3`.
+    pub portfolio_synthesized: Option<usize>,
+    /// Instances decided by the live parallel portfolio engine, when its
+    /// records are present.
+    pub portfolio_decided: Option<usize>,
 }
 
 /// Computes the summary table from the run records.
@@ -160,6 +172,18 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         .iter()
         .filter(|(i, t)| baseline_vbs.get(*i).is_some_and(|b| **t <= *b + 10.0))
         .count();
+    let portfolio_records: Vec<&RunRecord> = records
+        .iter()
+        .filter(|r| r.engine == EngineKind::Portfolio)
+        .collect();
+    let (portfolio_synthesized, portfolio_decided) = if portfolio_records.is_empty() {
+        (None, None)
+    } else {
+        (
+            Some(portfolio_records.iter().filter(|r| r.synthesized).count()),
+            Some(portfolio_records.iter().filter(|r| r.decided).count()),
+        )
+    };
 
     Summary {
         total_instances: instances.len(),
@@ -173,6 +197,8 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         manthan3_not_pedant,
         missed_by_manthan3,
         manthan3_within_10s_of_vbs,
+        portfolio_synthesized,
+        portfolio_decided,
     }
 }
 
@@ -218,6 +244,15 @@ impl Summary {
                 self.decided[&engine].to_string(),
             ]);
         }
+        if let (Some(synthesized), Some(decided)) =
+            (self.portfolio_synthesized, self.portfolio_decided)
+        {
+            rows.push(vec![
+                "synthesized_portfolio".into(),
+                synthesized.to_string(),
+            ]);
+            rows.push(vec!["decided_portfolio".into(), decided.to_string()]);
+        }
         rows
     }
 }
@@ -247,7 +282,16 @@ impl fmt::Display for Summary {
             f,
             "Manthan3 within +10s of VBS: {}",
             self.manthan3_within_10s_of_vbs
-        )
+        )?;
+        if let (Some(synthesized), Some(decided)) =
+            (self.portfolio_synthesized, self.portfolio_decided)
+        {
+            write!(
+                f,
+                "\nparallel portfolio:        {synthesized} (decided {decided}, true wall-clock)"
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -324,14 +368,37 @@ mod tests {
     }
 
     #[test]
-    fn fig6_rows_have_two_series() {
+    fn fig6_rows_have_three_series() {
         let records = sample_records();
         let rows = fig6_rows(&records);
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0].len(), 3);
+        assert_eq!(rows[0].len(), 4);
         // The third entry exists only for the +Manthan3 portfolio.
         assert!(rows[2][1].is_empty());
         assert!(!rows[2][2].is_empty());
+        // No live portfolio records: the wall-clock column stays empty.
+        assert!(rows.iter().all(|r| r[3].is_empty()));
+    }
+
+    #[test]
+    fn portfolio_records_fill_the_wall_clock_series_and_summary() {
+        let mut records = sample_records();
+        records.push(record("i1", EngineKind::Portfolio, true, 0.05));
+        records.push(record("i2", EngineKind::Portfolio, true, 0.8));
+        records.push(record("i3", EngineKind::Portfolio, true, 0.3));
+        let rows = fig6_rows(&records);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| !r[3].is_empty()));
+        assert_eq!(rows[0][3], "0.0500");
+
+        let s = summary(&records);
+        assert_eq!(s.portfolio_synthesized, Some(3));
+        assert_eq!(s.portfolio_decided, Some(3));
+        assert!(s
+            .rows()
+            .iter()
+            .any(|r| r[0] == "synthesized_portfolio" && r[1] == "3"));
+        assert!(s.to_string().contains("parallel portfolio"));
     }
 
     #[test]

@@ -74,12 +74,7 @@ struct SynthesisCtx<'a> {
 }
 
 impl<'a> SynthesisCtx<'a> {
-    fn new(dqbf: &'a Dqbf, config: &'a Manthan3Config) -> Self {
-        let budget = Budget::new(
-            config.time_budget,
-            config.sat_conflict_budget,
-            config.sat_call_budget,
-        );
+    fn new(dqbf: &'a Dqbf, config: &'a Manthan3Config, budget: Budget) -> Self {
         SynthesisCtx {
             dqbf,
             config,
@@ -127,8 +122,27 @@ impl Manthan3 {
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize(&self, dqbf: &Dqbf) -> SynthesisResult {
+        let budget = Budget::new(
+            self.config.time_budget,
+            self.config.sat_conflict_budget,
+            self.config.sat_call_budget,
+        );
+        self.synthesize_with_budget(dqbf, budget)
+    }
+
+    /// Like [`Manthan3::synthesize`], but under an externally supplied
+    /// [`Budget`] — the configuration's own budget fields are ignored. This
+    /// is how a portfolio runner races engines against one shared wall-clock
+    /// deadline and one shared [`CancelToken`](manthan3_sat::CancelToken):
+    /// it arms a single budget with [`Budget::start`] and hands each engine
+    /// a clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dqbf` fails [`Dqbf::validate`].
+    pub fn synthesize_with_budget(&self, dqbf: &Dqbf, budget: Budget) -> SynthesisResult {
         dqbf.validate().expect("well-formed DQBF");
-        let mut ctx = SynthesisCtx::new(dqbf, &self.config);
+        let mut ctx = SynthesisCtx::new(dqbf, &self.config, budget);
 
         let outcome = stage_preprocess(&mut ctx)
             .or_else(|| stage_sample(&mut ctx))
@@ -153,7 +167,13 @@ fn stage_preprocess(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
         SolveResult::Sat => {}
     }
     ctx.session = Some(session);
-    ctx.defined = extract_unique_definitions(ctx.dqbf, &mut ctx.vector, ctx.config, &mut ctx.stats);
+    ctx.defined = extract_unique_definitions(
+        ctx.dqbf,
+        &mut ctx.vector,
+        ctx.config,
+        &ctx.oracle,
+        &mut ctx.stats,
+    );
     // Extraction runs budgeted SAT calls outside the oracle's call counter;
     // re-check the wall clock before moving on.
     if let Some(reason) = ctx.oracle.exhausted() {

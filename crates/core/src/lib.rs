@@ -30,12 +30,13 @@
 //! Two pieces make the hot loop incremental:
 //!
 //! * The [`Oracle`] owns the run's [`Budget`] (wall-clock deadline, per-call
-//!   conflict budget, total call budget) and funnels the synthesis loop's
-//!   SAT, MaxSAT, and sampling calls through it, collecting [`OracleStats`]
-//!   (unique-definition preprocessing runs its own solvers but inherits the
-//!   conflict cap). The baseline engines in `manthan3-baselines` run on the
-//!   same layer, so all engines share budget semantics and report comparable
-//!   counters.
+//!   conflict budget, total call budget shared by SAT *and* MaxSAT solves)
+//!   and funnels the synthesis loop's SAT, MaxSAT, and sampling calls
+//!   through it, collecting [`OracleStats`] (unique-definition
+//!   preprocessing runs its own solvers but inherits the conflict cap and
+//!   cancellation token). The baseline engines in `manthan3-baselines` run
+//!   on the same layer, so all engines share budget semantics and report
+//!   comparable counters.
 //! * The [`VerifySession`] Tseitin-encodes the error formula
 //!   `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)` **once**, guards each candidate
 //!   function's equivalence behind an activation literal, and re-solves
@@ -43,9 +44,27 @@
 //!   candidate, the old activation literal is retired and a fresh guarded
 //!   equivalence is appended — the solver, its learnt clauses, and the
 //!   shared encoding cache all survive, so iteration cost tracks the *size
-//!   of the change*, not the size of the formula. The repair queries `G_k`
-//!   (and their UNSAT cores, which become repair cubes) run on the same
-//!   session's persistent matrix solver.
+//!   of the change*, not the size of the formula. Every 32 retirements the
+//!   session runs a maintenance pass on the error solver (learnt-DB
+//!   trimming plus garbage collection of retired generations), so even
+//!   hundreds-of-iterations repair runs keep a bounded solver state. The
+//!   repair queries `G_k` (and their UNSAT cores, which become repair
+//!   cubes) run on the same session's persistent matrix solver.
+//!
+//! # Cancellation: racing engines in a portfolio
+//!
+//! Every [`Budget`] carries a [`CancelToken`](manthan3_sat::CancelToken)
+//! shared by its clones. The token flows from the budget into every solver
+//! the oracle constructs (`Budget` → `Oracle` → CDCL/MaxSAT/sampler
+//! configurations), and the CDCL search loop polls it alongside its
+//! conflict budget, so cancelling the token stops all in-flight oracle work
+//! within milliseconds; the engine then reports
+//! [`UnknownReason::Cancelled`]. A portfolio runner (see the
+//! `manthan3-portfolio` crate) arms one budget with [`Budget::start`] at
+//! race time, hands each engine a clone via
+//! [`Manthan3::synthesize_with_budget`], and cancels the token as soon as
+//! the first engine returns a decisive verdict — the losing engines stop
+//! almost immediately instead of burning the remaining wall-clock budget.
 //!
 //! Manthan3 is sound (every returned vector passes the independent
 //! certificate check of `manthan3_dqbf::verify`) but **not complete**: for

@@ -17,7 +17,7 @@
 use manthan3_cnf::{Cnf, Lit};
 use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
 use manthan3_sampler::{Sampler, SamplerConfig};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use manthan3_sat::{CancelToken, SolveResult, Solver, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// Why a synthesis run ended without a definitive answer.
@@ -32,15 +32,27 @@ pub enum UnknownReason {
     TimeBudget,
     /// A budgeted oracle call gave up (conflict or call budget).
     OracleBudget,
+    /// The run was cooperatively cancelled (e.g. it lost a portfolio race).
+    Cancelled,
 }
 
 /// The resource budget shared by every oracle call of one synthesis run.
-#[derive(Debug, Clone, Copy)]
+///
+/// Cloning a budget shares its [`CancelToken`] (and the already-armed
+/// deadline): a portfolio runner arms one budget with [`Budget::start`] and
+/// hands clones to the racing engines, so all of them observe the same
+/// absolute deadline and the same cancellation flag.
+#[derive(Debug, Clone)]
 pub struct Budget {
-    start: Instant,
+    /// When the clock was (last) armed; see [`Budget::start`].
+    started_at: Instant,
+    /// The configured wall-clock allowance, kept so the deadline can be
+    /// re-armed relative to a later start.
+    time: Option<Duration>,
     deadline: Option<Instant>,
     conflicts_per_call: Option<u64>,
     max_sat_calls: Option<u64>,
+    cancel: CancelToken,
 }
 
 impl Budget {
@@ -50,29 +62,63 @@ impl Budget {
     }
 
     /// A budget with the given wall-clock, per-call conflict, and total
-    /// SAT-call limits (each `None` = unlimited). The clock starts now.
+    /// oracle-call limits (each `None` = unlimited). The clock starts now;
+    /// call [`Budget::start`] to re-arm it later (e.g. when a portfolio race
+    /// actually begins rather than when its configuration was built).
     pub fn new(
         time: Option<Duration>,
         conflicts_per_call: Option<u64>,
         max_sat_calls: Option<u64>,
     ) -> Self {
-        let start = Instant::now();
+        let started_at = Instant::now();
         Budget {
-            start,
-            deadline: time.map(|t| start + t),
+            started_at,
+            time,
+            deadline: time.map(|t| started_at + t),
             conflicts_per_call,
             max_sat_calls,
+            cancel: CancelToken::new(),
         }
     }
 
-    /// Returns `true` once the wall-clock deadline has passed.
-    pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+    /// Re-arms the clock: elapsed time restarts at zero and the wall-clock
+    /// deadline is measured from now. Budgets are often built alongside
+    /// engine configurations, well before the run they govern begins; the
+    /// runner calls `start` at the moment the work is actually dispatched so
+    /// configuration-building time is not billed against the run.
+    pub fn start(&mut self) {
+        self.started_at = Instant::now();
+        self.deadline = self.time.map(|t| self.started_at + t);
     }
 
-    /// Time elapsed since the budget was created.
+    /// Replaces the cancellation token (builder style). Clones made
+    /// afterwards share the new token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The budget's cancellation token. Cancelling it makes every oracle
+    /// call routed through this budget (or a clone of it) give up at its
+    /// next poll point.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Returns `true` once the budget's token has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Returns `true` once the wall-clock deadline has passed or the budget
+    /// has been cancelled — in both cases no further work should start.
+    pub fn expired(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time elapsed since the budget was (last) started.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.started_at.elapsed()
     }
 
     /// The per-call conflict limit, if any.
@@ -80,7 +126,8 @@ impl Budget {
         self.conflicts_per_call
     }
 
-    /// The total SAT-call limit, if any.
+    /// The total oracle-call limit (SAT and MaxSAT solve calls combined),
+    /// if any.
     pub fn max_sat_calls(&self) -> Option<u64> {
         self.max_sat_calls
     }
@@ -143,10 +190,12 @@ impl Oracle {
         &self.stats
     }
 
-    /// The reason to report when an oracle call gave up: the wall clock if
-    /// the deadline has passed, the per-call/total budgets otherwise.
+    /// The reason to report when an oracle call gave up: cancellation first,
+    /// then the wall clock, then the per-call/total budgets.
     pub fn give_up_reason(&self) -> UnknownReason {
-        if self.budget.expired() {
+        if self.budget.cancelled() {
+            UnknownReason::Cancelled
+        } else if self.budget.expired() {
             UnknownReason::TimeBudget
         } else {
             UnknownReason::OracleBudget
@@ -154,13 +203,17 @@ impl Oracle {
     }
 
     /// Returns the exhausted-budget reason if no further oracle call may be
-    /// made, `None` while resources remain.
+    /// made, `None` while resources remain. The call budget counts SAT and
+    /// MaxSAT solve calls alike — they all draw on the same allowance.
     pub fn exhausted(&self) -> Option<UnknownReason> {
+        if self.budget.cancelled() {
+            return Some(UnknownReason::Cancelled);
+        }
         if self.budget.expired() {
             return Some(UnknownReason::TimeBudget);
         }
         if let Some(max) = self.budget.max_sat_calls {
-            if self.stats.sat_calls as u64 >= max {
+            if (self.stats.sat_calls + self.stats.maxsat_calls) as u64 >= max {
                 return Some(UnknownReason::OracleBudget);
             }
         }
@@ -177,10 +230,14 @@ impl Oracle {
     }
 
     /// Constructs a CDCL solver from an explicit configuration, still
-    /// counting it and capping its conflicts by the budget.
+    /// counting it, capping its conflicts by the budget, and attaching the
+    /// budget's cancellation token.
     pub fn new_solver_with(&mut self, mut config: SolverConfig) -> Solver {
         if config.max_conflicts.is_none() {
             config.max_conflicts = self.budget.conflicts_per_call;
+        }
+        if config.cancel.is_none() {
+            config.cancel = Some(self.budget.cancel.clone());
         }
         self.stats.sat_solvers_constructed += 1;
         Solver::with_config(config)
@@ -215,23 +272,34 @@ impl Oracle {
         result
     }
 
-    /// Constructs a MaxSAT solver with the budget's per-call conflict limit.
+    /// Constructs a MaxSAT solver with the budget's per-call conflict limit
+    /// and cancellation token.
     pub fn new_maxsat(&mut self) -> MaxSatSolver {
         self.stats.maxsat_solvers_constructed += 1;
-        match self.budget.conflicts_per_call {
-            Some(c) => MaxSatSolver::with_conflict_budget(c),
-            None => MaxSatSolver::new(),
-        }
+        MaxSatSolver::with_config(SolverConfig {
+            max_conflicts: self.budget.conflicts_per_call,
+            cancel: Some(self.budget.cancel.clone()),
+            ..SolverConfig::default()
+        })
     }
 
     /// Runs a MaxSAT solve under the shared budget.
+    ///
+    /// A MaxSAT solve counts as one oracle call against the shared call
+    /// budget (its internal SAT iterations are the solver's own business,
+    /// but their conflicts are billed to the shared conflict counter).
+    /// Returns [`MaxSatResult::Unknown`] without touching the solver when
+    /// the budget is already exhausted, exactly like
+    /// [`Oracle::solve_with_assumptions`].
     pub fn solve_maxsat(&mut self, solver: &mut MaxSatSolver) -> MaxSatResult {
-        if self.budget.expired() {
+        if self.exhausted().is_some() {
             self.stats.budget_exhaustions += 1;
             return MaxSatResult::Unknown;
         }
+        let before = solver.sat_stats().conflicts;
         let result = solver.solve();
         self.stats.maxsat_calls += 1;
+        self.stats.conflicts += solver.sat_stats().conflicts - before;
         if result == MaxSatResult::Unknown {
             self.stats.budget_exhaustions += 1;
         }
@@ -239,10 +307,14 @@ impl Oracle {
     }
 
     /// Constructs a sampler for `cnf`, inheriting the budget's per-call
-    /// conflict limit when `config` does not set its own.
+    /// conflict limit and cancellation token when `config` does not set its
+    /// own.
     pub fn new_sampler(&mut self, cnf: &Cnf, mut config: SamplerConfig) -> Sampler {
         if config.max_conflicts_per_sample.is_none() {
             config.max_conflicts_per_sample = self.budget.conflicts_per_call;
+        }
+        if config.cancel.is_none() {
+            config.cancel = Some(self.budget.cancel.clone());
         }
         self.stats.samplers_constructed += 1;
         Sampler::new(cnf, config)
@@ -324,5 +396,97 @@ mod tests {
         assert_eq!(result, MaxSatResult::Optimum { cost: 0 });
         assert_eq!(oracle.stats().maxsat_solvers_constructed, 1);
         assert_eq!(oracle.stats().maxsat_calls, 1);
+    }
+
+    /// Mirror of `call_budget_cuts_off_further_solves` for the MaxSAT path:
+    /// a total-call budget must cap MaxSAT solves exactly like SAT solves.
+    #[test]
+    fn call_budget_cuts_off_further_maxsat_solves() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(1)));
+        let mut maxsat = oracle.new_maxsat();
+        maxsat.add_hard([Var::new(0).positive()]);
+        assert_eq!(
+            oracle.solve_maxsat(&mut maxsat),
+            MaxSatResult::Optimum { cost: 0 }
+        );
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        assert_eq!(oracle.solve_maxsat(&mut maxsat), MaxSatResult::Unknown);
+        assert_eq!(oracle.give_up_reason(), UnknownReason::OracleBudget);
+        assert_eq!(oracle.stats().budget_exhaustions, 1);
+        // The refused call is not counted as performed.
+        assert_eq!(oracle.stats().maxsat_calls, 1);
+    }
+
+    /// MaxSAT calls draw on the same allowance as SAT calls: one of each
+    /// exhausts a two-call budget, and either kind of further call is
+    /// refused.
+    #[test]
+    fn maxsat_calls_count_toward_the_shared_call_budget() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(2)));
+        let mut solver = oracle.new_solver();
+        solver.ensure_vars(1);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        assert_eq!(oracle.exhausted(), None);
+        let mut maxsat = oracle.new_maxsat();
+        maxsat.add_hard([Var::new(0).positive()]);
+        assert_eq!(
+            oracle.solve_maxsat(&mut maxsat),
+            MaxSatResult::Optimum { cost: 0 }
+        );
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
+        assert_eq!(oracle.solve_maxsat(&mut maxsat), MaxSatResult::Unknown);
+        assert_eq!(oracle.stats().sat_calls, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 1);
+        assert_eq!(oracle.stats().budget_exhaustions, 2);
+    }
+
+    #[test]
+    fn cancellation_refuses_further_oracle_calls() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut solver = oracle.new_solver();
+        solver.add_clause([lit(1), lit(2)]);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        oracle.budget().cancel_token().cancel();
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::Cancelled));
+        assert_eq!(oracle.give_up_reason(), UnknownReason::Cancelled);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
+        let mut maxsat = oracle.new_maxsat();
+        maxsat.add_hard([lit(1)]);
+        assert_eq!(oracle.solve_maxsat(&mut maxsat), MaxSatResult::Unknown);
+        // Refused calls are not performed.
+        assert_eq!(oracle.stats().sat_calls, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 0);
+    }
+
+    #[test]
+    fn constructed_solvers_inherit_the_cancel_token() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut solver = oracle.new_solver();
+        solver.add_clause([lit(1)]);
+        oracle.budget().cancel_token().cancel();
+        // Even bypassing the oracle, the solver itself observes the token.
+        assert_eq!(solver.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn budget_clones_share_cancellation() {
+        let budget = Budget::unlimited();
+        let clone = budget.clone();
+        budget.cancel_token().cancel();
+        assert!(clone.cancelled());
+        assert!(clone.expired());
+    }
+
+    #[test]
+    fn start_rearms_the_deadline() {
+        let mut budget = Budget::new(Some(Duration::from_millis(40)), None, None);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(budget.expired());
+        // The race begins only now: re-arming measures the deadline from
+        // here, so the budget is live again.
+        budget.start();
+        assert!(!budget.expired());
+        assert!(budget.elapsed() < Duration::from_millis(40));
     }
 }

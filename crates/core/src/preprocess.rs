@@ -2,6 +2,7 @@
 //! in the paper's implementation).
 
 use crate::config::Manthan3Config;
+use crate::oracle::Oracle;
 use crate::stats::SynthesisStats;
 use manthan3_cnf::Var;
 use manthan3_dqbf::{unique, Dqbf, HenkinVector};
@@ -12,19 +13,22 @@ use manthan3_sat::SolverConfig;
 /// Returns the variables whose function was fixed by preprocessing; those
 /// variables are skipped by the learning phase (their definitions already
 /// respect the Henkin dependencies by construction). The Padoa and
-/// enumeration SAT calls run under the engine's per-call conflict budget.
+/// enumeration SAT calls run their own solvers but inherit the run's
+/// per-call conflict budget and cancellation token through `oracle`.
 pub fn extract_unique_definitions(
     dqbf: &Dqbf,
     vector: &mut HenkinVector,
     config: &Manthan3Config,
+    oracle: &Oracle,
     stats: &mut SynthesisStats,
 ) -> Vec<Var> {
     if !config.use_unique_definitions {
         return Vec::new();
     }
-    let solver_config = match config.sat_conflict_budget {
-        Some(budget) => SolverConfig::budgeted(budget),
-        None => SolverConfig::default(),
+    let solver_config = SolverConfig {
+        max_conflicts: oracle.budget().conflicts_per_call(),
+        cancel: Some(oracle.budget().cancel_token().clone()),
+        ..SolverConfig::default()
     };
     let defined = unique::extract_definitions_with(
         dqbf,
@@ -47,9 +51,12 @@ mod tests {
             use_unique_definitions: false,
             ..Manthan3Config::default()
         };
+        let oracle = Oracle::new(crate::Budget::unlimited());
         let mut stats = SynthesisStats::default();
         let mut vector = HenkinVector::new();
-        assert!(extract_unique_definitions(&dqbf, &mut vector, &config, &mut stats).is_empty());
+        assert!(
+            extract_unique_definitions(&dqbf, &mut vector, &config, &oracle, &mut stats).is_empty()
+        );
         assert_eq!(stats.unique_definitions, 0);
     }
 
@@ -57,9 +64,10 @@ mod tests {
     fn paper_example_extracts_y3() {
         let dqbf = Dqbf::paper_example();
         let config = Manthan3Config::default();
+        let oracle = Oracle::new(crate::Budget::unlimited());
         let mut stats = SynthesisStats::default();
         let mut vector = HenkinVector::new();
-        let defined = extract_unique_definitions(&dqbf, &mut vector, &config, &mut stats);
+        let defined = extract_unique_definitions(&dqbf, &mut vector, &config, &oracle, &mut stats);
         assert!(defined.contains(&Var::new(5)));
         assert_eq!(stats.unique_definitions, defined.len());
     }

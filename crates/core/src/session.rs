@@ -29,8 +29,16 @@ use crate::oracle::Oracle;
 use manthan3_aig::AigRef;
 use manthan3_cnf::{Assignment, CnfBuilder, Lit, Var};
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
-use manthan3_sat::{SolveResult, Solver};
+use manthan3_sat::{SolveResult, Solver, SolverStats};
 use std::collections::{BTreeMap, HashMap};
+
+/// After this many candidate generations have been retired the session runs
+/// an error-solver maintenance pass: the learnt database is halved (and its
+/// growth threshold reset) and clauses of retired generations — permanently
+/// satisfied by their asserted-false activation literals — are freed. This
+/// keeps hundreds-of-iterations repair runs from accumulating an unbounded
+/// solver state while still amortizing the watch-list rebuild.
+const MAINTENANCE_RETIREMENT_INTERVAL: usize = 32;
 
 /// A model of the error formula: the counterexample parts `δ[X]` and
 /// `δ[Y']`.
@@ -87,6 +95,12 @@ pub struct VerifySession {
     slots: BTreeMap<Var, CandidateSlot>,
     /// Number of candidate cones encoded over the session's lifetime.
     encodings: usize,
+    /// Activation literals retired over the session's lifetime.
+    retired: usize,
+    /// Retirements since the last maintenance pass.
+    retired_since_maintenance: usize,
+    /// Error-solver maintenance passes performed.
+    maintenance_runs: usize,
 }
 
 impl VerifySession {
@@ -114,6 +128,9 @@ impl VerifySession {
             input_map,
             slots: BTreeMap::new(),
             encodings: 0,
+            retired: 0,
+            retired_since_maintenance: 0,
+            maintenance_runs: 0,
         }
     }
 
@@ -202,6 +219,8 @@ impl VerifySession {
             if let Some(old) = retired {
                 // Permanently disable the previous generation's equivalence.
                 self.error.retire_activation(old);
+                self.retired += 1;
+                self.retired_since_maintenance += 1;
             }
             self.slots.insert(
                 y,
@@ -213,6 +232,9 @@ impl VerifySession {
             self.encodings += 1;
         }
         self.flush();
+        if self.retired_since_maintenance >= MAINTENANCE_RETIREMENT_INTERVAL {
+            self.maintain();
+        }
 
         let assumptions: Vec<Lit> = self.slots.values().map(|slot| slot.activation).collect();
         match oracle.solve_with_assumptions(&mut self.error, &assumptions) {
@@ -240,6 +262,42 @@ impl VerifySession {
     /// (initial encodings plus one per applied repair).
     pub fn candidate_encodings(&self) -> usize {
         self.encodings
+    }
+
+    /// Runs an error-solver maintenance pass immediately: halves the learnt
+    /// database (resetting its growth threshold) and frees the clauses of
+    /// retired candidate generations. Called automatically every 32
+    /// retirements; exposed for callers that drive the session manually.
+    pub fn maintain(&mut self) {
+        self.error.reduce_learnt_db();
+        self.error.simplify();
+        self.retired_since_maintenance = 0;
+        self.maintenance_runs += 1;
+    }
+
+    /// Number of activation literals retired over the session's lifetime
+    /// (one per candidate replaced by repair).
+    pub fn retired_activations(&self) -> usize {
+        self.retired
+    }
+
+    /// Number of error-solver maintenance passes performed so far.
+    pub fn maintenance_runs(&self) -> usize {
+        self.maintenance_runs
+    }
+
+    /// Runtime statistics of the persistent error solver (learnt-clause
+    /// count, conflicts, …) — the observable the hygiene watchdogs assert
+    /// on.
+    pub fn error_solver_stats(&self) -> SolverStats {
+        self.error.stats()
+    }
+
+    /// Number of problem clauses currently held by the persistent error
+    /// solver. Bounded across repair generations thanks to the periodic
+    /// maintenance passes.
+    pub fn error_solver_clauses(&self) -> usize {
+        self.error.num_clauses()
     }
 }
 
@@ -344,6 +402,62 @@ mod tests {
         // One matrix solver + one error solver, despite 5 verification calls.
         assert_eq!(oracle.stats().sat_solvers_constructed, 2);
         assert_eq!(oracle.stats().sat_calls, 5);
+    }
+
+    /// Hygiene watchdog (ROADMAP "error-solver hygiene"): a repair-heavy run
+    /// — hundreds of candidate generations on one session — must trigger
+    /// periodic error-solver maintenance, keep the clause database bounded
+    /// (retired generations are freed, the learnt DB is trimmed), and still
+    /// produce correct verdicts on the same two solvers.
+    #[test]
+    fn long_repair_runs_trigger_maintenance_and_stay_bounded() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let mut vector = paper_vector();
+        let good_f2 = vector.get(y(1)).unwrap();
+        let broken_f2 = vector.aig().constant(true);
+
+        let mut clause_watermark = 0usize;
+        for round in 0..200 {
+            let f2 = if round % 2 == 0 { broken_f2 } else { good_f2 };
+            vector.set(y(1), f2);
+            let verdict = session.verify(&dqbf, &vector, &mut oracle);
+            if round % 2 == 0 {
+                assert!(
+                    matches!(verdict, VerifyOutcome::CounterExample(_)),
+                    "round {round}: broken candidate must yield a counterexample"
+                );
+            } else {
+                assert_eq!(verdict, VerifyOutcome::Valid, "round {round}");
+            }
+            if round == 20 {
+                clause_watermark = session.error_solver_clauses();
+            }
+        }
+
+        // Round 0 encodes three fresh generations; every later round swaps
+        // exactly one, retiring its predecessor.
+        assert_eq!(session.retired_activations(), 199);
+        assert!(
+            session.maintenance_runs() >= 5,
+            "only {} maintenance passes over 199 retirements",
+            session.maintenance_runs()
+        );
+        // Retired generations are freed: the clause database is bounded by
+        // the early-run watermark plus at most one maintenance interval of
+        // not-yet-collected generations, not by the 199 retired generations.
+        assert!(
+            session.error_solver_clauses() <= clause_watermark + 80,
+            "error solver grew to {} clauses (watermark {})",
+            session.error_solver_clauses(),
+            clause_watermark
+        );
+        // The learnt DB is trimmed too — it must not retain one learnt
+        // clause per historical generation.
+        assert!(session.error_solver_stats().learnt_clauses < 400);
+        // Maintenance never constructs new solvers.
+        assert_eq!(oracle.stats().sat_solvers_constructed, 2);
     }
 
     #[test]

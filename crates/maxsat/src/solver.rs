@@ -1,6 +1,6 @@
 use crate::Totalizer;
 use manthan3_cnf::{Assignment, Clause, Cnf, Lit};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use manthan3_sat::{SolveResult, Solver, SolverConfig, SolverStats};
 
 /// Identifier of a soft clause, returned by [`MaxSatSolver::add_soft`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,11 +66,24 @@ impl MaxSatSolver {
     /// `max_conflicts` conflicts each. When the budget is exhausted,
     /// [`MaxSatSolver::solve`] returns [`MaxSatResult::Unknown`].
     pub fn with_conflict_budget(max_conflicts: u64) -> Self {
+        MaxSatSolver::with_config(SolverConfig::budgeted(max_conflicts))
+    }
+
+    /// Creates an instance whose internal SAT solver uses `config` — the way
+    /// to pass a conflict budget *and* a cancellation token in one go (as the
+    /// shared oracle layer does).
+    pub fn with_config(config: SolverConfig) -> Self {
         MaxSatSolver {
-            solver: Solver::with_config(SolverConfig::budgeted(max_conflicts)),
+            solver: Solver::with_config(config),
             softs: Vec::new(),
             model: None,
         }
+    }
+
+    /// Runtime statistics of the internal SAT solver (conflicts, decisions,
+    /// …), accumulated across every solve call of this instance.
+    pub fn sat_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 
     /// Adds a hard clause.

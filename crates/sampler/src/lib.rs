@@ -32,7 +32,7 @@
 #![warn(missing_docs)]
 
 use manthan3_cnf::{Assignment, Cnf, Var};
-use manthan3_sat::{SolveResult, Solver, SolverConfig};
+use manthan3_sat::{CancelToken, SolveResult, Solver, SolverConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +47,10 @@ pub struct SamplerConfig {
     pub random_var_freq: f64,
     /// Conflict budget per individual sample; `None` means unlimited.
     pub max_conflicts_per_sample: Option<u64>,
+    /// Optional cooperative cancellation token, polled by the underlying
+    /// solver: a cancelled sampler stops emitting samples at its next solve
+    /// call (the batch collected so far is kept).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SamplerConfig {
@@ -56,6 +60,7 @@ impl Default for SamplerConfig {
             adaptive: true,
             random_var_freq: 0.6,
             max_conflicts_per_sample: None,
+            cancel: None,
         }
     }
 }
@@ -82,6 +87,7 @@ impl Sampler {
             random_var_freq: config.random_var_freq,
             random_polarity: false,
             max_conflicts: config.max_conflicts_per_sample,
+            cancel: config.cancel.clone(),
             seed: config.seed,
             ..SolverConfig::default()
         };

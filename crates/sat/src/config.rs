@@ -1,3 +1,5 @@
+use crate::CancelToken;
+
 /// Tuning parameters for the CDCL [`Solver`](crate::Solver).
 ///
 /// The defaults follow MiniSat-style settings and are appropriate for the
@@ -42,6 +44,12 @@ pub struct SolverConfig {
     /// limit. When the budget is exhausted the solver reports
     /// [`SolveResult::Unknown`](crate::SolveResult::Unknown).
     pub max_conflicts: Option<u64>,
+    /// Optional cooperative cancellation flag, polled by the search loop
+    /// alongside the conflict budget. When the token is cancelled, the
+    /// current (and any future) solve call returns
+    /// [`SolveResult::Unknown`](crate::SolveResult::Unknown) at its next
+    /// poll point.
+    pub cancel: Option<CancelToken>,
     /// Seed for the solver's internal pseudo random number generator.
     pub seed: u64,
 }
@@ -58,6 +66,7 @@ impl Default for SolverConfig {
             first_reduce_db: 4000,
             reduce_db_increment: 1000,
             max_conflicts: None,
+            cancel: None,
             seed: 91_648_253,
         }
     }
@@ -82,6 +91,12 @@ impl SolverConfig {
             max_conflicts: Some(max_conflicts),
             ..SolverConfig::default()
         }
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 

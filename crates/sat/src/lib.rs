@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod config;
 mod luby;
 mod solver;
 
+pub use cancel::CancelToken;
 pub use config::SolverConfig;
-pub use solver::{SolveResult, Solver};
+pub use solver::{SolveResult, Solver, SolverStats};
 
 use manthan3_cnf::{Assignment, Cnf};
 

@@ -661,6 +661,78 @@ impl Solver {
         }
     }
 
+    /// Halves the learnt-clause database (lowest-activity clauses first) and
+    /// resets the automatic reduction threshold to its initial value.
+    ///
+    /// The search loop reduces the database on its own, but every automatic
+    /// reduction *raises* the threshold, so a solver that lives across
+    /// hundreds of incremental solve calls (e.g. the error solver of a
+    /// verify–repair session) accumulates learnt clauses without bound.
+    /// Long-lived owners call this between solve calls to keep the database
+    /// bounded. Must be called at decision level 0 (i.e. outside a solve
+    /// call), which is always the case between incremental calls.
+    pub fn reduce_learnt_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        self.reduce_db();
+        self.max_learnts = self.config.first_reduce_db;
+    }
+
+    /// Removes clauses satisfied at decision level 0, strips falsified
+    /// level-0 literals, and compacts the clause arena so the memory is
+    /// actually reclaimed.
+    ///
+    /// This is how retired activation literals are garbage-collected: after
+    /// [`Solver::retire_activation`] asserts `¬a` at level 0, every clause
+    /// guarded by `a` is permanently satisfied and `simplify` frees it.
+    /// Must be called at decision level 0 (always the case between
+    /// incremental solve calls).
+    pub fn simplify(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        // Level-0 facts are permanent: their reason clauses are no longer
+        // needed for conflict analysis and must not pin clause references
+        // across the compaction below.
+        for i in 0..self.trail.len() {
+            self.reasons[self.trail[i].var().index()] = None;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        let mut learnt_refs = Vec::with_capacity(self.learnt_refs.len());
+        for mut clause in old {
+            if clause.deleted {
+                continue;
+            }
+            let satisfied = clause
+                .lits
+                .iter()
+                .any(|&l| self.lit_value(l) == VALUE_TRUE && self.levels[l.var().index()] == 0);
+            if satisfied {
+                continue;
+            }
+            clause
+                .lits
+                .retain(|&l| self.lit_value(l) != VALUE_FALSE || self.levels[l.var().index()] != 0);
+            // At the level-0 propagation fixpoint an unsatisfied clause has
+            // at least two unassigned literals (a single one would have been
+            // propagated, satisfying the clause).
+            debug_assert!(clause.lits.len() >= 2);
+            if clause.learnt {
+                learnt_refs.push(self.clauses.len());
+            }
+            self.clauses.push(clause);
+        }
+        self.learnt_refs = learnt_refs;
+        self.rebuild_watches();
+    }
+
     fn search(&mut self, conflict_budget: u64, total_conflicts: &mut u64) -> SearchStatus {
         let mut conflicts_here = 0u64;
         loop {
@@ -690,6 +762,19 @@ impl Solver {
                         self.cancel_until(0);
                         return SearchStatus::Budget;
                     }
+                }
+                // Cooperative cancellation, polled like the conflict budget
+                // (once per decision, i.e. every conflict-free propagation
+                // round): a cancelled solver abandons the call within
+                // milliseconds instead of running to its verdict.
+                if self
+                    .config
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|token| token.is_cancelled())
+                {
+                    self.cancel_until(0);
+                    return SearchStatus::Budget;
                 }
                 if conflicts_here >= conflict_budget {
                     self.cancel_until(0);
@@ -746,6 +831,14 @@ impl Solver {
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        if self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|token| token.is_cancelled())
+        {
+            return SolveResult::Unknown;
         }
         for a in assumptions {
             self.ensure_vars(a.var().index() + 1);
@@ -1111,6 +1204,118 @@ mod tests {
         let _ = s.solve();
         let stats = s.stats();
         assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    /// Builds an unsatisfiable pigeonhole instance with `holes + 1` pigeons.
+    fn pigeonhole(holes: usize, config: SolverConfig) -> Solver {
+        let var = |i: usize, j: usize| Var::new((i * holes + j) as u32);
+        let mut s = Solver::with_config(config);
+        for i in 0..=holes {
+            let clause: Vec<Lit> = (0..holes).map(|j| var(i, j).positive()).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..=holes {
+                for i2 in (i1 + 1)..=holes {
+                    s.add_clause([var(i1, j).negative(), var(i2, j).negative()]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn cancelled_token_preempts_the_solve_call() {
+        use crate::CancelToken;
+        let token = CancelToken::new();
+        let mut s = Solver::with_config(SolverConfig::default().with_cancel(token.clone()));
+        s.add_clause([lit(1), lit(2)]);
+        token.cancel();
+        // Even a trivially satisfiable formula reports Unknown once the
+        // token is cancelled: a loser in a portfolio race must not keep
+        // producing (and acting on) verdicts.
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn cancellation_interrupts_a_long_search() {
+        use crate::CancelToken;
+        use std::time::{Duration, Instant};
+        // A pigeonhole instance far beyond what the test environment can
+        // refute quickly; without cancellation this solve would run for a
+        // very long time.
+        let token = CancelToken::new();
+        let mut s = pigeonhole(9, SolverConfig::default().with_cancel(token.clone()));
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                token.cancel();
+            }
+        });
+        let start = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "cancellation did not interrupt the search"
+        );
+        canceller.join().expect("canceller thread");
+        // The solver remains usable: the cancelled call left no residue.
+        assert!(!s.is_known_unsat());
+    }
+
+    #[test]
+    fn simplify_frees_retired_activation_clauses() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        let mut retired = Vec::new();
+        for generation in 0..50 {
+            let a = s.new_activation_lit();
+            s.add_guarded_clause(a, [x]);
+            s.add_guarded_clause(a, [!x, x]);
+            assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+            s.retire_activation(a);
+            retired.push(a);
+            let _ = generation;
+        }
+        let before = s.num_clauses();
+        s.simplify();
+        let after = s.num_clauses();
+        assert!(
+            after < before / 10,
+            "simplify kept {after} of {before} clauses despite every guard being retired"
+        );
+        // Retired guards stay retired and the solver stays correct.
+        assert_eq!(s.solve_with_assumptions(&[retired[0]]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn reduce_learnt_db_shrinks_and_preserves_correctness() {
+        let mut s = Solver::with_config(SolverConfig {
+            first_reduce_db: 100_000, // keep the automatic reduction out of the way
+            ..SolverConfig::default()
+        });
+        // Satisfiable pigeonhole with equal pigeons and holes: the solver
+        // learns clauses on the way to a permutation.
+        let holes = 7;
+        let var = |i: usize, j: usize| Var::new((i * holes + j) as u32);
+        for i in 0..holes {
+            let clause: Vec<Lit> = (0..holes).map(|j| var(i, j).positive()).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..holes {
+                for i2 in (i1 + 1)..holes {
+                    s.add_clause([var(i1, j).negative(), var(i2, j).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let learnts_before = s.stats().learnt_clauses;
+        s.reduce_learnt_db();
+        assert!(s.stats().learnt_clauses <= learnts_before.div_ceil(2) + 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     /// Brute-force reference check on random 3-CNF formulas.

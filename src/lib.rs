@@ -21,6 +21,7 @@
 //! | [`dqbf`] | `manthan3-dqbf` | DQBF formulas, DQDIMACS, certificates |
 //! | [`core`] | `manthan3-core` | the synthesis pipeline and the shared oracle layer |
 //! | [`baselines`] | `manthan3-baselines` | HQS2-like and Pedant-like engines (same oracle layer) |
+//! | [`portfolio`] | `manthan3-portfolio` | parallel engine race with cooperative cancellation |
 //! | [`gen`] | `manthan3-gen` | synthetic benchmark families |
 //!
 //! The benchmark harness lives in the unexported `manthan3-bench` crate
@@ -56,5 +57,6 @@ pub use manthan3_dqbf as dqbf;
 pub use manthan3_dtree as dtree;
 pub use manthan3_gen as gen;
 pub use manthan3_maxsat as maxsat;
+pub use manthan3_portfolio as portfolio;
 pub use manthan3_sampler as sampler;
 pub use manthan3_sat as sat;
