@@ -7,7 +7,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_bench::{run_engine, EngineKind, RunRecord};
-use manthan3_core::{Budget, Manthan3, Manthan3Config, Oracle, VerifySession};
+use manthan3_cnf::{Lit, Var};
+use manthan3_core::{
+    find_candidates_from_scratch, find_candidates_to_repair, Budget, Manthan3, Manthan3Config,
+    Oracle, RepairSession, Sigma, SynthesisStats, VerifySession,
+};
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
 use manthan3_gen::controller::{controller, ControllerParams};
 use manthan3_gen::pec::{pec, PecParams};
@@ -17,6 +21,8 @@ use manthan3_gen::succinct::{succinct, SuccinctParams};
 use manthan3_gen::suite::suite;
 use manthan3_gen::Instance;
 use manthan3_portfolio::{Portfolio, PortfolioConfig};
+use manthan3_sat::{SolveResult, Solver};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -288,6 +294,159 @@ fn bench_portfolio(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic splitmix64 so the workload needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A repair-heavy FindCandidates workload on a `suite(7, 1)` instance: the
+/// satisfiable suite instance with the largest matrix × output product, plus
+/// a deterministic sequence of counterexamples σ whose σ[X] all extend to a
+/// model of ϕ (the only shape the engine ever queries).
+fn repair_workload(iterations: usize) -> (Dqbf, Vec<Sigma>) {
+    let dqbf = suite(7, 1)
+        .into_iter()
+        .map(|i| i.dqbf)
+        .filter(|d| {
+            if d.existentials().len() < 3 {
+                return false;
+            }
+            let mut solver = Solver::new();
+            solver.add_cnf(d.matrix());
+            solver.ensure_vars(d.num_vars());
+            solver.solve() == SolveResult::Sat
+        })
+        .max_by_key(|d| d.matrix().clauses().len() * d.existentials().len())
+        .expect("the suite contains satisfiable instances with outputs");
+
+    let mut phi = Solver::new();
+    phi.add_cnf(dqbf.matrix());
+    phi.ensure_vars(dqbf.num_vars());
+    let mut rng_state = 0x0BE5_EED5u64;
+    let mut sigmas = Vec::with_capacity(iterations);
+    while sigmas.len() < iterations {
+        let x: BTreeMap<Var, bool> = dqbf
+            .universals()
+            .iter()
+            .map(|&v| (v, splitmix64(&mut rng_state) & 1 == 1))
+            .collect();
+        let assumptions: Vec<Lit> = x.iter().map(|(&v, &b)| v.lit(b)).collect();
+        if phi.solve_with_assumptions(&assumptions) != SolveResult::Sat {
+            continue;
+        }
+        let pi = phi.model();
+        sigmas.push(Sigma {
+            y: dqbf
+                .existentials()
+                .iter()
+                .map(|&y| (y, pi.get(y).unwrap_or(false)))
+                .collect(),
+            y_prime: dqbf
+                .existentials()
+                .iter()
+                .map(|&y| (y, splitmix64(&mut rng_state) & 1 == 1))
+                .collect(),
+            x,
+        });
+    }
+    (dqbf, sigmas)
+}
+
+/// Runs the FindCandidates sweep on one persistent [`RepairSession`];
+/// returns the oracle for the stats assertions.
+fn sweep_incremental(dqbf: &Dqbf, sigmas: &[Sigma]) -> Oracle {
+    let mut oracle = Oracle::new(Budget::unlimited());
+    let mut session = RepairSession::new(dqbf, &mut oracle);
+    let mut stats = SynthesisStats::default();
+    for sigma in sigmas {
+        std::hint::black_box(find_candidates_to_repair(
+            dqbf,
+            sigma,
+            &mut session,
+            &mut oracle,
+            &mut stats,
+        ));
+    }
+    oracle
+}
+
+/// Runs the same sweep on the pre-incremental path: a full hard-clause
+/// MaxSAT rebuild per call.
+fn sweep_from_scratch(dqbf: &Dqbf, sigmas: &[Sigma]) {
+    let mut oracle = Oracle::new(Budget::unlimited());
+    let mut stats = SynthesisStats::default();
+    for sigma in sigmas {
+        std::hint::black_box(find_candidates_from_scratch(
+            dqbf,
+            sigma,
+            &mut oracle,
+            &mut stats,
+        ));
+    }
+}
+
+/// The acceptance benchmark for the persistent repair session (ISSUE 3): a
+/// FindCandidates sweep of well over 20 repair iterations must be served by
+/// exactly one MaxSAT hard-encoding construction — every call under
+/// assumptions — and beat the from-scratch rebuild-per-call path on wall
+/// clock for the same sigma sequence on the same instance.
+///
+/// The one-shot comparison repeats both sweeps several times so the margin
+/// dominates timer noise; the criterion-timed series then tracks both paths
+/// over time.
+fn bench_repair_session(c: &mut Criterion) {
+    const REPAIR_ITERATIONS: usize = 30;
+    const ACCEPTANCE_ROUNDS: usize = 20;
+    let (dqbf, sigmas) = repair_workload(REPAIR_ITERATIONS);
+
+    let incremental_start = Instant::now();
+    let mut oracle = None;
+    for _ in 0..ACCEPTANCE_ROUNDS {
+        oracle = Some(sweep_incremental(&dqbf, &sigmas));
+    }
+    let incremental_wall = incremental_start.elapsed();
+    let stats = *oracle.expect("at least one sweep ran").stats();
+    assert_eq!(
+        stats.maxsat_hard_encodings, 1,
+        "a {REPAIR_ITERATIONS}-iteration repair sweep must build exactly one hard encoding"
+    );
+    assert_eq!(stats.maxsat_incremental_calls, REPAIR_ITERATIONS);
+    assert_eq!(stats.maxsat_calls, REPAIR_ITERATIONS);
+
+    let scratch_start = Instant::now();
+    for _ in 0..ACCEPTANCE_ROUNDS {
+        sweep_from_scratch(&dqbf, &sigmas);
+    }
+    let scratch_wall = scratch_start.elapsed();
+
+    println!(
+        "repair_incremental acceptance: {REPAIR_ITERATIONS} FindCandidates calls x \
+         {ACCEPTANCE_ROUNDS} rounds — incremental session {:.2}ms, from-scratch rebuild {:.2}ms \
+         ({:.1}x)",
+        incremental_wall.as_secs_f64() * 1e3,
+        scratch_wall.as_secs_f64() * 1e3,
+        scratch_wall.as_secs_f64() / incremental_wall.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        incremental_wall < scratch_wall,
+        "incremental repair session ({incremental_wall:?}) is not faster than the from-scratch \
+         MaxSAT rebuild ({scratch_wall:?})"
+    );
+
+    let mut group = c.benchmark_group("repair_incremental");
+    group.bench_function("incremental_session", |b| {
+        b.iter(|| sweep_incremental(&dqbf, &sigmas))
+    });
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| sweep_from_scratch(&dqbf, &sigmas))
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -298,6 +457,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = synthesis;
     config = config();
-    targets = bench_engines, bench_verification_session, bench_portfolio
+    targets = bench_engines, bench_verification_session, bench_repair_session, bench_portfolio
 }
 criterion_main!(synthesis);

@@ -126,7 +126,8 @@ fn main() {
     let records = run_suite_with_engines(&instances, &args.engines, args.budget);
     println!("finished in {:?}", start.elapsed());
 
-    // Raw records.
+    // Raw records, including the per-run MaxSAT oracle counters behind the
+    // summary's incremental-vs-fresh aggregates.
     let raw_rows: Vec<Vec<String>> = records
         .iter()
         .map(|r| {
@@ -138,6 +139,10 @@ fn main() {
                 r.decided.to_string(),
                 r.outcome.clone(),
                 format!("{:.4}", r.seconds()),
+                r.repair_iterations.to_string(),
+                r.oracle.maxsat_calls.to_string(),
+                r.oracle.maxsat_incremental_calls.to_string(),
+                r.oracle.maxsat_hard_encodings.to_string(),
             ]
         })
         .collect();
@@ -151,6 +156,10 @@ fn main() {
             "decided",
             "outcome",
             "seconds",
+            "repair_iterations",
+            "maxsat_calls",
+            "maxsat_incremental_calls",
+            "maxsat_hard_encodings",
         ],
         &raw_rows,
     )

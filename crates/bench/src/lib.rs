@@ -20,7 +20,7 @@ pub mod csvio;
 pub mod report;
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
-use manthan3_core::{Manthan3, Manthan3Config, SynthesisOutcome};
+use manthan3_core::{Manthan3, Manthan3Config, OracleStats, SynthesisOutcome};
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
 use manthan3_portfolio::{Portfolio, PortfolioConfig};
@@ -101,6 +101,15 @@ pub struct RunRecord {
     pub outcome: String,
     /// Wall-clock runtime of the engine call.
     pub time: Duration,
+    /// Oracle-layer counters of the run (for the portfolio: the element-wise
+    /// sum over the racing engines). The MaxSAT columns of
+    /// `summary_table.csv` — incremental hits vs fresh encodes — aggregate
+    /// these across the suite.
+    pub oracle: OracleStats,
+    /// Number of repair iterations (counterexample rounds) the run took.
+    /// Only the Manthan3 engine reports this; baselines and the portfolio
+    /// record zero.
+    pub repair_iterations: usize,
 }
 
 impl RunRecord {
@@ -118,35 +127,40 @@ impl RunRecord {
 /// workspace, but the harness does not take their word for it).
 pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> RunRecord {
     let start = Instant::now();
-    let outcome = match engine {
+    let (outcome, oracle, repair_iterations) = match engine {
         EngineKind::Manthan3 => {
             let config = Manthan3Config {
                 time_budget: Some(budget),
                 ..Manthan3Config::default()
             };
-            Manthan3::new(config).synthesize(&instance.dqbf).outcome
+            let result = Manthan3::new(config).synthesize(&instance.dqbf);
+            (
+                result.outcome,
+                result.stats.oracle,
+                result.stats.repair_iterations,
+            )
         }
         EngineKind::Hqs2Like => {
             let config = ExpansionConfig {
                 time_budget: Some(budget),
                 ..ExpansionConfig::default()
             };
-            ExpansionSolver::new(config)
-                .synthesize(&instance.dqbf)
-                .outcome
+            let result = ExpansionSolver::new(config).synthesize(&instance.dqbf);
+            (result.outcome, result.oracle, 0)
         }
         EngineKind::PedantLike => {
             let config = ArbiterConfig {
                 time_budget: Some(budget),
                 ..ArbiterConfig::default()
             };
-            ArbiterSolver::new(config)
-                .synthesize(&instance.dqbf)
-                .outcome
+            let result = ArbiterSolver::new(config).synthesize(&instance.dqbf);
+            (result.outcome, result.oracle, 0)
         }
         EngineKind::Portfolio => {
             let config = PortfolioConfig::with_time_budget(budget);
-            Portfolio::new(config).run(&instance.dqbf).outcome
+            let result = Portfolio::new(config).run(&instance.dqbf);
+            let oracle = result.merged_oracle_stats();
+            (result.outcome, oracle, 0)
         }
     };
     let time = start.elapsed();
@@ -170,6 +184,8 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
         decided,
         outcome: label,
         time,
+        oracle,
+        repair_iterations,
     }
 }
 

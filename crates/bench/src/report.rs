@@ -122,6 +122,21 @@ pub struct Summary {
     /// Instances decided by the live parallel portfolio engine, when its
     /// records are present.
     pub portfolio_decided: Option<usize>,
+    /// Total MaxSAT solve calls across every run of the suite.
+    pub maxsat_calls: usize,
+    /// Full hard-clause MaxSAT encodings constructed across every run (the
+    /// fresh encodes; the persistent repair session pays one per
+    /// repair-exercising run).
+    pub maxsat_fresh_encodes: usize,
+    /// MaxSAT calls served under assumptions on a persistent encoding (the
+    /// incremental hits).
+    pub maxsat_incremental_hits: usize,
+    /// Total repair iterations across the Manthan3 runs.
+    pub repair_iterations: usize,
+    /// MaxSAT calls per repair iteration over the Manthan3 runs (zero when
+    /// the suite needed no repairs). Tracks the one-FindCandidates-per-
+    /// counterexample shape of the incremental loop.
+    pub maxsat_calls_per_repair_iteration: f64,
 }
 
 /// Computes the summary table from the run records.
@@ -185,6 +200,28 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         )
     };
 
+    let maxsat_calls = records.iter().map(|r| r.oracle.maxsat_calls).sum();
+    let maxsat_fresh_encodes = records.iter().map(|r| r.oracle.maxsat_hard_encodings).sum();
+    let maxsat_incremental_hits = records
+        .iter()
+        .map(|r| r.oracle.maxsat_incremental_calls)
+        .sum();
+    // The per-iteration ratio is a Manthan3 shape invariant (one
+    // FindCandidates call per counterexample), so it is computed over the
+    // Manthan3 records only — the portfolio merges counters across engines
+    // without per-engine iteration counts.
+    let manthan3_records: Vec<&RunRecord> = records
+        .iter()
+        .filter(|r| r.engine == EngineKind::Manthan3)
+        .collect();
+    let repair_iterations: usize = manthan3_records.iter().map(|r| r.repair_iterations).sum();
+    let manthan3_maxsat_calls: usize = manthan3_records.iter().map(|r| r.oracle.maxsat_calls).sum();
+    let maxsat_calls_per_repair_iteration = if repair_iterations == 0 {
+        0.0
+    } else {
+        manthan3_maxsat_calls as f64 / repair_iterations as f64
+    };
+
     Summary {
         total_instances: instances.len(),
         synthesized,
@@ -199,6 +236,11 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         manthan3_within_10s_of_vbs,
         portfolio_synthesized,
         portfolio_decided,
+        maxsat_calls,
+        maxsat_fresh_encodes,
+        maxsat_incremental_hits,
+        repair_iterations,
+        maxsat_calls_per_repair_iteration,
     }
 }
 
@@ -253,6 +295,26 @@ impl Summary {
             ]);
             rows.push(vec!["decided_portfolio".into(), decided.to_string()]);
         }
+        // MaxSAT oracle counters: the bench trajectory of the incremental
+        // repair refactor (fresh encodes should stay at ~one per
+        // repair-exercising run, incremental hits carry the rest).
+        rows.push(vec!["maxsat_calls".into(), self.maxsat_calls.to_string()]);
+        rows.push(vec![
+            "maxsat_fresh_encodes".into(),
+            self.maxsat_fresh_encodes.to_string(),
+        ]);
+        rows.push(vec![
+            "maxsat_incremental_hits".into(),
+            self.maxsat_incremental_hits.to_string(),
+        ]);
+        rows.push(vec![
+            "repair_iterations".into(),
+            self.repair_iterations.to_string(),
+        ]);
+        rows.push(vec![
+            "maxsat_calls_per_repair_iteration".into(),
+            format!("{:.3}", self.maxsat_calls_per_repair_iteration),
+        ]);
         rows
     }
 }
@@ -283,6 +345,15 @@ impl fmt::Display for Summary {
             "Manthan3 within +10s of VBS: {}",
             self.manthan3_within_10s_of_vbs
         )?;
+        write!(
+            f,
+            "\nMaxSAT calls:              {} ({} incremental, {} fresh encodes, \
+             {:.3} per repair iteration)",
+            self.maxsat_calls,
+            self.maxsat_incremental_hits,
+            self.maxsat_fresh_encodes,
+            self.maxsat_calls_per_repair_iteration
+        )?;
         if let (Some(synthesized), Some(decided)) =
             (self.portfolio_synthesized, self.portfolio_decided)
         {
@@ -308,6 +379,8 @@ mod tests {
             decided: synthesized,
             outcome: if synthesized { "realizable" } else { "unknown" }.to_string(),
             time: Duration::from_secs_f64(seconds),
+            oracle: manthan3_core::OracleStats::default(),
+            repair_iterations: 0,
         }
     }
 
@@ -399,6 +472,50 @@ mod tests {
             .iter()
             .any(|r| r[0] == "synthesized_portfolio" && r[1] == "3"));
         assert!(s.to_string().contains("parallel portfolio"));
+    }
+
+    #[test]
+    fn maxsat_counters_aggregate_into_the_summary() {
+        let mut records = sample_records();
+        // The two Manthan3 runs did 5 + 3 repair iterations with one fresh
+        // encode each and one incremental FindCandidates call per iteration;
+        // a baseline record contributes nothing.
+        records[0].oracle.maxsat_calls = 5;
+        records[0].oracle.maxsat_incremental_calls = 5;
+        records[0].oracle.maxsat_hard_encodings = 1;
+        records[0].repair_iterations = 5;
+        records[3].oracle.maxsat_calls = 3;
+        records[3].oracle.maxsat_incremental_calls = 3;
+        records[3].oracle.maxsat_hard_encodings = 1;
+        records[3].repair_iterations = 3;
+        let s = summary(&records);
+        assert_eq!(s.maxsat_calls, 8);
+        assert_eq!(s.maxsat_incremental_hits, 8);
+        assert_eq!(s.maxsat_fresh_encodes, 2);
+        assert_eq!(s.repair_iterations, 8);
+        assert!((s.maxsat_calls_per_repair_iteration - 1.0).abs() < 1e-9);
+        let rows = s.rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "maxsat_incremental_hits" && r[1] == "8"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "maxsat_fresh_encodes" && r[1] == "2"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "maxsat_calls_per_repair_iteration" && r[1] == "1.000"));
+        assert!(s.to_string().contains("MaxSAT calls"));
+    }
+
+    #[test]
+    fn repair_free_suites_report_a_zero_ratio() {
+        let s = summary(&sample_records());
+        assert_eq!(s.repair_iterations, 0);
+        assert_eq!(s.maxsat_calls_per_repair_iteration, 0.0);
+        assert!(s
+            .rows()
+            .iter()
+            .any(|r| r[0] == "maxsat_calls_per_repair_iteration" && r[1] == "0.000"));
     }
 
     #[test]

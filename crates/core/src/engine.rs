@@ -15,8 +15,8 @@ use crate::learn::learn_candidate;
 use crate::oracle::{Budget, Oracle, UnknownReason};
 use crate::order::{DependencyState, Order};
 use crate::preprocess::extract_unique_definitions;
-use crate::repair::{repair_vector, Sigma};
-use crate::session::{VerifyOutcome, VerifySession};
+use crate::repair::{find_candidates_to_repair, repair_vector, Sigma};
+use crate::session::{RepairSession, VerifyOutcome, VerifySession};
 use crate::stats::SynthesisStats;
 use manthan3_cnf::{Assignment, Lit, Var};
 use manthan3_dqbf::{Dqbf, HenkinVector};
@@ -69,8 +69,12 @@ struct SynthesisCtx<'a> {
     dependency_state: DependencyState,
     /// Linear extension of the dependencies (set by the Order stage).
     order: Option<Order>,
-    /// The persistent incremental verify/repair session (set by Preprocess).
+    /// The persistent incremental verify session (set by Preprocess).
     session: Option<VerifySession>,
+    /// The persistent assumption-based MaxSAT repair session, opened lazily
+    /// on the first counterexample so runs that never reach repair pay
+    /// nothing for it.
+    repair: Option<RepairSession>,
 }
 
 impl<'a> SynthesisCtx<'a> {
@@ -86,6 +90,7 @@ impl<'a> SynthesisCtx<'a> {
             dependency_state: DependencyState::new(dqbf.existentials()),
             order: None,
             session: None,
+            repair: None,
         }
     }
 
@@ -257,9 +262,11 @@ fn stage_order(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
 }
 
 /// Pipeline stage 5 — **VerifyRepair**: the CEGIS loop on the persistent
-/// session. Verification re-solves the incrementally maintained error
-/// formula under activation assumptions; repair adds clauses and swaps
-/// activation literals, never reconstructing a solver.
+/// twin sessions. Verification re-solves the incrementally maintained error
+/// formula under activation assumptions; FindCandidates re-solves the
+/// persistent MaxSAT encoding under counterexample assumptions; repair adds
+/// clauses and swaps activation literals — no solver or encoding is ever
+/// reconstructed inside the loop.
 fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
     let mut session = ctx.session.take().expect("preprocess ran");
     let order = ctx.order.take().expect("order ran");
@@ -311,6 +318,19 @@ fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
                 .collect(),
             y_prime: delta.y_prime,
         };
+        // The repair session opens on the first counterexample and serves
+        // every later FindCandidates query under assumptions.
+        if ctx.repair.is_none() {
+            ctx.repair = Some(RepairSession::new(ctx.dqbf, &mut ctx.oracle));
+        }
+        let repair_session = ctx.repair.as_mut().expect("repair session just opened");
+        let candidates = find_candidates_to_repair(
+            ctx.dqbf,
+            &sigma,
+            repair_session,
+            &mut ctx.oracle,
+            &mut ctx.stats,
+        );
         let outcome = repair_vector(
             ctx.dqbf,
             ctx.config,
@@ -319,6 +339,7 @@ fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
             &mut ctx.vector,
             &order,
             &mut sigma,
+            candidates,
             &mut ctx.stats,
         );
         ctx.stats.repair_time += repair_start.elapsed();
@@ -481,6 +502,19 @@ mod tests {
         assert_eq!(oracle.sat_solvers_constructed, 2);
         assert_eq!(oracle.samplers_constructed, 1);
         assert!(oracle.sat_calls >= result.stats.verification_checks);
+        // The MaxSAT side mirrors it: at most one hard encoding (exactly one
+        // once any repair iteration ran), every FindCandidates call served
+        // under assumptions on it.
+        assert!(oracle.maxsat_hard_encodings <= 1);
+        if result.stats.repair_iterations > 0 {
+            assert_eq!(oracle.maxsat_hard_encodings, 1);
+            assert_eq!(oracle.maxsat_solvers_constructed, 1);
+            assert_eq!(oracle.maxsat_incremental_calls, oracle.maxsat_calls);
+        } else {
+            // No counterexample: the repair session is never even opened.
+            assert_eq!(oracle.maxsat_hard_encodings, 0);
+            assert_eq!(oracle.maxsat_solvers_constructed, 0);
+        }
     }
 
     #[test]

@@ -50,6 +50,15 @@
 //!   hundreds-of-iterations repair runs keep a bounded solver state. The
 //!   repair queries `G_k` (and their UNSAT cores, which become repair
 //!   cubes) run on the same session's persistent matrix solver.
+//! * The [`RepairSession`] is the MaxSAT twin: the FindCandidates encoding
+//!   (matrix hard clauses, per-output target indirections, soft units, and
+//!   the totalizer) is built **once** on the first counterexample, and
+//!   every FindCandidates query is answered under assumptions pinning
+//!   `σ[X]` and `σ[Y']` — counterexample state is retracted automatically
+//!   between iterations, nothing is re-encoded. With both sessions in
+//!   place the CEGIS loop is allocation-stable end to end:
+//!   `OracleStats::maxsat_hard_encodings` stays at one however many repair
+//!   iterations run, next to `sat_solvers_constructed` staying at two.
 //!
 //! # Cancellation: racing engines in a portfolio
 //!
@@ -132,5 +141,9 @@ mod stats;
 pub use config::Manthan3Config;
 pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult};
 pub use oracle::{Budget, Oracle, OracleStats, UnknownReason};
-pub use session::{Delta, VerifyOutcome, VerifySession};
+pub use order::{DependencyState, Order};
+pub use repair::{
+    find_candidates_from_scratch, find_candidates_to_repair, repair_vector, RepairOutcome, Sigma,
+};
+pub use session::{Delta, RepairSession, VerifyOutcome, VerifySession};
 pub use stats::SynthesisStats;

@@ -157,6 +157,15 @@ pub struct OracleStats {
     pub sat_calls: usize,
     /// Number of MaxSAT solve calls.
     pub maxsat_calls: usize,
+    /// Number of full hard-clause MaxSAT encodings constructed. The
+    /// persistent repair session keeps this at one per run, however many
+    /// FindCandidates calls execute; the from-scratch reference path pays
+    /// one per call.
+    pub maxsat_hard_encodings: usize,
+    /// Number of MaxSAT solve calls served under assumptions on a persistent
+    /// encoding (the incremental hits; `maxsat_calls -
+    /// maxsat_incremental_calls` are fresh rebuild-and-solve calls).
+    pub maxsat_incremental_calls: usize,
     /// Total SAT conflicts across all oracle-routed solve calls.
     pub conflicts: u64,
     /// Number of calls that gave up because a budget was exhausted.
@@ -304,6 +313,40 @@ impl Oracle {
             self.stats.budget_exhaustions += 1;
         }
         result
+    }
+
+    /// Runs a MaxSAT solve under `assumptions` and the shared budget — the
+    /// incremental counterpart of [`Oracle::solve_maxsat`], used by the
+    /// persistent [`RepairSession`](crate::RepairSession): the call is
+    /// served by a kept encoding, so it is additionally counted in
+    /// [`OracleStats::maxsat_incremental_calls`]. Budget semantics are
+    /// identical (one oracle call against the shared allowance, conflicts
+    /// billed to the shared counter, refused untouched when exhausted).
+    pub fn solve_maxsat_under_assumptions(
+        &mut self,
+        solver: &mut MaxSatSolver,
+        assumptions: &[Lit],
+    ) -> MaxSatResult {
+        if self.exhausted().is_some() {
+            self.stats.budget_exhaustions += 1;
+            return MaxSatResult::Unknown;
+        }
+        let before = solver.sat_stats().conflicts;
+        let result = solver.solve_under_assumptions(assumptions);
+        self.stats.maxsat_calls += 1;
+        self.stats.maxsat_incremental_calls += 1;
+        self.stats.conflicts += solver.sat_stats().conflicts - before;
+        if result == MaxSatResult::Unknown {
+            self.stats.budget_exhaustions += 1;
+        }
+        result
+    }
+
+    /// Records the construction of a full hard-clause MaxSAT encoding (the
+    /// expensive, once-per-session — or, on the from-scratch reference path,
+    /// once-per-call — part of a FindCandidates query).
+    pub(crate) fn note_maxsat_hard_encoding(&mut self) {
+        self.stats.maxsat_hard_encodings += 1;
     }
 
     /// Constructs a sampler for `cnf`, inheriting the budget's per-call

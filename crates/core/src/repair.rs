@@ -1,15 +1,20 @@
 //! `RepairHkF`: counterexample-guided candidate repair
 //! (Algorithm 3 of the paper).
 //!
-//! All SAT and MaxSAT queries run through the synthesis run's [`Oracle`];
-//! the `G_k` queries (and the UNSAT cores that become repair cubes) are
-//! answered by the persistent [`VerifySession`]'s incremental matrix solver,
-//! so repair never constructs a SAT solver of its own.
+//! All SAT and MaxSAT queries run through the synthesis run's [`Oracle`],
+//! and both run on persistent sessions: the FindCandidates MaxSAT queries
+//! are answered by the [`RepairSession`]'s incremental assumption-based
+//! encoding (built once per run), and the `G_k` queries (whose UNSAT cores
+//! become repair cubes) by the [`VerifySession`]'s incremental matrix
+//! solver — repair never constructs a solver or an encoding of its own.
+//! [`find_candidates_from_scratch`] keeps the pre-incremental
+//! rebuild-per-call path alive as the reference for the equivalence suite
+//! and the `repair_incremental` benchmark baseline.
 
 use crate::config::Manthan3Config;
 use crate::oracle::Oracle;
 use crate::order::Order;
-use crate::session::VerifySession;
+use crate::session::{RepairSession, VerifySession};
 use crate::stats::SynthesisStats;
 use manthan3_aig::AigRef;
 use manthan3_cnf::{Lit, Var};
@@ -39,16 +44,36 @@ pub struct RepairOutcome {
     pub stuck: bool,
 }
 
-/// Runs `FindCandi` (Algorithm 3, line 2): a MaxSAT call with
+/// Runs `FindCandi` (Algorithm 3, line 2): a MaxSAT query with
 /// `ϕ ∧ (X ↔ σ[X])` as hard constraints and `(Y ↔ σ[Y'])` as soft
 /// constraints; returns the outputs whose soft constraint was dropped.
+///
+/// Served by the persistent `session` entirely under assumptions — the
+/// encoding was built once when the session opened, so per-call cost tracks
+/// the counterexample, not the formula.
 pub fn find_candidates_to_repair(
+    dqbf: &Dqbf,
+    sigma: &Sigma,
+    session: &mut RepairSession,
+    oracle: &mut Oracle,
+    stats: &mut SynthesisStats,
+) -> Vec<Var> {
+    session.find_candidates(dqbf, sigma, oracle, stats)
+}
+
+/// The pre-incremental `FindCandi`: rebuilds the whole hard-clause MaxSAT
+/// encoding (matrix, `σ[X]` units, soft clauses, totalizer) on every call.
+/// Kept as the reference implementation for the repair-equivalence suite
+/// and as the baseline of the `repair_incremental` benchmark; the engine
+/// itself always runs on the [`RepairSession`].
+pub fn find_candidates_from_scratch(
     dqbf: &Dqbf,
     sigma: &Sigma,
     oracle: &mut Oracle,
     stats: &mut SynthesisStats,
 ) -> Vec<Var> {
     let mut maxsat = oracle.new_maxsat();
+    oracle.note_maxsat_hard_encoding();
     maxsat.add_hard_cnf(dqbf.matrix());
     for (&x, &value) in &sigma.x {
         maxsat.add_hard([x.lit(value)]);
@@ -102,10 +127,13 @@ pub fn y_hat(dqbf: &Dqbf, order: &Order, target: Var, config: &Manthan3Config) -
 }
 
 /// Repairs the candidate vector against the counterexample `sigma`
-/// (Algorithm 3). The `G_k` queries are answered by `session`'s persistent
-/// matrix solver under assumptions, so the UNSAT cores come from the same
-/// incremental session as the verification checks, and repair only extends
-/// the vector's AIG — it never rebuilds a solver or an encoding.
+/// (Algorithm 3), starting from the `candidates` selected by a
+/// FindCandidates query ([`find_candidates_to_repair`] on the persistent
+/// session, or [`find_candidates_from_scratch`] for reference runs). The
+/// `G_k` queries are answered by `session`'s persistent matrix solver under
+/// assumptions, so the UNSAT cores come from the same incremental session as
+/// the verification checks, and repair only extends the vector's AIG — it
+/// never rebuilds a solver or an encoding.
 #[allow(clippy::too_many_arguments)]
 pub fn repair_vector(
     dqbf: &Dqbf,
@@ -115,9 +143,10 @@ pub fn repair_vector(
     vector: &mut HenkinVector,
     order: &Order,
     sigma: &mut Sigma,
+    candidates: Vec<Var>,
     stats: &mut SynthesisStats,
 ) -> RepairOutcome {
-    let mut queue: Vec<Var> = find_candidates_to_repair(dqbf, sigma, oracle, stats);
+    let mut queue: Vec<Var> = candidates;
     let mut queued: BTreeSet<Var> = queue.iter().copied().collect();
     let mut repaired = Vec::new();
     let mut processed = 0usize;
@@ -274,13 +303,55 @@ mod tests {
         let (dqbf, _vector, _order, sigma) = paper_repair_state();
         let mut oracle = Oracle::new(Budget::unlimited());
         let mut stats = SynthesisStats::default();
-        let candidates = find_candidates_to_repair(&dqbf, &sigma, &mut oracle, &mut stats);
+        let mut session = RepairSession::new(&dqbf, &mut oracle);
+        let candidates =
+            find_candidates_to_repair(&dqbf, &sigma, &mut session, &mut oracle, &mut stats);
         // With x = (1,0,0), ϕ forces y2 = y1 ∨ ¬x2 = y1 ∨ 1 = 1, so the soft
         // constraint y2 ↔ 0 must be dropped; y1 and y3 can keep their
         // candidate outputs (0 and 0).
         assert_eq!(candidates, vec![y(1)]);
         assert_eq!(stats.maxsat_calls, 1);
         assert_eq!(oracle.stats().maxsat_calls, 1);
+        assert_eq!(oracle.stats().maxsat_incremental_calls, 1);
+        assert_eq!(oracle.stats().maxsat_hard_encodings, 1);
+    }
+
+    #[test]
+    fn from_scratch_reference_agrees_on_paper_example() {
+        let (dqbf, _vector, _order, sigma) = paper_repair_state();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut stats = SynthesisStats::default();
+        let candidates = find_candidates_from_scratch(&dqbf, &sigma, &mut oracle, &mut stats);
+        assert_eq!(candidates, vec![y(1)]);
+        // The reference path pays a full hard encoding per call and is never
+        // served under assumptions.
+        assert_eq!(oracle.stats().maxsat_hard_encodings, 1);
+        assert_eq!(oracle.stats().maxsat_incremental_calls, 0);
+    }
+
+    #[test]
+    fn repeated_find_candidates_reuse_one_encoding() {
+        let (dqbf, _vector, _order, sigma) = paper_repair_state();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut stats = SynthesisStats::default();
+        let mut session = RepairSession::new(&dqbf, &mut oracle);
+        // A second counterexample with flipped targets: the previous call's
+        // assumptions must be fully retracted.
+        let mut flipped = sigma.clone();
+        flipped.y_prime = [(y(0), true), (y(1), true), (y(2), true)].into();
+        flipped.x = [(x(0), false), (x(1), true), (x(2), false)].into();
+        for round in 0..6 {
+            let s = if round % 2 == 0 { &sigma } else { &flipped };
+            let _ = find_candidates_to_repair(&dqbf, s, &mut session, &mut oracle, &mut stats);
+        }
+        assert_eq!(oracle.stats().maxsat_hard_encodings, 1);
+        assert_eq!(oracle.stats().maxsat_solvers_constructed, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 6);
+        assert_eq!(oracle.stats().maxsat_incremental_calls, 6);
+        // The alternating counterexamples stay deterministic: re-querying
+        // the original sigma still selects y2 only.
+        let again = find_candidates_to_repair(&dqbf, &sigma, &mut session, &mut oracle, &mut stats);
+        assert_eq!(again, vec![y(1)]);
     }
 
     #[test]
@@ -305,7 +376,10 @@ mod tests {
         let mut stats = SynthesisStats::default();
         let mut oracle = Oracle::new(Budget::unlimited());
         let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let mut repair_session = RepairSession::new(&dqbf, &mut oracle);
 
+        let candidates =
+            find_candidates_to_repair(&dqbf, &sigma, &mut repair_session, &mut oracle, &mut stats);
         let outcome = repair_vector(
             &dqbf,
             &config,
@@ -314,6 +388,7 @@ mod tests {
             &mut vector,
             &order,
             &mut sigma,
+            candidates,
             &mut stats,
         );
         assert!(!outcome.stuck);
@@ -363,7 +438,10 @@ mod tests {
         };
         let mut oracle = Oracle::new(Budget::unlimited());
         let mut session = VerifySession::new(&dqbf, &mut oracle);
+        let mut repair_session = RepairSession::new(&dqbf, &mut oracle);
         let mut stats = SynthesisStats::default();
+        let candidates =
+            find_candidates_to_repair(&dqbf, &sigma, &mut repair_session, &mut oracle, &mut stats);
         let outcome = repair_vector(
             &dqbf,
             &config,
@@ -372,6 +450,7 @@ mod tests {
             &mut vector,
             &order,
             &mut sigma,
+            candidates,
             &mut stats,
         );
         assert!(outcome.stuck);

@@ -1,10 +1,18 @@
-//! Persistent incremental verification sessions.
+//! Persistent incremental oracle sessions: the twin-session architecture of
+//! the verify–repair loop.
 //!
-//! The verify–repair loop used to rebuild the error formula
-//! `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)` — and a fresh SAT solver for it — on every
-//! iteration, even though repair only ever *extends* candidate cones. A
-//! [`VerifySession`] instead encodes the formula once and keeps two
-//! incremental solvers alive for the whole synthesis run:
+//! The loop used to rebuild *two* encodings from scratch on every iteration:
+//! the error formula `E(X,Y') = ¬ϕ(X,Y') ∧ (Y' ↔ f)` on the verify side, and
+//! the FindCandidates MaxSAT instance `ϕ ∧ (X ↔ σ[X])` with soft
+//! `(Y ↔ σ[Y'])` on the repair side — even though between iterations only a
+//! counterexample's valuations and a few candidate cones change. Following
+//! the clausal-abstraction playbook (one persistent solver per abstraction
+//! level, per-iteration state expressed as assumptions), the loop now runs
+//! on two sessions that both live for the whole synthesis run:
+//!
+//! # [`VerifySession`] — the verify side
+//!
+//! Keeps two incremental SAT solvers:
 //!
 //! * the **error solver** holds `¬ϕ(X,Y')` (encoded once, lazily, on the
 //!   first verification)
@@ -21,23 +29,55 @@
 //!   the counterexample X-extension check, and the repair queries `G_k`
 //!   (whose UNSAT cores become repair cubes) — all under assumptions.
 //!
-//! Both solvers are constructed through the run's [`Oracle`], so budgets and
+//! # [`RepairSession`] — the repair side
+//!
+//! Keeps one incremental MaxSAT solver for the FindCandidates queries
+//! (Algorithm 3, line 2). The hard clauses `ϕ`, one *target indirection*
+//! `eq_i ↔ (y_i ↔ t_i)` per output, the soft units `(eq_i)`, and the
+//! totalizer over their relaxation variables are all encoded **once** when
+//! the session opens. A FindCandidates call then pins the
+//! counterexample-dependent valuations purely with assumptions —
+//! `X ↔ σ[X]` directly on the matrix variables, `Y ↔ σ[Y']` via the `t_i`
+//! targets — so they are retracted automatically between iterations and the
+//! outputs selected for repair are exactly those with `eq_i` false in the
+//! optimum. No clause is ever added after construction; the CDCL state and
+//! the cardinality network survive every iteration.
+//!
+//! # Literal lifecycle and maintenance cadence
+//!
+//! Per-iteration state never outlives its solve call on either session: the
+//! verify side swaps candidate generations by *retiring* activation literals
+//! (asserted false, clauses freed by the next maintenance pass), the repair
+//! side pins counterexamples with plain assumptions (nothing to retire).
+//! Both sessions run a bounded-state maintenance pass every
+//! [`MAINTENANCE_RETIREMENT_INTERVAL`] units of churn — retired generations
+//! on the verify side, solve calls on the repair side — halving the learnt
+//! database and compacting level-0-satisfied clauses, so
+//! hundreds-of-iterations runs keep O(encoding) solver state.
+//!
+//! All solvers are constructed through the run's [`Oracle`], so budgets and
 //! statistics are shared; `OracleStats::sat_solvers_constructed` staying at
-//! two per run is the observable witness of the reuse.
+//! two and `OracleStats::maxsat_hard_encodings` staying at one per run are
+//! the observable witnesses of the reuse.
 
 use crate::oracle::Oracle;
+use crate::repair::Sigma;
+use crate::stats::SynthesisStats;
 use manthan3_aig::AigRef;
 use manthan3_cnf::{Assignment, CnfBuilder, Lit, Var};
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
+use manthan3_maxsat::{MaxSatResult, MaxSatSolver, SoftId};
 use manthan3_sat::{SolveResult, Solver, SolverStats};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// After this many candidate generations have been retired the session runs
-/// an error-solver maintenance pass: the learnt database is halved (and its
-/// growth threshold reset) and clauses of retired generations — permanently
-/// satisfied by their asserted-false activation literals — are freed. This
-/// keeps hundreds-of-iterations repair runs from accumulating an unbounded
-/// solver state while still amortizing the watch-list rebuild.
+/// Maintenance cadence shared by both sessions. After this many units of
+/// churn — retired candidate generations for [`VerifySession`], solve calls
+/// for [`RepairSession`] — the session runs a solver maintenance pass: the
+/// learnt database is halved (and its growth threshold reset) and clauses
+/// satisfied at level 0 (e.g. retired generations, permanently disabled by
+/// their asserted-false activation literals) are freed. This keeps
+/// hundreds-of-iterations repair runs from accumulating an unbounded solver
+/// state while still amortizing the watch-list rebuild.
 const MAINTENANCE_RETIREMENT_INTERVAL: usize = 32;
 
 /// A model of the error formula: the counterexample parts `δ[X]` and
@@ -301,6 +341,154 @@ impl VerifySession {
     }
 }
 
+/// One output's slot in the persistent FindCandidates encoding: the target
+/// indirection variable pinned by assumptions and the soft clause whose
+/// violation selects the output for repair.
+#[derive(Debug, Clone, Copy)]
+struct RepairSlot {
+    output: Var,
+    /// `t_i`: assumed equal to `σ[y'_i]` on each call.
+    target: Var,
+    /// The soft unit `(eq_i)` with `eq_i ↔ (y_i ↔ t_i)` as hard clauses.
+    soft: SoftId,
+}
+
+/// The persistent assumption-based MaxSAT session answering the repair
+/// loop's FindCandidates queries. See the [module documentation](self) for
+/// the encoding and literal lifecycle.
+#[derive(Debug, Clone)]
+pub struct RepairSession {
+    maxsat: MaxSatSolver,
+    slots: Vec<RepairSlot>,
+    /// FindCandidates calls answered over the session's lifetime.
+    solves: usize,
+    /// Solve calls since the last maintenance pass.
+    solves_since_maintenance: usize,
+    /// MaxSAT-solver maintenance passes performed.
+    maintenance_runs: usize,
+}
+
+impl RepairSession {
+    /// Opens a session for `dqbf`: encodes the matrix, one target
+    /// indirection `eq_i ↔ (y_i ↔ t_i)` per existential output, the soft
+    /// units `(eq_i)`, and (lazily, inside the MaxSAT solver) the totalizer
+    /// — the one and only hard-encoding construction of the whole repair
+    /// loop, recorded in `OracleStats::maxsat_hard_encodings`.
+    pub fn new(dqbf: &Dqbf, oracle: &mut Oracle) -> Self {
+        let mut maxsat = oracle.new_maxsat();
+        oracle.note_maxsat_hard_encoding();
+        maxsat.add_hard_cnf(dqbf.matrix());
+        let mut slots = Vec::with_capacity(dqbf.existentials().len());
+        for &y in dqbf.existentials() {
+            let t = maxsat.new_var();
+            let eq = maxsat.new_var();
+            let (yl, tl, eql) = (y.positive(), t.positive(), eq.positive());
+            // eq ↔ (y ↔ t), encoded once; t is pinned per call by an
+            // assumption, so the soft structure below never changes.
+            maxsat.add_hard([!eql, !yl, tl]);
+            maxsat.add_hard([!eql, yl, !tl]);
+            maxsat.add_hard([eql, !yl, !tl]);
+            maxsat.add_hard([eql, yl, tl]);
+            let soft = maxsat.add_soft([eql], 1);
+            slots.push(RepairSlot {
+                output: y,
+                target: t,
+                soft,
+            });
+        }
+        RepairSession {
+            maxsat,
+            slots,
+            solves: 0,
+            solves_since_maintenance: 0,
+            maintenance_runs: 0,
+        }
+    }
+
+    /// Runs `FindCandi` (Algorithm 3, line 2) for the counterexample
+    /// `sigma`, entirely under assumptions on the persistent encoding:
+    /// `X ↔ σ[X]` pins the matrix variables, `t_i ↔ σ[y'_i]` pins the soft
+    /// targets. Returns the outputs whose soft constraint was dropped in the
+    /// optimum — the candidates to repair.
+    ///
+    /// When the oracle is budgeted out (or the hard part is unexpectedly
+    /// unsatisfiable under the assumptions), falls back to "repair every
+    /// output whose candidate output differs from the witness extension",
+    /// exactly like the from-scratch path.
+    pub fn find_candidates(
+        &mut self,
+        dqbf: &Dqbf,
+        sigma: &Sigma,
+        oracle: &mut Oracle,
+        stats: &mut SynthesisStats,
+    ) -> Vec<Var> {
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(sigma.x.len() + self.slots.len());
+        for (&x, &value) in &sigma.x {
+            assumptions.push(x.lit(value));
+        }
+        for slot in &self.slots {
+            let target = sigma.y_prime.get(&slot.output).copied().unwrap_or(false);
+            assumptions.push(slot.target.lit(target));
+        }
+        stats.maxsat_calls += 1;
+        let result = oracle.solve_maxsat_under_assumptions(&mut self.maxsat, &assumptions);
+        self.solves += 1;
+        self.solves_since_maintenance += 1;
+        if self.solves_since_maintenance >= MAINTENANCE_RETIREMENT_INTERVAL {
+            self.maintain();
+        }
+        match result {
+            MaxSatResult::Optimum { .. } => {
+                let violated: BTreeSet<_> = self.maxsat.violated_softs().into_iter().collect();
+                self.slots
+                    .iter()
+                    .filter(|slot| violated.contains(&slot.soft))
+                    .map(|slot| slot.output)
+                    .collect()
+            }
+            MaxSatResult::HardUnsat | MaxSatResult::Unknown => dqbf
+                .existentials()
+                .iter()
+                .copied()
+                .filter(|y| sigma.y.get(y) != sigma.y_prime.get(y))
+                .collect(),
+        }
+    }
+
+    /// Runs a MaxSAT-solver maintenance pass immediately (learnt-DB halving
+    /// plus level-0 compaction). Called automatically every
+    /// [`MAINTENANCE_RETIREMENT_INTERVAL`] solve calls; exposed for callers
+    /// that drive the session manually.
+    pub fn maintain(&mut self) {
+        self.maxsat.maintain();
+        self.solves_since_maintenance = 0;
+        self.maintenance_runs += 1;
+    }
+
+    /// FindCandidates calls answered over the session's lifetime.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Number of MaxSAT-solver maintenance passes performed so far.
+    pub fn maintenance_runs(&self) -> usize {
+        self.maintenance_runs
+    }
+
+    /// Runtime statistics of the persistent MaxSAT solver's CDCL core —
+    /// the observable the repair-side hygiene watchdog asserts on.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.maxsat.sat_stats()
+    }
+
+    /// Number of problem clauses currently held by the persistent MaxSAT
+    /// solver. Constant across iterations (no clause is added after
+    /// construction; maintenance can only shrink it).
+    pub fn solver_clauses(&self) -> usize {
+        self.maxsat.num_solver_clauses()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +646,67 @@ mod tests {
         assert!(session.error_solver_stats().learnt_clauses < 400);
         // Maintenance never constructs new solvers.
         assert_eq!(oracle.stats().sat_solvers_constructed, 2);
+    }
+
+    /// Repair-side mirror of the error-solver hygiene watchdog: hundreds of
+    /// FindCandidates calls on one [`RepairSession`] must trigger periodic
+    /// MaxSAT-solver maintenance, keep the clause database bounded by its
+    /// construction-time size (assumptions leave no residue; maintenance
+    /// only shrinks), and keep answering on the same single solver and
+    /// single hard encoding.
+    #[test]
+    fn long_repair_runs_keep_the_maxsat_solver_bounded() {
+        let dqbf = Dqbf::paper_example();
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut session = RepairSession::new(&dqbf, &mut oracle);
+        let mut stats = SynthesisStats::default();
+        let clause_watermark = session.solver_clauses();
+
+        let sigma_a = Sigma {
+            x: [(x(0), true), (x(1), false), (x(2), false)].into(),
+            y: [(y(0), true), (y(1), true), (y(2), false)].into(),
+            y_prime: [(y(0), false), (y(1), false), (y(2), false)].into(),
+        };
+        let mut sigma_b = sigma_a.clone();
+        sigma_b.x = [(x(0), false), (x(1), true), (x(2), false)].into();
+        sigma_b.y_prime = [(y(0), true), (y(1), true), (y(2), true)].into();
+
+        for round in 0..200 {
+            let sigma = if round % 2 == 0 { &sigma_a } else { &sigma_b };
+            let candidates = session.find_candidates(&dqbf, sigma, &mut oracle, &mut stats);
+            if round % 2 == 0 {
+                // With x = (1,0,0), ϕ forces y2 = 1, so exactly the y2 soft
+                // is dropped — on every even round, however much solver
+                // state has accumulated.
+                assert_eq!(candidates, vec![y(1)], "round {round}");
+            }
+        }
+
+        assert_eq!(session.solves(), 200);
+        assert!(
+            session.maintenance_runs() >= 5,
+            "only {} maintenance passes over 200 solves",
+            session.maintenance_runs()
+        );
+        // No clause is ever added after construction: the totalizer is part
+        // of the persistent encoding and counterexamples ride in as
+        // assumptions, so the database never exceeds its construction-time
+        // size plus the lazily encoded cardinality network.
+        assert!(
+            session.solver_clauses() <= clause_watermark + 60,
+            "repair solver grew to {} clauses (watermark {})",
+            session.solver_clauses(),
+            clause_watermark
+        );
+        // The learnt DB is trimmed: it must not retain one learnt clause
+        // per historical FindCandidates call.
+        assert!(session.solver_stats().learnt_clauses < 400);
+        // One MaxSAT solver, one hard encoding, 200 assumption-served calls.
+        assert_eq!(oracle.stats().maxsat_solvers_constructed, 1);
+        assert_eq!(oracle.stats().maxsat_hard_encodings, 1);
+        assert_eq!(oracle.stats().maxsat_calls, 200);
+        assert_eq!(oracle.stats().maxsat_incremental_calls, 200);
+        assert_eq!(stats.maxsat_calls, 200);
     }
 
     #[test]

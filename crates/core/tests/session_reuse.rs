@@ -32,6 +32,13 @@ fn suite_runs_reuse_one_incremental_session() {
             instance.name,
             oracle.samplers_constructed
         );
+        assert!(
+            oracle.maxsat_hard_encodings <= 1,
+            "{}: built {} MaxSAT hard encodings over {} repair iterations",
+            instance.name,
+            oracle.maxsat_hard_encodings,
+            result.stats.repair_iterations
+        );
         if result.stats.repair_iterations > 0 {
             repair_heavy_runs += 1;
         }
@@ -96,10 +103,77 @@ fn many_repair_iterations_share_one_error_solver() {
                     >= result.stats.verification_checks + result.stats.repair_sat_calls,
                 "seed {seed}: oracle accounting is inconsistent"
             );
+            // The MaxSAT side is equally incremental: one hard encoding for
+            // the whole run, every FindCandidates call an assumption-served
+            // solve on it.
+            assert_eq!(
+                result.stats.oracle.maxsat_hard_encodings, 1,
+                "seed {seed}: repair iterations must not rebuild the MaxSAT encoding"
+            );
+            assert_eq!(result.stats.oracle.maxsat_solvers_constructed, 1);
+            assert_eq!(
+                result.stats.oracle.maxsat_incremental_calls, result.stats.oracle.maxsat_calls,
+                "seed {seed}: a FindCandidates call bypassed the repair session"
+            );
+            assert!(
+                result.stats.oracle.maxsat_calls >= result.stats.repair_iterations,
+                "seed {seed}: every repair iteration starts with a FindCandidates call"
+            );
         }
         if let SynthesisOutcome::Realizable(vector) = &result.outcome {
             assert!(verify::check(&instance.dqbf, vector).is_valid());
         }
     }
     assert!(exercised, "no seed produced a repair-heavy run");
+}
+
+/// The ISSUE 3 acceptance criterion: across a repair-heavy run of at least
+/// 20 repair iterations, the oracle must record exactly one MaxSAT
+/// hard-encoding construction, with every FindCandidates call served under
+/// assumptions on the persistent repair session.
+#[test]
+fn twenty_plus_repair_iterations_build_one_maxsat_encoding() {
+    // One candidate repaired per counterexample round and learning starved
+    // to two samples: the loop has to grind through many iterations.
+    let config = Manthan3Config {
+        num_samples: 2,
+        use_unique_definitions: false,
+        max_repairs_per_iteration: 1,
+        max_repair_iterations: 800,
+        ..Manthan3Config::fast()
+    };
+    let engine = Manthan3::new(config);
+    let mut deepest_run = 0usize;
+    for seed in 0..6u64 {
+        let params = manthan3_gen::planted::PlantedParams {
+            num_universals: 14,
+            num_existentials: 20,
+            max_dependencies: 5,
+            ..manthan3_gen::planted::PlantedParams::default()
+        };
+        let instance = manthan3_gen::planted::planted_true(&params, seed);
+        let result = engine.synthesize(&instance.dqbf);
+        let oracle = &result.stats.oracle;
+        deepest_run = deepest_run.max(result.stats.repair_iterations);
+        if result.stats.repair_iterations > 0 {
+            assert_eq!(
+                oracle.maxsat_hard_encodings, 1,
+                "seed {seed}: {} repair iterations rebuilt the MaxSAT encoding",
+                result.stats.repair_iterations
+            );
+            assert_eq!(
+                oracle.maxsat_incremental_calls, oracle.maxsat_calls,
+                "seed {seed}: a FindCandidates call bypassed the session"
+            );
+            assert!(oracle.maxsat_calls >= result.stats.repair_iterations);
+        }
+        if let SynthesisOutcome::Realizable(vector) = &result.outcome {
+            assert!(verify::check(&instance.dqbf, vector).is_valid());
+        }
+    }
+    assert!(
+        deepest_run >= 20,
+        "no run reached 20 repair iterations (deepest: {deepest_run}); \
+         the acceptance assertion above is too weak"
+    );
 }

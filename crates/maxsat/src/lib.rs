@@ -14,6 +14,20 @@
 //! Integer weights are supported by replicating relaxation literals inside
 //! the totalizer.
 //!
+//! # Incremental use
+//!
+//! The solver is built for long-lived incremental use, clausal-abstraction
+//! style: hard clauses, soft clauses, and the totalizer are encoded **once**
+//! (the totalizer lazily, cached across solve calls), and per-iteration
+//! state rides in through [`MaxSatSolver::solve_under_assumptions`] — every
+//! internal SAT query is made under the caller's assumption literals, so
+//! "hard units" that change between iterations (a repair loop's `σ[X]` and
+//! `σ[Y']` valuations, pinned via indirection variables) are retracted by
+//! simply not assuming them on the next call. The underlying CDCL solver and
+//! its learnt clauses survive between calls; periodic
+//! [`MaxSatSolver::maintain`] passes (learnt-DB halving plus level-0
+//! compaction) keep hundreds-of-calls instances bounded.
+//!
 //! # Examples
 //!
 //! ```

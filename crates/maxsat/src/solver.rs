@@ -1,5 +1,5 @@
 use crate::Totalizer;
-use manthan3_cnf::{Assignment, Clause, Cnf, Lit};
+use manthan3_cnf::{Assignment, Clause, Cnf, Lit, Var};
 use manthan3_sat::{SolveResult, Solver, SolverConfig, SolverStats};
 
 /// Identifier of a soft clause, returned by [`MaxSatSolver::add_soft`].
@@ -22,9 +22,10 @@ pub enum MaxSatResult {
         /// Total weight of violated soft clauses in the optimum.
         cost: u64,
     },
-    /// The hard clauses alone are unsatisfiable.
+    /// The hard clauses alone (together with the assumptions, for
+    /// [`MaxSatSolver::solve_under_assumptions`]) are unsatisfiable.
     HardUnsat,
-    /// The conflict budget was exhausted.
+    /// The conflict budget was exhausted or the solve was cancelled.
     Unknown,
 }
 
@@ -44,6 +45,18 @@ pub struct MaxSatSolver {
     solver: Solver,
     softs: Vec<SoftClause>,
     model: Option<Assignment>,
+    /// Totalizer over the (weight-replicated) relaxation literals, encoded
+    /// lazily on the first bounded search and kept across solve calls;
+    /// invalidated when a new soft clause arrives. Without the cache every
+    /// solve call re-encoded a fresh totalizer into the same solver, so a
+    /// long-lived instance grew by the full cardinality network per call.
+    totalizer: Option<Totalizer>,
+    /// Optimum cost of the previous solve call, used to warm-start the next
+    /// bound search: incremental callers re-solve the same objective under
+    /// slightly different assumptions, so the optimum moves little between
+    /// calls and the search usually finishes within a couple of bound
+    /// probes instead of a full linear climb.
+    last_optimum: Option<u64>,
 }
 
 impl Default for MaxSatSolver {
@@ -59,6 +72,8 @@ impl MaxSatSolver {
             solver: Solver::new(),
             softs: Vec::new(),
             model: None,
+            totalizer: None,
+            last_optimum: None,
         }
     }
 
@@ -77,6 +92,8 @@ impl MaxSatSolver {
             solver: Solver::with_config(config),
             softs: Vec::new(),
             model: None,
+            totalizer: None,
+            last_optimum: None,
         }
     }
 
@@ -101,6 +118,9 @@ impl MaxSatSolver {
 
     /// Adds a soft clause with the given positive weight and returns its id.
     ///
+    /// Invalidates the cached totalizer: the next bounded search re-encodes
+    /// the cardinality network over the enlarged relaxation set.
+    ///
     /// # Panics
     ///
     /// Panics if `weight` is zero.
@@ -123,7 +143,34 @@ impl MaxSatSolver {
             weight,
             relax,
         });
+        self.totalizer = None;
+        self.last_optimum = None;
         id
+    }
+
+    /// Allocates a fresh variable in the underlying solver. Incremental
+    /// callers use this for auxiliary structure (e.g. assumption-pinned
+    /// target variables) that must not collide with problem variables.
+    pub fn new_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Number of problem (non-learnt) clauses currently held by the
+    /// underlying solver — the observable the repair-session hygiene
+    /// watchdog asserts on.
+    pub fn num_solver_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
+    /// Runs a maintenance pass on the underlying solver: halves the learnt
+    /// database (resetting its growth threshold) and compacts away clauses
+    /// satisfied at level 0. Long-lived incremental instances (one MaxSAT
+    /// solver across hundreds of `solve_under_assumptions` calls) call this
+    /// periodically so the solver state stays bounded, mirroring
+    /// `VerifySession`'s error-solver maintenance.
+    pub fn maintain(&mut self) {
+        self.solver.reduce_learnt_db();
+        self.solver.simplify();
     }
 
     /// Number of soft clauses.
@@ -139,9 +186,24 @@ impl MaxSatSolver {
     /// Finds an assignment satisfying all hard clauses that minimizes the
     /// total weight of violated soft clauses.
     pub fn solve(&mut self) -> MaxSatResult {
+        self.solve_under_assumptions(&[])
+    }
+
+    /// Like [`MaxSatSolver::solve`], but every internal SAT query is made
+    /// under the given assumption literals, so the optimum is taken over the
+    /// models of `hard ∧ assumptions`.
+    ///
+    /// This is the incremental entry point: a caller that would otherwise
+    /// rebuild the instance per iteration (hard units that change every
+    /// round, e.g. the `σ[X]`/`σ[Y']` valuations of a repair loop) instead
+    /// encodes the invariant structure once and retracts the per-iteration
+    /// units by simply not assuming them on the next call. The underlying
+    /// CDCL solver, its learnt clauses, and the cached totalizer all survive
+    /// between calls.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> MaxSatResult {
         self.model = None;
-        // Is the hard part satisfiable at all?
-        match self.solver.solve() {
+        // Is the hard part satisfiable at all (under the assumptions)?
+        match self.solver.solve_with_assumptions(assumptions) {
             SolveResult::Unsat => return MaxSatResult::HardUnsat,
             SolveResult::Unknown => return MaxSatResult::Unknown,
             SolveResult::Sat => {}
@@ -151,8 +213,9 @@ impl MaxSatSolver {
             return MaxSatResult::Optimum { cost: 0 };
         }
         // Optimistic check: can every soft clause be satisfied?
-        let all_relaxed_off: Vec<Lit> = self.softs.iter().map(|s| !s.relax).collect();
-        match self.solver.solve_with_assumptions(&all_relaxed_off) {
+        let mut optimistic: Vec<Lit> = assumptions.to_vec();
+        optimistic.extend(self.softs.iter().map(|s| !s.relax));
+        match self.solver.solve_with_assumptions(&optimistic) {
             SolveResult::Sat => {
                 self.model = Some(self.solver.model());
                 return MaxSatResult::Optimum { cost: 0 };
@@ -160,40 +223,107 @@ impl MaxSatSolver {
             SolveResult::Unknown => return MaxSatResult::Unknown,
             SolveResult::Unsat => {}
         }
-        // Linear UNSAT→SAT search over the violated weight, using a totalizer
-        // over weight-replicated relaxation literals.
-        let mut counters: Vec<Lit> = Vec::new();
-        for s in &self.softs {
-            for _ in 0..s.weight {
-                counters.push(s.relax);
+        // Bound search over the violated weight on the persistent totalizer,
+        // warm-started at the previous call's optimum: walk the bound up
+        // from there while UNSAT, then tighten downward from the first
+        // model's true cost until the bound below it is refuted. With a
+        // stable objective the whole search is typically one or two probes.
+        let cancel = self.solver.config().cancel.clone();
+        let total = self.totalizer().len() as u64;
+        // probe(k) asks for a model with at most `k` violated (weight
+        // units of) softs: `¬outputs[k]` forbids `k + 1` true relaxations.
+        let mut bounded: Vec<Lit> = Vec::with_capacity(assumptions.len() + 1);
+        let probe = |this: &mut Self, k: u64, bounded: &mut Vec<Lit>| {
+            bounded.clear();
+            bounded.extend_from_slice(assumptions);
+            bounded.push(!this.totalizer().outputs()[k as usize]);
+            this.solver.solve_with_assumptions(bounded)
+        };
+        // Phase 1: find any bounded model, walking the bound up from the
+        // warm start while UNSAT. Bounds 1..=total-1 are probeable; once
+        // `≤ total - 1` is refuted every soft clause must be violated and
+        // the unrestricted solve below is already optimal.
+        let mut k = self.last_optimum.unwrap_or(1).clamp(1, total.max(2) - 1);
+        // Highest bound known refuted: 0 from the failed optimistic check;
+        // phase 1's UNSAT answers raise it, phase 2 stops against it.
+        let mut refuted = 0u64;
+        let mut cost = loop {
+            if k >= total {
+                return match self.solver.solve_with_assumptions(assumptions) {
+                    SolveResult::Sat => {
+                        self.model = Some(self.solver.model());
+                        let cost = self.cost_of_current_model();
+                        self.last_optimum = Some(cost);
+                        MaxSatResult::Optimum { cost }
+                    }
+                    SolveResult::Unknown => MaxSatResult::Unknown,
+                    SolveResult::Unsat => MaxSatResult::HardUnsat,
+                };
             }
-        }
-        let totalizer = Totalizer::encode(&mut self.solver, &counters);
-        let total = counters.len() as u64;
-        for bound in 1..total {
-            let assumption = !totalizer.outputs()[bound as usize];
-            match self.solver.solve_with_assumptions(&[assumption]) {
+            // Poll cancellation between bound-tightening steps: each step is
+            // a full SAT call, so a cancelled portfolio loser must not start
+            // the next probe (the CDCL loop's own poll only covers the step
+            // already in flight).
+            if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
+                self.model = None;
+                return MaxSatResult::Unknown;
+            }
+            match probe(self, k, &mut bounded) {
                 SolveResult::Sat => {
                     self.model = Some(self.solver.model());
-                    return MaxSatResult::Optimum {
-                        cost: self.cost_of_current_model(),
-                    };
+                    break self.cost_of_current_model();
                 }
-                SolveResult::Unknown => return MaxSatResult::Unknown,
-                SolveResult::Unsat => {}
-            }
-        }
-        // Every soft clause may have to be violated.
-        match self.solver.solve() {
-            SolveResult::Sat => {
-                self.model = Some(self.solver.model());
-                MaxSatResult::Optimum {
-                    cost: self.cost_of_current_model(),
+                SolveResult::Unknown => {
+                    self.model = None;
+                    return MaxSatResult::Unknown;
+                }
+                SolveResult::Unsat => {
+                    refuted = k;
+                    k += 1;
                 }
             }
-            SolveResult::Unknown => MaxSatResult::Unknown,
-            SolveResult::Unsat => MaxSatResult::HardUnsat,
+        };
+        // Phase 2: tighten downward until the next-lower bound is refuted
+        // (or meets a bound phase 1 already refuted). An Unknown exit — a
+        // budgeted-out or cancelled probe — clears the model found so far:
+        // it is not a proven optimum, and [`MaxSatSolver::model`] documents
+        // that nothing is available after a non-Optimum outcome.
+        while cost > refuted + 1 {
+            if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
+                self.model = None;
+                return MaxSatResult::Unknown;
+            }
+            match probe(self, cost - 1, &mut bounded) {
+                SolveResult::Sat => {
+                    self.model = Some(self.solver.model());
+                    cost = self.cost_of_current_model();
+                }
+                SolveResult::Unknown => {
+                    self.model = None;
+                    return MaxSatResult::Unknown;
+                }
+                SolveResult::Unsat => break,
+            }
         }
+        self.last_optimum = Some(cost);
+        MaxSatResult::Optimum { cost }
+    }
+
+    /// The persistent totalizer over the weight-replicated relaxation
+    /// literals, encoded on first use and reused by every later bounded
+    /// search (re-encoded only after [`MaxSatSolver::add_soft`] grows the
+    /// relaxation set).
+    fn totalizer(&mut self) -> &Totalizer {
+        if self.totalizer.is_none() {
+            let mut counters: Vec<Lit> = Vec::new();
+            for s in &self.softs {
+                for _ in 0..s.weight {
+                    counters.push(s.relax);
+                }
+            }
+            self.totalizer = Some(Totalizer::encode(&mut self.solver, &counters));
+        }
+        self.totalizer.as_ref().expect("totalizer just encoded")
     }
 
     fn cost_of_current_model(&self) -> u64 {
@@ -318,6 +448,125 @@ mod tests {
     fn zero_weight_rejected() {
         let mut s = MaxSatSolver::new();
         s.add_soft([lit(1)], 0);
+    }
+
+    #[test]
+    fn assumptions_pin_the_optimum_and_retract_between_calls() {
+        // Hard: x1 ∨ x2. Softs prefer ¬x1 and ¬x2. Under the assumption x1
+        // the optimum must violate the ¬x1 soft; under x2 the other one; with
+        // no assumptions the cost-1 optimum is free to pick either.
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        let s1 = s.add_soft([lit(-1)], 1);
+        let s2 = s.add_soft([lit(-2)], 1);
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(1), lit(-2)]),
+            MaxSatResult::Optimum { cost: 1 }
+        );
+        assert_eq!(s.violated_softs(), vec![s1]);
+        // The previous call's units are retracted, not persisted.
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(2), lit(-1)]),
+            MaxSatResult::Optimum { cost: 1 }
+        );
+        assert_eq!(s.violated_softs(), vec![s2]);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_hard_unsat() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1)]);
+        s.add_soft([lit(2)], 1);
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(-1)]),
+            MaxSatResult::HardUnsat
+        );
+        // The instance itself is untouched.
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 0 });
+    }
+
+    #[test]
+    fn totalizer_is_encoded_once_across_repeated_solves() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        s.add_soft([lit(-1)], 2);
+        s.add_soft([lit(-2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        let vars_after_first = s.solver.num_vars();
+        let clauses_after_first = s.num_solver_clauses();
+        for _ in 0..20 {
+            assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        }
+        // Re-solving must not re-encode the cardinality network.
+        assert_eq!(s.solver.num_vars(), vars_after_first);
+        assert_eq!(s.num_solver_clauses(), clauses_after_first);
+        // A new soft clause invalidates the cache; exactly one re-encoding.
+        s.add_soft([lit(1), lit(2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        let vars_after_growth = s.solver.num_vars();
+        assert!(vars_after_growth > vars_after_first);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        assert_eq!(s.solver.num_vars(), vars_after_growth);
+    }
+
+    #[test]
+    fn cancellation_aborts_between_bound_steps() {
+        use manthan3_sat::{CancelToken, SolverConfig};
+        let token = CancelToken::new();
+        let mut s = MaxSatSolver::with_config(SolverConfig::default().with_cancel(token.clone()));
+        s.add_hard([lit(1)]);
+        s.add_soft([lit(-1)], 3);
+        token.cancel();
+        assert_eq!(s.solve(), MaxSatResult::Unknown);
+    }
+
+    #[test]
+    fn soft_free_instances_report_cost_zero_under_assumptions() {
+        // No soft clauses at all (a repair session over an existential-free
+        // DQBF): the optimum is trivially 0, a model is available, and the
+        // violated-soft set is empty — no panic on either accessor.
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        assert_eq!(
+            s.solve_under_assumptions(&[lit(1)]),
+            MaxSatResult::Optimum { cost: 0 }
+        );
+        assert!(s.violated_softs().is_empty());
+        assert!(s.model().value(Var::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no MaxSAT model available")]
+    fn unknown_outcomes_leave_no_stale_model() {
+        // First solve finds an optimum (model stored); a cancelled re-solve
+        // returns Unknown and must clear it, so reading the model afterwards
+        // panics as documented instead of yielding a stale, unproven one.
+        use manthan3_sat::{CancelToken, SolverConfig};
+        let token = CancelToken::new();
+        let mut s = MaxSatSolver::with_config(SolverConfig::default().with_cancel(token.clone()));
+        s.add_hard([lit(1), lit(2)]);
+        s.add_soft([lit(-1)], 1);
+        s.add_soft([lit(-2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        let _ = s.model();
+        token.cancel();
+        assert_eq!(s.solve(), MaxSatResult::Unknown);
+        let _ = s.violated_softs(); // must panic
+    }
+
+    #[test]
+    fn maintain_keeps_the_instance_correct() {
+        let mut s = MaxSatSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        s.add_hard([lit(-1), lit(-2)]);
+        s.add_soft([lit(1)], 5);
+        let cheap = s.add_soft([lit(2)], 1);
+        for _ in 0..10 {
+            assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+            assert_eq!(s.violated_softs(), vec![cheap]);
+            s.maintain();
+        }
     }
 
     /// Reference check against brute force on random small instances.

@@ -216,6 +216,8 @@ impl PortfolioResult {
             merged.samplers_constructed += report.oracle.samplers_constructed;
             merged.sat_calls += report.oracle.sat_calls;
             merged.maxsat_calls += report.oracle.maxsat_calls;
+            merged.maxsat_hard_encodings += report.oracle.maxsat_hard_encodings;
+            merged.maxsat_incremental_calls += report.oracle.maxsat_incremental_calls;
             merged.conflicts += report.oracle.conflicts;
             merged.budget_exhaustions += report.oracle.budget_exhaustions;
         }
@@ -458,6 +460,19 @@ mod tests {
                 manthan3.oracle.sat_solvers_constructed <= 2,
                 "cancellation must not leak extra solvers (got {})",
                 manthan3.oracle.sat_solvers_constructed
+            );
+            // The repair session invariant holds under racing too: however
+            // the cancellation interleaves, at most one MaxSAT hard
+            // encoding is ever built, and every MaxSAT call that did run
+            // was served under assumptions on it.
+            assert!(
+                manthan3.oracle.maxsat_hard_encodings <= 1,
+                "cancellation must not leak extra MaxSAT encodings (got {})",
+                manthan3.oracle.maxsat_hard_encodings
+            );
+            assert_eq!(
+                manthan3.oracle.maxsat_incremental_calls,
+                manthan3.oracle.maxsat_calls
             );
         }
     }

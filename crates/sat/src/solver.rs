@@ -32,6 +32,10 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: usize,
+    /// Number of assumption decision levels carried over from the previous
+    /// incremental solve call instead of being re-decided and re-propagated
+    /// (assumption-prefix trail reuse).
+    pub reused_levels: u64,
 }
 
 type ClauseRef = usize;
@@ -230,7 +234,9 @@ impl Solver {
     where
         C: IntoIterator<Item = Lit>,
     {
-        debug_assert_eq!(self.decision_level(), 0);
+        // Incremental solve calls keep their assumption trail alive between
+        // calls (assumption-prefix reuse); adding a clause invalidates it.
+        self.cancel_until(0);
         self.have_model = false;
         if !self.ok {
             return false;
@@ -669,10 +675,10 @@ impl Solver {
     /// hundreds of incremental solve calls (e.g. the error solver of a
     /// verify–repair session) accumulates learnt clauses without bound.
     /// Long-lived owners call this between solve calls to keep the database
-    /// bounded. Must be called at decision level 0 (i.e. outside a solve
-    /// call), which is always the case between incremental calls.
+    /// bounded. Backtracks to decision level 0 first, abandoning any
+    /// assumption trail kept for prefix reuse.
     pub fn reduce_learnt_db(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
+        self.cancel_until(0);
         if !self.ok {
             return;
         }
@@ -687,10 +693,10 @@ impl Solver {
     /// This is how retired activation literals are garbage-collected: after
     /// [`Solver::retire_activation`] asserts `¬a` at level 0, every clause
     /// guarded by `a` is permanently satisfied and `simplify` frees it.
-    /// Must be called at decision level 0 (always the case between
-    /// incremental solve calls).
+    /// Backtracks to decision level 0 first, abandoning any assumption
+    /// trail kept for prefix reuse.
     pub fn simplify(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
+        self.cancel_until(0);
         if !self.ok {
             return;
         }
@@ -826,6 +832,16 @@ impl Solver {
     /// On [`SolveResult::Unsat`], [`Solver::unsat_core`] returns a subset of
     /// the assumptions that is already unsatisfiable together with the
     /// clauses. On [`SolveResult::Sat`], [`Solver::model`] returns a model.
+    ///
+    /// Incremental calls reuse the assumption trail: the longest prefix of
+    /// `assumptions` that matches the previous call's assumption decisions
+    /// is kept assigned (with everything it propagated) instead of being
+    /// re-decided and re-propagated. Callers that iterate over a fixed
+    /// assumption prefix plus one varying literal — a MaxSAT descent
+    /// tightening a totalizer bound, a verify session swapping one
+    /// activation — therefore pay per call for the *changed* suffix only.
+    /// Adding a clause (or running [`Solver::simplify`] /
+    /// [`Solver::reduce_learnt_db`]) abandons the kept trail.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.have_model = false;
         self.conflict_core.clear();
@@ -843,9 +859,21 @@ impl Solver {
         for a in assumptions {
             self.ensure_vars(a.var().index() + 1);
         }
+        // Assumption-prefix trail reuse: decision level `i + 1` was opened
+        // for assumption `i` of the previous call (satisfied assumptions
+        // open an empty level, so the index correspondence is exact), so
+        // backtracking to the longest common prefix keeps those levels'
+        // assignments and propagations alive.
+        let shared = assumptions
+            .iter()
+            .zip(&self.assumptions)
+            .take(self.decision_level())
+            .take_while(|(new, old)| new == old)
+            .count();
+        self.cancel_until(shared);
+        self.stats.reused_levels += shared as u64;
         self.assumptions = assumptions.to_vec();
-        self.cancel_until(0);
-        if self.propagate().is_some() {
+        if self.decision_level() == 0 && self.propagate().is_some() {
             self.ok = false;
             self.assumptions.clear();
             return SolveResult::Unsat;
@@ -867,8 +895,8 @@ impl Solver {
                 SearchStatus::Restart => continue,
             }
         };
-        self.cancel_until(0);
-        self.assumptions.clear();
+        // The trail (and `self.assumptions`) survives the call so the next
+        // solve can reuse the shared assumption prefix.
         result
     }
 
@@ -966,7 +994,12 @@ impl Solver {
     /// [`SolverConfig::random_polarity`] is off. The sampler crate uses this
     /// to bias models towards under-represented valuations (adaptive
     /// weighted sampling).
+    ///
+    /// Abandons any assumption trail kept for prefix reuse: backtracking
+    /// saves the trail's valuations as phases, which would overwrite the
+    /// explicit phase set here if it happened later.
     pub fn set_phase(&mut self, var: Var, phase: bool) {
+        self.cancel_until(0);
         self.ensure_vars(var.index() + 1);
         self.phases[var.index()] = phase;
     }
@@ -1316,6 +1349,110 @@ mod tests {
         s.reduce_learnt_db();
         assert!(s.stats().learnt_clauses <= learnts_before.div_ceil(2) + 1);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_prefix_reuse_keeps_levels_and_verdicts() {
+        let mut s = Solver::new();
+        // A chain with free tail variables so assumptions matter.
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        s.add_clause([lit(4), lit(5)]);
+        let prefix = [lit(1), lit(3)];
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(1), lit(3), lit(4)]),
+            SolveResult::Sat
+        );
+        let before = s.stats().reused_levels;
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(1), lit(3), lit(-4)]),
+            SolveResult::Sat
+        );
+        // The two shared prefix levels were carried over, not re-decided.
+        assert_eq!(s.stats().reused_levels, before + prefix.len() as u64);
+        assert_eq!(s.value(Var::new(3)), Some(false));
+        // A diverging first assumption falls back to a fresh start…
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(-1), lit(4)]),
+            SolveResult::Sat
+        );
+        // …and adding a clause abandons the kept trail entirely.
+        s.add_clause([lit(-4)]);
+        let at_reset = s.stats().reused_levels;
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(-1), lit(5)]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.stats().reused_levels, at_reset);
+        assert_eq!(s.value(Var::new(4)), Some(true));
+    }
+
+    /// Randomized incremental-vs-fresh equivalence: a long sequence of
+    /// assumption solves on one solver (sharing prefixes, interleaved with
+    /// clause additions) must produce exactly the verdicts of a fresh
+    /// solver per query, with models satisfying the formula.
+    #[test]
+    fn incremental_assumption_sequences_match_fresh_solvers() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x17C4_E11A);
+        for round in 0..25 {
+            let num_vars = 6;
+            let mut cnf = Cnf::new(num_vars);
+            let mut incremental = Solver::new();
+            for _ in 0..rng.gen_range(3..10) {
+                let len = rng.gen_range(1..=3);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                    .collect();
+                cnf.add_clause(clause.clone());
+                incremental.add_clause(clause);
+            }
+            // A sticky prefix re-rolled occasionally, so consecutive queries
+            // share assumption prefixes the way a MaxSAT descent does.
+            let mut prefix: Vec<Lit> = Vec::new();
+            for query in 0..40 {
+                if query % 7 == 0 {
+                    prefix = (0..rng.gen_range(0..4))
+                        .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                        .collect();
+                }
+                if query % 11 == 10 {
+                    // Mid-sequence clause growth must stay sound.
+                    let clause: Vec<Lit> = (0..rng.gen_range(1..=3))
+                        .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                        .collect();
+                    cnf.add_clause(clause.clone());
+                    incremental.add_clause(clause);
+                }
+                let mut assumptions = prefix.clone();
+                assumptions.push(Lit::new(
+                    Var::new(rng.gen_range(0..num_vars) as u32),
+                    rng.gen(),
+                ));
+                let mut fresh = Solver::new();
+                fresh.add_cnf(&cnf);
+                fresh.ensure_vars(num_vars);
+                let expected = fresh.solve_with_assumptions(&assumptions);
+                let got = incremental.solve_with_assumptions(&assumptions);
+                assert_eq!(got, expected, "round {round} query {query}");
+                if got == SolveResult::Sat {
+                    let model = incremental.model();
+                    assert!(cnf.eval(&model), "round {round} query {query}: bad model");
+                    for &a in &assumptions {
+                        assert_eq!(
+                            model.value(a.var()),
+                            a.is_positive(),
+                            "round {round} query {query}: assumption {a:?} violated"
+                        );
+                    }
+                } else {
+                    // The core must be a subset of the assumptions.
+                    let core = incremental.unsat_core().to_vec();
+                    assert!(core.iter().all(|l| assumptions.contains(l)));
+                }
+            }
+        }
     }
 
     /// Brute-force reference check on random 3-CNF formulas.
