@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_bench::{run_engine, EngineKind, RunRecord};
-use manthan3_cnf::{Lit, Var};
+use manthan3_cnf::{Assignment, Cnf, Lit, Var};
 use manthan3_core::{
     find_candidates_from_scratch, find_candidates_to_repair, Budget, Manthan3, Manthan3Config,
     Oracle, RepairSession, Sigma, SynthesisStats, VerifySession,
@@ -21,6 +21,7 @@ use manthan3_gen::succinct::{succinct, SuccinctParams};
 use manthan3_gen::suite::suite;
 use manthan3_gen::Instance;
 use manthan3_portfolio::{Portfolio, PortfolioConfig};
+use manthan3_sampler::{SamplerConfig, ShardedSampler};
 use manthan3_sat::{SolveResult, Solver};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -447,6 +448,133 @@ fn bench_repair_session(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sampling workload for the sharded-sampling acceptance (ISSUE 4): the
+/// satisfiable `suite(7, 1)` matrix with the most clause × variable work per
+/// sample.
+fn sampling_workload() -> Cnf {
+    suite(7, 1)
+        .into_iter()
+        .map(|i| i.dqbf)
+        .filter(|d| {
+            let mut solver = Solver::new();
+            solver.add_cnf(d.matrix());
+            solver.ensure_vars(d.num_vars());
+            solver.solve() == SolveResult::Sat
+        })
+        .max_by_key(|d| d.matrix().clauses().len() * d.num_vars())
+        .map(|d| d.matrix().clone())
+        .expect("the suite contains satisfiable instances")
+}
+
+/// Draws `n` samples through a sharded sampler and returns the batch with
+/// its wall-clock time.
+fn timed_sharded_request(
+    cnf: &Cnf,
+    shards: usize,
+    seed: u64,
+    n: usize,
+) -> (Vec<Assignment>, Duration) {
+    let config = SamplerConfig {
+        seed,
+        shards,
+        ..SamplerConfig::default()
+    };
+    let start = Instant::now();
+    let mut sampler = ShardedSampler::new(cnf, config);
+    let (samples, outcome) = sampler.sample(n);
+    let wall = start.elapsed();
+    assert_eq!(outcome.reason, None, "workload request must be met in full");
+    assert_eq!(samples.len(), n);
+    (samples, wall)
+}
+
+/// Per-variable true-ratios of a merged batch.
+fn batch_ratios(samples: &[Assignment], num_vars: usize) -> Vec<f64> {
+    let mut trues = vec![0usize; num_vars];
+    for sample in samples {
+        for (v, &value) in sample.as_slice().iter().enumerate() {
+            if value {
+                trues[v] += 1;
+            }
+        }
+    }
+    trues
+        .into_iter()
+        .map(|t| t as f64 / samples.len() as f64)
+        .collect()
+}
+
+/// The acceptance benchmark for sharded sampling (ISSUE 4): on a
+/// `suite(7, 1)` sampling workload, 4 shards must (a) beat 1 shard on wall
+/// clock and (b) keep the merged per-variable distribution within tolerance
+/// of the single sampler's — the bias-weighted merge contract.
+///
+/// The wall-clock comparison needs hardware parallelism to mean anything:
+/// a 4-shard run does the same total solver work as a 1-shard run, so on a
+/// single-core host (where the shard threads time-slice) the strict
+/// assertion degrades to a no-pathological-overhead bound, mirroring how
+/// the portfolio bench reasons about core counts.
+fn bench_sharded_sampling(c: &mut Criterion) {
+    const REQUEST: usize = 1200;
+    const ROUNDS: usize = 4;
+    let cnf = sampling_workload();
+
+    let mut single_wall = Duration::ZERO;
+    let mut sharded_wall = Duration::ZERO;
+    let mut max_ratio_gap = 0.0f64;
+    for round in 0..ROUNDS as u64 {
+        let (single, t_single) = timed_sharded_request(&cnf, 1, 4000 + round, REQUEST);
+        let (sharded, t_sharded) = timed_sharded_request(&cnf, 4, 4000 + round, REQUEST);
+        single_wall += t_single;
+        sharded_wall += t_sharded;
+        let single_ratios = batch_ratios(&single, cnf.num_vars());
+        let sharded_ratios = batch_ratios(&sharded, cnf.num_vars());
+        for (a, b) in single_ratios.iter().zip(&sharded_ratios) {
+            max_ratio_gap = max_ratio_gap.max((a - b).abs());
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "sharded_sampling acceptance: {REQUEST} samples x {ROUNDS} rounds on {} vars / {} \
+         clauses — 1 shard {:.2}ms, 4 shards {:.2}ms ({:.2}x, {cores} cores), max per-variable \
+         ratio gap {max_ratio_gap:.3}",
+        cnf.num_vars(),
+        cnf.clauses().len(),
+        single_wall.as_secs_f64() * 1e3,
+        sharded_wall.as_secs_f64() * 1e3,
+        single_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        max_ratio_gap <= 0.15,
+        "merged distribution drifted from the single-sampler contract: \
+         max per-variable ratio gap {max_ratio_gap:.3}"
+    );
+    if cores >= 2 {
+        assert!(
+            sharded_wall < single_wall,
+            "4-shard sampling ({sharded_wall:?}) is not faster than 1 shard \
+             ({single_wall:?}) on a {cores}-core host"
+        );
+    } else {
+        assert!(
+            sharded_wall < single_wall * 2,
+            "4-shard sampling ({sharded_wall:?}) pays pathological overhead over 1 shard \
+             ({single_wall:?}) on a single core"
+        );
+    }
+
+    let mut group = c.benchmark_group("sharded_sampling");
+    for shards in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| std::hint::black_box(timed_sharded_request(&cnf, shards, 99, REQUEST / 4)))
+        });
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -457,6 +585,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = synthesis;
     config = config();
-    targets = bench_engines, bench_verification_session, bench_repair_session, bench_portfolio
+    targets = bench_engines, bench_verification_session, bench_repair_session,
+        bench_sharded_sampling, bench_portfolio
 }
 criterion_main!(synthesis);

@@ -18,17 +18,20 @@
 //!
 //! ```text
 //! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR]
-//!         [--engine NAME]... [--ablations] [--quick]
+//!         [--engine NAME]... [--sample-shards N] [--ablations] [--quick]
 //! ```
 //!
 //! `--engine NAME` (repeatable) adds an engine to the run set; the set
 //! defaults to the three sequential engines. `--engine portfolio` is the
 //! interesting use: it adds the parallel portfolio, so `fig6_cactus.csv` and
 //! `summary_table.csv` report its *true wall-clock* numbers next to the
-//! post-hoc VBS columns. Malformed flag values abort with a diagnostic and a
-//! non-zero exit status.
+//! post-hoc VBS columns. `--sample-shards N` splits the Manthan3 sampling
+//! stage across `N` sampler threads (sharded sampling); the per-run
+//! `sample_wall_s` / `sample_shards` columns of `runs.csv` and the matching
+//! `summary_table.csv` rows report its effect. Malformed flag values abort
+//! with a diagnostic and a non-zero exit status.
 
-use manthan3_bench::{csvio, report, run_suite_with_engines, EngineKind};
+use manthan3_bench::{csvio, report, run_suite_sharded, EngineKind};
 use manthan3_core::{Manthan3, Manthan3Config};
 use manthan3_dqbf::verify;
 use manthan3_gen::suite::suite;
@@ -43,6 +46,7 @@ struct Args {
     out: PathBuf,
     engines: Vec<EngineKind>,
     ablations: bool,
+    sample_shards: usize,
 }
 
 /// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
@@ -51,7 +55,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] \
-         [--engine NAME]... [--ablations] [--quick]"
+         [--engine NAME]... [--sample-shards N] [--ablations] [--quick]"
     );
     std::process::exit(2);
 }
@@ -80,6 +84,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("experiments"),
         engines: EngineKind::ALL.to_vec(),
         ablations: false,
+        sample_shards: 1,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -99,6 +104,13 @@ fn parse_args() -> Args {
                 if !args.engines.contains(&engine) {
                     args.engines.push(engine);
                 }
+            }
+            "--sample-shards" => {
+                let shards: usize = parse_value("--sample-shards", iter.next());
+                if shards == 0 {
+                    usage_error("--sample-shards must be at least 1");
+                }
+                args.sample_shards = shards;
             }
             "--ablations" => args.ablations = true,
             "--quick" => {
@@ -123,7 +135,7 @@ fn main() {
         args.budget
     );
     let start = Instant::now();
-    let records = run_suite_with_engines(&instances, &args.engines, args.budget);
+    let records = run_suite_sharded(&instances, &args.engines, args.budget, args.sample_shards);
     println!("finished in {:?}", start.elapsed());
 
     // Raw records, including the per-run MaxSAT oracle counters behind the
@@ -143,6 +155,10 @@ fn main() {
                 r.oracle.maxsat_calls.to_string(),
                 r.oracle.maxsat_incremental_calls.to_string(),
                 r.oracle.maxsat_hard_encodings.to_string(),
+                format!("{:.4}", r.sample_wall.as_secs_f64()),
+                r.sample_shards.to_string(),
+                r.oracle.sampler_calls.to_string(),
+                r.oracle.sample_shortfalls.to_string(),
             ]
         })
         .collect();
@@ -160,6 +176,10 @@ fn main() {
             "maxsat_calls",
             "maxsat_incremental_calls",
             "maxsat_hard_encodings",
+            "sample_wall_s",
+            "sample_shards",
+            "sampler_calls",
+            "sample_shortfalls",
         ],
         &raw_rows,
     )

@@ -110,6 +110,13 @@ pub struct RunRecord {
     /// Only the Manthan3 engine reports this; baselines and the portfolio
     /// record zero.
     pub repair_iterations: usize,
+    /// Wall-clock time the run's sampling stage took. Only the Manthan3
+    /// engine reports this; baselines do not sample and the portfolio does
+    /// not surface per-engine stage timings.
+    pub sample_wall: Duration,
+    /// Number of sample shards the run's sampling stage used (1 = the plain
+    /// single-threaded sampler; 0 for engines that do not sample).
+    pub sample_shards: usize,
 }
 
 impl RunRecord {
@@ -126,11 +133,26 @@ impl RunRecord {
 /// as *not* synthesized (this never happens for the engines in this
 /// workspace, but the harness does not take their word for it).
 pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> RunRecord {
+    run_engine_sharded(engine, instance, budget, 1)
+}
+
+/// Like [`run_engine`], but with the Manthan3 sampling stage split across
+/// `sample_shards` sampler threads (the harness flag `--sample-shards`).
+/// The shard count reaches the Manthan3 engine directly and the portfolio's
+/// Manthan3 racer; the baselines do not sample and ignore it.
+pub fn run_engine_sharded(
+    engine: EngineKind,
+    instance: &Instance,
+    budget: Duration,
+    sample_shards: usize,
+) -> RunRecord {
+    let sample_shards = sample_shards.max(1);
     let start = Instant::now();
-    let (outcome, oracle, repair_iterations) = match engine {
+    let (outcome, oracle, repair_iterations, sample_wall, record_shards) = match engine {
         EngineKind::Manthan3 => {
             let config = Manthan3Config {
                 time_budget: Some(budget),
+                sample_shards,
                 ..Manthan3Config::default()
             };
             let result = Manthan3::new(config).synthesize(&instance.dqbf);
@@ -138,6 +160,8 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
                 result.outcome,
                 result.stats.oracle,
                 result.stats.repair_iterations,
+                result.stats.sampling_time,
+                result.stats.sample_shards,
             )
         }
         EngineKind::Hqs2Like => {
@@ -146,7 +170,7 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
                 ..ExpansionConfig::default()
             };
             let result = ExpansionSolver::new(config).synthesize(&instance.dqbf);
-            (result.outcome, result.oracle, 0)
+            (result.outcome, result.oracle, 0, Duration::ZERO, 0)
         }
         EngineKind::PedantLike => {
             let config = ArbiterConfig {
@@ -154,13 +178,14 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
                 ..ArbiterConfig::default()
             };
             let result = ArbiterSolver::new(config).synthesize(&instance.dqbf);
-            (result.outcome, result.oracle, 0)
+            (result.outcome, result.oracle, 0, Duration::ZERO, 0)
         }
         EngineKind::Portfolio => {
-            let config = PortfolioConfig::with_time_budget(budget);
+            let mut config = PortfolioConfig::with_time_budget(budget);
+            config.manthan3.sample_shards = sample_shards;
             let result = Portfolio::new(config).run(&instance.dqbf);
             let oracle = result.merged_oracle_stats();
-            (result.outcome, oracle, 0)
+            (result.outcome, oracle, 0, Duration::ZERO, sample_shards)
         }
     };
     let time = start.elapsed();
@@ -186,6 +211,8 @@ pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> 
         time,
         oracle,
         repair_iterations,
+        sample_wall,
+        sample_shards: record_shards,
     }
 }
 
@@ -201,10 +228,22 @@ pub fn run_suite_with_engines(
     engines: &[EngineKind],
     budget: Duration,
 ) -> Vec<RunRecord> {
+    run_suite_sharded(instances, engines, budget, 1)
+}
+
+/// Runs the given engines on every instance with the Manthan3 sampling
+/// stage split across `sample_shards` shards (harness flag
+/// `--sample-shards`).
+pub fn run_suite_sharded(
+    instances: &[Instance],
+    engines: &[EngineKind],
+    budget: Duration,
+    sample_shards: usize,
+) -> Vec<RunRecord> {
     let mut records = Vec::with_capacity(instances.len() * engines.len());
     for instance in instances {
         for &engine in engines {
-            records.push(run_engine(engine, instance, budget));
+            records.push(run_engine_sharded(engine, instance, budget, sample_shards));
         }
     }
     records
@@ -258,6 +297,29 @@ mod tests {
             assert_eq!(engine.to_string().parse::<EngineKind>(), Ok(engine));
         }
         assert!("hqs3like".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn sharded_runs_record_shard_metadata() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        let record = run_engine_sharded(EngineKind::Manthan3, &instance, Duration::from_secs(5), 4);
+        assert!(record.synthesized, "manthan3 failed: {}", record.outcome);
+        assert_eq!(record.sample_shards, 4);
+        assert!(
+            record.oracle.sampler_calls > 0,
+            "sampler calls must be routed through the shared budget"
+        );
+        // Baselines do not sample.
+        let baseline =
+            run_engine_sharded(EngineKind::Hqs2Like, &instance, Duration::from_secs(5), 4);
+        assert_eq!(baseline.sample_shards, 0);
+        assert_eq!(baseline.sample_wall, Duration::ZERO);
     }
 
     #[test]

@@ -133,6 +133,17 @@ pub struct Summary {
     pub maxsat_incremental_hits: usize,
     /// Total repair iterations across the Manthan3 runs.
     pub repair_iterations: usize,
+    /// Total wall-clock seconds the Manthan3 runs spent in their sampling
+    /// stage (the `sample_wall_s` summary row).
+    pub sample_wall_s: f64,
+    /// The sample-shard count the suite ran with (maximum across records;
+    /// 1 = the plain single-threaded sampler).
+    pub sample_shards: usize,
+    /// Total per-sample solver calls billed to the shared oracle budgets
+    /// across every run.
+    pub sampler_calls: usize,
+    /// Total sampling requests that emitted fewer samples than requested.
+    pub sample_shortfalls: usize,
     /// MaxSAT calls per repair iteration over the Manthan3 runs (zero when
     /// the suite needed no repairs). Tracks the one-FindCandidates-per-
     /// counterexample shape of the incremental loop.
@@ -215,6 +226,13 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         .filter(|r| r.engine == EngineKind::Manthan3)
         .collect();
     let repair_iterations: usize = manthan3_records.iter().map(|r| r.repair_iterations).sum();
+    let sample_wall_s: f64 = manthan3_records
+        .iter()
+        .map(|r| r.sample_wall.as_secs_f64())
+        .sum();
+    let sample_shards = records.iter().map(|r| r.sample_shards).max().unwrap_or(0);
+    let sampler_calls: usize = records.iter().map(|r| r.oracle.sampler_calls).sum();
+    let sample_shortfalls: usize = records.iter().map(|r| r.oracle.sample_shortfalls).sum();
     let manthan3_maxsat_calls: usize = manthan3_records.iter().map(|r| r.oracle.maxsat_calls).sum();
     let maxsat_calls_per_repair_iteration = if repair_iterations == 0 {
         0.0
@@ -240,6 +258,10 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         maxsat_fresh_encodes,
         maxsat_incremental_hits,
         repair_iterations,
+        sample_wall_s,
+        sample_shards,
+        sampler_calls,
+        sample_shortfalls,
         maxsat_calls_per_repair_iteration,
     }
 }
@@ -315,6 +337,19 @@ impl Summary {
             "maxsat_calls_per_repair_iteration".into(),
             format!("{:.3}", self.maxsat_calls_per_repair_iteration),
         ]);
+        // Sampling counters: the bench trajectory of the sharded-sampling
+        // refactor (wall-clock of the Sample stage, shard width, and the
+        // budget-routed per-sample solver calls with their shortfalls).
+        rows.push(vec![
+            "sample_wall_s".into(),
+            format!("{:.4}", self.sample_wall_s),
+        ]);
+        rows.push(vec!["sample_shards".into(), self.sample_shards.to_string()]);
+        rows.push(vec!["sampler_calls".into(), self.sampler_calls.to_string()]);
+        rows.push(vec![
+            "sample_shortfalls".into(),
+            self.sample_shortfalls.to_string(),
+        ]);
         rows
     }
 }
@@ -354,6 +389,12 @@ impl fmt::Display for Summary {
             self.maxsat_fresh_encodes,
             self.maxsat_calls_per_repair_iteration
         )?;
+        write!(
+            f,
+            "\nsampling:                  {:.2}s wall across {} shard(s), {} solver calls, \
+             {} shortfalls",
+            self.sample_wall_s, self.sample_shards, self.sampler_calls, self.sample_shortfalls
+        )?;
         if let (Some(synthesized), Some(decided)) =
             (self.portfolio_synthesized, self.portfolio_decided)
         {
@@ -381,6 +422,8 @@ mod tests {
             time: Duration::from_secs_f64(seconds),
             oracle: manthan3_core::OracleStats::default(),
             repair_iterations: 0,
+            sample_wall: Duration::ZERO,
+            sample_shards: 1,
         }
     }
 
@@ -505,6 +548,35 @@ mod tests {
             .iter()
             .any(|r| r[0] == "maxsat_calls_per_repair_iteration" && r[1] == "1.000"));
         assert!(s.to_string().contains("MaxSAT calls"));
+    }
+
+    #[test]
+    fn sampling_counters_aggregate_into_the_summary() {
+        let mut records = sample_records();
+        records[0].sample_wall = Duration::from_millis(250);
+        records[0].sample_shards = 4;
+        records[0].oracle.sampler_calls = 120;
+        records[3].sample_wall = Duration::from_millis(150);
+        records[3].sample_shards = 4;
+        records[3].oracle.sampler_calls = 80;
+        records[3].oracle.sample_shortfalls = 1;
+        let s = summary(&records);
+        assert!((s.sample_wall_s - 0.4).abs() < 1e-9);
+        assert_eq!(s.sample_shards, 4);
+        assert_eq!(s.sampler_calls, 200);
+        assert_eq!(s.sample_shortfalls, 1);
+        let rows = s.rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sample_wall_s" && r[1] == "0.4000"));
+        assert!(rows.iter().any(|r| r[0] == "sample_shards" && r[1] == "4"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sampler_calls" && r[1] == "200"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sample_shortfalls" && r[1] == "1"));
+        assert!(s.to_string().contains("sampling:"));
     }
 
     #[test]

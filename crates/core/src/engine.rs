@@ -20,7 +20,7 @@ use crate::session::{RepairSession, VerifyOutcome, VerifySession};
 use crate::stats::SynthesisStats;
 use manthan3_cnf::{Assignment, Lit, Var};
 use manthan3_dqbf::{Dqbf, HenkinVector};
-use manthan3_sampler::SamplerConfig;
+use manthan3_sampler::{SamplerConfig, ShortfallReason};
 use manthan3_sat::SolveResult;
 use std::time::Instant;
 
@@ -187,26 +187,34 @@ fn stage_preprocess(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
     None
 }
 
-/// Pipeline stage 2 — **Sample**: draw training data from the matrix.
+/// Pipeline stage 2 — **Sample**: draw training data from the matrix,
+/// sharded across `config.sample_shards` seed-derived sampler threads that
+/// share the run's budget and cancellation token; the merged batch follows
+/// the single-sampler distribution contract (bias-weighted merge).
 fn stage_sample(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
     let sampling_start = Instant::now();
-    let mut sampler = ctx.oracle.new_sampler(
+    let shards = ctx.config.sample_shards.max(1);
+    let (samples, outcome) = ctx.oracle.sample_sharded(
         ctx.dqbf.matrix(),
         SamplerConfig {
             seed: ctx.config.seed,
+            shards,
             ..SamplerConfig::default()
         },
+        ctx.config.num_samples,
     );
-    ctx.samples = sampler.sample(ctx.config.num_samples);
+    ctx.samples = samples;
     ctx.stats.samples = ctx.samples.len();
+    ctx.stats.sample_shards = shards;
     ctx.stats.sampling_time = sampling_start.elapsed();
     if ctx.samples.is_empty() {
-        // The matrix check already succeeded, so an empty batch means the
-        // sampler's budget was exhausted, not unsatisfiability — unless the
-        // sampler itself proved UNSAT (possible when budgets differ).
-        return Some(match sampler.known_satisfiable() {
-            Some(false) => SynthesisOutcome::Unrealizable,
-            _ => ctx.give_up(),
+        // The matrix check already succeeded, so the shortfall reason tells
+        // the truth: the sampler proved UNSAT itself (possible when budgets
+        // differ), lost a race, or ran out of budget.
+        return Some(match outcome.reason {
+            Some(ShortfallReason::Unsat) => SynthesisOutcome::Unrealizable,
+            Some(ShortfallReason::Cancelled) => SynthesisOutcome::Unknown(UnknownReason::Cancelled),
+            Some(ShortfallReason::Budget) | None => ctx.give_up(),
         });
     }
     None
@@ -234,6 +242,9 @@ fn stage_learn(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
         if ctx.defined.contains(&y) {
             continue;
         }
+        // The oracle-routed sampler always emits matrix-width assignments,
+        // so a narrow sample here is an internal contract violation — fail
+        // loudly instead of learning from silently mislabelled rows.
         let learned = learn_candidate(
             ctx.dqbf,
             &ctx.samples,
@@ -241,7 +252,8 @@ fn stage_learn(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
             &ctx.dependency_state,
             &mut ctx.vector,
             ctx.config,
-        );
+        )
+        .unwrap_or_else(|err| panic!("sampler→learn boundary violated: {err}"));
         debug_assert!(learned.tree_splits <= ctx.config.tree.max_depth * ctx.samples.len() + 1);
         ctx.vector.set(y, learned.function);
         for supplier in learned.used_existentials {

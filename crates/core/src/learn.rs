@@ -7,6 +7,37 @@ use manthan3_aig::AigRef;
 use manthan3_cnf::{Assignment, Var};
 use manthan3_dqbf::{Dqbf, HenkinVector};
 use manthan3_dtree::{Dataset, DecisionTree};
+use std::fmt;
+
+/// A training sample did not cover a variable the learner needs.
+///
+/// The sampler→learn boundary contract is that every training assignment is
+/// at least as wide as the matrix, so each feature and each label variable
+/// has a real valuation. Silently defaulting a missing variable to `false`
+/// would mislabel training rows (and thereby bias every candidate learned
+/// from the batch), so the learner refuses the batch instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NarrowSampleError {
+    /// Index of the offending sample in the training batch.
+    pub sample_index: usize,
+    /// The variable the sample does not cover.
+    pub missing: Var,
+    /// The sample's actual width (number of variables it assigns).
+    pub width: usize,
+}
+
+impl fmt::Display for NarrowSampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "training sample {} is too narrow: it assigns {} variables but the learner \
+             needs a valuation for {:?}",
+            self.sample_index, self.width, self.missing
+        )
+    }
+}
+
+impl std::error::Error for NarrowSampleError {}
 
 /// The result of learning one candidate function.
 #[derive(Debug, Clone)]
@@ -52,6 +83,12 @@ pub fn feature_set(
 /// The candidate is built into `vector`'s shared AIG as the disjunction of
 /// all decision-tree paths ending in a leaf labelled 1; the AIG inputs are
 /// labelled with the indices of the corresponding formula variables.
+///
+/// # Errors
+///
+/// Returns [`NarrowSampleError`] when a sample does not assign every feature
+/// variable or the label `y` — a violation of the sampler→learn boundary
+/// contract that would otherwise silently mislabel training rows.
 pub fn learn_candidate(
     dqbf: &Dqbf,
     samples: &[Assignment],
@@ -59,15 +96,22 @@ pub fn learn_candidate(
     dependency_state: &DependencyState,
     vector: &mut HenkinVector,
     config: &Manthan3Config,
-) -> LearnedCandidate {
+) -> Result<LearnedCandidate, NarrowSampleError> {
     let features = feature_set(dqbf, y, dependency_state, config);
     let mut dataset = Dataset::new(features.len());
-    for sample in samples {
+    for (sample_index, sample) in samples.iter().enumerate() {
+        let require = |v: Var| {
+            sample.get(v).ok_or(NarrowSampleError {
+                sample_index,
+                missing: v,
+                width: sample.len(),
+            })
+        };
         let row: Vec<bool> = features
             .iter()
-            .map(|&v| sample.get(v).unwrap_or(false))
-            .collect();
-        let label = sample.get(y).unwrap_or(false);
+            .map(|&v| require(v))
+            .collect::<Result<_, _>>()?;
+        let label = require(y)?;
         dataset.push(row, label);
     }
     let tree = DecisionTree::learn(&dataset, &config.tree);
@@ -98,11 +142,11 @@ pub fn learn_candidate(
         .filter(|v| dqbf.is_existential(*v))
         .collect();
 
-    LearnedCandidate {
+    Ok(LearnedCandidate {
         function,
         used_existentials,
         tree_splits: tree.num_splits(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +213,8 @@ mod tests {
         let samples = samples_from_bits(6, &[0b011000, 0b111100, 0b100011]);
         let mut vector = HenkinVector::new();
 
-        let c1 = learn_candidate(&dqbf, &samples, Var::new(3), &state, &mut vector, &config);
+        let c1 = learn_candidate(&dqbf, &samples, Var::new(3), &state, &mut vector, &config)
+            .expect("full-width samples");
         vector.set(Var::new(3), c1.function);
         // f1 = ¬x1 on these samples.
         assert_eq!(
@@ -181,7 +226,8 @@ mod tests {
             Some(false)
         );
 
-        let c3 = learn_candidate(&dqbf, &samples, Var::new(5), &state, &mut vector, &config);
+        let c3 = learn_candidate(&dqbf, &samples, Var::new(5), &state, &mut vector, &config)
+            .expect("full-width samples");
         vector.set(Var::new(5), c3.function);
         // f3 = x2 ∨ x3 on these samples.
         for bits in 0..8u32 {
@@ -202,12 +248,32 @@ mod tests {
         let state = DependencyState::new(dqbf.existentials());
         let samples = samples_from_bits(6, &[0b011000, 0b111100, 0b000011, 0b100111]);
         let mut vector = HenkinVector::new();
-        let c2 = learn_candidate(&dqbf, &samples, Var::new(4), &state, &mut vector, &config);
+        let c2 = learn_candidate(&dqbf, &samples, Var::new(4), &state, &mut vector, &config)
+            .expect("full-width samples");
         // The candidate may or may not use y1, but any reported existential
         // must come from the allowed feature set.
         for v in &c2.used_existentials {
             assert_eq!(*v, Var::new(3));
         }
+    }
+
+    #[test]
+    fn narrow_samples_are_a_hard_error_not_a_false_default() {
+        // A sample covering only the universals (width 3) must not be
+        // silently extended with `false` for the label y1 (var 3): the
+        // learner refuses the batch with a diagnostic instead.
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config::default();
+        let state = DependencyState::new(dqbf.existentials());
+        let mut samples = samples_from_bits(6, &[0b011000, 0b111100]);
+        samples.push(Assignment::from_values(vec![true, false, true]));
+        let mut vector = HenkinVector::new();
+        let err = learn_candidate(&dqbf, &samples, Var::new(3), &state, &mut vector, &config)
+            .expect_err("narrow sample must be rejected");
+        assert_eq!(err.sample_index, 2);
+        assert_eq!(err.missing, Var::new(3));
+        assert_eq!(err.width, 3);
+        assert!(err.to_string().contains("too narrow"));
     }
 
     #[test]
@@ -218,7 +284,8 @@ mod tests {
         // y3 is 1 in every sample.
         let samples = samples_from_bits(6, &[0b100000, 0b100001, 0b100010]);
         let mut vector = HenkinVector::new();
-        let c = learn_candidate(&dqbf, &samples, Var::new(5), &state, &mut vector, &config);
+        let c = learn_candidate(&dqbf, &samples, Var::new(5), &state, &mut vector, &config)
+            .expect("full-width samples");
         vector.set(Var::new(5), c.function);
         assert_eq!(vector.eval_one(Var::new(5), &[false; 6]), Some(true));
         assert_eq!(c.tree_splits, 0);

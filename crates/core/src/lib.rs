@@ -19,7 +19,10 @@
 //!    a trivially false matrix, and extract unique definitions via Padoa's
 //!    method (the role of the UNIQUE tool in the paper's implementation).
 //! 2. **Sample** — draw satisfying assignments of ϕ as training data
-//!    (`manthan3-sampler`).
+//!    (`manthan3-sampler`), optionally sharded across
+//!    [`Manthan3Config::sample_shards`] seed-derived sampler threads that
+//!    share the run's budget and cancellation token (the batches are
+//!    combined by the sampler crate's bias-weighted merge).
 //! 3. **Learn** — per output, learn a decision tree over the valuations of
 //!    its Henkin dependencies (plus compatible `Y` variables) and take the
 //!    disjunction of all paths to label 1 (`manthan3-dtree`), recording the

@@ -14,10 +14,10 @@
 //! structural properties such as "the verify–repair loop constructed exactly
 //! one error-formula solver" (see [`crate::VerifySession`]).
 
-use manthan3_cnf::{Cnf, Lit};
+use manthan3_cnf::{Assignment, Cnf, Lit};
 use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
-use manthan3_sampler::{Sampler, SamplerConfig};
-use manthan3_sat::{CancelToken, SolveResult, Solver, SolverConfig};
+use manthan3_sampler::{SampleOutcome, Sampler, SamplerConfig, ShardedSampler, ShortfallReason};
+use manthan3_sat::{CallBudget, CancelToken, SolveResult, Solver, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// Why a synthesis run ended without a definitive answer.
@@ -157,6 +157,15 @@ pub struct OracleStats {
     pub sat_calls: usize,
     /// Number of MaxSAT solve calls.
     pub maxsat_calls: usize,
+    /// Number of per-sample solver calls made by oracle-routed samplers.
+    /// These draw on the same shared call allowance as SAT and MaxSAT
+    /// solves, so `sat_calls + maxsat_calls + sampler_calls` is the total
+    /// charge against [`Budget::max_sat_calls`].
+    pub sampler_calls: usize,
+    /// Number of oracle-routed sampling requests that emitted fewer samples
+    /// than requested (UNSAT verdicts, budget cuts, or cancellation — the
+    /// request's [`SampleOutcome`] says which).
+    pub sample_shortfalls: usize,
     /// Number of full hard-clause MaxSAT encodings constructed. The
     /// persistent repair session keeps this at one per run, however many
     /// FindCandidates calls execute; the from-scratch reference path pays
@@ -178,14 +187,23 @@ pub struct OracleStats {
 pub struct Oracle {
     budget: Budget,
     stats: OracleStats,
+    /// The shared call allowance behind [`Budget::max_sat_calls`]: every
+    /// SAT solve, MaxSAT solve, and per-sample sampler solve draws one call
+    /// from this counter. Samplers receive a clone at construction, so
+    /// sampler solves — including the sharded sampler's worker threads —
+    /// are billed to, and refused by, exactly the same allowance as every
+    /// other oracle call.
+    calls: CallBudget,
 }
 
 impl Oracle {
     /// Creates an oracle enforcing `budget`.
     pub fn new(budget: Budget) -> Self {
+        let calls = CallBudget::new(budget.max_sat_calls);
         Oracle {
             budget,
             stats: OracleStats::default(),
+            calls,
         }
     }
 
@@ -212,8 +230,9 @@ impl Oracle {
     }
 
     /// Returns the exhausted-budget reason if no further oracle call may be
-    /// made, `None` while resources remain. The call budget counts SAT and
-    /// MaxSAT solve calls alike — they all draw on the same allowance.
+    /// made, `None` while resources remain. The call budget counts SAT,
+    /// MaxSAT, and per-sample sampler solve calls alike — they all draw on
+    /// the same allowance.
     pub fn exhausted(&self) -> Option<UnknownReason> {
         if self.budget.cancelled() {
             return Some(UnknownReason::Cancelled);
@@ -221,12 +240,18 @@ impl Oracle {
         if self.budget.expired() {
             return Some(UnknownReason::TimeBudget);
         }
-        if let Some(max) = self.budget.max_sat_calls {
-            if (self.stats.sat_calls + self.stats.maxsat_calls) as u64 >= max {
-                return Some(UnknownReason::OracleBudget);
-            }
+        if self.calls.exhausted() {
+            return Some(UnknownReason::OracleBudget);
         }
         None
+    }
+
+    /// The shared call allowance every oracle-routed solve draws on. Exposed
+    /// so tests and diagnostics can observe total consumption; samplers get
+    /// a clone automatically via [`Oracle::new_sampler`] and
+    /// [`Oracle::sample_sharded`].
+    pub fn call_allowance(&self) -> &CallBudget {
+        &self.calls
     }
 
     /// Constructs a CDCL solver with the budget's per-call conflict limit.
@@ -267,7 +292,7 @@ impl Oracle {
         solver: &mut Solver,
         assumptions: &[Lit],
     ) -> SolveResult {
-        if self.exhausted().is_some() {
+        if self.exhausted().is_some() || !self.calls.try_acquire() {
             self.stats.budget_exhaustions += 1;
             return SolveResult::Unknown;
         }
@@ -301,7 +326,7 @@ impl Oracle {
     /// the budget is already exhausted, exactly like
     /// [`Oracle::solve_with_assumptions`].
     pub fn solve_maxsat(&mut self, solver: &mut MaxSatSolver) -> MaxSatResult {
-        if self.exhausted().is_some() {
+        if self.exhausted().is_some() || !self.calls.try_acquire() {
             self.stats.budget_exhaustions += 1;
             return MaxSatResult::Unknown;
         }
@@ -327,7 +352,7 @@ impl Oracle {
         solver: &mut MaxSatSolver,
         assumptions: &[Lit],
     ) -> MaxSatResult {
-        if self.exhausted().is_some() {
+        if self.exhausted().is_some() || !self.calls.try_acquire() {
             self.stats.budget_exhaustions += 1;
             return MaxSatResult::Unknown;
         }
@@ -349,18 +374,101 @@ impl Oracle {
         self.stats.maxsat_hard_encodings += 1;
     }
 
-    /// Constructs a sampler for `cnf`, inheriting the budget's per-call
-    /// conflict limit and cancellation token when `config` does not set its
-    /// own.
-    pub fn new_sampler(&mut self, cnf: &Cnf, mut config: SamplerConfig) -> Sampler {
+    /// Fills in the budget-derived fields of a sampler configuration: the
+    /// per-call conflict limit and cancellation token are inherited when the
+    /// configuration does not set its own, and the shared call allowance is
+    /// *always* the oracle's — every per-sample solver call of an
+    /// oracle-routed sampler is billed to the same budget as SAT and MaxSAT
+    /// solves (and refused once it is exhausted). A caller-supplied
+    /// [`CallBudget`] is deliberately overridden here: honouring it would
+    /// let sampler work bypass the shared allowance and the
+    /// [`OracleStats::sampler_calls`] accounting; construct a [`Sampler`]
+    /// directly for privately-budgeted sampling.
+    fn sampler_config(&self, mut config: SamplerConfig) -> SamplerConfig {
         if config.max_conflicts_per_sample.is_none() {
             config.max_conflicts_per_sample = self.budget.conflicts_per_call;
         }
         if config.cancel.is_none() {
             config.cancel = Some(self.budget.cancel.clone());
         }
+        config.calls = Some(self.calls.clone());
+        config
+    }
+
+    /// Constructs a sampler for `cnf`, inheriting the budget's per-call
+    /// conflict limit, cancellation token, and shared call allowance when
+    /// `config` does not set its own. Prefer [`Oracle::sample`] /
+    /// [`Oracle::sample_sharded`] for running it, so request statistics
+    /// (sampler calls, shortfalls) land in [`OracleStats`].
+    pub fn new_sampler(&mut self, cnf: &Cnf, config: SamplerConfig) -> Sampler {
         self.stats.samplers_constructed += 1;
-        Sampler::new(cnf, config)
+        Sampler::new(cnf, self.sampler_config(config))
+    }
+
+    /// Runs one sampling request on `sampler` under the shared budget,
+    /// recording the consumed per-sample solver calls and any shortfall in
+    /// [`OracleStats`]. Refused without touching the sampler when the budget
+    /// is already exhausted, like every other oracle call.
+    pub fn sample(&mut self, sampler: &mut Sampler, n: usize) -> (Vec<Assignment>, SampleOutcome) {
+        if let Some(refused) = self.refuse_sampling(n) {
+            return (Vec::new(), refused);
+        }
+        let before = self.calls.consumed();
+        let (samples, outcome) = sampler.sample_with_outcome(n);
+        self.record_sampling(before, &outcome);
+        (samples, outcome)
+    }
+
+    /// Runs one sharded sampling request for `cnf` under the shared budget:
+    /// `config.shards` seed-derived shards race on threads, all drawing on
+    /// this oracle's call allowance and cancellation token, and the merged
+    /// batch is returned with its [`SampleOutcome`]. Counts one constructed
+    /// sampler per shard.
+    pub fn sample_sharded(
+        &mut self,
+        cnf: &Cnf,
+        config: SamplerConfig,
+        n: usize,
+    ) -> (Vec<Assignment>, SampleOutcome) {
+        if let Some(refused) = self.refuse_sampling(n) {
+            return (Vec::new(), refused);
+        }
+        self.stats.samplers_constructed += config.shards.max(1);
+        let mut sharded = ShardedSampler::new(cnf, self.sampler_config(config));
+        let before = self.calls.consumed();
+        let (samples, outcome) = sharded.sample(n);
+        self.record_sampling(before, &outcome);
+        (samples, outcome)
+    }
+
+    /// The refused-request outcome when the budget is already exhausted,
+    /// `None` while sampling may proceed.
+    fn refuse_sampling(&mut self, n: usize) -> Option<SampleOutcome> {
+        let reason = self.exhausted()?;
+        self.stats.budget_exhaustions += 1;
+        self.stats.sample_shortfalls += 1;
+        Some(SampleOutcome {
+            requested: n,
+            emitted: 0,
+            reason: Some(match reason {
+                UnknownReason::Cancelled => ShortfallReason::Cancelled,
+                _ => ShortfallReason::Budget,
+            }),
+        })
+    }
+
+    /// Books one finished sampling request into the statistics.
+    fn record_sampling(&mut self, calls_before: u64, outcome: &SampleOutcome) {
+        self.stats.sampler_calls += (self.calls.consumed() - calls_before) as usize;
+        if outcome.is_short() {
+            self.stats.sample_shortfalls += 1;
+            if matches!(
+                outcome.reason,
+                Some(ShortfallReason::Budget) | Some(ShortfallReason::Cancelled)
+            ) {
+                self.stats.budget_exhaustions += 1;
+            }
+        }
     }
 }
 
@@ -482,6 +590,119 @@ mod tests {
         assert_eq!(oracle.stats().sat_calls, 1);
         assert_eq!(oracle.stats().maxsat_calls, 1);
         assert_eq!(oracle.stats().budget_exhaustions, 2);
+    }
+
+    /// Mirror of `call_budget_cuts_off_further_solves` for the sampling
+    /// path: once the shared call budget is exhausted, sampler solves are
+    /// refused before the solver is touched.
+    #[test]
+    fn call_budget_cuts_off_further_sampler_solves() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(1)));
+        let mut solver = oracle.new_solver();
+        solver.ensure_vars(1);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        let cnf = Cnf::new(2);
+        let mut sampler = oracle.new_sampler(&cnf, SamplerConfig::default());
+        let (samples, outcome) = oracle.sample(&mut sampler, 5);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert_eq!(oracle.give_up_reason(), UnknownReason::OracleBudget);
+        // The refused request performed no solver calls and is recorded as a
+        // shortfall.
+        assert_eq!(oracle.stats().sampler_calls, 0);
+        assert_eq!(oracle.stats().sample_shortfalls, 1);
+    }
+
+    /// Sampler solves draw on the same allowance as SAT solves: a sampling
+    /// request is cut off mid-batch, and afterwards SAT solves are refused
+    /// too.
+    #[test]
+    fn sampler_solves_count_toward_the_shared_call_budget() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(3)));
+        let cnf = Cnf::new(2);
+        let mut sampler = oracle.new_sampler(&cnf, SamplerConfig::default());
+        let (samples, outcome) = oracle.sample(&mut sampler, 10);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert_eq!(oracle.stats().sampler_calls, 3);
+        assert_eq!(oracle.stats().sample_shortfalls, 1);
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        let mut solver = oracle.new_solver();
+        solver.ensure_vars(1);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
+        assert_eq!(oracle.stats().sat_calls, 0);
+    }
+
+    /// The sharded path bills every shard's solves to the shared allowance.
+    #[test]
+    fn sharded_sampling_draws_on_the_shared_budget() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(5)));
+        let cnf = Cnf::new(3);
+        let config = SamplerConfig {
+            shards: 4,
+            ..SamplerConfig::default()
+        };
+        let (samples, outcome) = oracle.sample_sharded(&cnf, config, 20);
+        assert!(samples.len() <= 5, "emitted {} > budget 5", samples.len());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert_eq!(oracle.stats().sampler_calls, 5);
+        assert_eq!(oracle.stats().samplers_constructed, 4);
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+    }
+
+    /// A caller-supplied `CallBudget` must not let sampler work bypass the
+    /// oracle's shared allowance (or its `sampler_calls` accounting): the
+    /// oracle's handle is authoritative for oracle-routed samplers.
+    #[test]
+    fn caller_supplied_call_budgets_cannot_bypass_the_shared_allowance() {
+        let mut oracle = Oracle::new(Budget::new(None, None, Some(2)));
+        let cnf = Cnf::new(2);
+        let private = CallBudget::unlimited();
+        let config = SamplerConfig {
+            calls: Some(private.clone()),
+            ..SamplerConfig::default()
+        };
+        let mut sampler = oracle.new_sampler(&cnf, config);
+        let (samples, outcome) = oracle.sample(&mut sampler, 10);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert_eq!(oracle.stats().sampler_calls, 2);
+        assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+        // The private handle was ignored, not drawn on.
+        assert_eq!(private.consumed(), 0);
+    }
+
+    #[test]
+    fn sharded_sampling_is_served_in_full_under_an_unlimited_budget() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let cnf = Cnf::new(3);
+        let config = SamplerConfig {
+            shards: 2,
+            ..SamplerConfig::default()
+        };
+        let (samples, outcome) = oracle.sample_sharded(&cnf, config, 12);
+        assert_eq!(samples.len(), 12);
+        assert_eq!(outcome.reason, None);
+        // Oversampling headroom means at least one solver call per sample.
+        assert!(oracle.stats().sampler_calls >= 12);
+        assert_eq!(oracle.stats().sample_shortfalls, 0);
+        assert_eq!(oracle.exhausted(), None);
+    }
+
+    #[test]
+    fn cancelled_sampling_requests_report_cancellation() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        oracle.budget().cancel_token().cancel();
+        let cnf = Cnf::new(2);
+        let config = SamplerConfig {
+            shards: 2,
+            ..SamplerConfig::default()
+        };
+        let (samples, outcome) = oracle.sample_sharded(&cnf, config, 4);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Cancelled));
+        assert_eq!(oracle.stats().sampler_calls, 0);
     }
 
     #[test]

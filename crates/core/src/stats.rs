@@ -12,6 +12,9 @@ use std::time::Duration;
 pub struct SynthesisStats {
     /// Number of satisfying assignments used as training data.
     pub samples: usize,
+    /// Number of shards the sampling stage ran across (1 = the plain
+    /// single-threaded sampler).
+    pub sample_shards: usize,
     /// Number of candidate functions learned from data.
     pub candidates_learned: usize,
     /// Number of functions obtained by unique-definition extraction.
@@ -44,8 +47,11 @@ impl SynthesisStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "samples={} learned={} defs={} iters={} repairs={} solvers={} sat_calls={} total={:?}",
+            "samples={} shards={} learned={} defs={} iters={} repairs={} solvers={} \
+             sat_calls={} total={:?}",
             self.samples,
+            // 0 = the Sample stage never ran; don't disguise it as 1 shard.
+            self.sample_shards,
             self.candidates_learned,
             self.unique_definitions,
             self.repair_iterations,

@@ -22,6 +22,14 @@
 //! the runner also returns per-engine [`OracleStats`] — the same counters
 //! for all engines, comparable apples-to-apples — plus their merged total.
 //!
+//! Besides racing *different* engines, the portfolio can race
+//! *configurations* of one engine:
+//! [`PortfolioConfig::manthan3_shard_counts`] fans the Manthan3 entry out
+//! into one racer per sample-shard count (each drawing its training data
+//! through the sharded sampler at a different parallelism), all under the
+//! same shared budget — instances whose sampling stage dominates are won by
+//! a wide-sharded racer, while repair-dominated ones are indifferent.
+//!
 //! # Examples
 //!
 //! ```
@@ -105,6 +113,13 @@ pub struct PortfolioConfig {
     pub sat_call_budget: Option<u64>,
     /// Engine-specific settings for Manthan3 (budget fields ignored).
     pub manthan3: Manthan3Config,
+    /// Sample-shard-count diversity for Manthan3 — the first step of racing
+    /// *configurations* of one engine: when non-empty, every `Manthan3`
+    /// entry in `engines` is replaced by one racer per listed shard count
+    /// (each a clone of `manthan3` with `sample_shards` overridden), all
+    /// under the same shared budget and cancellation. Empty (the default)
+    /// races the single configured `manthan3` entry.
+    pub manthan3_shard_counts: Vec<usize>,
     /// Engine-specific settings for the expansion baseline (budget fields
     /// ignored).
     pub expansion: ExpansionConfig,
@@ -122,6 +137,7 @@ impl Default for PortfolioConfig {
             sat_conflict_budget: None,
             sat_call_budget: None,
             manthan3: Manthan3Config::default(),
+            manthan3_shard_counts: Vec::new(),
             expansion: ExpansionConfig::default(),
             arbiter: ArbiterConfig::default(),
         }
@@ -143,6 +159,10 @@ impl PortfolioConfig {
 pub struct EngineReport {
     /// The engine this report describes.
     pub engine: PortfolioEngine,
+    /// The sample-shard count this racer ran with, when the race used
+    /// shard-count diversity ([`PortfolioConfig::manthan3_shard_counts`]);
+    /// `None` for baselines and for the single default configuration.
+    pub sample_shards: Option<usize>,
     /// The engine's own verdict (losers typically report
     /// [`UnknownReason::Cancelled`]).
     pub outcome: SynthesisOutcome,
@@ -216,6 +236,8 @@ impl PortfolioResult {
             merged.samplers_constructed += report.oracle.samplers_constructed;
             merged.sat_calls += report.oracle.sat_calls;
             merged.maxsat_calls += report.oracle.maxsat_calls;
+            merged.sampler_calls += report.oracle.sampler_calls;
+            merged.sample_shortfalls += report.oracle.sample_shortfalls;
             merged.maxsat_hard_encodings += report.oracle.maxsat_hard_encodings;
             merged.maxsat_incremental_calls += report.oracle.maxsat_incremental_calls;
             merged.conflicts += report.oracle.conflicts;
@@ -234,6 +256,7 @@ pub struct Portfolio {
 /// What one worker observed for one engine, before winner resolution.
 struct RawReport {
     engine: PortfolioEngine,
+    sample_shards: Option<usize>,
     outcome: SynthesisOutcome,
     runtime: Duration,
     oracle: OracleStats,
@@ -271,7 +294,28 @@ impl Portfolio {
             !self.config.engines.is_empty(),
             "portfolio needs at least one engine"
         );
-        let threads = self.config.threads.clamp(1, self.config.engines.len());
+        // Configuration racing: with shard-count diversity configured, each
+        // Manthan3 entry fans out into one racer per listed shard count.
+        let jobs: Vec<(PortfolioEngine, Option<usize>)> = self
+            .config
+            .engines
+            .iter()
+            .flat_map(|&engine| {
+                if engine == PortfolioEngine::Manthan3
+                    && !self.config.manthan3_shard_counts.is_empty()
+                {
+                    self.config
+                        .manthan3_shard_counts
+                        .iter()
+                        .map(|&k| (engine, Some(k.max(1))))
+                        .collect()
+                } else {
+                    vec![(engine, None)]
+                }
+            })
+            .collect();
+        assert!(!jobs.is_empty(), "portfolio needs at least one racer");
+        let threads = self.config.threads.clamp(1, jobs.len());
 
         // One budget for the whole race, armed now — not when the
         // configuration was built. Clones share the deadline and the token.
@@ -286,14 +330,16 @@ impl Portfolio {
         let next_engine = AtomicUsize::new(0);
         let race_claimed = AtomicBool::new(false);
         let finished: Mutex<Vec<RawReport>> = Mutex::new(Vec::new());
+        let jobs_ref = &jobs;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let index = next_engine.fetch_add(1, Ordering::SeqCst);
-                    let Some(&engine) = self.config.engines.get(index) else {
+                    let Some(&(engine, sample_shards)) = jobs_ref.get(index) else {
                         break;
                     };
-                    let (outcome, oracle) = self.dispatch(engine, dqbf, budget.clone());
+                    let (outcome, oracle) =
+                        self.dispatch(engine, sample_shards, dqbf, budget.clone());
                     let runtime = race_start.elapsed();
                     // Only certificate-checked vectors (or falsity proofs)
                     // may stop the race.
@@ -317,6 +363,7 @@ impl Portfolio {
                         .expect("no worker panicked holding the report lock")
                         .push(RawReport {
                             engine,
+                            sample_shards,
                             outcome,
                             runtime,
                             oracle,
@@ -340,6 +387,7 @@ impl Portfolio {
             .into_iter()
             .map(|r| EngineReport {
                 engine: r.engine,
+                sample_shards: r.sample_shards,
                 outcome: r.outcome,
                 runtime: r.runtime,
                 oracle: r.oracle,
@@ -354,17 +402,23 @@ impl Portfolio {
         }
     }
 
-    /// Runs one engine under a clone of the race budget.
+    /// Runs one engine under a clone of the race budget; `sample_shards`
+    /// overrides the Manthan3 configuration's shard count when this racer is
+    /// part of a shard-count-diversity fan-out.
     fn dispatch(
         &self,
         engine: PortfolioEngine,
+        sample_shards: Option<usize>,
         dqbf: &Dqbf,
         budget: Budget,
     ) -> (SynthesisOutcome, OracleStats) {
         match engine {
             PortfolioEngine::Manthan3 => {
-                let result = Manthan3::new(self.config.manthan3.clone())
-                    .synthesize_with_budget(dqbf, budget);
+                let mut config = self.config.manthan3.clone();
+                if let Some(shards) = sample_shards {
+                    config.sample_shards = shards;
+                }
+                let result = Manthan3::new(config).synthesize_with_budget(dqbf, budget);
                 (result.outcome, result.stats.oracle)
             }
             PortfolioEngine::Hqs2Like => {
@@ -489,6 +543,39 @@ mod tests {
         // With one worker, completion order is dispatch order.
         let order: Vec<_> = result.reports.iter().map(|r| r.engine).collect();
         assert_eq!(order, PortfolioEngine::ALL.to_vec());
+    }
+
+    #[test]
+    fn shard_count_diversity_races_multiple_manthan3_configs() {
+        let dqbf = Dqbf::paper_example();
+        let config = PortfolioConfig {
+            engines: vec![PortfolioEngine::Manthan3],
+            manthan3_shard_counts: vec![1, 2, 4],
+            threads: 3,
+            ..PortfolioConfig::default()
+        };
+        let result = Portfolio::new(config).run(&dqbf);
+        assert!(result.is_realizable());
+        assert_eq!(result.reports.len(), 3, "one racer per shard count");
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.engine == PortfolioEngine::Manthan3));
+        let shard_counts: std::collections::BTreeSet<_> =
+            result.reports.iter().map(|r| r.sample_shards).collect();
+        assert_eq!(
+            shard_counts,
+            [Some(1), Some(2), Some(4)].into_iter().collect()
+        );
+        assert_eq!(result.reports.iter().filter(|r| r.winner).count(), 1);
+    }
+
+    #[test]
+    fn default_config_does_not_fan_out_and_reports_no_shard_counts() {
+        let dqbf = Dqbf::paper_example();
+        let result = Portfolio::new(PortfolioConfig::default()).run(&dqbf);
+        assert_eq!(result.reports.len(), 3);
+        assert!(result.reports.iter().all(|r| r.sample_shards.is_none()));
     }
 
     #[test]

@@ -12,6 +12,55 @@
 //! samples collected so far are nudged towards the under-represented value
 //! in subsequent samples.
 //!
+//! # Sharded sampling
+//!
+//! [`ShardedSampler`] parallelises a sampling request across `k` shards
+//! (configured via [`SamplerConfig::shards`]). Each shard is an independent
+//! [`Sampler`] with a seed derived from the base seed and **its own
+//! adaptive-bias state**, run on `std::thread`s the way the portfolio races
+//! engines; all shards share one [`CancelToken`] and one [`CallBudget`], so
+//! a sharded request is cancelled and budget-capped exactly like a single
+//! sampler. The shard results are combined by a **bias-weighted merge**:
+//!
+//! 1. every shard reports its batch together with its *terminal* per-variable
+//!    true-ratios (the end state of its adaptive bias),
+//! 2. each sample is scored by how under-represented its valuation is
+//!    relative to the emitted-count-weighted pool of all shard ratios
+//!    (log-likelihood ratio of pooled vs. shard-local bias, clamped), so a
+//!    shard whose local bias drifted away from the pooled distribution has
+//!    its over-represented valuations down-weighted,
+//! 3. the union of the batches is deduplicated (within and across shards;
+//!    the highest-weight occurrence of each assignment is kept), and the
+//!    merged multiset is the top-`n` samples by weight — shards draw
+//!    `⌈n/k⌉` plus a small slack so the selection has headroom, which is
+//!    what makes the merged per-variable ratios track the single-sampler
+//!    distribution contract,
+//! 4. when deduplication undershoots `n`, the merge **tops up** from the
+//!    most *diverse* shard (highest distinct-to-emitted ratio), resuming
+//!    that shard's sampler and preferring assignments not seen yet; once a
+//!    run of consecutive duplicates shows the solution space is exhausted,
+//!    the remainder is completed by replicating the deduplicated-away
+//!    surplus draws round-robin — they carry the shards' adaptive
+//!    multiplicities, so the completed multiset keeps the empirical
+//!    distribution without paying one solver call per duplicate. Batches
+//!    cut short by the budget or cancellation stay short, with the reason
+//!    reported.
+//!
+//! The merge runs after all shard threads have joined and is a deterministic
+//! function of the per-shard batches, and each shard's batch depends only on
+//! its derived seed — so for a fixed base seed the merged multiset is
+//! identical however many worker threads execute the shards (the thread
+//! count only schedules shards, it never changes them). Shard 0 reuses the
+//! base seed and an exact quota, so a one-shard request degenerates to the
+//! plain [`Sampler`] batch.
+//!
+//! Shortfalls are first-class: [`Sampler::sample_with_outcome`] and
+//! [`ShardedSampler::sample`] report a [`SampleOutcome`] that says how many
+//! samples were requested and emitted, and *why* a short batch stopped
+//! ([`ShortfallReason`]: proved unsatisfiable, budget cut, or cancelled) —
+//! the synthesis engine uses this to distinguish "the formula has no
+//! models" from "the race was lost".
+//!
 //! # Examples
 //!
 //! ```
@@ -31,12 +80,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod sharded;
+
+pub use sharded::ShardedSampler;
+
 use manthan3_cnf::{Assignment, Cnf, Var};
-use manthan3_sat::{CancelToken, SolveResult, Solver, SolverConfig};
+use manthan3_sat::{CallBudget, CancelToken, SolveResult, Solver, SolverConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
-/// Configuration for [`Sampler`].
+/// Configuration for [`Sampler`] and [`ShardedSampler`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SamplerConfig {
     /// Random seed.
@@ -51,6 +105,17 @@ pub struct SamplerConfig {
     /// solver: a cancelled sampler stops emitting samples at its next solve
     /// call (the batch collected so far is kept).
     pub cancel: Option<CancelToken>,
+    /// Optional shared call allowance: every per-sample solver call first
+    /// draws on this budget, and the sampler stops (with
+    /// [`ShortfallReason::Budget`]) once it is exhausted. The oracle layer
+    /// passes the run's shared SAT/MaxSAT call budget here, so sampler
+    /// solves are billed to — and refused by — the same allowance as every
+    /// other oracle call. All shards of a [`ShardedSampler`] share this
+    /// handle.
+    pub calls: Option<CallBudget>,
+    /// Number of shards a [`ShardedSampler`] splits a request across (clamped
+    /// to at least 1). Plain [`Sampler`]s ignore this field.
+    pub shards: usize,
 }
 
 impl Default for SamplerConfig {
@@ -61,7 +126,52 @@ impl Default for SamplerConfig {
             random_var_freq: 0.6,
             max_conflicts_per_sample: None,
             cancel: None,
+            calls: None,
+            shards: 1,
         }
+    }
+}
+
+/// Why a sampling request emitted fewer samples than requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShortfallReason {
+    /// The formula was proved unsatisfiable (no further samples exist).
+    Unsat,
+    /// A budget cut sampling short: the shared [`CallBudget`] was exhausted,
+    /// or a per-sample conflict limit made a solve give up.
+    Budget,
+    /// The cooperative [`CancelToken`] was raised.
+    Cancelled,
+}
+
+impl fmt::Display for ShortfallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            ShortfallReason::Unsat => "unsat",
+            ShortfallReason::Budget => "budget",
+            ShortfallReason::Cancelled => "cancelled",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// The observable outcome of one sampling request: how many samples were
+/// asked for, how many were actually emitted, and — when the batch is short —
+/// why it stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleOutcome {
+    /// Number of samples the caller requested.
+    pub requested: usize,
+    /// Number of samples actually emitted.
+    pub emitted: usize,
+    /// Why the batch is short; `None` when the request was met in full.
+    pub reason: Option<ShortfallReason>,
+}
+
+impl SampleOutcome {
+    /// `true` when fewer samples were emitted than requested.
+    pub fn is_short(&self) -> bool {
+        self.emitted < self.requested
     }
 }
 
@@ -78,6 +188,10 @@ pub struct Sampler {
     emitted: usize,
     satisfiable: Option<bool>,
     rng: SmallRng,
+    cancel: Option<CancelToken>,
+    calls: CallBudget,
+    /// Why the most recent [`Sampler::sample_one`] returned `None`.
+    last_stop: Option<ShortfallReason>,
 }
 
 impl Sampler {
@@ -102,6 +216,9 @@ impl Sampler {
             emitted: 0,
             satisfiable: None,
             rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED),
+            cancel: config.cancel,
+            calls: config.calls.unwrap_or_default(),
+            last_stop: None,
         }
     }
 
@@ -133,9 +250,23 @@ impl Sampler {
     }
 
     /// Draws one satisfying assignment, or `None` if the formula is
-    /// unsatisfiable (or the per-sample budget was exhausted).
+    /// unsatisfiable, a budget was exhausted, or the sampler was cancelled;
+    /// [`Sampler::last_stop`] says which.
+    ///
+    /// Every performed solve first draws one call from the shared
+    /// [`CallBudget`] (when one was configured): an exhausted allowance
+    /// refuses the sample *before* the solver is touched.
     pub fn sample_one(&mut self) -> Option<Assignment> {
         if self.satisfiable == Some(false) {
+            self.last_stop = Some(ShortfallReason::Unsat);
+            return None;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.last_stop = Some(ShortfallReason::Cancelled);
+            return None;
+        }
+        if !self.calls.try_acquire() {
+            self.last_stop = Some(ShortfallReason::Budget);
             return None;
         }
         self.refresh_phases();
@@ -149,27 +280,64 @@ impl Sampler {
                     }
                 }
                 self.emitted += 1;
+                self.last_stop = None;
                 Some(model)
             }
             SolveResult::Unsat => {
                 self.satisfiable = Some(false);
+                self.last_stop = Some(ShortfallReason::Unsat);
                 None
             }
-            SolveResult::Unknown => None,
+            SolveResult::Unknown => {
+                self.last_stop = Some(
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        ShortfallReason::Cancelled
+                    } else {
+                        ShortfallReason::Budget
+                    },
+                );
+                None
+            }
         }
     }
 
     /// Draws up to `n` satisfying assignments (fewer if the formula is
     /// unsatisfiable or budgets are exhausted).
     pub fn sample(&mut self, n: usize) -> Vec<Assignment> {
+        self.sample_with_outcome(n).0
+    }
+
+    /// Like [`Sampler::sample`], but also reports a [`SampleOutcome`] saying
+    /// how many samples were emitted and why a short batch stopped.
+    pub fn sample_with_outcome(&mut self, n: usize) -> (Vec<Assignment>, SampleOutcome) {
         let mut out = Vec::with_capacity(n);
+        let mut reason = None;
         for _ in 0..n {
             match self.sample_one() {
                 Some(a) => out.push(a),
-                None => break,
+                None => {
+                    reason = self.last_stop;
+                    break;
+                }
             }
         }
-        out
+        let outcome = SampleOutcome {
+            requested: n,
+            emitted: out.len(),
+            reason,
+        };
+        (out, outcome)
+    }
+
+    /// Why the most recent failed [`Sampler::sample_one`] stopped, if the
+    /// last draw failed.
+    pub fn last_stop(&self) -> Option<ShortfallReason> {
+        self.last_stop
+    }
+
+    /// Number of samples emitted so far over the sampler's lifetime.
+    pub fn emitted(&self) -> usize {
+        self.emitted
     }
 
     /// Fraction of emitted samples in which `var` was `true`.
@@ -181,6 +349,15 @@ impl Sampler {
         } else {
             self.true_counts[var.index()] as f64 / self.emitted as f64
         }
+    }
+
+    /// The terminal per-variable true-ratios (the sampler's adaptive-bias
+    /// state), indexed by variable; the sharded merge weights batches with
+    /// these.
+    pub fn true_ratios(&self) -> Vec<f64> {
+        (0..self.num_vars)
+            .map(|v| self.true_ratio(Var::new(v as u32)))
+            .collect()
     }
 }
 
@@ -264,6 +441,75 @@ mod tests {
                 "variable {v} ratio {ratio} out of range"
             );
         }
+    }
+
+    #[test]
+    fn unsat_shortfall_is_reported() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1)]);
+        let mut s = Sampler::new(&cnf, SamplerConfig::default());
+        let (samples, outcome) = s.sample_with_outcome(5);
+        assert!(samples.is_empty());
+        assert_eq!(
+            outcome,
+            SampleOutcome {
+                requested: 5,
+                emitted: 0,
+                reason: Some(ShortfallReason::Unsat),
+            }
+        );
+        assert!(outcome.is_short());
+    }
+
+    #[test]
+    fn full_batches_report_no_shortfall() {
+        let cnf = Cnf::new(3);
+        let mut s = Sampler::new(&cnf, SamplerConfig::default());
+        let (samples, outcome) = s.sample_with_outcome(8);
+        assert_eq!(samples.len(), 8);
+        assert_eq!(outcome.reason, None);
+        assert!(!outcome.is_short());
+    }
+
+    #[test]
+    fn call_budget_cuts_sampling_short() {
+        let cnf = Cnf::new(4);
+        let budget = manthan3_sat::CallBudget::limited(3);
+        let mut s = Sampler::new(
+            &cnf,
+            SamplerConfig {
+                calls: Some(budget.clone()),
+                ..SamplerConfig::default()
+            },
+        );
+        let (samples, outcome) = s.sample_with_outcome(10);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert!(budget.exhausted());
+        // Refused draws never touch the solver, so the allowance stays at
+        // exactly its limit however often we retry.
+        assert!(s.sample(2).is_empty());
+        assert_eq!(budget.consumed(), 3);
+    }
+
+    #[test]
+    fn cancellation_stops_sampling_with_the_batch_kept() {
+        let cnf = Cnf::new(4);
+        let token = CancelToken::new();
+        let mut s = Sampler::new(
+            &cnf,
+            SamplerConfig {
+                cancel: Some(token.clone()),
+                ..SamplerConfig::default()
+            },
+        );
+        assert_eq!(s.sample(4).len(), 4);
+        token.cancel();
+        let (samples, outcome) = s.sample_with_outcome(4);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Cancelled));
+        assert_eq!(s.emitted(), 4);
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! Sharded parallel sampling with a bias-weighted merge.
+//!
+//! See the [crate-level documentation](crate) for the full design: `k`
+//! shards with derived seeds and independent adaptive-bias states run on
+//! `std::thread`s sharing one [`CancelToken`](manthan3_sat::CancelToken) and
+//! one [`CallBudget`](manthan3_sat::CallBudget); the merge re-weights each
+//! shard's batch by its terminal per-variable bias, deduplicates across
+//! shards, and tops up from the most diverse shard when deduplication
+//! undershoots the request.
+
+use crate::{SampleOutcome, Sampler, SamplerConfig, ShortfallReason};
+use manthan3_cnf::{Assignment, Cnf};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Probabilities are clamped away from 0/1 before entering the
+/// log-likelihood weight so forced variables (ratio exactly 0 or 1 in every
+/// shard) contribute nothing and near-deterministic ones cannot dominate.
+const RATIO_CLAMP: f64 = 0.02;
+
+/// Per-distinct-missing-sample cap on extra top-up draws before the merge
+/// falls back to duplicate samples (the multiset contract allows them).
+const TOP_UP_ATTEMPTS_PER_MISSING: usize = 3;
+
+/// Consecutive duplicate top-up draws after which the merge concludes the
+/// solution space is (close to) exhausted and stops spending solver calls
+/// hunting for distinct assignments.
+const TOP_UP_DUPLICATE_CUTOFF: usize = 12;
+
+/// What one shard produced: its batch, its terminal adaptive-bias state,
+/// and the sampler itself (kept alive so the merge can top up from it).
+struct ShardResult {
+    /// The shard's batch; drained (not shrunk) by the merge pass.
+    samples: Vec<Assignment>,
+    ratios: Vec<f64>,
+    /// Batch size at collection time (survives the merge draining `samples`).
+    emitted: usize,
+    distinct: usize,
+    sampler: Sampler,
+    reason: Option<ShortfallReason>,
+}
+
+/// One merge candidate: a sample, where it came from, and its bias weight.
+struct Candidate {
+    sample: Assignment,
+    shard: usize,
+    index: usize,
+    weight: f64,
+}
+
+/// Splits sampling requests across `k` seed-derived shards run on threads
+/// and merges the batches with a bias-weighted pass.
+///
+/// The shard count comes from [`SamplerConfig::shards`]; the worker-thread
+/// count only schedules shards and never changes the result — for a fixed
+/// base seed the merged multiset is identical for any thread count (given an
+/// unconstrained call budget; a shared limited budget is handed out in
+/// scheduling order, which is the same nondeterminism the portfolio race
+/// accepts). A one-shard sampler degenerates to the plain [`Sampler`] batch
+/// for the same seed.
+///
+/// # Examples
+///
+/// ```
+/// use manthan3_cnf::dimacs::parse_dimacs;
+/// use manthan3_sampler::{SamplerConfig, ShardedSampler};
+///
+/// let cnf = parse_dimacs("p cnf 3 2\n1 2 0\n-1 3 0\n")?;
+/// let config = SamplerConfig { seed: 7, shards: 4, ..SamplerConfig::default() };
+/// let mut sampler = ShardedSampler::new(&cnf, config);
+/// let (samples, outcome) = sampler.sample(20);
+/// assert_eq!(samples.len(), 20);
+/// assert_eq!(outcome.reason, None);
+/// for s in &samples {
+///     assert!(cnf.eval(s));
+/// }
+/// # Ok::<(), manthan3_cnf::ParseDimacsError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSampler {
+    cnf: Cnf,
+    config: SamplerConfig,
+    threads: usize,
+    round: u64,
+    satisfiable: Option<bool>,
+}
+
+impl ShardedSampler {
+    /// Creates a sharded sampler for `cnf`. The shard count is
+    /// `config.shards` (clamped to at least 1); the worker-thread count
+    /// defaults to one thread per shard, capped at the host's available
+    /// parallelism — extra threads on an oversubscribed machine only add
+    /// contention, never samples — and can be overridden with
+    /// [`ShardedSampler::with_threads`].
+    pub fn new(cnf: &Cnf, config: SamplerConfig) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = config.shards.clamp(1, parallelism.max(1));
+        ShardedSampler {
+            cnf: cnf.clone(),
+            config,
+            threads,
+            round: 0,
+            satisfiable: None,
+        }
+    }
+
+    /// Overrides the number of worker threads executing shards (clamped to
+    /// at least 1; may exceed the default available-parallelism cap).
+    /// Scheduling only: the merged result is unchanged.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of shards requests are split across.
+    pub fn shards(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// Returns whether the formula is satisfiable, if a request has already
+    /// decided it.
+    pub fn known_satisfiable(&self) -> Option<bool> {
+        self.satisfiable
+    }
+
+    /// Draws up to `n` satisfying assignments across the shards and merges
+    /// them; the [`SampleOutcome`] reports the shortfall reason when the
+    /// merged batch is short. Consecutive calls use fresh derived seeds, so
+    /// repeated requests keep producing new batches deterministically.
+    pub fn sample(&mut self, n: usize) -> (Vec<Assignment>, SampleOutcome) {
+        // A settled UNSAT verdict is final: short-circuit instead of paying
+        // one budget call per shard to re-derive it (the plain sampler
+        // short-circuits the same way).
+        if self.satisfiable == Some(false) {
+            return (
+                Vec::new(),
+                SampleOutcome {
+                    requested: n,
+                    emitted: 0,
+                    reason: Some(ShortfallReason::Unsat),
+                },
+            );
+        }
+        let round = self.round;
+        self.round += 1;
+        if n == 0 {
+            return (
+                Vec::new(),
+                SampleOutcome {
+                    requested: 0,
+                    emitted: 0,
+                    reason: None,
+                },
+            );
+        }
+        let k = self.shards();
+        if k == 1 {
+            // Degenerate case: exactly the plain sampler's batch (shard 0 of
+            // round 0 reuses the base seed unchanged).
+            let mut config = self.config.clone();
+            config.seed = derive_seed(self.config.seed, 0, round);
+            config.shards = 1;
+            let mut sampler = Sampler::new(&self.cnf, config);
+            let (samples, outcome) = sampler.sample_with_outcome(n);
+            if let Some(verdict) = sampler.known_satisfiable() {
+                self.satisfiable = Some(verdict);
+            }
+            return (samples, outcome);
+        }
+
+        // Every shard draws an equal quota plus a little slack, so the
+        // bias-weighted selection below has headroom to both absorb
+        // cross-shard duplicates and skip over-represented valuations.
+        let quota = n.div_ceil(k);
+        let per_shard = quota + quota / 8 + 1;
+
+        let shard_results = self.run_shards(k, per_shard, round);
+        // Upgrade the cached verdict, never downgrade it: a budget-refused
+        // round that emitted nothing says nothing about satisfiability.
+        if shard_results.iter().any(|r| !r.samples.is_empty()) {
+            self.satisfiable = Some(true);
+        } else if shard_results
+            .iter()
+            .any(|r| r.reason == Some(ShortfallReason::Unsat))
+        {
+            self.satisfiable = Some(false);
+        }
+
+        self.merge(shard_results, n)
+    }
+
+    /// Runs the `k` shards on up to `self.threads` worker threads; shard
+    /// `s`'s result lands in slot `s`, so the merge sees them in shard order
+    /// regardless of scheduling.
+    fn run_shards(&self, k: usize, per_shard: usize, round: u64) -> Vec<ShardResult> {
+        let workers = self.threads.min(k);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ShardResult>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let slots_ref = &slots;
+        let next_ref = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let shard = next_ref.fetch_add(1, Ordering::SeqCst);
+                    if shard >= k {
+                        break;
+                    }
+                    let mut config = self.config.clone();
+                    config.seed = derive_seed(self.config.seed, shard, round);
+                    config.shards = 1;
+                    let mut sampler = Sampler::new(&self.cnf, config);
+                    let (samples, outcome) = sampler.sample_with_outcome(per_shard);
+                    let distinct = samples
+                        .iter()
+                        .map(|a| a.as_slice())
+                        .collect::<HashSet<_>>()
+                        .len();
+                    *slots_ref[shard]
+                        .lock()
+                        .expect("no shard worker panicked holding its slot") = Some(ShardResult {
+                        ratios: sampler.true_ratios(),
+                        emitted: samples.len(),
+                        samples,
+                        distinct,
+                        sampler,
+                        reason: outcome.reason,
+                    });
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("no shard worker panicked holding its slot")
+                    .expect("every shard index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// The bias-weighted merge: weight, dedup, select, top up.
+    fn merge(
+        &mut self,
+        mut shard_results: Vec<ShardResult>,
+        n: usize,
+    ) -> (Vec<Assignment>, SampleOutcome) {
+        let total_emitted: usize = shard_results.iter().map(|r| r.samples.len()).sum();
+        if total_emitted == 0 {
+            let reason = aggregate_reason(&shard_results, self.satisfiable);
+            return (
+                Vec::new(),
+                SampleOutcome {
+                    requested: n,
+                    emitted: 0,
+                    reason,
+                },
+            );
+        }
+
+        // Pooled per-variable true-ratios: what a single sampler with the
+        // combined emitted mass would have seen, the merge's distribution
+        // target.
+        let num_vars = self.cnf.num_vars();
+        let mut pooled = vec![0.0f64; num_vars];
+        for result in &shard_results {
+            let mass = result.samples.len() as f64 / total_emitted as f64;
+            for (p, &ratio) in pooled.iter_mut().zip(&result.ratios) {
+                *p += mass * ratio;
+            }
+        }
+
+        // Weight every sample by the log-likelihood ratio of the pooled
+        // distribution vs. its shard's terminal bias: valuations a drifted
+        // shard over-produced score low, under-produced ones score high.
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(total_emitted);
+        for (shard, result) in shard_results.iter_mut().enumerate() {
+            let ratios = std::mem::take(&mut result.ratios);
+            for (index, sample) in std::mem::take(&mut result.samples).into_iter().enumerate() {
+                let weight = bias_weight(&sample, &pooled, &ratios);
+                candidates.push(Candidate {
+                    sample,
+                    shard,
+                    index,
+                    weight,
+                });
+            }
+        }
+
+        // Cross-shard dedup: keep the highest-weight occurrence of each
+        // assignment (ties broken by shard then position, so the result is
+        // independent of both thread scheduling and map iteration order).
+        let mut best: HashMap<Vec<bool>, usize> = HashMap::with_capacity(candidates.len());
+        for (i, candidate) in candidates.iter().enumerate() {
+            let key = candidate.sample.as_slice().to_vec();
+            match best.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if candidate_precedes(candidate, &candidates[*slot.get()]) {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
+        let mut kept: Vec<usize> = best.into_values().collect();
+        kept.sort_by(|&a, &b| {
+            if candidate_precedes(&candidates[a], &candidates[b]) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        kept.truncate(n);
+
+        // Canonical output order (shard, position): the merged multiset is a
+        // deterministic function of the per-shard batches alone.
+        kept.sort_by_key(|&i| (candidates[i].shard, candidates[i].index));
+        let mut seen: HashSet<Vec<bool>> = kept
+            .iter()
+            .map(|&i| candidates[i].sample.as_slice().to_vec())
+            .collect();
+        let mut merged: Vec<Assignment> = Vec::with_capacity(n);
+        for i in kept {
+            merged.push(std::mem::take(&mut candidates[i].sample));
+        }
+
+        // Dedup undershot the request: top up from the most diverse shard,
+        // preferring assignments the merge has not seen yet and falling back
+        // to duplicates (the multiset contract allows them) when the
+        // formula's solution space is smaller than the request. A run of
+        // consecutive duplicate draws means the solution space is (close to)
+        // exhausted — stop hunting for distinct assignments then, so tiny
+        // instances do not burn the shared call budget rediscovering the
+        // same few models.
+        let mut reason = None;
+        if merged.len() < n {
+            let donor = most_diverse_shard(&shard_results);
+            let donor_sampler = &mut shard_results[donor].sampler;
+            let missing = n - merged.len();
+            let mut duplicates: VecDeque<Assignment> = VecDeque::new();
+            let mut attempts = 0usize;
+            let mut consecutive_duplicates = 0usize;
+            while merged.len() < n
+                && attempts < TOP_UP_ATTEMPTS_PER_MISSING * missing + 8
+                && consecutive_duplicates < TOP_UP_DUPLICATE_CUTOFF
+            {
+                match donor_sampler.sample_one() {
+                    Some(sample) => {
+                        attempts += 1;
+                        if seen.insert(sample.as_slice().to_vec()) {
+                            consecutive_duplicates = 0;
+                            merged.push(sample);
+                        } else {
+                            consecutive_duplicates += 1;
+                            duplicates.push_back(sample);
+                        }
+                    }
+                    None => {
+                        reason = donor_sampler.last_stop();
+                        break;
+                    }
+                }
+            }
+            while merged.len() < n {
+                match duplicates.pop_front() {
+                    Some(sample) => merged.push(sample),
+                    None => break,
+                }
+            }
+            // The solution space ran dry before the request did (duplicate
+            // cutoff or attempts cap, donor still live): complete the
+            // multiset by replicating draws round-robin instead of paying
+            // one solver call per duplicate — the single sampler would emit
+            // duplicates here too, at full price. The pool is the
+            // deduped-away surplus (in shard/position order), because those
+            // draws carry the shards' adaptive multiplicities: cycling the
+            // distinct set alone would flatten the empirical distribution
+            // the parity contract promises. Budget- or cancellation-cut
+            // batches (donor reported a reason) stay short so the caller
+            // sees the truth.
+            if merged.len() < n && reason.is_none() {
+                let mut pool: Vec<Assignment> = candidates
+                    .iter()
+                    .filter(|c| !c.sample.is_empty())
+                    .map(|c| c.sample.clone())
+                    .collect();
+                if pool.is_empty() {
+                    // Degenerate formulas (zero variables) have nothing left
+                    // in the surplus; cycle the merged batch itself.
+                    pool = merged.clone();
+                }
+                let mut next = 0usize;
+                while merged.len() < n && !pool.is_empty() {
+                    merged.push(pool[next % pool.len()].clone());
+                    next += 1;
+                }
+            }
+            if merged.len() >= n {
+                reason = None;
+            } else if reason.is_none() {
+                reason = aggregate_reason(&shard_results, self.satisfiable);
+            }
+        }
+
+        let outcome = SampleOutcome {
+            requested: n,
+            emitted: merged.len(),
+            reason,
+        };
+        (merged, outcome)
+    }
+}
+
+/// Derives shard `shard`'s seed for request `round` from the base seed.
+/// Shard 0 of round 0 reuses the base seed unchanged, so a one-shard
+/// sampler reproduces the plain [`Sampler`] exactly.
+fn derive_seed(base: u64, shard: usize, round: u64) -> u64 {
+    if shard == 0 && round == 0 {
+        return base;
+    }
+    let mut state = base
+        .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(round.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    // One splitmix64 step decorrelates neighbouring shard/round indices.
+    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    state ^ (state >> 31)
+}
+
+/// The log-likelihood-ratio weight of `sample` under the pooled target
+/// distribution relative to its shard's terminal bias.
+fn bias_weight(sample: &Assignment, pooled: &[f64], shard_ratios: &[f64]) -> f64 {
+    let mut weight = 0.0;
+    for (v, &value) in sample.as_slice().iter().enumerate() {
+        let target = clamp_ratio(if value { pooled[v] } else { 1.0 - pooled[v] });
+        let local = clamp_ratio(if value {
+            shard_ratios[v]
+        } else {
+            1.0 - shard_ratios[v]
+        });
+        weight += (target / local).ln();
+    }
+    weight
+}
+
+fn clamp_ratio(p: f64) -> f64 {
+    p.clamp(RATIO_CLAMP, 1.0 - RATIO_CLAMP)
+}
+
+/// Strict deterministic candidate order: higher weight first, ties broken by
+/// shard then batch position.
+fn candidate_precedes(a: &Candidate, b: &Candidate) -> bool {
+    match a.weight.partial_cmp(&b.weight) {
+        Some(std::cmp::Ordering::Greater) => true,
+        Some(std::cmp::Ordering::Less) => false,
+        _ => (a.shard, a.index) < (b.shard, b.index),
+    }
+}
+
+/// The shard with the highest distinct-to-emitted ratio (ties broken towards
+/// the lower index); shards that emitted nothing rank last.
+fn most_diverse_shard(shard_results: &[ShardResult]) -> usize {
+    let mut best = 0usize;
+    let mut best_score = -1.0f64;
+    for (shard, result) in shard_results.iter().enumerate() {
+        let score = if result.emitted == 0 {
+            0.0
+        } else {
+            result.distinct as f64 / result.emitted as f64
+        };
+        if score > best_score {
+            best_score = score;
+            best = shard;
+        }
+    }
+    best
+}
+
+/// The reason an empty or short merged batch reports: unsatisfiability wins
+/// (it is a verdict, not a resource event), then the first shard-reported
+/// reason in shard order, then a budget fallback.
+fn aggregate_reason(
+    shard_results: &[ShardResult],
+    satisfiable: Option<bool>,
+) -> Option<ShortfallReason> {
+    if satisfiable == Some(false) {
+        return Some(ShortfallReason::Unsat);
+    }
+    shard_results
+        .iter()
+        .find_map(|r| r.reason)
+        .or(Some(ShortfallReason::Budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_cnf::Lit;
+    use manthan3_sat::{CallBudget, CancelToken};
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn chain_cnf(num_vars: usize) -> Cnf {
+        let mut cnf = Cnf::new(num_vars);
+        for v in 1..num_vars as i64 {
+            cnf.add_clause([lit(v), lit(v + 1)]);
+        }
+        cnf
+    }
+
+    fn config(seed: u64, shards: usize) -> SamplerConfig {
+        SamplerConfig {
+            seed,
+            shards,
+            ..SamplerConfig::default()
+        }
+    }
+
+    #[test]
+    fn merged_samples_satisfy_the_formula_and_meet_the_request() {
+        let cnf = chain_cnf(8);
+        let mut sampler = ShardedSampler::new(&cnf, config(11, 4));
+        let (samples, outcome) = sampler.sample(60);
+        assert_eq!(samples.len(), 60);
+        assert_eq!(outcome.reason, None);
+        assert_eq!(outcome.emitted, 60);
+        for sample in &samples {
+            assert!(cnf.eval(sample));
+            assert_eq!(sample.len(), cnf.num_vars());
+        }
+        assert_eq!(sampler.known_satisfiable(), Some(true));
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_the_plain_sampler() {
+        let cnf = chain_cnf(6);
+        let mut plain = Sampler::new(&cnf, config(1234, 1));
+        let expected = plain.sample(25);
+        let mut sharded = ShardedSampler::new(&cnf, config(1234, 1));
+        let (actual, outcome) = sharded.sample(25);
+        assert_eq!(actual, expected);
+        assert_eq!(outcome.reason, None);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_merged_multiset() {
+        let cnf = chain_cnf(9);
+        let reference: Vec<Vec<bool>> = {
+            let mut s = ShardedSampler::new(&cnf, config(42, 4)).with_threads(1);
+            let (samples, _) = s.sample(48);
+            let mut sorted: Vec<Vec<bool>> =
+                samples.iter().map(|a| a.as_slice().to_vec()).collect();
+            sorted.sort();
+            sorted
+        };
+        for threads in [2, 4, 7] {
+            let mut s = ShardedSampler::new(&cnf, config(42, 4)).with_threads(threads);
+            let (samples, _) = s.sample(48);
+            let mut sorted: Vec<Vec<bool>> =
+                samples.iter().map(|a| a.as_slice().to_vec()).collect();
+            sorted.sort();
+            assert_eq!(sorted, reference, "{threads} threads changed the merge");
+        }
+    }
+
+    #[test]
+    fn consecutive_requests_use_fresh_seeds() {
+        let cnf = Cnf::new(10);
+        let mut s = ShardedSampler::new(&cnf, config(3, 4));
+        let (first, _) = s.sample(20);
+        let (second, _) = s.sample(20);
+        assert_ne!(first, second, "round seeds did not advance");
+    }
+
+    #[test]
+    fn unsat_formula_reports_the_verdict() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1)]);
+        let mut s = ShardedSampler::new(&cnf, config(5, 4));
+        let (samples, outcome) = s.sample(10);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Unsat));
+        assert_eq!(s.known_satisfiable(), Some(false));
+    }
+
+    #[test]
+    fn settled_unsat_short_circuits_later_requests() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1)]);
+        let calls = CallBudget::unlimited();
+        let mut sampler_config = config(5, 4);
+        sampler_config.calls = Some(calls.clone());
+        let mut s = ShardedSampler::new(&cnf, sampler_config);
+        let _ = s.sample(10);
+        assert_eq!(s.known_satisfiable(), Some(false));
+        let consumed = calls.consumed();
+        let (samples, outcome) = s.sample(10);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Unsat));
+        // The settled verdict is served without any further solver calls.
+        assert_eq!(calls.consumed(), consumed);
+    }
+
+    #[test]
+    fn shards_share_one_call_budget() {
+        let cnf = Cnf::new(6);
+        let calls = CallBudget::limited(7);
+        let mut sampler_config = config(9, 4);
+        sampler_config.calls = Some(calls.clone());
+        let mut s = ShardedSampler::new(&cnf, sampler_config);
+        let (samples, outcome) = s.sample(40);
+        // At most one sample per allowed call, however the shards interleave.
+        assert!(samples.len() <= 7, "emitted {} > budget 7", samples.len());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Budget));
+        assert!(calls.exhausted());
+        assert_eq!(calls.consumed(), 7);
+    }
+
+    #[test]
+    fn cancellation_reaches_every_shard() {
+        let cnf = Cnf::new(6);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sampler_config = config(9, 4);
+        sampler_config.cancel = Some(token);
+        let mut s = ShardedSampler::new(&cnf, sampler_config);
+        let (samples, outcome) = s.sample(12);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Cancelled));
+    }
+
+    #[test]
+    fn tiny_solution_spaces_are_topped_up_with_duplicates() {
+        // Exactly two models: 1 ∧ (2 ⊕ ¬3 structure collapses to x2 free).
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(1)]);
+        let mut s = ShardedSampler::new(&cnf, config(13, 4));
+        let (samples, outcome) = s.sample(12);
+        assert_eq!(samples.len(), 12, "top-up must fill from duplicates");
+        assert_eq!(outcome.reason, None);
+        let distinct: HashSet<Vec<bool>> = samples.iter().map(|a| a.as_slice().to_vec()).collect();
+        assert!(distinct.len() <= 2);
+    }
+
+    #[test]
+    fn merged_ratios_track_the_single_sampler_contract() {
+        // Free formula: the adaptive single sampler keeps every variable
+        // near 1/2; the bias-weighted merge must not drift away from that.
+        let cnf = Cnf::new(8);
+        let mut s = ShardedSampler::new(&cnf, config(77, 4));
+        let (samples, _) = s.sample(160);
+        for v in 0..8 {
+            let trues = samples.iter().filter(|a| a.as_slice()[v]).count();
+            let ratio = trues as f64 / samples.len() as f64;
+            assert!(
+                (0.3..=0.7).contains(&ratio),
+                "variable {v} merged ratio {ratio} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_requests_are_trivially_met() {
+        let cnf = Cnf::new(3);
+        let mut s = ShardedSampler::new(&cnf, config(1, 4));
+        let (samples, outcome) = s.sample(0);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, None);
+    }
+}

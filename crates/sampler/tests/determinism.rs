@@ -1,0 +1,153 @@
+//! Sharded-sampling determinism (mirroring the portfolio determinism test):
+//! however many worker threads execute the shards, the merged sample
+//! multiset for a fixed base seed is identical — the thread count schedules
+//! shards, it never changes them — plus a property test that the merged
+//! adaptive-bias ratios stay within tolerance of the single sampler's on
+//! the generated `suite(7, 1)` matrices.
+
+use manthan3_cnf::Cnf;
+use manthan3_gen::suite::suite;
+use manthan3_sampler::{Sampler, SamplerConfig, ShardedSampler};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A cross-family selection of satisfiable `suite(7, 1)` matrices, kept
+/// small enough for debug-build test runs. Generated (and probed for
+/// satisfiability) once — the proptest cases only pay for the property.
+fn satisfiable_matrices() -> &'static [Cnf] {
+    static MATRICES: OnceLock<Vec<Cnf>> = OnceLock::new();
+    MATRICES.get_or_init(|| {
+        suite(7, 1)
+            .into_iter()
+            .take(30)
+            .step_by(3)
+            .map(|instance| instance.dqbf.matrix().clone())
+            .filter(|matrix| {
+                let mut probe = Sampler::new(matrix, SamplerConfig::default());
+                probe.sample_one().is_some()
+            })
+            .collect()
+    })
+}
+
+fn config(seed: u64, shards: usize) -> SamplerConfig {
+    SamplerConfig {
+        seed,
+        shards,
+        ..SamplerConfig::default()
+    }
+}
+
+/// The merged batch as a sorted multiset of value vectors.
+fn multiset(cnf: &Cnf, seed: u64, shards: usize, threads: usize, n: usize) -> Vec<Vec<bool>> {
+    let mut sampler = ShardedSampler::new(cnf, config(seed, shards)).with_threads(threads);
+    let (samples, outcome) = sampler.sample(n);
+    assert_eq!(outcome.requested, n);
+    assert_eq!(outcome.emitted, samples.len());
+    for sample in &samples {
+        assert!(cnf.eval(sample), "merged sample violates the formula");
+        assert_eq!(
+            sample.len(),
+            cnf.num_vars(),
+            "merged sample is narrower than the matrix"
+        );
+    }
+    let mut sorted: Vec<Vec<bool>> = samples.iter().map(|a| a.as_slice().to_vec()).collect();
+    sorted.sort();
+    sorted
+}
+
+/// Per-variable true-ratios of a batch.
+fn ratios(samples: &[Vec<bool>], num_vars: usize) -> Vec<f64> {
+    let mut trues = vec![0usize; num_vars];
+    for sample in samples {
+        for (v, &value) in sample.iter().enumerate() {
+            if value {
+                trues[v] += 1;
+            }
+        }
+    }
+    trues
+        .into_iter()
+        .map(|t| t as f64 / samples.len().max(1) as f64)
+        .collect()
+}
+
+#[test]
+fn merged_multiset_is_identical_for_1_2_4_threads() {
+    let matrices = satisfiable_matrices();
+    assert!(matrices.len() >= 6, "suite sample unexpectedly small");
+    for (index, matrix) in matrices.iter().enumerate() {
+        for seed in [7u64, 4242] {
+            let reference = multiset(matrix, seed, 4, 1, 72);
+            assert!(
+                !reference.is_empty(),
+                "instance {index}: satisfiable matrix produced no samples"
+            );
+            for threads in [2usize, 4] {
+                let other = multiset(matrix, seed, 4, threads, 72);
+                assert_eq!(
+                    other, reference,
+                    "instance {index} seed {seed}: {threads} threads changed the merged multiset"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_shard_request_equals_the_plain_sampler_batch() {
+    let matrices = satisfiable_matrices();
+    for matrix in matrices {
+        let mut plain = Sampler::new(matrix, config(99, 1));
+        let expected: Vec<Vec<bool>> = plain
+            .sample(40)
+            .iter()
+            .map(|a| a.as_slice().to_vec())
+            .collect();
+        let mut sharded = ShardedSampler::new(matrix, config(99, 1));
+        let (samples, _) = sharded.sample(40);
+        let actual: Vec<Vec<bool>> = samples.iter().map(|a| a.as_slice().to_vec()).collect();
+        assert_eq!(actual, expected, "one shard must degenerate to the sampler");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Property: for any base seed and any suite matrix, the 4-shard merged
+    /// batch's per-variable true-ratios stay within tolerance of the single
+    /// sampler's — the bias-weighted merge preserves the adaptive sampling
+    /// distribution contract.
+    #[test]
+    fn merged_bias_ratios_track_the_single_sampler(
+        seed in 0u64..512,
+        pick in 0usize..1024,
+    ) {
+        let matrices = satisfiable_matrices();
+        let matrix = &matrices[pick % matrices.len()];
+        const N: usize = 160;
+        let mut single = Sampler::new(matrix, config(seed, 1));
+        let (single_batch, _) = single.sample_with_outcome(N);
+        prop_assume!(single_batch.len() == N);
+        let single_rows: Vec<Vec<bool>> =
+            single_batch.iter().map(|a| a.as_slice().to_vec()).collect();
+
+        let mut sharded = ShardedSampler::new(matrix, config(seed, 4));
+        let (merged_batch, outcome) = sharded.sample(N);
+        prop_assert_eq!(outcome.reason, None);
+        prop_assert_eq!(merged_batch.len(), N);
+        let merged_rows: Vec<Vec<bool>> =
+            merged_batch.iter().map(|a| a.as_slice().to_vec()).collect();
+
+        let single_ratios = ratios(&single_rows, matrix.num_vars());
+        let merged_ratios = ratios(&merged_rows, matrix.num_vars());
+        for (v, (s, m)) in single_ratios.iter().zip(&merged_ratios).enumerate() {
+            prop_assert!(
+                (s - m).abs() <= 0.25,
+                "variable {} ratio gap {:.3} (single {:.3} vs merged {:.3})",
+                v, (s - m).abs(), s, m
+            );
+        }
+    }
+}

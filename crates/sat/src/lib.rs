@@ -38,7 +38,7 @@ mod config;
 mod luby;
 mod solver;
 
-pub use cancel::CancelToken;
+pub use cancel::{CallBudget, CancelToken};
 pub use config::SolverConfig;
 pub use solver::{SolveResult, Solver, SolverStats};
 
