@@ -18,7 +18,8 @@
 //!
 //! ```text
 //! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR]
-//!         [--engine NAME]... [--sample-shards N] [--ablations] [--quick]
+//!         [--engine NAME]... [--sample-shards N]
+//!         [--repair-strategy linear|core-guided] [--ablations] [--quick]
 //! ```
 //!
 //! `--engine NAME` (repeatable) adds an engine to the run set; the set
@@ -28,11 +29,15 @@
 //! post-hoc VBS columns. `--sample-shards N` splits the Manthan3 sampling
 //! stage across `N` sampler threads (sharded sampling); the per-run
 //! `sample_wall_s` / `sample_shards` columns of `runs.csv` and the matching
-//! `summary_table.csv` rows report its effect. Malformed flag values abort
-//! with a diagnostic and a non-zero exit status.
+//! `summary_table.csv` rows report its effect. `--repair-strategy` selects
+//! how the Manthan3 repair loop's MaxSAT queries search for their optimum
+//! (warm-started linear bound search vs. core-guided relaxation); the
+//! per-run `maxsat_probes` / `maxsat_cores` columns of `runs.csv` and the
+//! matching `summary_table.csv` rows report the probe economy. Malformed
+//! flag values abort with a diagnostic and a non-zero exit status.
 
-use manthan3_bench::{csvio, report, run_suite_sharded, EngineKind};
-use manthan3_core::{Manthan3, Manthan3Config};
+use manthan3_bench::{csvio, report, run_suite_with_options, EngineKind, RunOptions};
+use manthan3_core::{Manthan3, Manthan3Config, RepairStrategy};
 use manthan3_dqbf::verify;
 use manthan3_gen::suite::suite;
 use std::path::PathBuf;
@@ -47,6 +52,7 @@ struct Args {
     engines: Vec<EngineKind>,
     ablations: bool,
     sample_shards: usize,
+    repair_strategy: RepairStrategy,
 }
 
 /// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
@@ -55,7 +61,8 @@ fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] \
-         [--engine NAME]... [--sample-shards N] [--ablations] [--quick]"
+         [--engine NAME]... [--sample-shards N] \
+         [--repair-strategy linear|core-guided] [--ablations] [--quick]"
     );
     std::process::exit(2);
 }
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
         engines: EngineKind::ALL.to_vec(),
         ablations: false,
         sample_shards: 1,
+        repair_strategy: RepairStrategy::default(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -112,6 +120,11 @@ fn parse_args() -> Args {
                 }
                 args.sample_shards = shards;
             }
+            "--repair-strategy" => {
+                // Unknown strategy names abort with stderr + exit 2 via
+                // `parse_value`, like every other malformed flag value.
+                args.repair_strategy = parse_value("--repair-strategy", iter.next());
+            }
             "--ablations" => args.ablations = true,
             "--quick" => {
                 args.scale = 1;
@@ -135,7 +148,15 @@ fn main() {
         args.budget
     );
     let start = Instant::now();
-    let records = run_suite_sharded(&instances, &args.engines, args.budget, args.sample_shards);
+    let records = run_suite_with_options(
+        &instances,
+        &args.engines,
+        args.budget,
+        RunOptions {
+            sample_shards: args.sample_shards,
+            repair_strategy: args.repair_strategy,
+        },
+    );
     println!("finished in {:?}", start.elapsed());
 
     // Raw records, including the per-run MaxSAT oracle counters behind the
@@ -155,6 +176,8 @@ fn main() {
                 r.oracle.maxsat_calls.to_string(),
                 r.oracle.maxsat_incremental_calls.to_string(),
                 r.oracle.maxsat_hard_encodings.to_string(),
+                r.oracle.maxsat_probes.to_string(),
+                r.oracle.maxsat_cores.to_string(),
                 format!("{:.4}", r.sample_wall.as_secs_f64()),
                 r.sample_shards.to_string(),
                 r.oracle.sampler_calls.to_string(),
@@ -176,6 +199,8 @@ fn main() {
             "maxsat_calls",
             "maxsat_incremental_calls",
             "maxsat_hard_encodings",
+            "maxsat_probes",
+            "maxsat_cores",
             "sample_wall_s",
             "sample_shards",
             "sampler_calls",

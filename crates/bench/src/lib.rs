@@ -20,13 +20,35 @@ pub mod csvio;
 pub mod report;
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
-use manthan3_core::{Manthan3, Manthan3Config, OracleStats, SynthesisOutcome};
+use manthan3_core::{Manthan3, Manthan3Config, OracleStats, RepairStrategy, SynthesisOutcome};
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
 use manthan3_portfolio::{Portfolio, PortfolioConfig};
 use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
+
+/// Per-run knobs threaded from the harness flags into the engines (the
+/// Manthan3 sampling-shard width and the MaxSAT repair strategy; baselines
+/// ignore both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Number of shards the Manthan3 sampling stage splits its request
+    /// across (`--sample-shards`, clamped to at least 1).
+    pub sample_shards: usize,
+    /// How the Manthan3 repair loop's FindCandidates MaxSAT queries search
+    /// for their optimum (`--repair-strategy`).
+    pub repair_strategy: RepairStrategy,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            sample_shards: 1,
+            repair_strategy: RepairStrategy::default(),
+        }
+    }
+}
 
 /// The synthesis engines taking part in the comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,26 +155,46 @@ impl RunRecord {
 /// as *not* synthesized (this never happens for the engines in this
 /// workspace, but the harness does not take their word for it).
 pub fn run_engine(engine: EngineKind, instance: &Instance, budget: Duration) -> RunRecord {
-    run_engine_sharded(engine, instance, budget, 1)
+    run_engine_with(engine, instance, budget, RunOptions::default())
 }
 
 /// Like [`run_engine`], but with the Manthan3 sampling stage split across
 /// `sample_shards` sampler threads (the harness flag `--sample-shards`).
-/// The shard count reaches the Manthan3 engine directly and the portfolio's
-/// Manthan3 racer; the baselines do not sample and ignore it.
 pub fn run_engine_sharded(
     engine: EngineKind,
     instance: &Instance,
     budget: Duration,
     sample_shards: usize,
 ) -> RunRecord {
-    let sample_shards = sample_shards.max(1);
+    run_engine_with(
+        engine,
+        instance,
+        budget,
+        RunOptions {
+            sample_shards,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Like [`run_engine`], but with explicit [`RunOptions`] (shard width and
+/// repair strategy). The options reach the Manthan3 engine directly and the
+/// portfolio's Manthan3 racer; the baselines neither sample nor run MaxSAT
+/// repair and ignore them.
+pub fn run_engine_with(
+    engine: EngineKind,
+    instance: &Instance,
+    budget: Duration,
+    options: RunOptions,
+) -> RunRecord {
+    let sample_shards = options.sample_shards.max(1);
     let start = Instant::now();
     let (outcome, oracle, repair_iterations, sample_wall, record_shards) = match engine {
         EngineKind::Manthan3 => {
             let config = Manthan3Config {
                 time_budget: Some(budget),
                 sample_shards,
+                repair_strategy: options.repair_strategy,
                 ..Manthan3Config::default()
             };
             let result = Manthan3::new(config).synthesize(&instance.dqbf);
@@ -183,6 +225,7 @@ pub fn run_engine_sharded(
         EngineKind::Portfolio => {
             let mut config = PortfolioConfig::with_time_budget(budget);
             config.manthan3.sample_shards = sample_shards;
+            config.manthan3.repair_strategy = options.repair_strategy;
             let result = Portfolio::new(config).run(&instance.dqbf);
             let oracle = result.merged_oracle_stats();
             (result.outcome, oracle, 0, Duration::ZERO, sample_shards)
@@ -240,10 +283,29 @@ pub fn run_suite_sharded(
     budget: Duration,
     sample_shards: usize,
 ) -> Vec<RunRecord> {
+    run_suite_with_options(
+        instances,
+        engines,
+        budget,
+        RunOptions {
+            sample_shards,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Runs the given engines on every instance under explicit [`RunOptions`]
+/// (harness flags `--sample-shards` and `--repair-strategy`).
+pub fn run_suite_with_options(
+    instances: &[Instance],
+    engines: &[EngineKind],
+    budget: Duration,
+    options: RunOptions,
+) -> Vec<RunRecord> {
     let mut records = Vec::with_capacity(instances.len() * engines.len());
     for instance in instances {
         for &engine in engines {
-            records.push(run_engine_sharded(engine, instance, budget, sample_shards));
+            records.push(run_engine_with(engine, instance, budget, options));
         }
     }
     records
@@ -320,6 +382,32 @@ mod tests {
             run_engine_sharded(EngineKind::Hqs2Like, &instance, Duration::from_secs(5), 4);
         assert_eq!(baseline.sample_shards, 0);
         assert_eq!(baseline.sample_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn core_guided_runs_record_probe_counters() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        let options = RunOptions {
+            repair_strategy: RepairStrategy::CoreGuided,
+            ..RunOptions::default()
+        };
+        let record = run_engine_with(
+            EngineKind::Manthan3,
+            &instance,
+            Duration::from_secs(5),
+            options,
+        );
+        assert!(record.synthesized, "manthan3 failed: {}", record.outcome);
+        // Probe accounting rides along whenever the run exercised repair.
+        if record.oracle.maxsat_calls > 0 {
+            assert!(record.oracle.maxsat_probes > 0);
+        }
     }
 
     #[test]

@@ -131,6 +131,13 @@ pub struct Summary {
     /// MaxSAT calls served under assumptions on a persistent encoding (the
     /// incremental hits).
     pub maxsat_incremental_hits: usize,
+    /// Internal SAT probes issued by MaxSAT optimum searches across every
+    /// run — the unit the linear and core-guided repair strategies compete
+    /// on (`--repair-strategy`).
+    pub maxsat_probes: u64,
+    /// UNSAT cores extracted and relaxed by core-guided MaxSAT searches
+    /// across every run (zero for all-linear suites).
+    pub maxsat_cores: u64,
     /// Total repair iterations across the Manthan3 runs.
     pub repair_iterations: usize,
     /// Total wall-clock seconds the Manthan3 runs spent in their sampling
@@ -217,6 +224,8 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         .iter()
         .map(|r| r.oracle.maxsat_incremental_calls)
         .sum();
+    let maxsat_probes = records.iter().map(|r| r.oracle.maxsat_probes).sum();
+    let maxsat_cores = records.iter().map(|r| r.oracle.maxsat_cores).sum();
     // The per-iteration ratio is a Manthan3 shape invariant (one
     // FindCandidates call per counterexample), so it is computed over the
     // Manthan3 records only — the portfolio merges counters across engines
@@ -257,6 +266,8 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         maxsat_calls,
         maxsat_fresh_encodes,
         maxsat_incremental_hits,
+        maxsat_probes,
+        maxsat_cores,
         repair_iterations,
         sample_wall_s,
         sample_shards,
@@ -329,6 +340,8 @@ impl Summary {
             "maxsat_incremental_hits".into(),
             self.maxsat_incremental_hits.to_string(),
         ]);
+        rows.push(vec!["maxsat_probes".into(), self.maxsat_probes.to_string()]);
+        rows.push(vec!["maxsat_cores".into(), self.maxsat_cores.to_string()]);
         rows.push(vec![
             "repair_iterations".into(),
             self.repair_iterations.to_string(),
@@ -383,11 +396,13 @@ impl fmt::Display for Summary {
         write!(
             f,
             "\nMaxSAT calls:              {} ({} incremental, {} fresh encodes, \
-             {:.3} per repair iteration)",
+             {:.3} per repair iteration; {} probes, {} cores)",
             self.maxsat_calls,
             self.maxsat_incremental_hits,
             self.maxsat_fresh_encodes,
-            self.maxsat_calls_per_repair_iteration
+            self.maxsat_calls_per_repair_iteration,
+            self.maxsat_probes,
+            self.maxsat_cores
         )?;
         write!(
             f,
@@ -526,15 +541,21 @@ mod tests {
         records[0].oracle.maxsat_calls = 5;
         records[0].oracle.maxsat_incremental_calls = 5;
         records[0].oracle.maxsat_hard_encodings = 1;
+        records[0].oracle.maxsat_probes = 12;
+        records[0].oracle.maxsat_cores = 4;
         records[0].repair_iterations = 5;
         records[3].oracle.maxsat_calls = 3;
         records[3].oracle.maxsat_incremental_calls = 3;
         records[3].oracle.maxsat_hard_encodings = 1;
+        records[3].oracle.maxsat_probes = 7;
+        records[3].oracle.maxsat_cores = 2;
         records[3].repair_iterations = 3;
         let s = summary(&records);
         assert_eq!(s.maxsat_calls, 8);
         assert_eq!(s.maxsat_incremental_hits, 8);
         assert_eq!(s.maxsat_fresh_encodes, 2);
+        assert_eq!(s.maxsat_probes, 19);
+        assert_eq!(s.maxsat_cores, 6);
         assert_eq!(s.repair_iterations, 8);
         assert!((s.maxsat_calls_per_repair_iteration - 1.0).abs() < 1e-9);
         let rows = s.rows();
@@ -544,6 +565,8 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r[0] == "maxsat_fresh_encodes" && r[1] == "2"));
+        assert!(rows.iter().any(|r| r[0] == "maxsat_probes" && r[1] == "19"));
+        assert!(rows.iter().any(|r| r[0] == "maxsat_cores" && r[1] == "6"));
         assert!(rows
             .iter()
             .any(|r| r[0] == "maxsat_calls_per_repair_iteration" && r[1] == "1.000"));

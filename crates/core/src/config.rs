@@ -1,4 +1,5 @@
 use manthan3_dtree::DecisionTreeConfig;
+use manthan3_maxsat::RepairStrategy;
 use std::time::Duration;
 
 /// Configuration of the Manthan3 synthesis engine.
@@ -37,6 +38,13 @@ pub struct Manthan3Config {
     /// Constrain the repair formula `G_k` with the `Ŷ` variables
     /// (Formula 1). Disabling this is the paper's §5 discussion ablation.
     pub constrain_y_hat: bool,
+    /// How the FindCandidates MaxSAT queries of the repair loop locate their
+    /// optimum on the persistent [`RepairSession`](crate::RepairSession)
+    /// encoding: the warm-started linear bound search (the default) or the
+    /// core-guided (Fu–Malik/OLL) relaxation, which reaches the optimum in
+    /// `#cores + 1` SAT probes however far the optimum jumps between
+    /// counterexamples.
+    pub repair_strategy: RepairStrategy,
     /// Optional wall-clock budget for one synthesis call.
     pub time_budget: Option<Duration>,
     /// Optional conflict budget for each SAT oracle call (`None` = unlimited).
@@ -60,6 +68,7 @@ impl Default for Manthan3Config {
             max_unique_definition_deps: 6,
             use_y_features: true,
             constrain_y_hat: true,
+            repair_strategy: RepairStrategy::default(),
             time_budget: None,
             sat_conflict_budget: None,
             sat_call_budget: None,
@@ -115,5 +124,13 @@ mod tests {
     #[test]
     fn sampling_defaults_to_a_single_shard() {
         assert_eq!(Manthan3Config::default().sample_shards, 1);
+    }
+
+    #[test]
+    fn repair_defaults_to_the_linear_strategy() {
+        assert_eq!(
+            Manthan3Config::default().repair_strategy,
+            RepairStrategy::Linear
+        );
     }
 }

@@ -82,7 +82,9 @@ impl<'a> SynthesisCtx<'a> {
         SynthesisCtx {
             dqbf,
             config,
-            oracle: Oracle::new(budget),
+            // The repair strategy travels Config → Oracle → RepairSession:
+            // every MaxSAT solver the run constructs searches with it.
+            oracle: Oracle::new(budget).with_repair_strategy(config.repair_strategy),
             stats: SynthesisStats::default(),
             vector: HenkinVector::new(),
             defined: Vec::new(),
@@ -527,6 +529,46 @@ mod tests {
             assert_eq!(oracle.maxsat_hard_encodings, 0);
             assert_eq!(oracle.maxsat_solvers_constructed, 0);
         }
+    }
+
+    /// The repair strategy is threaded Config → Oracle → RepairSession: a
+    /// core-guided run solves the paper example with the same session-reuse
+    /// shape as the linear default, and a cancelled run surfaces
+    /// [`UnknownReason::Cancelled`] — never a best-so-far repair verdict.
+    #[test]
+    fn core_guided_repair_strategy_synthesizes_and_reports_cancellation() {
+        use manthan3_maxsat::RepairStrategy;
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config {
+            repair_strategy: RepairStrategy::CoreGuided,
+            ..Manthan3Config::fast()
+        };
+        let result = Manthan3::new(config.clone()).synthesize(&dqbf);
+        match &result.outcome {
+            SynthesisOutcome::Realizable(vector) => {
+                assert!(check(&dqbf, vector).is_valid());
+            }
+            other => panic!("expected Realizable, got {other:?}"),
+        }
+        let oracle = &result.stats.oracle;
+        assert!(oracle.maxsat_hard_encodings <= 1);
+        assert_eq!(oracle.maxsat_incremental_calls, oracle.maxsat_calls);
+        if result.stats.repair_iterations > 0 {
+            assert!(
+                oracle.maxsat_cores > 0,
+                "a repair-exercising core-guided run must extract cores"
+            );
+        }
+
+        // A pre-cancelled budget: the engine reports cancellation, not a
+        // half-searched repair outcome.
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let cancelled = Manthan3::new(config).synthesize_with_budget(&dqbf, budget);
+        assert!(matches!(
+            cancelled.outcome,
+            SynthesisOutcome::Unknown(UnknownReason::Cancelled)
+        ));
     }
 
     #[test]

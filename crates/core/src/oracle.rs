@@ -15,7 +15,7 @@
 //! one error-formula solver" (see [`crate::VerifySession`]).
 
 use manthan3_cnf::{Assignment, Cnf, Lit};
-use manthan3_maxsat::{MaxSatResult, MaxSatSolver};
+use manthan3_maxsat::{MaxSatResult, MaxSatSolver, RepairStrategy};
 use manthan3_sampler::{SampleOutcome, Sampler, SamplerConfig, ShardedSampler, ShortfallReason};
 use manthan3_sat::{CallBudget, CancelToken, SolveResult, Solver, SolverConfig};
 use std::time::{Duration, Instant};
@@ -175,6 +175,13 @@ pub struct OracleStats {
     /// encoding (the incremental hits; `maxsat_calls -
     /// maxsat_incremental_calls` are fresh rebuild-and-solve calls).
     pub maxsat_incremental_calls: usize,
+    /// Internal SAT probes issued by MaxSAT optimum searches (bound probes,
+    /// hard/optimistic checks, core-guided iterations alike). Each probe
+    /// draws one call from the shared allowance, exactly like a top-level
+    /// SAT solve — this is the unit the repair strategies compete on.
+    pub maxsat_probes: u64,
+    /// UNSAT cores extracted and relaxed by core-guided MaxSAT searches.
+    pub maxsat_cores: u64,
     /// Total SAT conflicts across all oracle-routed solve calls.
     pub conflicts: u64,
     /// Number of calls that gave up because a budget was exhausted.
@@ -188,23 +195,42 @@ pub struct Oracle {
     budget: Budget,
     stats: OracleStats,
     /// The shared call allowance behind [`Budget::max_sat_calls`]: every
-    /// SAT solve, MaxSAT solve, and per-sample sampler solve draws one call
-    /// from this counter. Samplers receive a clone at construction, so
-    /// sampler solves — including the sharded sampler's worker threads —
+    /// SAT solve, per-sample sampler solve, and internal MaxSAT probe draws
+    /// one call from this counter. Samplers and MaxSAT solvers receive a
+    /// clone at construction, so their solves — including the sharded
+    /// sampler's worker threads and a MaxSAT bound search's probe loop —
     /// are billed to, and refused by, exactly the same allowance as every
     /// other oracle call.
     calls: CallBudget,
+    /// The optimization strategy handed to every MaxSAT solver this oracle
+    /// constructs (`Manthan3Config::repair_strategy`, threaded through to
+    /// the persistent repair session).
+    repair_strategy: RepairStrategy,
 }
 
 impl Oracle {
-    /// Creates an oracle enforcing `budget`.
+    /// Creates an oracle enforcing `budget`, constructing linear-search
+    /// MaxSAT solvers.
     pub fn new(budget: Budget) -> Self {
         let calls = CallBudget::new(budget.max_sat_calls);
         Oracle {
             budget,
             stats: OracleStats::default(),
             calls,
+            repair_strategy: RepairStrategy::default(),
         }
+    }
+
+    /// Selects the [`RepairStrategy`] for subsequently constructed MaxSAT
+    /// solvers (builder style).
+    pub fn with_repair_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.repair_strategy = strategy;
+        self
+    }
+
+    /// The strategy handed to constructed MaxSAT solvers.
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        self.repair_strategy
     }
 
     /// The budget being enforced.
@@ -306,38 +332,76 @@ impl Oracle {
         result
     }
 
-    /// Constructs a MaxSAT solver with the budget's per-call conflict limit
-    /// and cancellation token.
+    /// Constructs a MaxSAT solver with the budget's per-call conflict limit,
+    /// cancellation token, the oracle's [`RepairStrategy`], and the shared
+    /// call allowance — every internal SAT probe of the optimum search draws
+    /// on exactly the same budget as a top-level SAT solve.
     pub fn new_maxsat(&mut self) -> MaxSatSolver {
         self.stats.maxsat_solvers_constructed += 1;
-        MaxSatSolver::with_config(SolverConfig {
+        let mut solver = MaxSatSolver::with_config(SolverConfig {
             max_conflicts: self.budget.conflicts_per_call,
             cancel: Some(self.budget.cancel.clone()),
             ..SolverConfig::default()
-        })
+        });
+        solver.set_strategy(self.repair_strategy);
+        solver.set_call_budget(self.calls.clone());
+        solver
+    }
+
+    /// The refused-call verdict for a MaxSAT solve that may not start:
+    /// cancellation surfaces as [`MaxSatResult::Cancelled`] (mapped to
+    /// [`UnknownReason::Cancelled`] by the engine), everything else as
+    /// [`MaxSatResult::Unknown`].
+    fn refuse_maxsat(&mut self) -> MaxSatResult {
+        self.stats.budget_exhaustions += 1;
+        if self.budget.cancelled() {
+            MaxSatResult::Cancelled
+        } else {
+            MaxSatResult::Unknown
+        }
+    }
+
+    /// The shared budget-gating and accounting around one MaxSAT solve:
+    /// refuse untouched when the budget is exhausted, otherwise run the
+    /// solve and bill its conflicts, probes, and cores (and any give-up
+    /// verdict) to the statistics.
+    fn run_maxsat(
+        &mut self,
+        solver: &mut MaxSatSolver,
+        incremental: bool,
+        solve: impl FnOnce(&mut MaxSatSolver) -> MaxSatResult,
+    ) -> MaxSatResult {
+        if self.exhausted().is_some() {
+            return self.refuse_maxsat();
+        }
+        let before_conflicts = solver.sat_stats().conflicts;
+        let before = solver.stats();
+        let result = solve(solver);
+        self.stats.maxsat_calls += 1;
+        if incremental {
+            self.stats.maxsat_incremental_calls += 1;
+        }
+        self.stats.conflicts += solver.sat_stats().conflicts - before_conflicts;
+        self.stats.maxsat_probes += solver.stats().probes - before.probes;
+        self.stats.maxsat_cores += solver.stats().cores - before.cores;
+        if matches!(result, MaxSatResult::Unknown | MaxSatResult::Cancelled) {
+            self.stats.budget_exhaustions += 1;
+        }
+        result
     }
 
     /// Runs a MaxSAT solve under the shared budget.
     ///
-    /// A MaxSAT solve counts as one oracle call against the shared call
-    /// budget (its internal SAT iterations are the solver's own business,
-    /// but their conflicts are billed to the shared conflict counter).
-    /// Returns [`MaxSatResult::Unknown`] without touching the solver when
+    /// The solve's internal SAT probes each draw one call from the shared
+    /// allowance (the solver holds a clone of it, attached at
+    /// construction), and their conflicts are billed to the shared conflict
+    /// counter; a probe refused mid-search surfaces as
+    /// [`MaxSatResult::Unknown`]. Refused without touching the solver when
     /// the budget is already exhausted, exactly like
-    /// [`Oracle::solve_with_assumptions`].
+    /// [`Oracle::solve_with_assumptions`] — with cancellation reported as
+    /// [`MaxSatResult::Cancelled`].
     pub fn solve_maxsat(&mut self, solver: &mut MaxSatSolver) -> MaxSatResult {
-        if self.exhausted().is_some() || !self.calls.try_acquire() {
-            self.stats.budget_exhaustions += 1;
-            return MaxSatResult::Unknown;
-        }
-        let before = solver.sat_stats().conflicts;
-        let result = solver.solve();
-        self.stats.maxsat_calls += 1;
-        self.stats.conflicts += solver.sat_stats().conflicts - before;
-        if result == MaxSatResult::Unknown {
-            self.stats.budget_exhaustions += 1;
-        }
-        result
+        self.run_maxsat(solver, false, |s| s.solve())
     }
 
     /// Runs a MaxSAT solve under `assumptions` and the shared budget — the
@@ -345,26 +409,14 @@ impl Oracle {
     /// persistent [`RepairSession`](crate::RepairSession): the call is
     /// served by a kept encoding, so it is additionally counted in
     /// [`OracleStats::maxsat_incremental_calls`]. Budget semantics are
-    /// identical (one oracle call against the shared allowance, conflicts
-    /// billed to the shared counter, refused untouched when exhausted).
+    /// identical (probes drawn from the shared allowance, conflicts billed
+    /// to the shared counter, refused untouched when exhausted).
     pub fn solve_maxsat_under_assumptions(
         &mut self,
         solver: &mut MaxSatSolver,
         assumptions: &[Lit],
     ) -> MaxSatResult {
-        if self.exhausted().is_some() || !self.calls.try_acquire() {
-            self.stats.budget_exhaustions += 1;
-            return MaxSatResult::Unknown;
-        }
-        let before = solver.sat_stats().conflicts;
-        let result = solver.solve_under_assumptions(assumptions);
-        self.stats.maxsat_calls += 1;
-        self.stats.maxsat_incremental_calls += 1;
-        self.stats.conflicts += solver.sat_stats().conflicts - before;
-        if result == MaxSatResult::Unknown {
-            self.stats.budget_exhaustions += 1;
-        }
-        result
+        self.run_maxsat(solver, true, |s| s.solve_under_assumptions(assumptions))
     }
 
     /// Records the construction of a full hard-clause MaxSAT encoding (the
@@ -717,10 +769,68 @@ mod tests {
         assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
         let mut maxsat = oracle.new_maxsat();
         maxsat.add_hard([lit(1)]);
-        assert_eq!(oracle.solve_maxsat(&mut maxsat), MaxSatResult::Unknown);
+        // A refused MaxSAT call names cancellation as the reason — never a
+        // best-so-far bound, never a bare Unknown.
+        assert_eq!(oracle.solve_maxsat(&mut maxsat), MaxSatResult::Cancelled);
         // Refused calls are not performed.
         assert_eq!(oracle.stats().sat_calls, 1);
         assert_eq!(oracle.stats().maxsat_calls, 0);
+    }
+
+    /// Mirror of `call_budget_cuts_off_further_solves` for the MaxSAT probe
+    /// loop (both strategies): internal bound-search probes draw on the
+    /// shared allowance, a search cut off mid-probe reports Unknown, and
+    /// afterwards every other oracle call is refused too.
+    #[test]
+    fn call_budget_cuts_off_the_maxsat_probe_loop() {
+        use manthan3_maxsat::RepairStrategy;
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            let mut oracle =
+                Oracle::new(Budget::new(None, None, Some(2))).with_repair_strategy(strategy);
+            let mut maxsat = oracle.new_maxsat();
+            // Optimum 2 needs at least three probes on either strategy.
+            maxsat.add_hard([lit(1)]);
+            maxsat.add_hard([lit(2)]);
+            maxsat.add_soft([lit(-1)], 1);
+            maxsat.add_soft([lit(-2)], 1);
+            assert_eq!(
+                oracle.solve_maxsat(&mut maxsat),
+                MaxSatResult::Unknown,
+                "{strategy}"
+            );
+            assert_eq!(oracle.stats().maxsat_probes, 2, "{strategy}");
+            assert_eq!(oracle.exhausted(), Some(UnknownReason::OracleBudget));
+            // The shared allowance is spent: SAT solves are refused too.
+            let mut solver = oracle.new_solver();
+            solver.ensure_vars(1);
+            assert_eq!(oracle.solve(&mut solver), SolveResult::Unknown);
+            assert_eq!(oracle.stats().sat_calls, 0, "{strategy}");
+        }
+    }
+
+    /// The oracle's strategy reaches constructed MaxSAT solvers, and the
+    /// core-guided search's probe/core counters land in [`OracleStats`].
+    #[test]
+    fn core_guided_strategy_flows_into_constructed_solvers() {
+        use manthan3_maxsat::RepairStrategy;
+        let mut oracle =
+            Oracle::new(Budget::unlimited()).with_repair_strategy(RepairStrategy::CoreGuided);
+        assert_eq!(oracle.repair_strategy(), RepairStrategy::CoreGuided);
+        let mut maxsat = oracle.new_maxsat();
+        assert_eq!(maxsat.strategy(), RepairStrategy::CoreGuided);
+        maxsat.add_hard([lit(1)]);
+        maxsat.add_soft([lit(-1)], 1);
+        assert_eq!(
+            oracle.solve_maxsat(&mut maxsat),
+            MaxSatResult::Optimum { cost: 1 }
+        );
+        assert_eq!(oracle.stats().maxsat_cores, 1);
+        assert!(oracle.stats().maxsat_probes >= 2);
+        // Probes are billed to the shared allowance.
+        assert_eq!(
+            oracle.call_allowance().consumed(),
+            oracle.stats().maxsat_probes
+        );
     }
 
     #[test]

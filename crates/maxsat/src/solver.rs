@@ -1,6 +1,9 @@
 use crate::Totalizer;
 use manthan3_cnf::{Assignment, Clause, Cnf, Lit, Var};
-use manthan3_sat::{SolveResult, Solver, SolverConfig, SolverStats};
+use manthan3_sat::{CallBudget, SolveResult, Solver, SolverConfig, SolverStats};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 
 /// Identifier of a soft clause, returned by [`MaxSatSolver::add_soft`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -11,6 +14,69 @@ impl SoftId {
     pub fn index(self) -> usize {
         self.0
     }
+}
+
+/// How [`MaxSatSolver::solve_under_assumptions`] locates the optimum.
+///
+/// * [`RepairStrategy::Linear`] — the totalizer-bound two-phase search:
+///   climb the violated-weight bound upward from the warm start while UNSAT,
+///   then tighten downward from the first model's cost. One SAT probe per
+///   cost unit crossed, so instances whose optimum jumps between incremental
+///   calls pay one probe per unit of the jump.
+/// * [`RepairStrategy::CoreGuided`] — Fu–Malik/OLL-style core-guided
+///   optimization over the persistent encoding: each UNSAT probe yields a
+///   core over the soft-unit assumption literals, the core is relaxed with a
+///   totalizer over its violation indicators (cached across calls, its bound
+///   raised incrementally when the group reappears in later cores), and the
+///   lower bound rises by one per core — the optimum is reached in
+///   `#cores + 1` probes. Falls back to the linear search on weighted
+///   instances (the repair loop's softs are always unit weight).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RepairStrategy {
+    /// Warm-started linear (two-phase) bound search on the global totalizer.
+    #[default]
+    Linear,
+    /// Core-guided (OLL over soft-unit assumptions) optimization.
+    CoreGuided,
+}
+
+impl fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RepairStrategy::Linear => "linear",
+            RepairStrategy::CoreGuided => "core-guided",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for RepairStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(RepairStrategy::Linear),
+            "core-guided" | "core_guided" | "coreguided" => Ok(RepairStrategy::CoreGuided),
+            other => Err(format!(
+                "unknown repair strategy {other:?} (expected linear or core-guided)"
+            )),
+        }
+    }
+}
+
+/// Search-effort counters of a [`MaxSatSolver`], accumulated across every
+/// solve call of the instance.
+///
+/// `probes` counts the internal SAT oracle calls issued by the optimum
+/// search (hard-satisfiability checks, optimistic checks, bound probes, and
+/// core-guided iterations alike) — the unit the strategies compete on;
+/// `cores` counts the UNSAT cores the core-guided strategy relaxed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxSatStats {
+    /// Internal SAT probes issued across all solve calls.
+    pub probes: u64,
+    /// UNSAT cores extracted and relaxed by the core-guided strategy.
+    pub cores: u64,
 }
 
 /// Outcome of a [`MaxSatSolver::solve`] call.
@@ -25,8 +91,25 @@ pub enum MaxSatResult {
     /// The hard clauses alone (together with the assumptions, for
     /// [`MaxSatSolver::solve_under_assumptions`]) are unsatisfiable.
     HardUnsat,
-    /// The conflict budget was exhausted or the solve was cancelled.
+    /// A conflict or call budget was exhausted before the optimum was
+    /// proved.
     Unknown,
+    /// The solve was cooperatively cancelled (the configured
+    /// [`CancelToken`](manthan3_sat::CancelToken) fired) mid-search. No
+    /// best-so-far bound is ever reported as the optimum: like
+    /// [`MaxSatResult::Unknown`], a cancelled call leaves no model behind.
+    Cancelled,
+}
+
+/// Verdict of one internal SAT probe, with budget refusals and cancellation
+/// separated from genuine conflict-budget exhaustion.
+enum Probe {
+    Sat,
+    Unsat,
+    Unknown,
+    Cancelled,
+    /// The shared [`CallBudget`] refused the probe; it was not performed.
+    Refused,
 }
 
 #[derive(Debug, Clone)]
@@ -50,13 +133,34 @@ pub struct MaxSatSolver {
     /// invalidated when a new soft clause arrives. Without the cache every
     /// solve call re-encoded a fresh totalizer into the same solver, so a
     /// long-lived instance grew by the full cardinality network per call.
+    /// Only the linear strategy ever builds it — the core-guided strategy
+    /// encodes small per-core totalizers instead.
     totalizer: Option<Totalizer>,
     /// Optimum cost of the previous solve call, used to warm-start the next
-    /// bound search: incremental callers re-solve the same objective under
-    /// slightly different assumptions, so the optimum moves little between
-    /// calls and the search usually finishes within a couple of bound
-    /// probes instead of a full linear climb.
+    /// linear bound search: incremental callers re-solve the same objective
+    /// under slowly drifting assumptions, so the optimum moves little
+    /// between calls and the search usually finishes within a couple of
+    /// bound probes instead of a full linear climb. Only valid for the
+    /// assumption set it was proved under and the instance it was proved on:
+    /// invalidated on any mutation (`add_hard`/`add_soft`/`maintain`) and on
+    /// any assumption-set change, so a stale bound can never seed the search
+    /// at a level unrelated to the new query.
     last_optimum: Option<u64>,
+    /// The assumption set `last_optimum` was proved under.
+    last_assumptions: Vec<Lit>,
+    /// The optimization strategy used by the next solve call.
+    strategy: RepairStrategy,
+    /// Cardinality networks encoded for relaxed cores, keyed by their sorted
+    /// input literals. Cores recur across incremental calls (the same
+    /// outputs conflict under many counterexamples), so a cached network is
+    /// reused — its assumption bound simply raised — instead of re-encoding
+    /// the totalizer per call.
+    core_totalizers: HashMap<Vec<Lit>, Vec<Lit>>,
+    /// Shared call allowance every internal SAT probe draws on (attached by
+    /// the oracle layer); probes are refused — not performed — once it is
+    /// exhausted, exactly like top-level SAT solves.
+    calls: Option<CallBudget>,
+    stats: MaxSatStats,
 }
 
 impl Default for MaxSatSolver {
@@ -68,13 +172,7 @@ impl Default for MaxSatSolver {
 impl MaxSatSolver {
     /// Creates an empty MaxSAT instance.
     pub fn new() -> Self {
-        MaxSatSolver {
-            solver: Solver::new(),
-            softs: Vec::new(),
-            model: None,
-            totalizer: None,
-            last_optimum: None,
-        }
+        MaxSatSolver::with_config(SolverConfig::default())
     }
 
     /// Creates an instance whose SAT oracle calls are limited to
@@ -94,6 +192,11 @@ impl MaxSatSolver {
             model: None,
             totalizer: None,
             last_optimum: None,
+            last_assumptions: Vec::new(),
+            strategy: RepairStrategy::default(),
+            core_totalizers: HashMap::new(),
+            calls: None,
+            stats: MaxSatStats::default(),
         }
     }
 
@@ -103,23 +206,57 @@ impl MaxSatSolver {
         self.solver.stats()
     }
 
+    /// Search-effort counters (SAT probes issued, cores relaxed),
+    /// accumulated across every solve call of this instance.
+    pub fn stats(&self) -> MaxSatStats {
+        self.stats
+    }
+
+    /// The strategy the next solve call will use.
+    pub fn strategy(&self) -> RepairStrategy {
+        self.strategy
+    }
+
+    /// Selects the optimization strategy for subsequent solve calls. The
+    /// encoding is shared, so the strategy may be switched between
+    /// incremental calls at any time.
+    pub fn set_strategy(&mut self, strategy: RepairStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Attaches a shared call allowance: every internal SAT probe of every
+    /// subsequent solve call draws one call from it first and is refused —
+    /// reported as [`MaxSatResult::Unknown`] — once the allowance is
+    /// exhausted. This is how the oracle layer makes MaxSAT bound searches
+    /// draw on the same budget as every other solve.
+    pub fn set_call_budget(&mut self, calls: CallBudget) {
+        self.calls = Some(calls);
+    }
+
     /// Adds a hard clause.
+    ///
+    /// Invalidates the warm-start bound: new hard clauses can raise the
+    /// optimum.
     pub fn add_hard<C>(&mut self, clause: C)
     where
         C: IntoIterator<Item = Lit>,
     {
+        self.last_optimum = None;
         self.solver.add_clause(clause);
     }
 
     /// Adds every clause of `cnf` as a hard clause.
     pub fn add_hard_cnf(&mut self, cnf: &Cnf) {
+        self.last_optimum = None;
         self.solver.add_cnf(cnf);
     }
 
     /// Adds a soft clause with the given positive weight and returns its id.
     ///
-    /// Invalidates the cached totalizer: the next bounded search re-encodes
-    /// the cardinality network over the enlarged relaxation set.
+    /// Invalidates the cached totalizer (the next linear bounded search
+    /// re-encodes the cardinality network over the enlarged relaxation set)
+    /// and the warm-start bound. Cached per-core totalizers stay valid —
+    /// their inputs are unaffected by new softs.
     ///
     /// # Panics
     ///
@@ -167,8 +304,11 @@ impl MaxSatSolver {
     /// satisfied at level 0. Long-lived incremental instances (one MaxSAT
     /// solver across hundreds of `solve_under_assumptions` calls) call this
     /// periodically so the solver state stays bounded, mirroring
-    /// `VerifySession`'s error-solver maintenance.
+    /// `VerifySession`'s error-solver maintenance. The warm-start bound is
+    /// dropped alongside; the cached totalizers survive (their clauses are
+    /// never level-0 satisfied — relaxation literals are only ever assumed).
     pub fn maintain(&mut self) {
+        self.last_optimum = None;
         self.solver.reduce_learnt_db();
         self.solver.simplify();
     }
@@ -198,15 +338,78 @@ impl MaxSatSolver {
     /// round, e.g. the `σ[X]`/`σ[Y']` valuations of a repair loop) instead
     /// encodes the invariant structure once and retracts the per-iteration
     /// units by simply not assuming them on the next call. The underlying
-    /// CDCL solver, its learnt clauses, and the cached totalizer all survive
-    /// between calls.
+    /// CDCL solver, its learnt clauses, the cached totalizers, and any
+    /// relaxed core structure all survive between calls.
+    ///
+    /// The search runs under the configured [`RepairStrategy`]; weighted
+    /// instances always take the linear path (core-guided relaxation is
+    /// implemented for the unit weights the repair loop uses).
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> MaxSatResult {
         self.model = None;
-        // Is the hard part satisfiable at all (under the assumptions)?
+        // A warm-start bound is only meaningful for the assumption set it
+        // was proved under: a changed set (e.g. a repair loop pinning a
+        // disjoint σ) invalidates it, so the linear search can never start
+        // from a bound unrelated — possibly infeasible — for the new query.
+        if self.last_assumptions != assumptions {
+            self.last_optimum = None;
+            self.last_assumptions = assumptions.to_vec();
+        }
+        match self.strategy {
+            RepairStrategy::CoreGuided if self.softs.iter().all(|s| s.weight == 1) => {
+                self.solve_core_guided(assumptions)
+            }
+            _ => self.solve_linear(assumptions),
+        }
+    }
+
+    /// Returns `true` once the configured cancellation token has fired.
+    fn is_cancelled(&self) -> bool {
+        self.solver
+            .config()
+            .cancel
+            .as_ref()
+            .is_some_and(|token| token.is_cancelled())
+    }
+
+    /// One internal SAT probe: polls cancellation, draws on the shared call
+    /// allowance (a refused probe is not performed), and classifies an
+    /// Unknown verdict as cancellation when the token fired mid-search.
+    fn probe(&mut self, assumptions: &[Lit]) -> Probe {
+        if self.is_cancelled() {
+            return Probe::Cancelled;
+        }
+        if let Some(calls) = &self.calls {
+            if !calls.try_acquire() {
+                return Probe::Refused;
+            }
+        }
+        self.stats.probes += 1;
         match self.solver.solve_with_assumptions(assumptions) {
-            SolveResult::Unsat => return MaxSatResult::HardUnsat,
-            SolveResult::Unknown => return MaxSatResult::Unknown,
-            SolveResult::Sat => {}
+            SolveResult::Sat => Probe::Sat,
+            SolveResult::Unsat => Probe::Unsat,
+            SolveResult::Unknown => {
+                if self.is_cancelled() {
+                    Probe::Cancelled
+                } else {
+                    Probe::Unknown
+                }
+            }
+        }
+    }
+
+    /// The linear strategy: two-phase bound search over the violated weight
+    /// on the persistent global totalizer, warm-started at the previous
+    /// call's optimum — walk the bound up from there while UNSAT, then
+    /// tighten downward from the first model's true cost until the bound
+    /// below it is refuted. With a stable objective the whole search is
+    /// typically one or two probes.
+    fn solve_linear(&mut self, assumptions: &[Lit]) -> MaxSatResult {
+        // Is the hard part satisfiable at all (under the assumptions)?
+        match self.probe(assumptions) {
+            Probe::Unsat => return MaxSatResult::HardUnsat,
+            Probe::Unknown | Probe::Refused => return MaxSatResult::Unknown,
+            Probe::Cancelled => return MaxSatResult::Cancelled,
+            Probe::Sat => {}
         }
         if self.softs.is_empty() {
             self.model = Some(self.solver.model());
@@ -215,30 +418,21 @@ impl MaxSatSolver {
         // Optimistic check: can every soft clause be satisfied?
         let mut optimistic: Vec<Lit> = assumptions.to_vec();
         optimistic.extend(self.softs.iter().map(|s| !s.relax));
-        match self.solver.solve_with_assumptions(&optimistic) {
-            SolveResult::Sat => {
+        match self.probe(&optimistic) {
+            Probe::Sat => {
                 self.model = Some(self.solver.model());
+                self.last_optimum = Some(0);
                 return MaxSatResult::Optimum { cost: 0 };
             }
-            SolveResult::Unknown => return MaxSatResult::Unknown,
-            SolveResult::Unsat => {}
+            Probe::Unknown | Probe::Refused => return MaxSatResult::Unknown,
+            Probe::Cancelled => return MaxSatResult::Cancelled,
+            Probe::Unsat => {}
         }
-        // Bound search over the violated weight on the persistent totalizer,
-        // warm-started at the previous call's optimum: walk the bound up
-        // from there while UNSAT, then tighten downward from the first
-        // model's true cost until the bound below it is refuted. With a
-        // stable objective the whole search is typically one or two probes.
-        let cancel = self.solver.config().cancel.clone();
         let total = self.totalizer().len() as u64;
-        // probe(k) asks for a model with at most `k` violated (weight
-        // units of) softs: `¬outputs[k]` forbids `k + 1` true relaxations.
+        // A probe at bound `k` asks for a model with at most `k` violated
+        // (weight units of) softs: `¬outputs[k]` forbids `k + 1` true
+        // relaxations.
         let mut bounded: Vec<Lit> = Vec::with_capacity(assumptions.len() + 1);
-        let probe = |this: &mut Self, k: u64, bounded: &mut Vec<Lit>| {
-            bounded.clear();
-            bounded.extend_from_slice(assumptions);
-            bounded.push(!this.totalizer().outputs()[k as usize]);
-            this.solver.solve_with_assumptions(bounded)
-        };
         // Phase 1: find any bounded model, walking the bound up from the
         // warm start while UNSAT. Bounds 1..=total-1 are probeable; once
         // `≤ total - 1` is refuted every soft clause must be violated and
@@ -249,64 +443,215 @@ impl MaxSatSolver {
         let mut refuted = 0u64;
         let mut cost = loop {
             if k >= total {
-                return match self.solver.solve_with_assumptions(assumptions) {
-                    SolveResult::Sat => {
+                return match self.probe(assumptions) {
+                    Probe::Sat => {
                         self.model = Some(self.solver.model());
                         let cost = self.cost_of_current_model();
                         self.last_optimum = Some(cost);
                         MaxSatResult::Optimum { cost }
                     }
-                    SolveResult::Unknown => MaxSatResult::Unknown,
-                    SolveResult::Unsat => MaxSatResult::HardUnsat,
+                    Probe::Unknown | Probe::Refused => MaxSatResult::Unknown,
+                    Probe::Cancelled => MaxSatResult::Cancelled,
+                    Probe::Unsat => MaxSatResult::HardUnsat,
                 };
             }
-            // Poll cancellation between bound-tightening steps: each step is
-            // a full SAT call, so a cancelled portfolio loser must not start
-            // the next probe (the CDCL loop's own poll only covers the step
-            // already in flight).
-            if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
-                self.model = None;
-                return MaxSatResult::Unknown;
-            }
-            match probe(self, k, &mut bounded) {
-                SolveResult::Sat => {
+            let bound_lit = !self.totalizer().outputs()[k as usize];
+            bounded.clear();
+            bounded.extend_from_slice(assumptions);
+            bounded.push(bound_lit);
+            match self.probe(&bounded) {
+                Probe::Sat => {
                     self.model = Some(self.solver.model());
                     break self.cost_of_current_model();
                 }
-                SolveResult::Unknown => {
+                Probe::Unknown | Probe::Refused => {
                     self.model = None;
                     return MaxSatResult::Unknown;
                 }
-                SolveResult::Unsat => {
+                Probe::Cancelled => {
+                    self.model = None;
+                    return MaxSatResult::Cancelled;
+                }
+                Probe::Unsat => {
                     refuted = k;
                     k += 1;
                 }
             }
         };
         // Phase 2: tighten downward until the next-lower bound is refuted
-        // (or meets a bound phase 1 already refuted). An Unknown exit — a
-        // budgeted-out or cancelled probe — clears the model found so far:
-        // it is not a proven optimum, and [`MaxSatSolver::model`] documents
-        // that nothing is available after a non-Optimum outcome.
+        // (or meets a bound phase 1 already refuted). An Unknown or
+        // Cancelled exit clears the model found so far: it is not a proven
+        // optimum, and [`MaxSatSolver::model`] documents that nothing is
+        // available after a non-Optimum outcome.
         while cost > refuted + 1 {
-            if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
-                self.model = None;
-                return MaxSatResult::Unknown;
-            }
-            match probe(self, cost - 1, &mut bounded) {
-                SolveResult::Sat => {
+            let bound_lit = !self.totalizer().outputs()[(cost - 1) as usize];
+            bounded.clear();
+            bounded.extend_from_slice(assumptions);
+            bounded.push(bound_lit);
+            match self.probe(&bounded) {
+                Probe::Sat => {
                     self.model = Some(self.solver.model());
                     cost = self.cost_of_current_model();
                 }
-                SolveResult::Unknown => {
+                Probe::Unknown | Probe::Refused => {
                     self.model = None;
                     return MaxSatResult::Unknown;
                 }
-                SolveResult::Unsat => break,
+                Probe::Cancelled => {
+                    self.model = None;
+                    return MaxSatResult::Cancelled;
+                }
+                Probe::Unsat => break,
             }
         }
         self.last_optimum = Some(cost);
         MaxSatResult::Optimum { cost }
+    }
+
+    /// The core-guided strategy (OLL over the soft-unit assumption
+    /// literals): assume every soft satisfied, and while the SAT oracle
+    /// refutes the assumption set, extract the final-conflict core over the
+    /// active soft assumptions, relax it with a totalizer over its violation
+    /// indicators (allowing one violation within the group), and raise the
+    /// proven lower bound by one. A group named by a later core has its
+    /// bound raised instead — its exceeded-bound indicator joins the new
+    /// group — so nested cores stay bounded. The first satisfiable probe is
+    /// the optimum, after exactly `#cores + 1` probes; per-core totalizers
+    /// are cached across incremental calls, so recurring cores only pay the
+    /// probe, never the re-encoding.
+    ///
+    /// Only called for unit-weight instances (the dispatch in
+    /// [`MaxSatSolver::solve_under_assumptions`] falls back to the linear
+    /// search otherwise), so every core raises the bound by exactly one.
+    fn solve_core_guided(&mut self, assumptions: &[Lit]) -> MaxSatResult {
+        /// One active "no (further) violations here" assumption: a plain
+        /// soft (`¬relax`) or a relaxed core group (`¬outputs[bound]`).
+        struct Entry {
+            assume: Lit,
+            /// Totalizer outputs of a relaxed group; `None` for a plain
+            /// soft.
+            outputs: Option<Vec<Lit>>,
+            /// Violations currently allowed within the group.
+            bound: usize,
+        }
+        let mut active: Vec<Entry> = self
+            .softs
+            .iter()
+            .map(|s| Entry {
+                assume: !s.relax,
+                outputs: None,
+                bound: 0,
+            })
+            .collect();
+        let mut lower_bound = 0u64;
+        let mut probe_lits: Vec<Lit> = Vec::with_capacity(assumptions.len() + active.len());
+        loop {
+            probe_lits.clear();
+            probe_lits.extend_from_slice(assumptions);
+            probe_lits.extend(active.iter().map(|e| e.assume));
+            match self.probe(&probe_lits) {
+                Probe::Sat => {
+                    self.model = Some(self.solver.model());
+                    let cost = self.cost_of_current_model();
+                    debug_assert_eq!(
+                        cost, lower_bound,
+                        "OLL bookkeeping must account for every violation"
+                    );
+                    self.last_optimum = Some(cost);
+                    return MaxSatResult::Optimum { cost };
+                }
+                Probe::Unknown | Probe::Refused => {
+                    self.model = None;
+                    return MaxSatResult::Unknown;
+                }
+                Probe::Cancelled => {
+                    self.model = None;
+                    return MaxSatResult::Cancelled;
+                }
+                Probe::Unsat => {
+                    // `unsat_core` is sorted and deduplicated, so membership
+                    // is a binary search. Caller assumptions in the core are
+                    // left alone — only active soft assumptions are relaxed.
+                    let core: Vec<Lit> = self.solver.unsat_core().to_vec();
+                    let hit: Vec<usize> = active
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| core.binary_search(&e.assume).is_ok())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if hit.is_empty() {
+                        // The conflict involves only hard clauses and the
+                        // caller's assumptions: no relaxation can help.
+                        return MaxSatResult::HardUnsat;
+                    }
+                    lower_bound += 1;
+                    self.stats.cores += 1;
+                    // Collect the violation indicators of the core members
+                    // (descending index order keeps swap_remove sound).
+                    let mut inputs: Vec<Lit> = Vec::with_capacity(hit.len());
+                    for &i in hit.iter().rev() {
+                        if active[i].outputs.is_none() {
+                            // Plain soft: its relaxation variable joins the
+                            // new group, and the soft leaves the active set
+                            // for the rest of the call.
+                            inputs.push(!active[i].assume);
+                            active.swap_remove(i);
+                            continue;
+                        }
+                        // Relaxed group: its exceeded-bound indicator joins
+                        // the new group AND its own bound is raised, so the
+                        // group stays bounded (the RC2 discipline).
+                        let (escalate, next_assume) = {
+                            let entry = &active[i];
+                            let outputs = entry.outputs.as_ref().expect("group entry");
+                            let next = entry.bound + 1;
+                            (
+                                outputs[entry.bound],
+                                (next < outputs.len()).then(|| !outputs[next]),
+                            )
+                        };
+                        inputs.push(escalate);
+                        match next_assume {
+                            Some(assume) => {
+                                let entry = &mut active[i];
+                                entry.bound += 1;
+                                entry.assume = assume;
+                            }
+                            // Bound reached the group size: vacuous, drop.
+                            None => {
+                                active.swap_remove(i);
+                            }
+                        }
+                    }
+                    // A singleton core needs no counting structure: its one
+                    // violation is fully absorbed by the raised lower bound.
+                    if inputs.len() >= 2 {
+                        inputs.sort();
+                        let outputs = self.core_totalizer(&inputs);
+                        active.push(Entry {
+                            assume: !outputs[1],
+                            outputs: Some(outputs),
+                            bound: 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cardinality network over a relaxed core's violation indicators,
+    /// encoded on first sight of the input set and reused by every later
+    /// call that rediscovers the same core (its bound is raised purely by
+    /// assuming a higher output).
+    fn core_totalizer(&mut self, inputs: &[Lit]) -> Vec<Lit> {
+        if let Some(outputs) = self.core_totalizers.get(inputs) {
+            return outputs.clone();
+        }
+        let totalizer = Totalizer::encode(&mut self.solver, inputs);
+        let outputs = totalizer.outputs().to_vec();
+        self.core_totalizers
+            .insert(inputs.to_vec(), outputs.clone());
+        outputs
     }
 
     /// The persistent totalizer over the weight-replicated relaxation
@@ -364,6 +709,17 @@ mod tests {
 
     fn lit(d: i64) -> Lit {
         Lit::from_dimacs(d)
+    }
+
+    /// Runs the same instance-building closure under both strategies and
+    /// asserts identical results.
+    fn both_strategies(build: impl Fn(&mut MaxSatSolver)) -> (MaxSatResult, MaxSatResult) {
+        let mut linear = MaxSatSolver::new();
+        build(&mut linear);
+        let mut core = MaxSatSolver::new();
+        core.set_strategy(RepairStrategy::CoreGuided);
+        build(&mut core);
+        (linear.solve(), core.solve())
     }
 
     #[test]
@@ -518,7 +874,54 @@ mod tests {
         s.add_hard([lit(1)]);
         s.add_soft([lit(-1)], 3);
         token.cancel();
-        assert_eq!(s.solve(), MaxSatResult::Unknown);
+        // Cancellation is surfaced as its own verdict, never folded into
+        // Unknown and never reported as a best-so-far optimum.
+        assert_eq!(s.solve(), MaxSatResult::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_mid_search_reports_cancelled_for_both_strategies() {
+        use manthan3_sat::{CancelToken, SolverConfig};
+        use std::time::{Duration, Instant};
+        // An unsatisfiable pigeonhole hard part far beyond what the test
+        // environment can refute quickly: the first probe of either strategy
+        // runs long, and a token cancelled from another thread must turn the
+        // in-flight bound search into `Cancelled` — not into the best-so-far
+        // bound, not into `Unknown`.
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            let token = CancelToken::new();
+            let mut s =
+                MaxSatSolver::with_config(SolverConfig::default().with_cancel(token.clone()));
+            let holes = 9usize;
+            let var = |i: usize, j: usize| Var::new((i * holes + j) as u32);
+            for i in 0..=holes {
+                let clause: Vec<Lit> = (0..holes).map(|j| var(i, j).positive()).collect();
+                s.add_hard(clause);
+            }
+            for j in 0..holes {
+                for i1 in 0..=holes {
+                    for i2 in (i1 + 1)..=holes {
+                        s.add_hard([var(i1, j).negative(), var(i2, j).negative()]);
+                    }
+                }
+            }
+            s.add_soft([var(0, 0).positive()], 1);
+            s.set_strategy(strategy);
+            let canceller = std::thread::spawn({
+                let token = token.clone();
+                move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    token.cancel();
+                }
+            });
+            let start = Instant::now();
+            assert_eq!(s.solve(), MaxSatResult::Cancelled, "{strategy}");
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(20),
+                "{strategy}: cancellation did not interrupt the search"
+            );
+            canceller.join().expect("canceller thread");
+        }
     }
 
     #[test]
@@ -540,8 +943,9 @@ mod tests {
     #[should_panic(expected = "no MaxSAT model available")]
     fn unknown_outcomes_leave_no_stale_model() {
         // First solve finds an optimum (model stored); a cancelled re-solve
-        // returns Unknown and must clear it, so reading the model afterwards
-        // panics as documented instead of yielding a stale, unproven one.
+        // returns Cancelled and must clear it, so reading the model
+        // afterwards panics as documented instead of yielding a stale,
+        // unproven one.
         use manthan3_sat::{CancelToken, SolverConfig};
         let token = CancelToken::new();
         let mut s = MaxSatSolver::with_config(SolverConfig::default().with_cancel(token.clone()));
@@ -551,7 +955,7 @@ mod tests {
         assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
         let _ = s.model();
         token.cancel();
-        assert_eq!(s.solve(), MaxSatResult::Unknown);
+        assert_eq!(s.solve(), MaxSatResult::Cancelled);
         let _ = s.violated_softs(); // must panic
     }
 
@@ -566,6 +970,237 @@ mod tests {
             assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
             assert_eq!(s.violated_softs(), vec![cheap]);
             s.maintain();
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            assert_eq!(strategy.to_string().parse::<RepairStrategy>(), Ok(strategy));
+        }
+        assert_eq!("core_guided".parse(), Ok(RepairStrategy::CoreGuided));
+        assert!("fu-malik".parse::<RepairStrategy>().is_err());
+        assert_eq!(RepairStrategy::default(), RepairStrategy::Linear);
+    }
+
+    type InstanceBuilder = Box<dyn Fn(&mut MaxSatSolver)>;
+
+    #[test]
+    fn core_guided_agrees_on_the_basic_instances() {
+        // The small hand-written shapes, each solved by both strategies.
+        let cases: Vec<(InstanceBuilder, MaxSatResult)> = vec![
+            (
+                Box::new(|s: &mut MaxSatSolver| {
+                    s.add_hard([lit(1), lit(2)]);
+                    s.add_soft([lit(-1)], 1);
+                    s.add_soft([lit(-2)], 1);
+                }),
+                MaxSatResult::Optimum { cost: 1 },
+            ),
+            (
+                Box::new(|s: &mut MaxSatSolver| {
+                    s.add_hard([lit(1)]);
+                    s.add_hard([lit(2)]);
+                    s.add_soft([lit(-1)], 1);
+                    s.add_soft([lit(-2)], 1);
+                }),
+                MaxSatResult::Optimum { cost: 2 },
+            ),
+            (
+                Box::new(|s: &mut MaxSatSolver| {
+                    s.add_hard([lit(1)]);
+                    s.add_hard([lit(-1)]);
+                    s.add_soft([lit(2)], 1);
+                }),
+                MaxSatResult::HardUnsat,
+            ),
+            (
+                Box::new(|s: &mut MaxSatSolver| {
+                    s.add_hard([lit(1), lit(2)]);
+                    s.add_soft([lit(1)], 1);
+                    s.add_soft([lit(2)], 1);
+                }),
+                MaxSatResult::Optimum { cost: 0 },
+            ),
+        ];
+        for (build, expected) in cases {
+            let (linear, core) = both_strategies(|s| build(s));
+            assert_eq!(linear, expected);
+            assert_eq!(core, expected);
+        }
+    }
+
+    #[test]
+    fn core_guided_reaches_the_optimum_in_fewer_probes() {
+        // Hard: x1 ∧ x2 ∧ x3 forces all three unit softs violated. The
+        // linear search pays the hard check, the optimistic check, and the
+        // full bound climb; core-guided pays one probe per core plus the
+        // final model.
+        let mut linear = MaxSatSolver::new();
+        let mut core = MaxSatSolver::new();
+        core.set_strategy(RepairStrategy::CoreGuided);
+        for s in [&mut linear, &mut core] {
+            s.add_hard([lit(1)]);
+            s.add_hard([lit(2)]);
+            s.add_hard([lit(3)]);
+            s.add_soft([lit(-1)], 1);
+            s.add_soft([lit(-2)], 1);
+            s.add_soft([lit(-3)], 1);
+        }
+        assert_eq!(linear.solve(), MaxSatResult::Optimum { cost: 3 });
+        assert_eq!(core.solve(), MaxSatResult::Optimum { cost: 3 });
+        assert_eq!(core.stats().cores, 3);
+        assert!(
+            core.stats().probes < linear.stats().probes,
+            "core-guided took {} probes, linear {}",
+            core.stats().probes,
+            linear.stats().probes
+        );
+    }
+
+    #[test]
+    fn core_guided_relaxations_stay_sound_across_assumption_changes() {
+        // Two disjoint σ-style pins over a shared encoding: t1/t2 pin which
+        // side of the hard disjunction must hold, flipping which soft is
+        // violated. The relaxation structure discovered under one pin must
+        // not leak an unsound bound into the other.
+        let mut s = MaxSatSolver::new();
+        s.set_strategy(RepairStrategy::CoreGuided);
+        s.add_hard([lit(1), lit(2)]);
+        let s1 = s.add_soft([lit(-1)], 1);
+        let s2 = s.add_soft([lit(-2)], 1);
+        for round in 0..6 {
+            let (pins, expect): (&[Lit], SoftId) = if round % 2 == 0 {
+                (&[lit(1), lit(-2)], s1)
+            } else {
+                (&[lit(2), lit(-1)], s2)
+            };
+            assert_eq!(
+                s.solve_under_assumptions(pins),
+                MaxSatResult::Optimum { cost: 1 },
+                "round {round}"
+            );
+            assert_eq!(s.violated_softs(), vec![expect], "round {round}");
+        }
+        // Each call discovers exactly one (singleton) core.
+        assert_eq!(s.stats().cores, 6);
+    }
+
+    #[test]
+    fn core_guided_caches_recurring_core_totalizers() {
+        // Hard: at most one of x1..x3 true, pinned so that two of the three
+        // unit softs (x_i) must be violated: the same two-element cores
+        // recur on every call, and the cached networks keep the solver's
+        // variable count flat after the first discovery.
+        let mut s = MaxSatSolver::new();
+        s.set_strategy(RepairStrategy::CoreGuided);
+        s.add_hard([lit(-1), lit(-2)]);
+        s.add_hard([lit(-1), lit(-3)]);
+        s.add_hard([lit(-2), lit(-3)]);
+        s.add_soft([lit(1)], 1);
+        s.add_soft([lit(2)], 1);
+        s.add_soft([lit(3)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 2 });
+        let vars_after_first = s.solver.num_vars();
+        let clauses_after_first = s.num_solver_clauses();
+        for _ in 0..10 {
+            assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 2 });
+        }
+        assert_eq!(s.solver.num_vars(), vars_after_first);
+        assert_eq!(s.num_solver_clauses(), clauses_after_first);
+    }
+
+    #[test]
+    fn weighted_instances_fall_back_to_the_linear_search() {
+        let mut s = MaxSatSolver::new();
+        s.set_strategy(RepairStrategy::CoreGuided);
+        s.add_hard([lit(1), lit(2)]);
+        s.add_hard([lit(-1), lit(-2)]);
+        s.add_soft([lit(1)], 5);
+        let cheap = s.add_soft([lit(2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        assert_eq!(s.violated_softs(), vec![cheap]);
+        // The weighted dispatch took the linear path: no cores.
+        assert_eq!(s.stats().cores, 0);
+    }
+
+    /// Satellite regression: the linear warm-start bound must not survive an
+    /// assumption-set change. Alternating disjoint σ pins with very
+    /// different optima stay correct, and every call's probe count is
+    /// bounded by `optimum + 2` (hard check + optimistic check + climb
+    /// from 1) — a stale warm bound from the other pin would seed the
+    /// search at an unrelated level.
+    #[test]
+    fn warm_start_is_invalidated_on_assumption_set_changes() {
+        let mut s = MaxSatSolver::new();
+        // Hard: t → (x1 ∧ x2 ∧ x3), u → (¬x1 ∧ ¬x2 ∧ ¬x3); x4 free. Softs
+        // prefer all four x_i false: optimum 3 under t, optimum 0 under u.
+        let (t, u) = (lit(5), lit(6));
+        for i in 1..=3 {
+            s.add_hard([!t, lit(i)]);
+            s.add_hard([!u, lit(-i)]);
+        }
+        for i in 1..=4 {
+            s.add_soft([lit(-i)], 1);
+        }
+        for round in 0..6 {
+            let (pins, optimum) = if round % 2 == 0 {
+                ([t, !u], 3)
+            } else {
+                ([u, !t], 0)
+            };
+            let before = s.stats().probes;
+            assert_eq!(
+                s.solve_under_assumptions(&pins),
+                MaxSatResult::Optimum { cost: optimum },
+                "round {round}"
+            );
+            let spent = s.stats().probes - before;
+            assert!(
+                spent <= optimum + 2,
+                "round {round}: {spent} probes for optimum {optimum} — stale warm start?"
+            );
+        }
+        // Repeating the *same* assumption set keeps the warm start: after
+        // one fresh climb re-establishes the bound, the re-query pays the
+        // hard check, the optimistic check, the already-SAT probe at the
+        // warm optimum, and one refuted confirming probe below it —
+        // 4 probes, no climb.
+        assert_eq!(
+            s.solve_under_assumptions(&[t, !u]),
+            MaxSatResult::Optimum { cost: 3 }
+        );
+        let before = s.stats().probes;
+        assert_eq!(
+            s.solve_under_assumptions(&[t, !u]),
+            MaxSatResult::Optimum { cost: 3 }
+        );
+        assert_eq!(s.stats().probes - before, 4);
+    }
+
+    /// Satellite regression: internal SAT probes draw on the shared
+    /// [`CallBudget`] and are refused — mid-bound-search — once it is
+    /// exhausted, mirroring `call_budget_cuts_off_further_solves`.
+    #[test]
+    fn call_budget_cuts_off_the_probe_loop() {
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            let mut s = MaxSatSolver::new();
+            s.set_strategy(strategy);
+            let calls = CallBudget::limited(2);
+            s.set_call_budget(calls.clone());
+            // Optimum 2 needs ≥ 3 probes on either strategy (core-guided:
+            // two cores plus the model; linear: hard check, optimistic
+            // check, climb).
+            s.add_hard([lit(1)]);
+            s.add_hard([lit(2)]);
+            s.add_soft([lit(-1)], 1);
+            s.add_soft([lit(-2)], 1);
+            assert_eq!(s.solve(), MaxSatResult::Unknown, "{strategy}");
+            // Exactly the allowance was consumed; the refused probe was
+            // never performed.
+            assert_eq!(calls.consumed(), 2, "{strategy}");
+            assert_eq!(s.stats().probes, 2, "{strategy}");
+            assert!(calls.exhausted(), "{strategy}");
         }
     }
 
@@ -619,6 +1254,123 @@ mod tests {
                 None => assert_eq!(result, MaxSatResult::HardUnsat, "round {round}"),
                 Some(opt) => {
                     assert_eq!(result, MaxSatResult::Optimum { cost: opt }, "round {round}")
+                }
+            }
+        }
+    }
+
+    /// Brute-force reference for the core-guided strategy on random
+    /// unit-weight instances (the shape the repair loop produces), with the
+    /// linear strategy run on the same instance as a second witness.
+    #[test]
+    fn core_guided_agrees_with_brute_force_on_unit_weights() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x0C0E_2026);
+        for round in 0..40 {
+            let num_vars = 5;
+            let mut hard = Cnf::new(num_vars);
+            for _ in 0..rng.gen_range(1..6) {
+                let clause: Vec<Lit> = (0..rng.gen_range(1..3))
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                    .collect();
+                hard.add_clause(clause);
+            }
+            let softs: Vec<Vec<Lit>> = (0..rng.gen_range(1..6))
+                .map(|_| {
+                    (0..rng.gen_range(1..3))
+                        .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                        .collect()
+                })
+                .collect();
+
+            let mut best: Option<u64> = None;
+            for bits in 0..1u32 << num_vars {
+                let a =
+                    Assignment::from_values((0..num_vars).map(|i| bits >> i & 1 == 1).collect());
+                if !hard.eval(&a) {
+                    continue;
+                }
+                let cost = softs
+                    .iter()
+                    .filter(|c| !Clause::new((*c).clone()).eval(&a))
+                    .count() as u64;
+                best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+            }
+
+            let mut linear = MaxSatSolver::new();
+            let mut core = MaxSatSolver::new();
+            core.set_strategy(RepairStrategy::CoreGuided);
+            for solver in [&mut linear, &mut core] {
+                solver.add_hard_cnf(&hard);
+                for c in &softs {
+                    solver.add_soft(c.clone(), 1);
+                }
+            }
+            let linear_result = linear.solve();
+            let core_result = core.solve();
+            match best {
+                None => {
+                    assert_eq!(linear_result, MaxSatResult::HardUnsat, "round {round}");
+                    assert_eq!(core_result, MaxSatResult::HardUnsat, "round {round}");
+                }
+                Some(opt) => {
+                    assert_eq!(
+                        linear_result,
+                        MaxSatResult::Optimum { cost: opt },
+                        "round {round}"
+                    );
+                    assert_eq!(
+                        core_result,
+                        MaxSatResult::Optimum { cost: opt },
+                        "round {round}"
+                    );
+                    // The reported model is consistent with the optimum.
+                    assert_eq!(core.violated_softs().len() as u64, opt, "round {round}");
+                }
+            }
+        }
+    }
+
+    /// Randomized incremental equivalence under changing assumption sets:
+    /// one core-guided and one linear instance answer the same random pin
+    /// sequence over one encoding, and must agree call by call.
+    #[test]
+    fn strategies_agree_across_random_assumption_sequences() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xA55E_55ED);
+        for round in 0..10 {
+            let num_vars = 5usize;
+            let mut linear = MaxSatSolver::new();
+            let mut core = MaxSatSolver::new();
+            core.set_strategy(RepairStrategy::CoreGuided);
+            let mut hard = Cnf::new(num_vars);
+            for _ in 0..rng.gen_range(2..6) {
+                let clause: Vec<Lit> = (0..rng.gen_range(1..3))
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                    .collect();
+                hard.add_clause(clause);
+            }
+            for solver in [&mut linear, &mut core] {
+                solver.add_hard_cnf(&hard);
+                for v in 0..num_vars {
+                    solver.add_soft([Var::new(v as u32).negative()], 1);
+                }
+            }
+            for query in 0..25 {
+                let pins: Vec<Lit> = (0..rng.gen_range(0..3))
+                    .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars) as u32), rng.gen()))
+                    .collect();
+                let a = linear.solve_under_assumptions(&pins);
+                let b = core.solve_under_assumptions(&pins);
+                assert_eq!(a, b, "round {round} query {query} pins {pins:?}");
+                if let MaxSatResult::Optimum { cost } = a {
+                    assert_eq!(
+                        core.violated_softs().len() as u64,
+                        cost,
+                        "round {round} query {query}"
+                    );
                 }
             }
         }

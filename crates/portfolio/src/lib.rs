@@ -26,9 +26,13 @@
 //! *configurations* of one engine:
 //! [`PortfolioConfig::manthan3_shard_counts`] fans the Manthan3 entry out
 //! into one racer per sample-shard count (each drawing its training data
-//! through the sharded sampler at a different parallelism), all under the
-//! same shared budget — instances whose sampling stage dominates are won by
-//! a wide-sharded racer, while repair-dominated ones are indifferent.
+//! through the sharded sampler at a different parallelism), and
+//! [`PortfolioConfig::manthan3_repair_strategies`] into one racer per
+//! MaxSAT repair strategy (the warm-started linear bound search vs. the
+//! core-guided OLL relaxation) — crossed when both dimensions are set, all
+//! under the same shared budget. Instances whose sampling stage dominates
+//! are won by a wide-sharded racer; instances whose repair optimum jumps
+//! between counterexamples by the core-guided one.
 //!
 //! # Examples
 //!
@@ -48,7 +52,7 @@
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_core::{
-    Budget, Manthan3, Manthan3Config, OracleStats, SynthesisOutcome, UnknownReason,
+    Budget, Manthan3, Manthan3Config, OracleStats, RepairStrategy, SynthesisOutcome, UnknownReason,
 };
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
 use std::fmt;
@@ -120,6 +124,14 @@ pub struct PortfolioConfig {
     /// under the same shared budget and cancellation. Empty (the default)
     /// races the single configured `manthan3` entry.
     pub manthan3_shard_counts: Vec<usize>,
+    /// Repair-strategy diversity for Manthan3, next to the shard counts:
+    /// when non-empty, every `Manthan3` entry fans out into one racer per
+    /// listed [`RepairStrategy`] (crossed with the shard counts when both
+    /// dimensions are configured) — instances whose repair optimum jumps
+    /// between counterexamples are won by the core-guided racer, stable
+    /// ones by the warm-started linear search. Empty (the default) races
+    /// the single strategy configured in `manthan3`.
+    pub manthan3_repair_strategies: Vec<RepairStrategy>,
     /// Engine-specific settings for the expansion baseline (budget fields
     /// ignored).
     pub expansion: ExpansionConfig,
@@ -138,6 +150,7 @@ impl Default for PortfolioConfig {
             sat_call_budget: None,
             manthan3: Manthan3Config::default(),
             manthan3_shard_counts: Vec::new(),
+            manthan3_repair_strategies: Vec::new(),
             expansion: ExpansionConfig::default(),
             arbiter: ArbiterConfig::default(),
         }
@@ -163,6 +176,11 @@ pub struct EngineReport {
     /// shard-count diversity ([`PortfolioConfig::manthan3_shard_counts`]);
     /// `None` for baselines and for the single default configuration.
     pub sample_shards: Option<usize>,
+    /// The repair strategy this racer ran with, when the race used
+    /// repair-strategy diversity
+    /// ([`PortfolioConfig::manthan3_repair_strategies`]); `None` for
+    /// baselines and for the single default configuration.
+    pub repair_strategy: Option<RepairStrategy>,
     /// The engine's own verdict (losers typically report
     /// [`UnknownReason::Cancelled`]).
     pub outcome: SynthesisOutcome,
@@ -240,6 +258,8 @@ impl PortfolioResult {
             merged.sample_shortfalls += report.oracle.sample_shortfalls;
             merged.maxsat_hard_encodings += report.oracle.maxsat_hard_encodings;
             merged.maxsat_incremental_calls += report.oracle.maxsat_incremental_calls;
+            merged.maxsat_probes += report.oracle.maxsat_probes;
+            merged.maxsat_cores += report.oracle.maxsat_cores;
             merged.conflicts += report.oracle.conflicts;
             merged.budget_exhaustions += report.oracle.budget_exhaustions;
         }
@@ -257,6 +277,7 @@ pub struct Portfolio {
 struct RawReport {
     engine: PortfolioEngine,
     sample_shards: Option<usize>,
+    repair_strategy: Option<RepairStrategy>,
     outcome: SynthesisOutcome,
     runtime: Duration,
     oracle: OracleStats,
@@ -294,24 +315,44 @@ impl Portfolio {
             !self.config.engines.is_empty(),
             "portfolio needs at least one engine"
         );
-        // Configuration racing: with shard-count diversity configured, each
-        // Manthan3 entry fans out into one racer per listed shard count.
-        let jobs: Vec<(PortfolioEngine, Option<usize>)> = self
+        // Configuration racing: with shard-count and/or repair-strategy
+        // diversity configured, each Manthan3 entry fans out into the cross
+        // product of the listed shard counts and strategies (an empty
+        // dimension contributes the single configured value).
+        let jobs: Vec<(PortfolioEngine, Option<usize>, Option<RepairStrategy>)> = self
             .config
             .engines
             .iter()
             .flat_map(|&engine| {
-                if engine == PortfolioEngine::Manthan3
-                    && !self.config.manthan3_shard_counts.is_empty()
+                if engine != PortfolioEngine::Manthan3
+                    || (self.config.manthan3_shard_counts.is_empty()
+                        && self.config.manthan3_repair_strategies.is_empty())
                 {
+                    return vec![(engine, None, None)];
+                }
+                let shards: Vec<Option<usize>> = if self.config.manthan3_shard_counts.is_empty() {
+                    vec![None]
+                } else {
                     self.config
                         .manthan3_shard_counts
                         .iter()
-                        .map(|&k| (engine, Some(k.max(1))))
+                        .map(|&k| Some(k.max(1)))
                         .collect()
-                } else {
-                    vec![(engine, None)]
-                }
+                };
+                let strategies: Vec<Option<RepairStrategy>> =
+                    if self.config.manthan3_repair_strategies.is_empty() {
+                        vec![None]
+                    } else {
+                        self.config
+                            .manthan3_repair_strategies
+                            .iter()
+                            .map(|&s| Some(s))
+                            .collect()
+                    };
+                shards
+                    .iter()
+                    .flat_map(|&k| strategies.iter().map(move |&s| (engine, k, s)))
+                    .collect()
             })
             .collect();
         assert!(!jobs.is_empty(), "portfolio needs at least one racer");
@@ -335,11 +376,12 @@ impl Portfolio {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let index = next_engine.fetch_add(1, Ordering::SeqCst);
-                    let Some(&(engine, sample_shards)) = jobs_ref.get(index) else {
+                    let Some(&(engine, sample_shards, repair_strategy)) = jobs_ref.get(index)
+                    else {
                         break;
                     };
                     let (outcome, oracle) =
-                        self.dispatch(engine, sample_shards, dqbf, budget.clone());
+                        self.dispatch(engine, sample_shards, repair_strategy, dqbf, budget.clone());
                     let runtime = race_start.elapsed();
                     // Only certificate-checked vectors (or falsity proofs)
                     // may stop the race.
@@ -364,6 +406,7 @@ impl Portfolio {
                         .push(RawReport {
                             engine,
                             sample_shards,
+                            repair_strategy,
                             outcome,
                             runtime,
                             oracle,
@@ -388,6 +431,7 @@ impl Portfolio {
             .map(|r| EngineReport {
                 engine: r.engine,
                 sample_shards: r.sample_shards,
+                repair_strategy: r.repair_strategy,
                 outcome: r.outcome,
                 runtime: r.runtime,
                 oracle: r.oracle,
@@ -403,12 +447,13 @@ impl Portfolio {
     }
 
     /// Runs one engine under a clone of the race budget; `sample_shards`
-    /// overrides the Manthan3 configuration's shard count when this racer is
-    /// part of a shard-count-diversity fan-out.
+    /// and `repair_strategy` override the Manthan3 configuration when this
+    /// racer is part of a configuration-diversity fan-out.
     fn dispatch(
         &self,
         engine: PortfolioEngine,
         sample_shards: Option<usize>,
+        repair_strategy: Option<RepairStrategy>,
         dqbf: &Dqbf,
         budget: Budget,
     ) -> (SynthesisOutcome, OracleStats) {
@@ -417,6 +462,9 @@ impl Portfolio {
                 let mut config = self.config.manthan3.clone();
                 if let Some(shards) = sample_shards {
                     config.sample_shards = shards;
+                }
+                if let Some(strategy) = repair_strategy {
+                    config.repair_strategy = strategy;
                 }
                 let result = Manthan3::new(config).synthesize_with_budget(dqbf, budget);
                 (result.outcome, result.stats.oracle)
@@ -576,6 +624,68 @@ mod tests {
         let result = Portfolio::new(PortfolioConfig::default()).run(&dqbf);
         assert_eq!(result.reports.len(), 3);
         assert!(result.reports.iter().all(|r| r.sample_shards.is_none()));
+        assert!(result.reports.iter().all(|r| r.repair_strategy.is_none()));
+    }
+
+    #[test]
+    fn repair_strategy_diversity_races_both_strategies() {
+        let dqbf = Dqbf::paper_example();
+        let config = PortfolioConfig {
+            engines: vec![PortfolioEngine::Manthan3],
+            manthan3_repair_strategies: vec![RepairStrategy::Linear, RepairStrategy::CoreGuided],
+            threads: 2,
+            ..PortfolioConfig::default()
+        };
+        let result = Portfolio::new(config).run(&dqbf);
+        assert!(result.is_realizable());
+        assert_eq!(result.reports.len(), 2, "one racer per repair strategy");
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.engine == PortfolioEngine::Manthan3));
+        let strategies: std::collections::BTreeSet<_> =
+            result.reports.iter().map(|r| r.repair_strategy).collect();
+        assert_eq!(
+            strategies,
+            [
+                Some(RepairStrategy::Linear),
+                Some(RepairStrategy::CoreGuided)
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert_eq!(result.reports.iter().filter(|r| r.winner).count(), 1);
+    }
+
+    #[test]
+    fn shard_and_strategy_diversity_cross_into_a_configuration_grid() {
+        let dqbf = Dqbf::paper_example();
+        let config = PortfolioConfig {
+            engines: vec![PortfolioEngine::Manthan3, PortfolioEngine::Hqs2Like],
+            manthan3_shard_counts: vec![1, 2],
+            manthan3_repair_strategies: vec![RepairStrategy::Linear, RepairStrategy::CoreGuided],
+            threads: 2,
+            ..PortfolioConfig::default()
+        };
+        let result = Portfolio::new(config).run(&dqbf);
+        assert!(result.is_realizable());
+        // 2 shard counts × 2 strategies for Manthan3, plus one baseline.
+        assert_eq!(result.reports.len(), 5);
+        let manthan3_jobs: std::collections::BTreeSet<_> = result
+            .reports
+            .iter()
+            .filter(|r| r.engine == PortfolioEngine::Manthan3)
+            .map(|r| (r.sample_shards, r.repair_strategy))
+            .collect();
+        assert_eq!(manthan3_jobs.len(), 4);
+        // The baseline entry is not fanned out.
+        let baseline = result
+            .reports
+            .iter()
+            .find(|r| r.engine == PortfolioEngine::Hqs2Like)
+            .expect("baseline raced");
+        assert_eq!(baseline.sample_shards, None);
+        assert_eq!(baseline.repair_strategy, None);
     }
 
     #[test]

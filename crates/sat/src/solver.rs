@@ -564,9 +564,14 @@ impl Solver {
         }
         self.seen[p.var().index()] = false;
         // Keep only literals that are actual assumptions (the failing literal p
-        // always is), preserving the caller's literal orientation.
-        let assumptions = self.assumptions.clone();
-        self.conflict_core.retain(|l| assumptions.contains(l));
+        // always is), preserving the caller's literal orientation. Assumption
+        // sets can be large — a MaxSAT core-guided search assumes one soft
+        // selector per output on every probe — so membership goes through a
+        // sorted copy instead of a linear scan per core literal.
+        let mut assumptions = self.assumptions.clone();
+        assumptions.sort();
+        self.conflict_core
+            .retain(|l| assumptions.binary_search(l).is_ok());
         self.conflict_core.sort();
         self.conflict_core.dedup();
     }
@@ -1123,6 +1128,50 @@ mod tests {
         s.add_clause([lit(-1)]);
         assert_eq!(s.solve_with_assumptions(&[lit(2)]), SolveResult::Unsat);
         assert!(s.unsat_core().is_empty());
+    }
+
+    /// The shape the core-guided MaxSAT search drives: a fixed σ-style
+    /// prefix plus one "selector" assumption per soft group. The final
+    /// conflict core must name only the selectors actually involved, stay a
+    /// subset of the assumptions, and keep doing so across incremental calls
+    /// that share the σ prefix (assumption-prefix trail reuse).
+    #[test]
+    fn selector_assumption_cores_name_only_involved_groups() {
+        let mut s = Solver::new();
+        // Groups: selector s_i enforces x_i (clause ¬s_i ∨ x_i); σ pins
+        // disable x1 and x2 via ¬x1, ¬x2 while x3 stays free.
+        let (x1, x2, x3) = (lit(1), lit(2), lit(3));
+        let (s1, s2, s3) = (lit(4), lit(5), lit(6));
+        s.add_clause([!s1, x1]);
+        s.add_clause([!s2, x2]);
+        s.add_clause([!s3, x3]);
+        let sigma = [!x1, !x2];
+        // All selectors on: UNSAT, and the core pairs a σ literal with its
+        // selector — never the irrelevant s3.
+        let mut assumptions: Vec<Lit> = sigma.to_vec();
+        assumptions.extend([s1, s2, s3]);
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.iter().all(|l| assumptions.contains(l)));
+        assert!(core.contains(&s1) || core.contains(&s2));
+        assert!(!core.contains(&s3));
+        // Retract the blamed selector (the core-guided relaxation step) and
+        // re-solve on the shared σ prefix: the next core blames the other
+        // group, with the prefix levels carried over instead of re-decided.
+        let blamed = if core.contains(&s1) { s1 } else { s2 };
+        let other = if blamed == s1 { s2 } else { s1 };
+        let reused_before = s.stats().reused_levels;
+        let mut retracted: Vec<Lit> = sigma.to_vec();
+        retracted.extend([other, s3]);
+        assert_eq!(s.solve_with_assumptions(&retracted), SolveResult::Unsat);
+        assert!(s.stats().reused_levels > reused_before);
+        let second = s.unsat_core().to_vec();
+        assert!(second.contains(&other));
+        assert!(!second.contains(&blamed) && !second.contains(&s3));
+        // With both conflicting groups retracted the instance is SAT and s3
+        // is honoured.
+        assert_eq!(s.solve_with_assumptions(&[!x1, !x2, s3]), SolveResult::Sat);
+        assert_eq!(s.value(x3.var()), Some(true));
     }
 
     #[test]

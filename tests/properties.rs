@@ -123,7 +123,9 @@ proptest! {
                 prop_assert!(hard.eval(&model));
             }
             MaxSatResult::HardUnsat => prop_assert!(brute.is_none()),
-            MaxSatResult::Unknown => prop_assert!(false, "no budget was set"),
+            MaxSatResult::Unknown | MaxSatResult::Cancelled => {
+                prop_assert!(false, "no budget was set and no token cancelled")
+            }
         }
     }
 
