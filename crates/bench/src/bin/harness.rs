@@ -19,7 +19,8 @@
 //! ```text
 //! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR]
 //!         [--engine NAME]... [--sample-shards N]
-//!         [--repair-strategy linear|core-guided] [--ablations] [--quick]
+//!         [--repair-strategy linear|core-guided]
+//!         [--solver-profile modern|legacy] [--ablations] [--quick]
 //! ```
 //!
 //! `--engine NAME` (repeatable) adds an engine to the run set; the set
@@ -33,11 +34,17 @@
 //! how the Manthan3 repair loop's MaxSAT queries search for their optimum
 //! (warm-started linear bound search vs. core-guided relaxation); the
 //! per-run `maxsat_probes` / `maxsat_cores` columns of `runs.csv` and the
-//! matching `summary_table.csv` rows report the probe economy. Malformed
+//! matching `summary_table.csv` rows report the probe economy.
+//! `--solver-profile` selects the CDCL policy bundle of the Manthan3 oracle's
+//! solvers (the modernized defaults vs. the pre-modernization legacy
+//! behavior); the per-run solver-layer columns of `runs.csv`
+//! (`sat_propagations`, `props_per_sec`, `sat_restarts`, `learnt_db_live`,
+//! `glue2_clauses`, `inprocess_reductions`, `arena_collections`) and the
+//! matching `summary_table.csv` rows report its effect. Malformed
 //! flag values abort with a diagnostic and a non-zero exit status.
 
 use manthan3_bench::{csvio, report, run_suite_with_options, EngineKind, RunOptions};
-use manthan3_core::{Manthan3, Manthan3Config, RepairStrategy};
+use manthan3_core::{Manthan3, Manthan3Config, RepairStrategy, SolverProfile};
 use manthan3_dqbf::verify;
 use manthan3_gen::suite::suite;
 use std::path::PathBuf;
@@ -53,6 +60,7 @@ struct Args {
     ablations: bool,
     sample_shards: usize,
     repair_strategy: RepairStrategy,
+    solver_profile: SolverProfile,
 }
 
 /// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
@@ -62,7 +70,8 @@ fn usage_error(message: &str) -> ! {
     eprintln!(
         "usage: harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] \
          [--engine NAME]... [--sample-shards N] \
-         [--repair-strategy linear|core-guided] [--ablations] [--quick]"
+         [--repair-strategy linear|core-guided] \
+         [--solver-profile modern|legacy] [--ablations] [--quick]"
     );
     std::process::exit(2);
 }
@@ -93,6 +102,7 @@ fn parse_args() -> Args {
         ablations: false,
         sample_shards: 1,
         repair_strategy: RepairStrategy::default(),
+        solver_profile: SolverProfile::default(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -125,6 +135,9 @@ fn parse_args() -> Args {
                 // `parse_value`, like every other malformed flag value.
                 args.repair_strategy = parse_value("--repair-strategy", iter.next());
             }
+            "--solver-profile" => {
+                args.solver_profile = parse_value("--solver-profile", iter.next());
+            }
             "--ablations" => args.ablations = true,
             "--quick" => {
                 args.scale = 1;
@@ -155,6 +168,7 @@ fn main() {
         RunOptions {
             sample_shards: args.sample_shards,
             repair_strategy: args.repair_strategy,
+            solver_profile: args.solver_profile,
         },
     );
     println!("finished in {:?}", start.elapsed());
@@ -182,6 +196,20 @@ fn main() {
                 r.sample_shards.to_string(),
                 r.oracle.sampler_calls.to_string(),
                 r.oracle.sample_shortfalls.to_string(),
+                r.oracle.sat_propagations.to_string(),
+                format!(
+                    "{:.1}",
+                    if r.seconds() > 0.0 {
+                        r.oracle.sat_propagations as f64 / r.seconds()
+                    } else {
+                        0.0
+                    }
+                ),
+                r.oracle.sat_restarts.to_string(),
+                r.oracle.learnt_db_live.to_string(),
+                r.oracle.glue2_clauses.to_string(),
+                r.oracle.inprocess_reductions.to_string(),
+                r.oracle.arena_collections.to_string(),
             ]
         })
         .collect();
@@ -205,6 +233,13 @@ fn main() {
             "sample_shards",
             "sampler_calls",
             "sample_shortfalls",
+            "sat_propagations",
+            "props_per_sec",
+            "sat_restarts",
+            "learnt_db_live",
+            "glue2_clauses",
+            "inprocess_reductions",
+            "arena_collections",
         ],
         &raw_rows,
     )

@@ -20,7 +20,9 @@ pub mod csvio;
 pub mod report;
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
-use manthan3_core::{Manthan3, Manthan3Config, OracleStats, RepairStrategy, SynthesisOutcome};
+use manthan3_core::{
+    Manthan3, Manthan3Config, OracleStats, RepairStrategy, SolverProfile, SynthesisOutcome,
+};
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
 use manthan3_portfolio::{Portfolio, PortfolioConfig};
@@ -39,6 +41,11 @@ pub struct RunOptions {
     /// How the Manthan3 repair loop's FindCandidates MaxSAT queries search
     /// for their optimum (`--repair-strategy`).
     pub repair_strategy: RepairStrategy,
+    /// Which solver-policy bundle the Manthan3 oracle hands its SAT and
+    /// MaxSAT solvers (`--solver-profile`): the modernized defaults or the
+    /// pre-modernization legacy behavior. Reaches the Manthan3 engine and
+    /// the portfolio's Manthan3 racer; the baselines keep their defaults.
+    pub solver_profile: SolverProfile,
 }
 
 impl Default for RunOptions {
@@ -46,6 +53,7 @@ impl Default for RunOptions {
         RunOptions {
             sample_shards: 1,
             repair_strategy: RepairStrategy::default(),
+            solver_profile: SolverProfile::default(),
         }
     }
 }
@@ -195,6 +203,7 @@ pub fn run_engine_with(
                 time_budget: Some(budget),
                 sample_shards,
                 repair_strategy: options.repair_strategy,
+                solver_profile: options.solver_profile,
                 ..Manthan3Config::default()
             };
             let result = Manthan3::new(config).synthesize(&instance.dqbf);
@@ -226,6 +235,7 @@ pub fn run_engine_with(
             let mut config = PortfolioConfig::with_time_budget(budget);
             config.manthan3.sample_shards = sample_shards;
             config.manthan3.repair_strategy = options.repair_strategy;
+            config.manthan3.solver_profile = options.solver_profile;
             let result = Portfolio::new(config).run(&instance.dqbf);
             let oracle = result.merged_oracle_stats();
             (result.outcome, oracle, 0, Duration::ZERO, sample_shards)
@@ -407,6 +417,38 @@ mod tests {
         // Probe accounting rides along whenever the run exercised repair.
         if record.oracle.maxsat_calls > 0 {
             assert!(record.oracle.maxsat_probes > 0);
+        }
+    }
+
+    #[test]
+    fn legacy_solver_profile_runs_agree_and_bill_solver_counters() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        for profile in [SolverProfile::Modern, SolverProfile::Legacy] {
+            let options = RunOptions {
+                solver_profile: profile,
+                ..RunOptions::default()
+            };
+            let record = run_engine_with(
+                EngineKind::Manthan3,
+                &instance,
+                Duration::from_secs(5),
+                options,
+            );
+            assert!(
+                record.synthesized,
+                "manthan3 ({profile}) failed: {}",
+                record.outcome
+            );
+            assert!(
+                record.oracle.sat_propagations > 0,
+                "solver-layer propagation counters must be billed under {profile}"
+            );
         }
     }
 

@@ -155,6 +155,24 @@ pub struct Summary {
     /// the suite needed no repairs). Tracks the one-FindCandidates-per-
     /// counterexample shape of the incremental loop.
     pub maxsat_calls_per_repair_iteration: f64,
+    /// Total unit propagations billed to the solver layer across every run.
+    pub sat_propagations: u64,
+    /// Propagations per second of engine wall-clock across the suite (the
+    /// solver-modernization throughput headline).
+    pub sat_propagations_per_sec: f64,
+    /// Total CDCL restarts across every run.
+    pub sat_restarts: u64,
+    /// Live learnt clauses left in the solvers at the end of each run,
+    /// summed across runs (for the portfolio: summed across its racers).
+    pub learnt_db_live: usize,
+    /// Glue (LBD ≤ 2) learnt clauses alive at the end of each run, summed
+    /// across runs.
+    pub glue2_clauses: usize,
+    /// Clauses removed or strengthened by inter-call inprocessing across
+    /// every run (zero under the legacy profile).
+    pub inprocess_reductions: u64,
+    /// Clause-arena compacting garbage collections across every run.
+    pub arena_collections: u64,
 }
 
 /// Computes the summary table from the run records.
@@ -248,6 +266,18 @@ pub fn summary(records: &[RunRecord]) -> Summary {
     } else {
         manthan3_maxsat_calls as f64 / repair_iterations as f64
     };
+    let sat_propagations: u64 = records.iter().map(|r| r.oracle.sat_propagations).sum();
+    let total_seconds: f64 = records.iter().map(|r| r.seconds()).sum();
+    let sat_propagations_per_sec = if total_seconds > 0.0 {
+        sat_propagations as f64 / total_seconds
+    } else {
+        0.0
+    };
+    let sat_restarts: u64 = records.iter().map(|r| r.oracle.sat_restarts).sum();
+    let learnt_db_live: usize = records.iter().map(|r| r.oracle.learnt_db_live).sum();
+    let glue2_clauses: usize = records.iter().map(|r| r.oracle.glue2_clauses).sum();
+    let inprocess_reductions: u64 = records.iter().map(|r| r.oracle.inprocess_reductions).sum();
+    let arena_collections: u64 = records.iter().map(|r| r.oracle.arena_collections).sum();
 
     Summary {
         total_instances: instances.len(),
@@ -274,6 +304,13 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         sampler_calls,
         sample_shortfalls,
         maxsat_calls_per_repair_iteration,
+        sat_propagations,
+        sat_propagations_per_sec,
+        sat_restarts,
+        learnt_db_live,
+        glue2_clauses,
+        inprocess_reductions,
+        arena_collections,
     }
 }
 
@@ -363,6 +400,31 @@ impl Summary {
             "sample_shortfalls".into(),
             self.sample_shortfalls.to_string(),
         ]);
+        // Solver-layer counters: the bench trajectory of the CDCL
+        // modernization (propagation throughput, restart cadence, learnt-DB
+        // hygiene, and the inprocessing/arena-GC work between calls).
+        rows.push(vec![
+            "sat_propagations".into(),
+            self.sat_propagations.to_string(),
+        ]);
+        rows.push(vec![
+            "sat_propagations_per_sec".into(),
+            format!("{:.1}", self.sat_propagations_per_sec),
+        ]);
+        rows.push(vec!["sat_restarts".into(), self.sat_restarts.to_string()]);
+        rows.push(vec![
+            "learnt_db_live".into(),
+            self.learnt_db_live.to_string(),
+        ]);
+        rows.push(vec!["glue2_clauses".into(), self.glue2_clauses.to_string()]);
+        rows.push(vec![
+            "inprocess_reductions".into(),
+            self.inprocess_reductions.to_string(),
+        ]);
+        rows.push(vec![
+            "arena_collections".into(),
+            self.arena_collections.to_string(),
+        ]);
         rows
     }
 }
@@ -409,6 +471,18 @@ impl fmt::Display for Summary {
             "\nsampling:                  {:.2}s wall across {} shard(s), {} solver calls, \
              {} shortfalls",
             self.sample_wall_s, self.sample_shards, self.sampler_calls, self.sample_shortfalls
+        )?;
+        write!(
+            f,
+            "\nSAT solver layer:          {} propagations ({:.0}/s), {} restarts, \
+             {} learnt live ({} glue), {} inprocess reductions, {} arena GCs",
+            self.sat_propagations,
+            self.sat_propagations_per_sec,
+            self.sat_restarts,
+            self.learnt_db_live,
+            self.glue2_clauses,
+            self.inprocess_reductions,
+            self.arena_collections
         )?;
         if let (Some(synthesized), Some(decided)) =
             (self.portfolio_synthesized, self.portfolio_decided)
@@ -600,6 +674,51 @@ mod tests {
             .iter()
             .any(|r| r[0] == "sample_shortfalls" && r[1] == "1"));
         assert!(s.to_string().contains("sampling:"));
+    }
+
+    #[test]
+    fn solver_counters_aggregate_into_the_summary() {
+        let mut records = sample_records();
+        records[0].oracle.sat_propagations = 900;
+        records[0].oracle.sat_restarts = 12;
+        records[0].oracle.learnt_db_live = 40;
+        records[0].oracle.glue2_clauses = 7;
+        records[0].oracle.inprocess_reductions = 5;
+        records[0].oracle.arena_collections = 2;
+        records[3].oracle.sat_propagations = 100;
+        records[3].oracle.sat_restarts = 3;
+        records[3].oracle.learnt_db_live = 10;
+        records[3].oracle.glue2_clauses = 1;
+        records[3].oracle.inprocess_reductions = 1;
+        records[3].oracle.arena_collections = 1;
+        let s = summary(&records);
+        assert_eq!(s.sat_propagations, 1000);
+        assert_eq!(s.sat_restarts, 15);
+        assert_eq!(s.learnt_db_live, 50);
+        assert_eq!(s.glue2_clauses, 8);
+        assert_eq!(s.inprocess_reductions, 6);
+        assert_eq!(s.arena_collections, 3);
+        // sample_records() totals 0.1+0.5+0.9 + 1.0+2.0+2.0 + 2.0+0.2+2.0 = 10.7 s.
+        assert!((s.sat_propagations_per_sec - 1000.0 / 10.7).abs() < 1e-6);
+        let rows = s.rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sat_propagations" && r[1] == "1000"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sat_propagations_per_sec" && r[1] == "93.5"));
+        assert!(rows.iter().any(|r| r[0] == "sat_restarts" && r[1] == "15"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "learnt_db_live" && r[1] == "50"));
+        assert!(rows.iter().any(|r| r[0] == "glue2_clauses" && r[1] == "8"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "inprocess_reductions" && r[1] == "6"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "arena_collections" && r[1] == "3"));
+        assert!(s.to_string().contains("SAT solver layer"));
     }
 
     #[test]

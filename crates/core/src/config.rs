@@ -1,5 +1,6 @@
 use manthan3_dtree::DecisionTreeConfig;
 use manthan3_maxsat::RepairStrategy;
+use manthan3_sat::{RestartPolicy, SolverProfile};
 use std::time::Duration;
 
 /// Configuration of the Manthan3 synthesis engine.
@@ -45,6 +46,16 @@ pub struct Manthan3Config {
     /// `#cores + 1` SAT probes however far the optimum jumps between
     /// counterexamples.
     pub repair_strategy: RepairStrategy,
+    /// The solver-policy bundle every oracle-constructed SAT and MaxSAT
+    /// solver starts from: the modernized defaults (EMA restarts,
+    /// LBD-managed reduction, rephasing, incremental watcher repair,
+    /// inter-call inprocessing) or the pre-modernization legacy behavior.
+    /// The `solver_modernization` benchmark races the two.
+    pub solver_profile: SolverProfile,
+    /// Optional restart-policy override on top of the profile (`None` keeps
+    /// the profile's policy). The portfolio's restart-racing dimension sets
+    /// this per racer.
+    pub restart_policy: Option<RestartPolicy>,
     /// Optional wall-clock budget for one synthesis call.
     pub time_budget: Option<Duration>,
     /// Optional conflict budget for each SAT oracle call (`None` = unlimited).
@@ -69,6 +80,8 @@ impl Default for Manthan3Config {
             use_y_features: true,
             constrain_y_hat: true,
             repair_strategy: RepairStrategy::default(),
+            solver_profile: SolverProfile::default(),
+            restart_policy: None,
             time_budget: None,
             sat_conflict_budget: None,
             sat_call_budget: None,
@@ -124,6 +137,13 @@ mod tests {
     #[test]
     fn sampling_defaults_to_a_single_shard() {
         assert_eq!(Manthan3Config::default().sample_shards, 1);
+    }
+
+    #[test]
+    fn solver_defaults_to_the_modern_profile_with_no_override() {
+        let c = Manthan3Config::default();
+        assert_eq!(c.solver_profile, SolverProfile::Modern);
+        assert_eq!(c.restart_policy, None);
     }
 
     #[test]

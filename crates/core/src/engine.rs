@@ -82,9 +82,14 @@ impl<'a> SynthesisCtx<'a> {
         SynthesisCtx {
             dqbf,
             config,
-            // The repair strategy travels Config → Oracle → RepairSession:
-            // every MaxSAT solver the run constructs searches with it.
-            oracle: Oracle::new(budget).with_repair_strategy(config.repair_strategy),
+            // The repair strategy travels Config → Oracle → RepairSession
+            // (every MaxSAT solver the run constructs searches with it), and
+            // the solver profile + restart override travel Config → Oracle →
+            // every constructed solver the same way.
+            oracle: Oracle::new(budget)
+                .with_repair_strategy(config.repair_strategy)
+                .with_solver_profile(config.solver_profile)
+                .with_restart_policy(config.restart_policy),
             stats: SynthesisStats::default(),
             vector: HenkinVector::new(),
             defined: Vec::new(),

@@ -164,6 +164,7 @@ mod stats;
 pub use config::Manthan3Config;
 pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult};
 pub use manthan3_maxsat::RepairStrategy;
+pub use manthan3_sat::{RestartPolicy, SolverProfile};
 pub use oracle::{Budget, Oracle, OracleStats, UnknownReason};
 pub use order::{DependencyState, Order};
 pub use repair::{

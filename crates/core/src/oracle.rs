@@ -17,7 +17,10 @@
 use manthan3_cnf::{Assignment, Cnf, Lit};
 use manthan3_maxsat::{MaxSatResult, MaxSatSolver, RepairStrategy};
 use manthan3_sampler::{SampleOutcome, Sampler, SamplerConfig, ShardedSampler, ShortfallReason};
-use manthan3_sat::{CallBudget, CancelToken, SolveResult, Solver, SolverConfig};
+use manthan3_sat::{
+    CallBudget, CancelToken, RestartPolicy, SolveResult, Solver, SolverConfig, SolverProfile,
+    SolverStats,
+};
 use std::time::{Duration, Instant};
 
 /// Why a synthesis run ended without a definitive answer.
@@ -184,8 +187,44 @@ pub struct OracleStats {
     pub maxsat_cores: u64,
     /// Total SAT conflicts across all oracle-routed solve calls.
     pub conflicts: u64,
+    /// Total unit propagations across all oracle-routed solve calls (SAT and
+    /// MaxSAT alike). Together with the harness's wall-clock column this
+    /// yields the propagations-per-second throughput metric.
+    pub sat_propagations: u64,
+    /// Total search restarts across all oracle-routed solve calls.
+    pub sat_restarts: u64,
+    /// Learnt clauses live in the most recently observed solver (a gauge,
+    /// refreshed after every billed solve or maintenance pass; summed across
+    /// racers by the portfolio merge).
+    pub learnt_db_live: usize,
+    /// Glue ≤ 2 learnt clauses in the most recently observed solver (a
+    /// gauge, like [`OracleStats::learnt_db_live`]).
+    pub glue2_clauses: usize,
+    /// Clauses removed or strengthened by inter-call inprocessing
+    /// (subsumption + vivification), across all oracle-routed solvers.
+    pub inprocess_reductions: u64,
+    /// Compacting clause-arena garbage collections performed by
+    /// oracle-routed solvers.
+    pub arena_collections: u64,
     /// Number of calls that gave up because a budget was exhausted.
     pub budget_exhaustions: usize,
+}
+
+impl OracleStats {
+    /// Bills the solver-layer work between two [`SolverStats`] snapshots to
+    /// the cumulative counters, and refreshes the live-database gauges from
+    /// the `after` snapshot. Shared by the solve paths and the session
+    /// maintenance hook so every counter means the same thing on both.
+    fn bill_solver_delta(&mut self, before: &SolverStats, after: &SolverStats) {
+        self.conflicts += after.conflicts - before.conflicts;
+        self.sat_propagations += after.propagations - before.propagations;
+        self.sat_restarts += after.restarts - before.restarts;
+        self.inprocess_reductions += (after.inprocess_subsumed + after.inprocess_strengthened)
+            - (before.inprocess_subsumed + before.inprocess_strengthened);
+        self.arena_collections += after.arena_collections - before.arena_collections;
+        self.learnt_db_live = after.learnt_clauses;
+        self.glue2_clauses = after.glue2_clauses;
+    }
 }
 
 /// Constructs solvers and funnels every solve call through the shared
@@ -206,11 +245,18 @@ pub struct Oracle {
     /// constructs (`Manthan3Config::repair_strategy`, threaded through to
     /// the persistent repair session).
     repair_strategy: RepairStrategy,
+    /// The solver-policy bundle every constructed SAT and MaxSAT solver
+    /// starts from (`Manthan3Config::solver_profile`).
+    solver_profile: SolverProfile,
+    /// Optional restart-policy override on top of the profile
+    /// (`Manthan3Config::restart_policy`, the portfolio's restart-racing
+    /// dimension).
+    restart_policy: Option<RestartPolicy>,
 }
 
 impl Oracle {
     /// Creates an oracle enforcing `budget`, constructing linear-search
-    /// MaxSAT solvers.
+    /// MaxSAT solvers with the modern solver profile.
     pub fn new(budget: Budget) -> Self {
         let calls = CallBudget::new(budget.max_sat_calls);
         Oracle {
@@ -218,6 +264,8 @@ impl Oracle {
             stats: OracleStats::default(),
             calls,
             repair_strategy: RepairStrategy::default(),
+            solver_profile: SolverProfile::default(),
+            restart_policy: None,
         }
     }
 
@@ -228,9 +276,42 @@ impl Oracle {
         self
     }
 
+    /// Selects the [`SolverProfile`] that subsequently constructed SAT and
+    /// MaxSAT solvers derive their configuration from (builder style).
+    pub fn with_solver_profile(mut self, profile: SolverProfile) -> Self {
+        self.solver_profile = profile;
+        self
+    }
+
+    /// Overrides the restart policy of subsequently constructed solvers on
+    /// top of the profile (builder style); `None` keeps the profile's
+    /// policy. This is the knob the portfolio's restart-racing dimension
+    /// turns.
+    pub fn with_restart_policy(mut self, policy: Option<RestartPolicy>) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
     /// The strategy handed to constructed MaxSAT solvers.
     pub fn repair_strategy(&self) -> RepairStrategy {
         self.repair_strategy
+    }
+
+    /// The profile constructed solvers derive their configuration from.
+    pub fn solver_profile(&self) -> SolverProfile {
+        self.solver_profile
+    }
+
+    /// The base configuration of every solver this oracle constructs: the
+    /// profile's policy bundle with the optional restart override applied.
+    /// Budget fields (conflict cap, cancellation) are layered on at
+    /// construction time.
+    fn base_solver_config(&self) -> SolverConfig {
+        let mut config = SolverConfig::for_profile(self.solver_profile);
+        if let Some(policy) = self.restart_policy {
+            config.restart_policy = policy;
+        }
+        config
     }
 
     /// The budget being enforced.
@@ -280,12 +361,11 @@ impl Oracle {
         &self.calls
     }
 
-    /// Constructs a CDCL solver with the budget's per-call conflict limit.
+    /// Constructs a CDCL solver from the oracle's profile with the budget's
+    /// per-call conflict limit.
     pub fn new_solver(&mut self) -> Solver {
-        let config = match self.budget.conflicts_per_call {
-            Some(c) => SolverConfig::budgeted(c),
-            None => SolverConfig::default(),
-        };
+        let mut config = self.base_solver_config();
+        config.max_conflicts = self.budget.conflicts_per_call;
         self.new_solver_with(config)
     }
 
@@ -322,10 +402,10 @@ impl Oracle {
             self.stats.budget_exhaustions += 1;
             return SolveResult::Unknown;
         }
-        let before = solver.stats().conflicts;
+        let before = solver.stats();
         let result = solver.solve_with_assumptions(assumptions);
         self.stats.sat_calls += 1;
-        self.stats.conflicts += solver.stats().conflicts - before;
+        self.stats.bill_solver_delta(&before, &solver.stats());
         if result == SolveResult::Unknown {
             self.stats.budget_exhaustions += 1;
         }
@@ -341,7 +421,7 @@ impl Oracle {
         let mut solver = MaxSatSolver::with_config(SolverConfig {
             max_conflicts: self.budget.conflicts_per_call,
             cancel: Some(self.budget.cancel.clone()),
-            ..SolverConfig::default()
+            ..self.base_solver_config()
         });
         solver.set_strategy(self.repair_strategy);
         solver.set_call_budget(self.calls.clone());
@@ -374,14 +454,15 @@ impl Oracle {
         if self.exhausted().is_some() {
             return self.refuse_maxsat();
         }
-        let before_conflicts = solver.sat_stats().conflicts;
+        let before_sat = solver.sat_stats();
         let before = solver.stats();
         let result = solve(solver);
         self.stats.maxsat_calls += 1;
         if incremental {
             self.stats.maxsat_incremental_calls += 1;
         }
-        self.stats.conflicts += solver.sat_stats().conflicts - before_conflicts;
+        self.stats
+            .bill_solver_delta(&before_sat, &solver.sat_stats());
         self.stats.maxsat_probes += solver.stats().probes - before.probes;
         self.stats.maxsat_cores += solver.stats().cores - before.cores;
         if matches!(result, MaxSatResult::Unknown | MaxSatResult::Cancelled) {
@@ -424,6 +505,16 @@ impl Oracle {
     /// once-per-call — part of a FindCandidates query).
     pub(crate) fn note_maxsat_hard_encoding(&mut self) {
         self.stats.maxsat_hard_encodings += 1;
+    }
+
+    /// Bills solver work performed *outside* a solve call — the sessions'
+    /// periodic maintenance passes (learnt-DB reduction, level-0 compaction,
+    /// inprocessing) — given [`SolverStats`] snapshots taken around the
+    /// pass. Keeps `OracleStats::inprocess_reductions` and
+    /// `OracleStats::arena_collections` complete: most of that work happens
+    /// between oracle calls, where the per-solve diff-billing cannot see it.
+    pub(crate) fn note_solver_maintenance(&mut self, before: &SolverStats, after: &SolverStats) {
+        self.stats.bill_solver_delta(before, after);
     }
 
     /// Fills in the budget-derived fields of a sampler configuration: the
@@ -831,6 +922,58 @@ mod tests {
             oracle.call_allowance().consumed(),
             oracle.stats().maxsat_probes
         );
+    }
+
+    /// The solver profile and restart override flow into every constructed
+    /// solver, and the new solver-layer counters are diff-billed by solves.
+    #[test]
+    fn solver_profile_and_restart_override_flow_into_constructed_solvers() {
+        use manthan3_sat::ReductionPolicy;
+        let mut oracle =
+            Oracle::new(Budget::unlimited()).with_solver_profile(SolverProfile::Legacy);
+        assert_eq!(oracle.solver_profile(), SolverProfile::Legacy);
+        let solver = oracle.new_solver();
+        assert_eq!(solver.config().restart_policy, RestartPolicy::Luby);
+        assert_eq!(
+            solver.config().reduction_policy,
+            ReductionPolicy::ActivityHalving
+        );
+        assert!(!solver.config().enable_inprocessing);
+        // The override beats the profile's restart policy, nothing else.
+        let mut oracle = Oracle::new(Budget::unlimited())
+            .with_solver_profile(SolverProfile::Legacy)
+            .with_restart_policy(Some(RestartPolicy::GlucoseEma));
+        let solver = oracle.new_solver();
+        assert_eq!(solver.config().restart_policy, RestartPolicy::GlucoseEma);
+        assert_eq!(
+            solver.config().reduction_policy,
+            ReductionPolicy::ActivityHalving
+        );
+        // MaxSAT solvers derive from the same base configuration.
+        let maxsat = oracle.new_maxsat();
+        assert_eq!(
+            maxsat.solver_config().restart_policy,
+            RestartPolicy::GlucoseEma
+        );
+    }
+
+    #[test]
+    fn solves_bill_the_solver_layer_counters() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        let mut solver = oracle.new_solver();
+        solver.add_clause([lit(1), lit(2)]);
+        solver.add_clause([lit(-1), lit(2)]);
+        // The assumption forces a solve-time propagation (units added via
+        // `add_clause` propagate at add time, outside any billed window).
+        assert_eq!(
+            oracle.solve_with_assumptions(&mut solver, &[lit(1)]),
+            SolveResult::Sat
+        );
+        let stats = oracle.stats();
+        assert!(stats.sat_propagations > 0, "unit propagation was billed");
+        // Gauges reflect the observed solver (no conflicts here: empty DB).
+        assert_eq!(stats.learnt_db_live, 0);
+        assert_eq!(stats.glue2_clauses, 0);
     }
 
     #[test]

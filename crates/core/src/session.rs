@@ -273,7 +273,7 @@ impl VerifySession {
         }
         self.flush();
         if self.retired_since_maintenance >= MAINTENANCE_RETIREMENT_INTERVAL {
-            self.maintain();
+            self.maintain(oracle);
         }
 
         let assumptions: Vec<Lit> = self.slots.values().map(|slot| slot.activation).collect();
@@ -305,12 +305,18 @@ impl VerifySession {
     }
 
     /// Runs an error-solver maintenance pass immediately: halves the learnt
-    /// database (resetting its growth threshold) and frees the clauses of
-    /// retired candidate generations. Called automatically every 32
-    /// retirements; exposed for callers that drive the session manually.
-    pub fn maintain(&mut self) {
+    /// database (resetting its growth threshold), frees the clauses of
+    /// retired candidate generations, and runs one bounded inprocessing
+    /// pass (subsumption + vivification; a no-op under the legacy profile).
+    /// Called automatically every 32 retirements; exposed for callers that
+    /// drive the session manually. The pass runs outside any oracle solve
+    /// call, so its work is billed to the oracle's statistics here.
+    pub fn maintain(&mut self, oracle: &mut Oracle) {
+        let before = self.error.stats();
         self.error.reduce_learnt_db();
         self.error.simplify();
+        self.error.inprocess();
+        oracle.note_solver_maintenance(&before, &self.error.stats());
         self.retired_since_maintenance = 0;
         self.maintenance_runs += 1;
     }
@@ -435,7 +441,7 @@ impl RepairSession {
         self.solves += 1;
         self.solves_since_maintenance += 1;
         if self.solves_since_maintenance >= MAINTENANCE_RETIREMENT_INTERVAL {
-            self.maintain();
+            self.maintain(oracle);
         }
         match result {
             MaxSatResult::Optimum { .. } => {
@@ -458,12 +464,16 @@ impl RepairSession {
         }
     }
 
-    /// Runs a MaxSAT-solver maintenance pass immediately (learnt-DB halving
-    /// plus level-0 compaction). Called automatically every
-    /// [`MAINTENANCE_RETIREMENT_INTERVAL`] solve calls; exposed for callers
-    /// that drive the session manually.
-    pub fn maintain(&mut self) {
+    /// Runs a MaxSAT-solver maintenance pass immediately (learnt-DB halving,
+    /// level-0 compaction, and one bounded inprocessing pass). Called
+    /// automatically every [`MAINTENANCE_RETIREMENT_INTERVAL`] solve calls;
+    /// exposed for callers that drive the session manually. The pass runs
+    /// outside any oracle solve call, so its work is billed to the oracle's
+    /// statistics here.
+    pub fn maintain(&mut self, oracle: &mut Oracle) {
+        let before = self.maxsat.sat_stats();
         self.maxsat.maintain();
+        oracle.note_solver_maintenance(&before, &self.maxsat.sat_stats());
         self.solves_since_maintenance = 0;
         self.maintenance_runs += 1;
     }
@@ -659,6 +669,17 @@ mod tests {
         // The learnt DB is trimmed too — it must not retain one learnt
         // clause per historical generation.
         assert!(session.error_solver_stats().learnt_clauses < 400);
+        // The arena actually reclaims the freed clauses: 199 retired
+        // generations plus periodic learnt-DB halving must cross the GC
+        // threshold at least once, and the live footprint stays bounded.
+        assert!(
+            session.error_solver_stats().arena_collections >= 1,
+            "no compacting arena collection over 199 retirements"
+        );
+        // Maintenance work is billed to the oracle even though it runs
+        // outside solve calls.
+        assert!(oracle.stats().arena_collections >= 1);
+        assert!(oracle.stats().sat_propagations > 0);
         // Maintenance never constructs new solvers.
         assert_eq!(oracle.stats().sat_solvers_constructed, 2);
     }
@@ -716,6 +737,12 @@ mod tests {
         // The learnt DB is trimmed: it must not retain one learnt clause
         // per historical FindCandidates call.
         assert!(session.solver_stats().learnt_clauses < 400);
+        // The billed gauges follow the persistent solver's live state.
+        assert_eq!(
+            oracle.stats().learnt_db_live,
+            session.solver_stats().learnt_clauses
+        );
+        assert!(oracle.stats().sat_propagations > 0);
         // One MaxSAT solver, one hard encoding, 200 assumption-served calls.
         assert_eq!(oracle.stats().maxsat_solvers_constructed, 1);
         assert_eq!(oracle.stats().maxsat_hard_encodings, 1);

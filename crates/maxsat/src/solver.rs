@@ -206,6 +206,12 @@ impl MaxSatSolver {
         self.solver.stats()
     }
 
+    /// The configuration of the underlying CDCL solver (as constructed —
+    /// the way the oracle layer verifies its profile reached the solver).
+    pub fn solver_config(&self) -> &SolverConfig {
+        self.solver.config()
+    }
+
     /// Search-effort counters (SAT probes issued, cores relaxed),
     /// accumulated across every solve call of this instance.
     pub fn stats(&self) -> MaxSatStats {
@@ -300,17 +306,22 @@ impl MaxSatSolver {
     }
 
     /// Runs a maintenance pass on the underlying solver: halves the learnt
-    /// database (resetting its growth threshold) and compacts away clauses
-    /// satisfied at level 0. Long-lived incremental instances (one MaxSAT
-    /// solver across hundreds of `solve_under_assumptions` calls) call this
+    /// database (resetting its growth threshold), compacts away clauses
+    /// satisfied at level 0, and runs one bounded inprocessing pass
+    /// (self-subsumption + vivification, a no-op under configurations that
+    /// disable it). Long-lived incremental instances (one MaxSAT solver
+    /// across hundreds of `solve_under_assumptions` calls) call this
     /// periodically so the solver state stays bounded, mirroring
     /// `VerifySession`'s error-solver maintenance. The warm-start bound is
     /// dropped alongside; the cached totalizers survive (their clauses are
-    /// never level-0 satisfied — relaxation literals are only ever assumed).
+    /// never level-0 satisfied — relaxation literals are only ever assumed,
+    /// and inprocessing is equivalence-preserving, so the relaxation
+    /// structure stays sound).
     pub fn maintain(&mut self) {
         self.last_optimum = None;
         self.solver.reduce_learnt_db();
         self.solver.simplify();
+        self.solver.inprocess();
     }
 
     /// Number of soft clauses.

@@ -29,10 +29,14 @@
 //! through the sharded sampler at a different parallelism), and
 //! [`PortfolioConfig::manthan3_repair_strategies`] into one racer per
 //! MaxSAT repair strategy (the warm-started linear bound search vs. the
-//! core-guided OLL relaxation) — crossed when both dimensions are set, all
-//! under the same shared budget. Instances whose sampling stage dominates
-//! are won by a wide-sharded racer; instances whose repair optimum jumps
-//! between counterexamples by the core-guided one.
+//! core-guided OLL relaxation), and
+//! [`PortfolioConfig::manthan3_restart_policies`] into one racer per
+//! solver restart policy (Luby vs. Glucose-style EMA) — crossed when
+//! several dimensions are set, all under the same shared budget. Instances
+//! whose sampling stage dominates are won by a wide-sharded racer;
+//! instances whose repair optimum jumps between counterexamples by the
+//! core-guided one; instances with phase transitions in the search by the
+//! adaptive-restart one.
 //!
 //! # Examples
 //!
@@ -52,7 +56,8 @@
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_core::{
-    Budget, Manthan3, Manthan3Config, OracleStats, RepairStrategy, SynthesisOutcome, UnknownReason,
+    Budget, Manthan3, Manthan3Config, OracleStats, RepairStrategy, RestartPolicy, SynthesisOutcome,
+    UnknownReason,
 };
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
 use std::fmt;
@@ -132,6 +137,16 @@ pub struct PortfolioConfig {
     /// ones by the warm-started linear search. Empty (the default) races
     /// the single strategy configured in `manthan3`.
     pub manthan3_repair_strategies: Vec<RepairStrategy>,
+    /// Restart-policy diversity for Manthan3, the solver-layer racing
+    /// dimension: when non-empty, every `Manthan3` entry fans out into one
+    /// racer per listed [`RestartPolicy`] (crossed with the shard counts and
+    /// repair strategies when those dimensions are configured too). Each
+    /// racer's oracle constructs all its solvers with the listed policy
+    /// overriding the solver profile's default — instances with phase
+    /// transitions favor the adaptive EMA racer, steadily hard ones the
+    /// predictable Luby racer. Empty (the default) races the single policy
+    /// of the configured solver profile.
+    pub manthan3_restart_policies: Vec<RestartPolicy>,
     /// Engine-specific settings for the expansion baseline (budget fields
     /// ignored).
     pub expansion: ExpansionConfig,
@@ -151,6 +166,7 @@ impl Default for PortfolioConfig {
             manthan3: Manthan3Config::default(),
             manthan3_shard_counts: Vec::new(),
             manthan3_repair_strategies: Vec::new(),
+            manthan3_restart_policies: Vec::new(),
             expansion: ExpansionConfig::default(),
             arbiter: ArbiterConfig::default(),
         }
@@ -181,6 +197,10 @@ pub struct EngineReport {
     /// ([`PortfolioConfig::manthan3_repair_strategies`]); `None` for
     /// baselines and for the single default configuration.
     pub repair_strategy: Option<RepairStrategy>,
+    /// The restart policy this racer's solvers ran with, when the race used
+    /// restart diversity ([`PortfolioConfig::manthan3_restart_policies`]);
+    /// `None` for baselines and for the single default configuration.
+    pub restart_policy: Option<RestartPolicy>,
     /// The engine's own verdict (losers typically report
     /// [`UnknownReason::Cancelled`]).
     pub outcome: SynthesisOutcome,
@@ -261,6 +281,14 @@ impl PortfolioResult {
             merged.maxsat_probes += report.oracle.maxsat_probes;
             merged.maxsat_cores += report.oracle.maxsat_cores;
             merged.conflicts += report.oracle.conflicts;
+            merged.sat_propagations += report.oracle.sat_propagations;
+            merged.sat_restarts += report.oracle.sat_restarts;
+            // Gauges: summed across racers, i.e. the merged value is the
+            // total live footprint of every racer's last-observed solver.
+            merged.learnt_db_live += report.oracle.learnt_db_live;
+            merged.glue2_clauses += report.oracle.glue2_clauses;
+            merged.inprocess_reductions += report.oracle.inprocess_reductions;
+            merged.arena_collections += report.oracle.arena_collections;
             merged.budget_exhaustions += report.oracle.budget_exhaustions;
         }
         merged
@@ -278,6 +306,7 @@ struct RawReport {
     engine: PortfolioEngine,
     sample_shards: Option<usize>,
     repair_strategy: Option<RepairStrategy>,
+    restart_policy: Option<RestartPolicy>,
     outcome: SynthesisOutcome,
     runtime: Duration,
     oracle: OracleStats,
@@ -315,20 +344,27 @@ impl Portfolio {
             !self.config.engines.is_empty(),
             "portfolio needs at least one engine"
         );
-        // Configuration racing: with shard-count and/or repair-strategy
-        // diversity configured, each Manthan3 entry fans out into the cross
-        // product of the listed shard counts and strategies (an empty
+        // Configuration racing: with shard-count, repair-strategy, and/or
+        // restart-policy diversity configured, each Manthan3 entry fans out
+        // into the cross product of the listed dimensions (an empty
         // dimension contributes the single configured value).
-        let jobs: Vec<(PortfolioEngine, Option<usize>, Option<RepairStrategy>)> = self
+        type Job = (
+            PortfolioEngine,
+            Option<usize>,
+            Option<RepairStrategy>,
+            Option<RestartPolicy>,
+        );
+        let jobs: Vec<Job> = self
             .config
             .engines
             .iter()
             .flat_map(|&engine| {
                 if engine != PortfolioEngine::Manthan3
                     || (self.config.manthan3_shard_counts.is_empty()
-                        && self.config.manthan3_repair_strategies.is_empty())
+                        && self.config.manthan3_repair_strategies.is_empty()
+                        && self.config.manthan3_restart_policies.is_empty())
                 {
-                    return vec![(engine, None, None)];
+                    return vec![(engine, None, None, None)];
                 }
                 let shards: Vec<Option<usize>> = if self.config.manthan3_shard_counts.is_empty() {
                     vec![None]
@@ -349,10 +385,26 @@ impl Portfolio {
                             .map(|&s| Some(s))
                             .collect()
                     };
-                shards
-                    .iter()
-                    .flat_map(|&k| strategies.iter().map(move |&s| (engine, k, s)))
-                    .collect()
+                let restarts: Vec<Option<RestartPolicy>> =
+                    if self.config.manthan3_restart_policies.is_empty() {
+                        vec![None]
+                    } else {
+                        self.config
+                            .manthan3_restart_policies
+                            .iter()
+                            .map(|&p| Some(p))
+                            .collect()
+                    };
+                let mut combos =
+                    Vec::with_capacity(shards.len() * strategies.len() * restarts.len());
+                for &k in &shards {
+                    for &s in &strategies {
+                        for &p in &restarts {
+                            combos.push((engine, k, s, p));
+                        }
+                    }
+                }
+                combos
             })
             .collect();
         assert!(!jobs.is_empty(), "portfolio needs at least one racer");
@@ -376,12 +428,19 @@ impl Portfolio {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let index = next_engine.fetch_add(1, Ordering::SeqCst);
-                    let Some(&(engine, sample_shards, repair_strategy)) = jobs_ref.get(index)
+                    let Some(&(engine, sample_shards, repair_strategy, restart_policy)) =
+                        jobs_ref.get(index)
                     else {
                         break;
                     };
-                    let (outcome, oracle) =
-                        self.dispatch(engine, sample_shards, repair_strategy, dqbf, budget.clone());
+                    let (outcome, oracle) = self.dispatch(
+                        engine,
+                        sample_shards,
+                        repair_strategy,
+                        restart_policy,
+                        dqbf,
+                        budget.clone(),
+                    );
                     let runtime = race_start.elapsed();
                     // Only certificate-checked vectors (or falsity proofs)
                     // may stop the race.
@@ -407,6 +466,7 @@ impl Portfolio {
                             engine,
                             sample_shards,
                             repair_strategy,
+                            restart_policy,
                             outcome,
                             runtime,
                             oracle,
@@ -432,6 +492,7 @@ impl Portfolio {
                 engine: r.engine,
                 sample_shards: r.sample_shards,
                 repair_strategy: r.repair_strategy,
+                restart_policy: r.restart_policy,
                 outcome: r.outcome,
                 runtime: r.runtime,
                 oracle: r.oracle,
@@ -446,14 +507,16 @@ impl Portfolio {
         }
     }
 
-    /// Runs one engine under a clone of the race budget; `sample_shards`
-    /// and `repair_strategy` override the Manthan3 configuration when this
-    /// racer is part of a configuration-diversity fan-out.
+    /// Runs one engine under a clone of the race budget; `sample_shards`,
+    /// `repair_strategy`, and `restart_policy` override the Manthan3
+    /// configuration when this racer is part of a configuration-diversity
+    /// fan-out.
     fn dispatch(
         &self,
         engine: PortfolioEngine,
         sample_shards: Option<usize>,
         repair_strategy: Option<RepairStrategy>,
+        restart_policy: Option<RestartPolicy>,
         dqbf: &Dqbf,
         budget: Budget,
     ) -> (SynthesisOutcome, OracleStats) {
@@ -465,6 +528,9 @@ impl Portfolio {
                 }
                 if let Some(strategy) = repair_strategy {
                     config.repair_strategy = strategy;
+                }
+                if let Some(policy) = restart_policy {
+                    config.restart_policy = Some(policy);
                 }
                 let result = Manthan3::new(config).synthesize_with_budget(dqbf, budget);
                 (result.outcome, result.stats.oracle)
@@ -625,6 +691,7 @@ mod tests {
         assert_eq!(result.reports.len(), 3);
         assert!(result.reports.iter().all(|r| r.sample_shards.is_none()));
         assert!(result.reports.iter().all(|r| r.repair_strategy.is_none()));
+        assert!(result.reports.iter().all(|r| r.restart_policy.is_none()));
     }
 
     #[test]
@@ -658,26 +725,60 @@ mod tests {
     }
 
     #[test]
+    fn restart_policy_diversity_races_both_policies() {
+        let dqbf = Dqbf::paper_example();
+        let config = PortfolioConfig {
+            engines: vec![PortfolioEngine::Manthan3],
+            manthan3_restart_policies: vec![RestartPolicy::Luby, RestartPolicy::GlucoseEma],
+            threads: 2,
+            ..PortfolioConfig::default()
+        };
+        let result = Portfolio::new(config).run(&dqbf);
+        assert!(result.is_realizable());
+        assert_eq!(result.reports.len(), 2, "one racer per restart policy");
+        let policies: std::collections::BTreeSet<_> = result
+            .reports
+            .iter()
+            .map(|r| r.restart_policy.map(|p| p.to_string()))
+            .collect();
+        assert_eq!(
+            policies,
+            [Some("luby".to_string()), Some("ema".to_string())]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(result.reports.iter().filter(|r| r.winner).count(), 1);
+    }
+
+    #[test]
     fn shard_and_strategy_diversity_cross_into_a_configuration_grid() {
         let dqbf = Dqbf::paper_example();
         let config = PortfolioConfig {
             engines: vec![PortfolioEngine::Manthan3, PortfolioEngine::Hqs2Like],
             manthan3_shard_counts: vec![1, 2],
             manthan3_repair_strategies: vec![RepairStrategy::Linear, RepairStrategy::CoreGuided],
+            manthan3_restart_policies: vec![RestartPolicy::Luby, RestartPolicy::GlucoseEma],
             threads: 2,
             ..PortfolioConfig::default()
         };
         let result = Portfolio::new(config).run(&dqbf);
         assert!(result.is_realizable());
-        // 2 shard counts × 2 strategies for Manthan3, plus one baseline.
-        assert_eq!(result.reports.len(), 5);
+        // 2 shard counts × 2 strategies × 2 restart policies for Manthan3,
+        // plus one baseline.
+        assert_eq!(result.reports.len(), 9);
         let manthan3_jobs: std::collections::BTreeSet<_> = result
             .reports
             .iter()
             .filter(|r| r.engine == PortfolioEngine::Manthan3)
-            .map(|r| (r.sample_shards, r.repair_strategy))
+            .map(|r| {
+                (
+                    r.sample_shards,
+                    r.repair_strategy,
+                    r.restart_policy.map(|p| p.to_string()),
+                )
+            })
             .collect();
-        assert_eq!(manthan3_jobs.len(), 4);
+        assert_eq!(manthan3_jobs.len(), 8);
         // The baseline entry is not fanned out.
         let baseline = result
             .reports
@@ -686,6 +787,7 @@ mod tests {
             .expect("baseline raced");
         assert_eq!(baseline.sample_shards, None);
         assert_eq!(baseline.repair_strategy, None);
+        assert_eq!(baseline.restart_policy, None);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Literal-block-distance ("glue") computation.
+//!
+//! The LBD of a clause is the number of distinct decision levels among its
+//! literals — the Glucose quality measure for learnt clauses: a clause of
+//! glue `g` connects `g` blocks of the search and tends to be reused, so the
+//! reduction policy keeps low-glue clauses and the restart policy watches
+//! the moving average of conflict glues. Computation is stamp-based: one
+//! generation counter and a per-level stamp array, so a clause of `k`
+//! literals costs `O(k)` with no clearing between calls.
+
+/// Reusable stamp state for glue computation.
+#[derive(Debug, Clone, Default)]
+pub struct GlueStamps {
+    generation: u64,
+    stamps: Vec<u64>,
+}
+
+impl GlueStamps {
+    /// Creates an empty stamp state.
+    pub fn new() -> Self {
+        GlueStamps::default()
+    }
+
+    /// Counts the distinct nonzero decision levels in `levels` (one entry
+    /// per clause literal). Level 0 is excluded: level-0 literals are
+    /// permanent facts and do not connect search blocks.
+    pub fn glue<I>(&mut self, levels: I) -> u32
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        self.generation += 1;
+        let mut distinct = 0;
+        for level in levels {
+            if level == 0 {
+                continue;
+            }
+            let idx = level as usize;
+            if idx >= self.stamps.len() {
+                self.stamps.resize(idx + 1, 0);
+            }
+            if self.stamps[idx] != self.generation {
+                self.stamps[idx] = self.generation;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_levels() {
+        let mut s = GlueStamps::new();
+        assert_eq!(s.glue([1, 2, 2, 3]), 3);
+        assert_eq!(s.glue([5, 5, 5]), 1);
+        assert_eq!(s.glue([]), 0);
+    }
+
+    #[test]
+    fn level_zero_is_excluded() {
+        let mut s = GlueStamps::new();
+        assert_eq!(s.glue([0, 0, 1]), 1);
+        assert_eq!(s.glue([0]), 0);
+    }
+
+    #[test]
+    fn generations_do_not_leak_between_calls() {
+        let mut s = GlueStamps::new();
+        assert_eq!(s.glue([7, 8]), 2);
+        // Same levels again: still counted fresh, not suppressed by the
+        // previous call's stamps.
+        assert_eq!(s.glue([7, 8]), 2);
+    }
+}

@@ -3,8 +3,10 @@
 //! This crate plays the role of PicoSAT / CryptoMiniSat in the original
 //! Manthan3 toolchain. It provides:
 //!
-//! * conflict-driven clause learning with two-watched-literal propagation,
-//!   VSIDS branching, phase saving, Luby restarts and learnt-clause deletion,
+//! * conflict-driven clause learning with two-watched-literal propagation
+//!   over a flat clause arena, VSIDS branching, phase saving + rephasing,
+//!   Luby or Glucose-style EMA restarts, LBD-managed learnt-clause deletion,
+//!   and bounded inter-call inprocessing (subsumption + vivification),
 //! * incremental solving under **assumptions**, with extraction of an
 //!   **unsatisfiable core** over the assumption literals (the mechanism
 //!   Manthan3 uses to compute repair cubes from `UnsatCore(G_k)`),
@@ -33,13 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod cancel;
 mod config;
+mod lbd;
 mod luby;
+pub mod restart;
 mod solver;
 
 pub use cancel::{CallBudget, CancelToken};
-pub use config::SolverConfig;
+pub use config::{ReductionPolicy, SolverConfig, SolverProfile};
+pub use restart::RestartPolicy;
 pub use solver::{SolveResult, Solver, SolverStats};
 
 use manthan3_cnf::{Assignment, Cnf};

@@ -1,5 +1,7 @@
-use crate::config::SolverConfig;
-use crate::luby::luby;
+use crate::arena::{ClauseArena, ClauseRef};
+use crate::config::{ReductionPolicy, SolverConfig};
+use crate::lbd::GlueStamps;
+use crate::restart::RestartScheduler;
 use manthan3_cnf::{Assignment, Cnf, Lit, Var};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,16 +38,24 @@ pub struct SolverStats {
     /// incremental solve call instead of being re-decided and re-propagated
     /// (assumption-prefix trail reuse).
     pub reused_levels: u64,
-}
-
-type ClauseRef = usize;
-
-#[derive(Debug, Clone)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
+    /// Number of learnt clauses with glue ≤ 2 currently in the database
+    /// (protected from reduction under [`ReductionPolicy::LbdGeometric`]).
+    pub glue2_clauses: usize,
+    /// Number of rephasing events (decision phases reset to the best trail
+    /// seen) performed so far.
+    pub rephases: u64,
+    /// Number of compacting arena garbage collections performed so far.
+    pub arena_collections: u64,
+    /// Words currently occupied by live clauses in the arena.
+    pub arena_live_words: usize,
+    /// Clauses removed because another clause subsumes them (inprocessing).
+    pub inprocess_subsumed: u64,
+    /// Clauses strengthened by self-subsumption or vivification
+    /// (inprocessing).
+    pub inprocess_strengthened: u64,
+    /// Inprocessing passes that actually ran (calls skipped by the
+    /// new-clause throttle are not counted).
+    pub inprocess_passes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +94,27 @@ const VALUE_UNASSIGNED: i8 = 0;
 const VALUE_TRUE: i8 = 1;
 const VALUE_FALSE: i8 = -1;
 
+/// Initial conflict interval between rephasing events (doubles after each).
+const REPHASE_FIRST_INTERVAL: u64 = 1000;
+/// Only clauses this short act as subsumers during inprocessing.
+const SUBSUME_MAX_LEN: usize = 12;
+/// Literal-visit budget of one subsumption pass.
+const SUBSUME_STEPS: usize = 200_000;
+/// Minimum clauses attached since the last pass before [`Solver::inprocess`]
+/// runs again. Each pass rebuilds occurrence lists over the whole database,
+/// so running it when almost nothing changed costs far more than it can
+/// recover; session maintenance may call `inprocess` every cycle and rely on
+/// this throttle.
+const INPROCESS_MIN_NEW_CLAUSES: u64 = 64;
+/// Maximum learnt clauses vivified per inprocessing pass.
+const VIVIFY_MAX_CLAUSES: usize = 64;
+/// Length window of vivification candidates.
+const VIVIFY_LEN_RANGE: std::ops::RangeInclusive<usize> = 3..=16;
+/// Collect arena garbage once this fraction of it is wasted…
+const GC_WASTED_FRACTION: f64 = 0.25;
+/// …and at least this many words are reclaimable.
+const GC_MIN_WASTED_WORDS: usize = 256;
+
 enum SearchStatus {
     Sat,
     Unsat,
@@ -97,17 +128,24 @@ enum SearchStatus {
 #[derive(Debug, Clone)]
 pub struct Solver {
     config: SolverConfig,
-    clauses: Vec<ClauseData>,
+    arena: ClauseArena,
+    /// Every live clause, in allocation order (problem and learnt).
+    clause_refs: Vec<ClauseRef>,
     learnt_refs: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
     values: Vec<i8>,
     levels: Vec<u32>,
     reasons: Vec<Option<ClauseRef>>,
     phases: Vec<bool>,
+    best_phases: Vec<bool>,
+    best_trail: usize,
+    conflicts_since_rephase: u64,
+    rephase_interval: u64,
     activities: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
     heap: BinaryHeap<HeapEntry>,
+    glue_stamps: GlueStamps,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -118,6 +156,9 @@ pub struct Solver {
     model_values: Vec<i8>,
     have_model: bool,
     max_learnts: usize,
+    /// Clauses attached since the last inprocessing pass; starts saturated
+    /// so the first [`Solver::inprocess`] call always runs.
+    clauses_since_inprocess: u64,
     stats: SolverStats,
     rng: SmallRng,
 }
@@ -138,19 +179,30 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
         let max_learnts = config.first_reduce_db;
+        let arena = if config.boxed_clause_storage {
+            ClauseArena::new_boxed()
+        } else {
+            ClauseArena::new()
+        };
         Solver {
             config,
-            clauses: Vec::new(),
+            arena,
+            clause_refs: Vec::new(),
             learnt_refs: Vec::new(),
             watches: Vec::new(),
             values: Vec::new(),
             levels: Vec::new(),
             reasons: Vec::new(),
             phases: Vec::new(),
+            best_phases: Vec::new(),
+            best_trail: 0,
+            conflicts_since_rephase: 0,
+            rephase_interval: REPHASE_FIRST_INTERVAL,
             activities: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
             heap: BinaryHeap::new(),
+            glue_stamps: GlueStamps::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
@@ -161,6 +213,7 @@ impl Solver {
             model_values: Vec::new(),
             have_model: false,
             max_learnts,
+            clauses_since_inprocess: u64::MAX,
             stats: SolverStats::default(),
             rng,
         }
@@ -177,10 +230,18 @@ impl Solver {
         &mut self.config
     }
 
-    /// Runtime statistics.
+    /// Runtime statistics. Gauges (learnt-DB size, glue ≤ 2 count, arena
+    /// occupancy) reflect the state at the time of the call.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
         s.learnt_clauses = self.learnt_refs.len();
+        s.glue2_clauses = self
+            .learnt_refs
+            .iter()
+            .filter(|&&c| self.arena.lbd(c) <= 2)
+            .count();
+        s.arena_collections = self.arena.collections();
+        s.arena_live_words = self.arena.live_words();
         s
     }
 
@@ -189,9 +250,9 @@ impl Solver {
         self.values.len()
     }
 
-    /// Number of problem (non-learnt) clauses added.
+    /// Number of live problem (non-learnt) clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len() - self.learnt_refs.len()
+        self.clause_refs.len() - self.learnt_refs.len()
     }
 
     /// Allocates a fresh variable and returns it.
@@ -201,6 +262,7 @@ impl Solver {
         self.levels.push(0);
         self.reasons.push(None);
         self.phases.push(self.config.default_polarity);
+        self.best_phases.push(self.config.default_polarity);
         self.activities.push(0.0);
         self.seen.push(false);
         self.watches.push(Vec::new());
@@ -278,7 +340,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(lits, false);
+                self.attach_clause(&lits, false);
                 true
             }
         }
@@ -292,23 +354,33 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len();
-        let w0 = lits[0];
-        let w1 = lits[1];
-        self.clauses.push(ClauseData {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-        });
+        self.clauses_since_inprocess = self.clauses_since_inprocess.saturating_add(1);
+        let cref = self.arena.alloc(lits, learnt);
+        self.clause_refs.push(cref);
         if learnt {
             self.learnt_refs.push(cref);
         }
+        self.watch_clause(cref);
+        cref
+    }
+
+    /// Registers the clause's (current) first two literals in the watcher
+    /// lists.
+    fn watch_clause(&mut self, cref: ClauseRef) {
+        let w0 = self.arena.lit(cref, 0);
+        let w1 = self.arena.lit(cref, 1);
         self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
         self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
-        cref
+    }
+
+    /// Removes the clause's watcher entries (both lists).
+    fn unwatch_clause(&mut self, cref: ClauseRef) {
+        for i in 0..2 {
+            let code = (!self.arena.lit(cref, i)).code();
+            self.watches[code].retain(|w| w.cref != cref);
+        }
     }
 
     fn decision_level(&self) -> usize {
@@ -349,19 +421,16 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                if self.clauses[cref].deleted {
+                if self.arena.is_deleted(cref) {
                     watchers.swap_remove(i);
                     continue;
                 }
                 // Make sure the false literal (¬p) is at position 1.
                 let false_lit = !p;
-                {
-                    let lits = &mut self.clauses[cref].lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                let first = self.clauses[cref].lits[0];
+                let first = self.arena.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == VALUE_TRUE {
                     // Clause already satisfied; update blocker.
                     watchers[i] = Watcher {
@@ -371,21 +440,23 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                // Look for a new literal to watch.
+                // Look for a new literal to watch: a cache-local scan over
+                // the clause's word slice in the arena.
                 let mut new_watch = None;
                 {
-                    let lits = &self.clauses[cref].lits;
-                    for (k, &l) in lits.iter().enumerate().skip(2) {
-                        if self.lit_value(l) != VALUE_FALSE {
+                    let values = &self.values;
+                    for (k, &code) in self.arena.lit_codes(cref).iter().enumerate().skip(2) {
+                        let v = values[(code as usize) >> 1];
+                        let val = if code & 1 == 0 { v } else { -v };
+                        if val != VALUE_FALSE {
                             new_watch = Some(k);
                             break;
                         }
                     }
                 }
                 if let Some(k) = new_watch {
-                    let lits = &mut self.clauses[cref].lits;
-                    lits.swap(1, k);
-                    let moved = lits[1];
+                    self.arena.swap_lits(cref, 1, k);
+                    let moved = self.arena.lit(cref, 1);
                     self.watches[(!moved).code()].push(Watcher {
                         cref,
                         blocker: first,
@@ -450,14 +521,15 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref];
-        if !c.learnt {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
+        let activity = self.arena.activity(cref) + self.cla_inc as f32;
+        self.arena.set_activity(cref, activity);
+        if activity > 1e20 {
             for &lr in &self.learnt_refs {
-                self.clauses[lr].activity *= 1e-20;
+                let a = self.arena.activity(lr);
+                self.arena.set_activity(lr, a * 1e-20);
             }
             self.cla_inc *= 1e-20;
         }
@@ -468,9 +540,23 @@ impl Solver {
         self.cla_inc /= self.config.clause_decay;
     }
 
+    /// The clause's glue under the *current* assignment: the number of
+    /// distinct nonzero decision levels among its literals. Only meaningful
+    /// while all literals are assigned (e.g. for a conflict-side clause).
+    fn clause_glue(&mut self, cref: ClauseRef) -> u32 {
+        let levels = &self.levels;
+        self.glue_stamps.glue(
+            self.arena
+                .lit_codes(cref)
+                .iter()
+                .map(|&code| levels[(code as usize) >> 1]),
+        )
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
+    /// literal first), the backtrack level, and the glue of the learnt
+    /// clause.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder
         let mut path_count = 0usize;
         let mut p: Option<Lit> = None;
@@ -478,9 +564,18 @@ impl Solver {
 
         loop {
             self.bump_clause(confl);
+            // On-the-fly glue refresh: a learnt clause visited during
+            // analysis whose current glue is better than its stored one is
+            // promoted — the Glucose "clause usefulness improves" signal.
+            if self.arena.is_learnt(confl) {
+                let g = self.clause_glue(confl);
+                if g < self.arena.lbd(confl) {
+                    self.arena.set_lbd(confl, g);
+                }
+            }
             let start = usize::from(p.is_some());
-            let lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
-            for q in lits {
+            for k in start..self.arena.len(confl) {
+                let q = self.arena.lit(confl, k);
                 let idx = q.var().index();
                 if !self.seen[idx] && self.levels[idx] > 0 {
                     self.seen[idx] = true;
@@ -524,11 +619,18 @@ impl Solver {
             self.levels[learnt[1].var().index()] as usize
         };
 
+        // Glue of the learnt clause, while its literals are still assigned.
+        let levels = &self.levels;
+        let glue = self
+            .glue_stamps
+            .glue(learnt.iter().map(|l| levels[l.var().index()]))
+            .max(1);
+
         // Clear the `seen` flags of the literals kept in the learnt clause.
         for l in &learnt {
             self.seen[l.var().index()] = false;
         }
-        (learnt, backtrack_level)
+        (learnt, backtrack_level, glue)
     }
 
     /// Computes the subset of assumptions responsible for the failed
@@ -552,8 +654,8 @@ impl Solver {
                     self.conflict_core.push(lit);
                 }
                 Some(cref) => {
-                    let lits: Vec<Lit> = self.clauses[cref].lits[1..].to_vec();
-                    for q in lits {
+                    for k in 1..self.arena.len(cref) {
+                        let q = self.arena.lit(cref, k);
                         if self.levels[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -628,62 +730,207 @@ impl Solver {
         }
     }
 
+    /// Deletes the lowest-value half of the learnt database according to the
+    /// configured [`ReductionPolicy`]. Sound at any decision level: clauses
+    /// that are the reason of a current trail literal are locked and never
+    /// deleted (a reason clause keeps its propagated literal at slot 0, so
+    /// [`Solver::is_locked`] identifies it at any trail depth).
     fn reduce_db(&mut self) {
         let mut refs = self.learnt_refs.clone();
-        refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(Ordering::Equal)
-        });
+        match self.config.reduction_policy {
+            ReductionPolicy::ActivityHalving => {
+                let arena = &self.arena;
+                refs.sort_by(|&a, &b| {
+                    arena
+                        .activity(a)
+                        .partial_cmp(&arena.activity(b))
+                        .unwrap_or(Ordering::Equal)
+                });
+            }
+            ReductionPolicy::LbdGeometric => {
+                // Worst glue first; activity breaks ties (least active first).
+                let arena = &self.arena;
+                refs.sort_by(|&a, &b| {
+                    arena.lbd(b).cmp(&arena.lbd(a)).then_with(|| {
+                        arena
+                            .activity(a)
+                            .partial_cmp(&arena.activity(b))
+                            .unwrap_or(Ordering::Equal)
+                    })
+                });
+            }
+        }
+        let protect_glue = self.config.reduction_policy == ReductionPolicy::LbdGeometric;
         let to_remove = refs.len() / 2;
-        let mut removed = 0;
+        let mut deleted = Vec::new();
         for &cref in refs.iter() {
-            if removed >= to_remove {
+            if deleted.len() >= to_remove {
                 break;
             }
-            if self.is_locked(cref) || self.clauses[cref].lits.len() <= 2 {
+            if self.is_locked(cref) || self.arena.len(cref) <= 2 {
                 continue;
             }
-            self.clauses[cref].deleted = true;
-            removed += 1;
+            if protect_glue && self.arena.lbd(cref) <= 2 {
+                continue;
+            }
+            self.arena.delete(cref);
+            deleted.push(cref);
         }
-        self.learnt_refs.retain(|&c| !self.clauses[c].deleted);
-        self.rebuild_watches();
+        self.finish_deletions(&deleted);
+        self.maybe_collect_garbage();
+        self.debug_check_watches();
     }
 
+    /// `true` if the clause is the reason of a currently assigned literal.
     fn is_locked(&self, cref: ClauseRef) -> bool {
-        let first = self.clauses[cref].lits[0];
+        let first = self.arena.lit(cref, 0);
         self.lit_value(first) == VALUE_TRUE && self.reasons[first.var().index()] == Some(cref)
+    }
+
+    /// Prunes the clause lists of deleted entries and repairs the watcher
+    /// lists — incrementally (only the lists the deleted clauses actually
+    /// watched) under [`SolverConfig::incremental_watch_repair`], by a full
+    /// rebuild otherwise.
+    fn finish_deletions(&mut self, deleted: &[ClauseRef]) {
+        if deleted.is_empty() {
+            return;
+        }
+        let arena = &self.arena;
+        self.learnt_refs.retain(|&c| !arena.is_deleted(c));
+        self.clause_refs.retain(|&c| !arena.is_deleted(c));
+        if self.config.incremental_watch_repair {
+            let mut touched: Vec<usize> = deleted
+                .iter()
+                .flat_map(|&c| {
+                    [
+                        (!self.arena.lit(c, 0)).code(),
+                        (!self.arena.lit(c, 1)).code(),
+                    ]
+                })
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            let arena = &self.arena;
+            for code in touched {
+                self.watches[code].retain(|w| !arena.is_deleted(w.cref));
+            }
+        } else {
+            self.rebuild_watches();
+        }
     }
 
     fn rebuild_watches(&mut self) {
         for w in &mut self.watches {
             w.clear();
         }
-        for cref in 0..self.clauses.len() {
-            if self.clauses[cref].deleted || self.clauses[cref].lits.len() < 2 {
-                continue;
-            }
-            let w0 = self.clauses[cref].lits[0];
-            let w1 = self.clauses[cref].lits[1];
-            self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
-            self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
+        for i in 0..self.clause_refs.len() {
+            let cref = self.clause_refs[i];
+            debug_assert!(!self.arena.is_deleted(cref));
+            self.watch_clause(cref);
         }
     }
 
-    /// Halves the learnt-clause database (lowest-activity clauses first) and
-    /// resets the automatic reduction threshold to its initial value.
+    /// Compacts the arena when enough of it is garbage, remapping every
+    /// stored clause reference (clause lists, watcher lists, trail reasons)
+    /// through the relocation.
+    fn maybe_collect_garbage(&mut self) {
+        if self.arena.wasted_fraction() >= GC_WASTED_FRACTION
+            && self.arena.wasted_words() >= GC_MIN_WASTED_WORDS
+        {
+            self.collect_garbage();
+        }
+    }
+
+    fn collect_garbage(&mut self) {
+        let reloc = self.arena.collect(self.clause_refs.iter().copied());
+        for cref in &mut self.clause_refs {
+            *cref = reloc.forward(*cref).expect("live clause survives GC");
+        }
+        for cref in &mut self.learnt_refs {
+            *cref = reloc.forward(*cref).expect("learnt clause survives GC");
+        }
+        for reason in &mut self.reasons {
+            if let Some(cref) = *reason {
+                *reason = Some(reloc.forward(cref).expect("reason clause survives GC"));
+            }
+        }
+        for list in &mut self.watches {
+            list.retain_mut(|w| match reloc.forward(w.cref) {
+                Some(new) => {
+                    w.cref = new;
+                    true
+                }
+                // Watcher of a deleted clause that was only lazily removed.
+                None => false,
+            });
+        }
+        self.debug_check_watches();
+    }
+
+    /// Checks the watcher invariants (debug builds only): every watcher entry
+    /// references a live clause that has the watched literal in slot 0 or 1;
+    /// every live clause is watched exactly twice; and — at a propagation
+    /// fixpoint — a falsified watched literal implies the other watch is
+    /// true.
+    fn debug_check_watches(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for code in 0..self.watches.len() {
+            let watched = !Lit::from_code(code);
+            for w in &self.watches[code] {
+                if self.arena.is_deleted(w.cref) {
+                    continue; // awaiting lazy removal in propagate
+                }
+                assert!(self.arena.len(w.cref) >= 2, "watched clause too short");
+                assert!(
+                    self.arena.lit(w.cref, 0) == watched || self.arena.lit(w.cref, 1) == watched,
+                    "watcher entry for a literal the clause does not watch"
+                );
+                *counts.entry(w.cref).or_insert(0u32) += 1;
+            }
+        }
+        for &cref in &self.clause_refs {
+            assert_eq!(
+                counts.get(&cref).copied().unwrap_or(0),
+                2,
+                "live clause must be watched exactly twice"
+            );
+        }
+        if self.qhead == self.trail.len() {
+            for &cref in &self.clause_refs {
+                let v0 = self.lit_value(self.arena.lit(cref, 0));
+                let v1 = self.lit_value(self.arena.lit(cref, 1));
+                assert!(
+                    !(v0 == VALUE_FALSE && v1 == VALUE_FALSE),
+                    "both watches falsified at a propagation fixpoint"
+                );
+                if v0 == VALUE_FALSE || v1 == VALUE_FALSE {
+                    assert!(
+                        v0 == VALUE_TRUE || v1 == VALUE_TRUE,
+                        "falsified watch without a satisfied partner"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Halves the learnt-clause database (worst clauses first, per the
+    /// configured [`ReductionPolicy`]) and resets the automatic reduction
+    /// threshold to its initial value.
     ///
     /// The search loop reduces the database on its own, but every automatic
     /// reduction *raises* the threshold, so a solver that lives across
     /// hundreds of incremental solve calls (e.g. the error solver of a
     /// verify–repair session) accumulates learnt clauses without bound.
     /// Long-lived owners call this between solve calls to keep the database
-    /// bounded. Backtracks to decision level 0 first, abandoning any
-    /// assumption trail kept for prefix reuse.
+    /// bounded.
+    ///
+    /// The assumption trail kept for prefix reuse is preserved: clauses that
+    /// are the reason of a current trail literal — at any depth of the
+    /// assumption prefix — are locked and never deleted.
     pub fn reduce_learnt_db(&mut self) {
-        self.cancel_until(0);
         if !self.ok {
             return;
         }
@@ -692,8 +939,8 @@ impl Solver {
     }
 
     /// Removes clauses satisfied at decision level 0, strips falsified
-    /// level-0 literals, and compacts the clause arena so the memory is
-    /// actually reclaimed.
+    /// level-0 literals, and compacts the clause arena (when enough garbage
+    /// has accumulated) so the memory is actually reclaimed.
     ///
     /// This is how retired activation literals are garbage-collected: after
     /// [`Solver::retire_activation`] asserts `¬a` at level 0, every clause
@@ -715,54 +962,407 @@ impl Solver {
         for i in 0..self.trail.len() {
             self.reasons[self.trail[i].var().index()] = None;
         }
-        let old = std::mem::take(&mut self.clauses);
-        let mut learnt_refs = Vec::with_capacity(self.learnt_refs.len());
-        for mut clause in old {
-            if clause.deleted {
-                continue;
-            }
-            let satisfied = clause
-                .lits
-                .iter()
-                .any(|&l| self.lit_value(l) == VALUE_TRUE && self.levels[l.var().index()] == 0);
+        let mut deleted = Vec::new();
+        for i in 0..self.clause_refs.len() {
+            let cref = self.clause_refs[i];
+            let satisfied = self.arena.lit_codes(cref).iter().any(|&code| {
+                let idx = (code as usize) >> 1;
+                let v = self.values[idx];
+                let val = if code & 1 == 0 { v } else { -v };
+                val == VALUE_TRUE && self.levels[idx] == 0
+            });
             if satisfied {
+                self.arena.delete(cref);
+                deleted.push(cref);
                 continue;
             }
-            clause
-                .lits
-                .retain(|&l| self.lit_value(l) != VALUE_FALSE || self.levels[l.var().index()] != 0);
             // At the level-0 propagation fixpoint an unsatisfied clause has
-            // at least two unassigned literals (a single one would have been
-            // propagated, satisfying the clause).
-            debug_assert!(clause.lits.len() >= 2);
-            if clause.learnt {
-                learnt_refs.push(self.clauses.len());
+            // unfalsified literals in both watched slots (a falsified watch
+            // would have been moved, propagated, or reported as a conflict),
+            // so only positions ≥ 2 can hold falsified level-0 literals and
+            // the watcher lists stay valid across the strip.
+            let mut k = self.arena.len(cref);
+            while k > 2 {
+                k -= 1;
+                let l = self.arena.lit(cref, k);
+                if self.lit_value(l) == VALUE_FALSE && self.levels[l.var().index()] == 0 {
+                    self.arena.remove_lit(cref, k);
+                }
             }
-            self.clauses.push(clause);
+            debug_assert!((0..2).all(|i| {
+                let l = self.arena.lit(cref, i);
+                self.lit_value(l) != VALUE_FALSE || self.levels[l.var().index()] != 0
+            }));
         }
-        self.learnt_refs = learnt_refs;
-        self.rebuild_watches();
+        self.finish_deletions(&deleted);
+        self.maybe_collect_garbage();
+        self.debug_check_watches();
     }
 
-    fn search(&mut self, conflict_budget: u64, total_conflicts: &mut u64) -> SearchStatus {
-        let mut conflicts_here = 0u64;
+    /// Bounded inter-call inprocessing: subsumption + self-subsumption over
+    /// the clause database, then vivification of the worst-glue learnt
+    /// clauses. A no-op unless [`SolverConfig::enable_inprocessing`] is set.
+    ///
+    /// Backtracks to decision level 0 (abandoning any kept assumption
+    /// trail); intended to run from session maintenance between solve
+    /// bursts, next to [`Solver::reduce_learnt_db`] and
+    /// [`Solver::simplify`]. Obeys the configured [`CancelToken`]: a
+    /// cancelled solver abandons the pass at the next clause boundary.
+    ///
+    /// Throttled: after the first call, a pass only runs once enough new
+    /// clauses have been attached to plausibly pay for rebuilding the
+    /// occurrence lists; otherwise the call returns immediately.
+    /// [`SolverStats::inprocess_passes`] counts the passes that ran.
+    pub fn inprocess(&mut self) {
+        if !self.config.enable_inprocessing || !self.ok {
+            return;
+        }
+        if self.clauses_since_inprocess < INPROCESS_MIN_NEW_CLAUSES {
+            return;
+        }
+        self.clauses_since_inprocess = 0;
+        self.stats.inprocess_passes += 1;
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        for i in 0..self.trail.len() {
+            self.reasons[self.trail[i].var().index()] = None;
+        }
+        self.subsumption_pass();
+        if self.ok {
+            self.vivification_pass();
+        }
+        if self.ok {
+            self.maybe_collect_garbage();
+            self.debug_check_watches();
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(|token| token.is_cancelled())
+    }
+
+    /// One bounded (self-)subsumption sweep. For every short clause `C` and
+    /// every clause `D` sharing `C`'s rarest literal: if `C ⊆ D`, `D` is
+    /// subsumed and deleted (promoting `C` to a problem clause if `C` is
+    /// learnt and `D` is not — the subsumed problem clause's strength must
+    /// not die with the learnt database); if `C` matches `D` except for one
+    /// literal occurring negated, the resolvent strengthens `D` in place
+    /// (self-subsumption).
+    fn subsumption_pass(&mut self) {
+        // Occurrence lists over all live clauses (any length may be subsumed;
+        // only short clauses act as subsumers).
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars()];
+        for &cref in &self.clause_refs {
+            for &code in self.arena.lit_codes(cref) {
+                occ[code as usize].push(cref);
+            }
+        }
+        let mut marks: Vec<u64> = vec![0; 2 * self.num_vars()];
+        let mut generation = 0u64;
+        let mut steps = SUBSUME_STEPS;
+        let mut deleted: Vec<ClauseRef> = Vec::new();
+        let candidates = self.clause_refs.clone();
+        'outer: for c in candidates {
+            if self.arena.is_deleted(c) || self.arena.len(c) > SUBSUME_MAX_LEN {
+                continue;
+            }
+            if steps == 0 || self.cancelled() {
+                break;
+            }
+            // Rarest literal of C limits the clauses to test. A clause D
+            // with C ⊆ D contains the pivot; a self-subsumption partner
+            // contains either the pivot or its negation (when the pivot
+            // itself is the resolved literal), so both lists are scanned.
+            let pivot = self
+                .arena
+                .lit_codes(c)
+                .iter()
+                .copied()
+                .min_by_key(|&code| occ[code as usize].len())
+                .expect("clauses are non-empty");
+            for di in 0..occ[pivot as usize].len() + occ[(pivot ^ 1) as usize].len() {
+                let plist = &occ[pivot as usize];
+                let d = if di < plist.len() {
+                    plist[di]
+                } else {
+                    occ[(pivot ^ 1) as usize][di - plist.len()]
+                };
+                if d == c
+                    || self.arena.is_deleted(d)
+                    || self.arena.is_deleted(c)
+                    || self.arena.len(d) < self.arena.len(c)
+                    || self.is_locked(d)
+                {
+                    continue;
+                }
+                steps = steps.saturating_sub(self.arena.len(d));
+                if steps == 0 {
+                    break 'outer;
+                }
+                // Mark D's literals, then test C against the marks.
+                generation += 1;
+                for &code in self.arena.lit_codes(d) {
+                    marks[code as usize] = generation;
+                }
+                let mut missing = 0usize;
+                let mut negated: Option<Lit> = None;
+                for &code in self.arena.lit_codes(c) {
+                    if marks[code as usize] == generation {
+                        continue;
+                    }
+                    if marks[(code ^ 1) as usize] == generation {
+                        if negated.is_some() {
+                            missing = 2; // two resolutions: no deal
+                            break;
+                        }
+                        negated = Some(Lit::from_code((code ^ 1) as usize));
+                    } else {
+                        missing += 1;
+                        break;
+                    }
+                }
+                if missing > 0 {
+                    continue;
+                }
+                match negated {
+                    None => {
+                        // C ⊆ D: D is redundant.
+                        if self.arena.is_learnt(c) && !self.arena.is_learnt(d) {
+                            self.arena.clear_learnt(c);
+                            self.learnt_refs.retain(|&r| r != c);
+                        }
+                        self.arena.delete(d);
+                        deleted.push(d);
+                        self.stats.inprocess_subsumed += 1;
+                    }
+                    Some(lit_in_d) => {
+                        // Self-subsumption: the resolvent of C and D on this
+                        // literal is D \ {lit_in_d}, a consequence that
+                        // replaces D.
+                        if self.arena.len(d) <= 2 {
+                            continue; // strengthening would make D unit
+                        }
+                        self.strengthen_clause(d, lit_in_d);
+                        self.stats.inprocess_strengthened += 1;
+                        if !self.ok {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_deletions(&deleted);
+    }
+
+    /// Removes one literal from a live clause, repairing its watcher entries
+    /// and handling the degenerate results (unit → enqueue at level 0).
+    /// Caller must be at decision level 0 with propagation complete.
+    fn strengthen_clause(&mut self, cref: ClauseRef, lit: Lit) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.unwatch_clause(cref);
+        let pos = (0..self.arena.len(cref))
+            .find(|&i| self.arena.lit(cref, i) == lit)
+            .expect("literal to strengthen away is in the clause");
+        self.arena.remove_lit(cref, pos);
+        self.reattach_rewritten(cref);
+    }
+
+    /// Re-establishes the watch/trail state of a clause whose literals were
+    /// just rewritten (watches currently detached). Deletes the clause when
+    /// it is satisfied at level 0 or became unit.
+    fn reattach_rewritten(&mut self, cref: ClauseRef) {
+        let len = self.arena.len(cref);
+        let mut nonfalse: Vec<usize> = Vec::new();
+        let mut satisfied = false;
+        for i in 0..len {
+            match self.lit_value(self.arena.lit(cref, i)) {
+                VALUE_TRUE => {
+                    satisfied = true;
+                    break;
+                }
+                VALUE_UNASSIGNED => nonfalse.push(i),
+                _ => {}
+            }
+        }
+        if satisfied {
+            self.arena.delete(cref);
+            self.finish_deletions_detached(cref);
+            return;
+        }
+        match nonfalse.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                let unit = self.arena.lit(cref, nonfalse[0]);
+                self.arena.delete(cref);
+                self.finish_deletions_detached(cref);
+                self.unchecked_enqueue(unit, None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.arena.swap_lits(cref, 0, nonfalse[0]);
+                // The swap may have moved the literal previously at
+                // nonfalse[1]; find a second unfalsified watch afresh.
+                let second = (1..self.arena.len(cref))
+                    .find(|&i| self.lit_value(self.arena.lit(cref, i)) != VALUE_FALSE)
+                    .expect("two unfalsified literals exist");
+                self.arena.swap_lits(cref, 1, second);
+                self.watch_clause(cref);
+            }
+        }
+    }
+
+    /// Removes an already-unwatched deleted clause from the clause lists.
+    fn finish_deletions_detached(&mut self, cref: ClauseRef) {
+        self.clause_refs.retain(|&r| r != cref);
+        self.learnt_refs.retain(|&r| r != cref);
+    }
+
+    /// Vivifies the worst-glue learnt clauses: assume the negation of each
+    /// literal in turn; a conflict or satisfied/falsified literal proves a
+    /// shorter clause, which replaces the original.
+    fn vivification_pass(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut candidates: Vec<ClauseRef> = self
+            .learnt_refs
+            .iter()
+            .copied()
+            .filter(|&c| VIVIFY_LEN_RANGE.contains(&self.arena.len(c)) && !self.is_locked(c))
+            .collect();
+        let arena = &self.arena;
+        candidates.sort_by_key(|&c| std::cmp::Reverse(arena.lbd(c)));
+        candidates.truncate(VIVIFY_MAX_CLAUSES);
+        for cref in candidates {
+            if self.cancelled() || !self.ok {
+                return;
+            }
+            if self.arena.is_deleted(cref) || !VIVIFY_LEN_RANGE.contains(&self.arena.len(cref)) {
+                continue;
+            }
+            let lits: Vec<Lit> = (0..self.arena.len(cref))
+                .map(|i| self.arena.lit(cref, i))
+                .collect();
+            // Detach the clause first: it must not participate in its own
+            // vivification propagation (circular justification).
+            self.unwatch_clause(cref);
+            let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+            self.new_decision_level();
+            for &l in &lits {
+                match self.lit_value(l) {
+                    VALUE_TRUE => {
+                        // ¬kept implies l: (kept ∨ l) is a consequence.
+                        kept.push(l);
+                        break;
+                    }
+                    VALUE_FALSE => {
+                        // ¬kept already implies ¬l: l is redundant.
+                        continue;
+                    }
+                    _ => {
+                        kept.push(l);
+                        self.unchecked_enqueue(!l, None);
+                        if self.propagate().is_some() {
+                            // ¬kept is contradictory: kept is a consequence.
+                            break;
+                        }
+                    }
+                }
+            }
+            self.cancel_until(0);
+            if kept.len() < lits.len() {
+                // Replace the clause with its strengthened form.
+                self.arena.delete(cref);
+                self.finish_deletions_detached(cref);
+                self.stats.inprocess_strengthened += 1;
+                match kept.len() {
+                    0 => {
+                        self.ok = false;
+                        return;
+                    }
+                    1 => match self.lit_value(kept[0]) {
+                        VALUE_TRUE => {}
+                        VALUE_FALSE => {
+                            self.ok = false;
+                            return;
+                        }
+                        _ => {
+                            self.unchecked_enqueue(kept[0], None);
+                            if self.propagate().is_some() {
+                                self.ok = false;
+                                return;
+                            }
+                        }
+                    },
+                    _ => {
+                        let old_lbd = self.arena.lbd(cref);
+                        let new = self.arena.alloc(&kept, true);
+                        self.arena.set_lbd(new, old_lbd.min(kept.len() as u32));
+                        self.clause_refs.push(new);
+                        self.learnt_refs.push(new);
+                        self.watch_clause(new);
+                    }
+                }
+            } else {
+                self.watch_clause(cref);
+            }
+        }
+    }
+
+    /// Copies the decision phases from the deepest trail observed since the
+    /// last rephase ("best phases"), on a geometric conflict schedule. Runs
+    /// on restart boundaries only, after backtracking.
+    fn maybe_rephase(&mut self) {
+        if !self.config.rephase || self.conflicts_since_rephase < self.rephase_interval {
+            return;
+        }
+        self.phases.copy_from_slice(&self.best_phases);
+        self.stats.rephases += 1;
+        self.conflicts_since_rephase = 0;
+        self.rephase_interval = self.rephase_interval.saturating_mul(2);
+        self.best_trail = 0;
+    }
+
+    fn search(
+        &mut self,
+        scheduler: &mut RestartScheduler,
+        total_conflicts: &mut u64,
+    ) -> SearchStatus {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
-                conflicts_here += 1;
                 *total_conflicts += 1;
+                self.conflicts_since_rephase += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.conflict_core.clear();
                     return SearchStatus::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(confl);
+                // Best-phase snapshot for rephasing: the deepest trail seen
+                // is the closest the search has come to a full assignment.
+                if self.config.rephase && self.trail.len() > self.best_trail {
+                    self.best_trail = self.trail.len();
+                    for &l in &self.trail {
+                        self.best_phases[l.var().index()] = l.is_positive();
+                    }
+                }
+                let (learnt, backtrack_level, glue) = self.analyze(confl);
+                scheduler.on_conflict(glue, self.trail.len());
                 self.cancel_until(backtrack_level);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(&learnt, true);
+                    self.arena.set_lbd(cref, glue);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
@@ -778,23 +1378,30 @@ impl Solver {
                 // (once per decision, i.e. every conflict-free propagation
                 // round): a cancelled solver abandons the call within
                 // milliseconds instead of running to its verdict.
-                if self
-                    .config
-                    .cancel
-                    .as_ref()
-                    .is_some_and(|token| token.is_cancelled())
-                {
+                if self.cancelled() {
                     self.cancel_until(0);
                     return SearchStatus::Budget;
                 }
-                if conflicts_here >= conflict_budget {
-                    self.cancel_until(0);
+                if scheduler.should_restart() {
+                    // Assumption-aware restart: fall back to the assumption
+                    // boundary, never below it, so the prefix levels (and
+                    // the trail reuse of incremental calls) are preserved.
+                    let keep = self.assumptions.len().min(self.decision_level());
+                    self.cancel_until(keep);
                     self.stats.restarts += 1;
+                    self.maybe_rephase();
                     return SearchStatus::Restart;
                 }
                 if self.learnt_refs.len() > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts += self.config.reduce_db_increment;
+                    self.max_learnts = match self.config.reduction_policy {
+                        ReductionPolicy::ActivityHalving => {
+                            self.max_learnts + self.config.reduce_db_increment
+                        }
+                        // Geometric growth: each reduction tolerates 25%
+                        // more clauses than the previous one.
+                        ReductionPolicy::LbdGeometric => self.max_learnts * 5 / 4,
+                    };
                 }
                 // Assumptions first, then heuristic decisions.
                 let mut next: Option<Lit> = None;
@@ -846,19 +1453,15 @@ impl Solver {
     /// tightening a totalizer bound, a verify session swapping one
     /// activation — therefore pay per call for the *changed* suffix only.
     /// Adding a clause (or running [`Solver::simplify`] /
-    /// [`Solver::reduce_learnt_db`]) abandons the kept trail.
+    /// [`Solver::inprocess`]) abandons the kept trail;
+    /// [`Solver::reduce_learnt_db`] preserves it.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.have_model = false;
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
-        if self
-            .config
-            .cancel
-            .as_ref()
-            .is_some_and(|token| token.is_cancelled())
-        {
+        if self.cancelled() {
             return SolveResult::Unknown;
         }
         for a in assumptions {
@@ -885,11 +1488,10 @@ impl Solver {
         }
 
         let mut total_conflicts = 0u64;
-        let mut restarts = 0u64;
+        let mut scheduler =
+            RestartScheduler::new(self.config.restart_policy, self.config.restart_base);
         let result = loop {
-            let budget = self.config.restart_base * luby(restarts);
-            restarts += 1;
-            match self.search(budget, &mut total_conflicts) {
+            match self.search(&mut scheduler, &mut total_conflicts) {
                 SearchStatus::Sat => {
                     self.model_values = self.values.clone();
                     self.have_model = true;
@@ -1372,16 +1974,11 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
     }
 
-    #[test]
-    fn reduce_learnt_db_shrinks_and_preserves_correctness() {
-        let mut s = Solver::with_config(SolverConfig {
-            first_reduce_db: 100_000, // keep the automatic reduction out of the way
-            ..SolverConfig::default()
-        });
-        // Satisfiable pigeonhole with equal pigeons and holes: the solver
-        // learns clauses on the way to a permutation.
-        let holes = 7;
+    /// Builds the satisfiable "permutation" pigeonhole (equal pigeons and
+    /// holes): the solver learns plenty of clauses on the way to a model.
+    fn permutation_instance(holes: usize, config: SolverConfig) -> Solver {
         let var = |i: usize, j: usize| Var::new((i * holes + j) as u32);
+        let mut s = Solver::with_config(config);
         for i in 0..holes {
             let clause: Vec<Lit> = (0..holes).map(|j| var(i, j).positive()).collect();
             s.add_clause(clause);
@@ -1393,11 +1990,199 @@ mod tests {
                 }
             }
         }
+        s
+    }
+
+    #[test]
+    fn reduce_learnt_db_shrinks_and_preserves_correctness() {
+        let mut s = permutation_instance(
+            7,
+            SolverConfig {
+                first_reduce_db: 100_000, // keep the automatic reduction out of the way
+                ..SolverConfig::default()
+            },
+        );
         assert_eq!(s.solve(), SolveResult::Sat);
         let learnts_before = s.stats().learnt_clauses;
         s.reduce_learnt_db();
-        assert!(s.stats().learnt_clauses <= learnts_before.div_ceil(2) + 1);
+        // Glue ≤ 2 clauses are protected under the LBD policy, so the bound
+        // allows for them on top of the halving target.
+        let stats = s.stats();
+        assert!(
+            stats.learnt_clauses <= learnts_before.div_ceil(2) + stats.glue2_clauses + 1,
+            "kept {} of {learnts_before} learnt clauses ({} glue ≤ 2)",
+            stats.learnt_clauses,
+            stats.glue2_clauses
+        );
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// Satellite regression: reduction mid-incremental-solve with a live
+    /// assumption trail must preserve the trail (no backtrack to level 0)
+    /// and never delete a clause that is the reason of a trail literal.
+    #[test]
+    fn reduce_learnt_db_keeps_reasons_of_live_assumption_trail() {
+        let holes = 7;
+        // All-true default phases make every at-most-one clause conflict,
+        // so the solve is guaranteed to learn clauses.
+        let mut s = permutation_instance(
+            holes,
+            SolverConfig {
+                first_reduce_db: 100_000,
+                default_polarity: true,
+                ..SolverConfig::default()
+            },
+        );
+        // A deep assumption prefix: pin pigeon i to hole i for a few rows.
+        let assumptions: Vec<Lit> = (0..3)
+            .map(|i| Var::new((i * holes + i) as u32).positive())
+            .collect();
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+        assert!(s.decision_level() >= assumptions.len());
+        assert!(s.stats().learnt_clauses > 0);
+        let trail_before = s.trail.len();
+
+        s.reduce_learnt_db();
+
+        // The assumption trail survived the reduction…
+        assert_eq!(s.trail.len(), trail_before);
+        assert!(s.decision_level() >= assumptions.len());
+        // …and every trail literal's reason clause is live with the
+        // propagated literal still in slot 0.
+        for &l in &s.trail {
+            if let Some(reason) = s.reasons[l.var().index()] {
+                assert!(!s.arena.is_deleted(reason), "reason clause was deleted");
+                assert_eq!(s.arena.lit(reason, 0), l, "reason slot 0 moved");
+            }
+        }
+        // The next call on the same prefix reuses the kept levels and agrees
+        // with a fresh solver.
+        let reused_before = s.stats().reused_levels;
+        let mut extended = assumptions.clone();
+        extended.push(Var::new((3 * holes + 3) as u32).positive());
+        let got = s.solve_with_assumptions(&extended);
+        assert!(s.stats().reused_levels >= reused_before + assumptions.len() as u64);
+        let mut fresh = permutation_instance(holes, SolverConfig::default());
+        assert_eq!(got, fresh.solve_with_assumptions(&extended));
+    }
+
+    /// Arena GC is observable: churning guarded clauses through retirement
+    /// and simplification must trigger at least one compaction and shrink
+    /// the live size back down.
+    #[test]
+    fn simplify_churn_triggers_arena_collection() {
+        let mut s = Solver::new();
+        let x = s.new_var().positive();
+        for round in 0..40 {
+            let a = s.new_activation_lit();
+            for k in 0..8 {
+                let extra = s.new_var().positive();
+                s.add_guarded_clause(a, [x, extra, !x]);
+                s.add_guarded_clause(a, [if k % 2 == 0 { x } else { !x }, extra]);
+            }
+            assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+            s.retire_activation(a);
+            s.simplify();
+            let _ = round;
+        }
+        let stats = s.stats();
+        assert!(
+            stats.arena_collections >= 1,
+            "no arena compaction despite heavy clause churn"
+        );
+        assert!(
+            stats.arena_live_words < 1_000,
+            "arena live size unbounded: {} words",
+            stats.arena_live_words
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn inprocess_subsumes_and_strengthens() {
+        let mut s = Solver::new();
+        // (1 2) subsumes (1 2 3); (1 2) self-subsumes (-1 2 4) → (2 4).
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(2), lit(4)]);
+        s.add_clause([lit(3), lit(4), lit(5)]); // untouched filler
+        let before = s.num_clauses();
+        s.inprocess();
+        let stats = s.stats();
+        assert!(stats.inprocess_subsumed >= 1, "no clause was subsumed");
+        assert!(
+            stats.inprocess_strengthened >= 1,
+            "no clause was strengthened"
+        );
+        assert!(s.num_clauses() < before);
+        // Semantics preserved: same verdicts as a fresh solver on probes.
+        for probe in [vec![lit(-2)], vec![lit(-2), lit(-4)], vec![lit(-1)]] {
+            let mut fresh = Solver::new();
+            fresh.add_clause([lit(1), lit(2)]);
+            fresh.add_clause([lit(1), lit(2), lit(3)]);
+            fresh.add_clause([lit(-1), lit(2), lit(4)]);
+            fresh.add_clause([lit(3), lit(4), lit(5)]);
+            assert_eq!(
+                s.solve_with_assumptions(&probe),
+                fresh.solve_with_assumptions(&probe),
+                "probe {probe:?} diverged after inprocessing"
+            );
+        }
+    }
+
+    /// The first `inprocess` call always runs; an immediate second call is
+    /// skipped by the new-clause throttle; attaching enough fresh clauses
+    /// re-arms it.
+    #[test]
+    fn inprocess_throttles_until_enough_new_clauses() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.inprocess();
+        assert_eq!(s.stats().inprocess_passes, 1, "first call must run");
+        s.inprocess();
+        assert_eq!(s.stats().inprocess_passes, 1, "second call not throttled");
+        // Fresh satisfiable binary clauses over disjoint variables re-arm it.
+        for i in 0..INPROCESS_MIN_NEW_CLAUSES as i64 {
+            s.add_clause([lit(10 + 2 * i), lit(11 + 2 * i)]);
+        }
+        s.inprocess();
+        assert_eq!(s.stats().inprocess_passes, 2, "throttle failed to re-arm");
+    }
+
+    #[test]
+    fn inprocess_promotes_learnt_subsumers() {
+        // A learnt clause that subsumes a problem clause must survive as a
+        // problem clause (the subsumed clause's strength must not die with
+        // the learnt database). Forced here by hand-crafting the state via
+        // the public API: solve to learn, then inprocess.
+        let mut s = permutation_instance(6, SolverConfig::default());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.reduce_learnt_db();
+        s.simplify();
+        s.inprocess();
+        // Whatever happened, the database stays consistent and correct.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &cref in &s.learnt_refs {
+            assert!(s.arena.is_learnt(cref));
+        }
+        for &cref in &s.clause_refs {
+            assert!(!s.arena.is_deleted(cref));
+        }
+    }
+
+    #[test]
+    fn legacy_profile_agrees_with_modern_on_verdicts() {
+        for holes in [4, 5, 6] {
+            let mut legacy = pigeonhole(holes, SolverConfig::legacy());
+            let mut modern = pigeonhole(holes, SolverConfig::default());
+            assert_eq!(legacy.solve(), SolveResult::Unsat);
+            assert_eq!(modern.solve(), SolveResult::Unsat);
+            let mut legacy = permutation_instance(holes, SolverConfig::legacy());
+            let mut modern = permutation_instance(holes, SolverConfig::default());
+            assert_eq!(legacy.solve(), SolveResult::Sat);
+            assert_eq!(modern.solve(), SolveResult::Sat);
+        }
     }
 
     #[test]
@@ -1438,8 +2223,9 @@ mod tests {
 
     /// Randomized incremental-vs-fresh equivalence: a long sequence of
     /// assumption solves on one solver (sharing prefixes, interleaved with
-    /// clause additions) must produce exactly the verdicts of a fresh
-    /// solver per query, with models satisfying the formula.
+    /// clause additions and maintenance passes) must produce exactly the
+    /// verdicts of a fresh solver per query, with models satisfying the
+    /// formula.
     #[test]
     fn incremental_assumption_sequences_match_fresh_solvers() {
         use rand::rngs::SmallRng;
@@ -1473,6 +2259,12 @@ mod tests {
                         .collect();
                     cnf.add_clause(clause.clone());
                     incremental.add_clause(clause);
+                }
+                if query % 13 == 12 {
+                    // Maintenance mid-sequence must stay sound too.
+                    incremental.reduce_learnt_db();
+                    incremental.simplify();
+                    incremental.inprocess();
                 }
                 let mut assumptions = prefix.clone();
                 assumptions.push(Lit::new(

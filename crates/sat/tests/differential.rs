@@ -1,0 +1,105 @@
+//! Differential property tests for the solver-policy matrix: on random CNF
+//! formulas, every restart-policy × reduction-policy combination (on the
+//! modern flat-arena storage) must agree verdict-for-verdict with the
+//! pre-existing configuration ([`SolverConfig::legacy`]: Luby restarts,
+//! activity-halving reduction, per-clause boxed storage), across plain
+//! solves, assumption solves, and inter-call maintenance. Every SAT verdict
+//! must come with a model that satisfies the formula.
+
+use manthan3_cnf::{Cnf, Lit, Var};
+use manthan3_sat::{ReductionPolicy, RestartPolicy, SolveResult, Solver, SolverConfig};
+use proptest::prelude::*;
+
+/// A random formula in the mixed SAT/UNSAT regime: short clauses over few
+/// variables, so unit propagation alone rarely settles the verdict.
+fn formula() -> impl Strategy<Value = Cnf> {
+    // Literal indices are drawn from the full 0..16 range and folded into the
+    // drawn variable count with a modulus, since the vendored proptest has no
+    // `prop_flat_map` to make one range depend on another.
+    (
+        4u32..16,
+        collection::vec(collection::vec((0u32..16, any::<bool>()), 1..=3), 8..=72),
+    )
+        .prop_map(|(num_vars, clauses)| {
+            let mut cnf = Cnf::new(num_vars as usize);
+            for clause in clauses {
+                cnf.add_clause(
+                    clause
+                        .into_iter()
+                        .map(|(v, polarity)| Var::new(v % num_vars).lit(polarity)),
+                );
+            }
+            cnf
+        })
+}
+
+/// Runs one incremental session under `config`: a plain solve, then two
+/// assumption solves with full maintenance (reduction, simplification,
+/// inprocessing) in between. Every SAT model is checked against the
+/// formula; returns the verdict sequence.
+fn session(cnf: &Cnf, config: SolverConfig) -> Vec<SolveResult> {
+    let mut solver = Solver::with_config(config);
+    solver.add_cnf(cnf);
+    solver.ensure_vars(cnf.num_vars());
+    let assumption_sets: [Vec<Lit>; 2] = [
+        vec![Var::new(0).positive()],
+        vec![Var::new(0).negative(), Var::new(1).positive()],
+    ];
+    let mut verdicts = vec![solver.solve()];
+    for assumptions in &assumption_sets {
+        solver.reduce_learnt_db();
+        solver.simplify();
+        solver.inprocess();
+        verdicts.push(solver.solve_with_assumptions(assumptions));
+    }
+    // Model checks piggyback on the last call of each kind: re-solving is
+    // deterministic per configuration, and `model()` reflects the most
+    // recent SAT call.
+    let last = *verdicts.last().unwrap();
+    assert_ne!(last, SolveResult::Unknown, "unbudgeted solve was cut off");
+    if last == SolveResult::Sat {
+        assert!(cnf.eval(&solver.model()), "SAT model violates the formula");
+    }
+    if verdicts[0] == SolveResult::Sat {
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert!(
+            cnf.eval(&solver.model()),
+            "plain-solve SAT model violates the formula"
+        );
+    }
+    verdicts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every restart × reduction combination agrees with the pre-existing
+    /// (legacy) configuration on every verdict of the session, and every
+    /// SAT call produces a genuine model.
+    #[test]
+    fn policy_matrix_agrees_with_the_preexisting_config(cnf in formula()) {
+        let reference = session(&cnf, SolverConfig::legacy());
+        for restart_policy in RestartPolicy::ALL {
+            for reduction_policy in ReductionPolicy::ALL {
+                let config = SolverConfig {
+                    restart_policy,
+                    reduction_policy,
+                    // Tiny thresholds so reductions actually run on these
+                    // small formulas.
+                    first_reduce_db: 2,
+                    reduce_db_increment: 1,
+                    ..SolverConfig::default()
+                };
+                let verdicts = session(&cnf, config);
+                prop_assert!(
+                    verdicts == reference,
+                    "combo {:?}/{:?} diverged from the legacy reference: {:?} vs {:?}",
+                    restart_policy,
+                    reduction_policy,
+                    verdicts,
+                    reference
+                );
+            }
+        }
+    }
+}
