@@ -1,0 +1,6 @@
+//! manthan3-conc: exhaustive interleaving checker.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod protocols;

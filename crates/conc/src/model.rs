@@ -1,0 +1,480 @@
+//! A small operational model of C11 release/acquire atomics plus an
+//! exhaustive DFS explorer over thread interleavings — the loom-style core
+//! the protocol checks run on.
+//!
+//! # Memory model
+//!
+//! Each atomic location carries a *modification order*: the list of stores
+//! ever made to it, oldest first. Each thread carries a *view*: for every
+//! location, the index of the newest store it is aware of. The rules:
+//!
+//! - A **load** may read any store at index `>= view[loc]` (coherence: a
+//!   thread never observes a location moving backwards). Reading index `k`
+//!   advances `view[loc]` to `k`. An **Acquire** load that reads a store
+//!   carrying a release view *joins* that view into the thread's own —
+//!   everything the releasing thread had seen becomes visible.
+//! - A **store** appends to the modification order. A **Release** store
+//!   attaches the storing thread's current view to the new store.
+//! - An **RMW** (swap / fetch_add / fetch_update) reads the *latest* store
+//!   (atomicity), then appends. Release views propagate through RMWs even
+//!   when the RMW itself is Relaxed (release sequences), so an Acquire load
+//!   of the final RMW in a chain still synchronizes with the head.
+//! - **SeqCst** is modeled as AcqRel: the single total order is *not*
+//!   modeled. This makes the checker strictly more permissive than real
+//!   hardware, so "protocol passes" remains a sound claim; it cannot verify
+//!   protocols that genuinely need SC ordering (none in this workspace do).
+//!
+//! # Exploration
+//!
+//! Threads are step functions over a shared [`Exec`]; each step performs at
+//! most one atomic operation. The explorer does DFS over (system state,
+//! memory state), deduplicating via hashing. Because a load either advances
+//! a view (progress) or reproduces an already-visited state (pruned), poll
+//! loops like `while !cancelled { … }` yield a *finite* state graph: the
+//! stale-read cycle is pruned, which is exactly the fairness assumption
+//! "a cancelled flag is eventually observed".
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Atomic memory ordering, mirroring `std::sync::atomic::Ordering`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ord {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ord {
+    fn acquires(self) -> bool {
+        matches!(self, Ord::Acquire | Ord::AcqRel | Ord::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, Ord::Release | Ord::AcqRel | Ord::SeqCst)
+    }
+}
+
+/// A thread's view: per location, the index of the newest store it knows of.
+pub type View = Vec<u32>;
+
+fn join(a: &mut View, b: &View) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// One store in a location's modification order. `view` is the release view
+/// readers synchronize with on an Acquire load (None for relaxed stores that
+/// continue no release sequence).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Store {
+    pub value: u64,
+    pub view: Option<View>,
+}
+
+/// The shared-memory state: modification orders plus per-thread views.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Exec {
+    mods: Vec<Vec<Store>>,
+    views: Vec<View>,
+}
+
+impl Exec {
+    /// `locs` atomics (all initialized to 0) shared by `threads` threads.
+    pub fn new(locs: usize, threads: usize) -> Exec {
+        Exec {
+            mods: vec![
+                vec![Store {
+                    value: 0,
+                    view: None
+                }];
+                locs
+            ],
+            views: vec![vec![0; locs]; threads],
+        }
+    }
+
+    /// The newest value of `loc` — for final-state ("god's eye") assertions
+    /// only; threads must go through [`Ctx`].
+    pub fn latest(&self, loc: usize) -> u64 {
+        // invariant: every location's modification order starts non-empty.
+        self.mods[loc]
+            .last()
+            .expect("modification order is never empty")
+            .value
+    }
+}
+
+/// The handle a thread's step function uses to touch shared memory. Each
+/// step may perform at most one atomic operation (the explorer branches on
+/// the choices *within* one operation).
+pub struct Ctx<'a> {
+    exec: &'a mut Exec,
+    tid: usize,
+    choice: usize,
+    options: usize,
+}
+
+impl Ctx<'_> {
+    fn readable(&self, loc: usize) -> std::ops::Range<usize> {
+        self.exec.views[self.tid][loc] as usize..self.exec.mods[loc].len()
+    }
+
+    /// An atomic load. This is the model's branch point: every store the
+    /// thread may coherently read spawns a schedule.
+    pub fn load(&mut self, loc: usize, ord: Ord) -> u64 {
+        let range = self.readable(loc);
+        self.options = range.len();
+        let index = (range.start + self.choice).min(range.end - 1);
+        self.read_at(loc, index, ord)
+    }
+
+    /// A load forced to see the newest store — the explorer uses this to
+    /// model a *fair* final poll (the "eventually observes" assumption) when
+    /// a protocol needs it explicitly; normal polls should use [`Ctx::load`].
+    pub fn load_latest(&mut self, loc: usize, ord: Ord) -> u64 {
+        let index = self.exec.mods[loc].len() - 1;
+        self.read_at(loc, index, ord)
+    }
+
+    fn read_at(&mut self, loc: usize, index: usize, ord: Ord) -> u64 {
+        let store = self.exec.mods[loc][index].clone();
+        let view = &mut self.exec.views[self.tid];
+        view[loc] = view[loc].max(index as u32);
+        if ord.acquires() {
+            if let Some(release_view) = &store.view {
+                join(view, release_view);
+            }
+        }
+        store.value
+    }
+
+    /// An atomic store.
+    pub fn store(&mut self, loc: usize, value: u64, ord: Ord) {
+        let index = self.exec.mods[loc].len() as u32;
+        self.exec.views[self.tid][loc] = index;
+        let view = ord.releases().then(|| self.exec.views[self.tid].clone());
+        self.exec.mods[loc].push(Store { value, view });
+    }
+
+    /// `swap`: an RMW returning the previous value.
+    pub fn swap(&mut self, loc: usize, value: u64, ord: Ord) -> u64 {
+        // invariant: rmw applies a total function, so it always stores.
+        self.rmw(loc, ord, ord, |_| Some(value))
+            .expect("unconditional rmw always succeeds")
+    }
+
+    /// `fetch_add`: an RMW returning the previous value.
+    pub fn fetch_add(&mut self, loc: usize, add: u64, ord: Ord) -> u64 {
+        // invariant: rmw applies a total function, so it always stores.
+        self.rmw(loc, ord, ord, |v| Some(v + add))
+            .expect("unconditional rmw always succeeds")
+    }
+
+    /// `fetch_update`: reads the latest store (RMW atomicity), applies `f`,
+    /// and stores on `Some`. Returns `Ok(prev)` on success, `Err(prev)` when
+    /// `f` declined.
+    pub fn rmw(
+        &mut self,
+        loc: usize,
+        success: Ord,
+        failure: Ord,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> Result<u64, u64> {
+        let index = self.exec.mods[loc].len() - 1;
+        let prev = self.exec.mods[loc][index].clone();
+        let Some(next) = f(prev.value) else {
+            self.read_at(loc, index, failure);
+            return Err(prev.value);
+        };
+        self.read_at(loc, index, success);
+        // Release sequence: the new store inherits the chain's release view
+        // even if this RMW is relaxed; a releasing RMW joins its own view in.
+        let mut release_view = prev.view.clone();
+        if success.releases() {
+            let own = self.exec.views[self.tid].clone();
+            match &mut release_view {
+                Some(v) => join(v, &own),
+                None => release_view = Some(own),
+            }
+        }
+        let new_index = self.exec.mods[loc].len() as u32;
+        self.exec.views[self.tid][loc] = new_index;
+        self.exec.mods[loc].push(Store {
+            value: next,
+            view: release_view,
+        });
+        Ok(prev.value)
+    }
+}
+
+/// A model-checked system: per-thread step functions plus assertions. The
+/// whole system state (program counters, ghost variables) lives in `Self`,
+/// which must be cheap to clone and hash.
+pub trait System: Clone + Eq + Hash {
+    /// Number of threads.
+    fn threads(&self) -> usize;
+    /// Number of atomic locations.
+    fn locs(&self) -> usize;
+    /// `true` when thread `tid` has finished.
+    fn done(&self, tid: usize) -> bool;
+    /// Advance thread `tid` by one step (at most one atomic operation).
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>);
+    /// Safety invariant checked in every explored state.
+    fn invariant(&self, _exec: &Exec) -> Result<(), String> {
+        Ok(())
+    }
+    /// Assertion checked in every terminal state (all threads done).
+    fn finalize(&self, _exec: &Exec) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Exploration statistics for a passing check.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Distinct (system, memory) states visited.
+    pub states: usize,
+    /// Terminal states (complete executions) reached.
+    pub executions: usize,
+}
+
+/// A failing check: the violated assertion plus one schedule reaching it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The assertion message.
+    pub message: String,
+    /// Human-readable schedule: one line per step from the initial state.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation: {}", self.message)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}. {step}")?;
+        }
+        std::fmt::Result::Ok(())
+    }
+}
+
+/// Exhaustively explores every interleaving (and every coherent load result)
+/// of `initial`, checking invariants in every state and `finalize` in every
+/// terminal state.
+pub fn explore<S: System>(initial: S) -> Result<Report, Violation> {
+    let exec = Exec::new(initial.locs(), initial.threads());
+    let mut visited: HashSet<(S, Exec)> = HashSet::new();
+    let mut stack: Vec<(S, Exec, Vec<String>)> = Vec::new();
+    let mut executions = 0usize;
+    visited.insert((initial.clone(), exec.clone()));
+    stack.push((initial, exec, Vec::new()));
+    while let Some((system, exec, trace)) = stack.pop() {
+        if let Err(message) = system.invariant(&exec) {
+            return Err(Violation { message, trace });
+        }
+        let runnable: Vec<usize> = (0..system.threads())
+            .filter(|&tid| !system.done(tid))
+            .collect();
+        if runnable.is_empty() {
+            executions += 1;
+            if let Err(message) = system.finalize(&exec) {
+                return Err(Violation { message, trace });
+            }
+            continue;
+        }
+        for tid in runnable {
+            let mut choice = 0usize;
+            loop {
+                let mut next_system = system.clone();
+                let mut next_exec = exec.clone();
+                let mut ctx = Ctx {
+                    exec: &mut next_exec,
+                    tid,
+                    choice,
+                    options: 1,
+                };
+                next_system.step(tid, &mut ctx);
+                let options = ctx.options;
+                if visited.insert((next_system.clone(), next_exec.clone())) {
+                    let mut next_trace = trace.clone();
+                    next_trace.push(if options > 1 {
+                        format!("thread {tid} steps (read choice {choice}/{options})")
+                    } else {
+                        format!("thread {tid} steps")
+                    });
+                    stack.push((next_system, next_exec, next_trace));
+                }
+                choice += 1;
+                if choice >= options {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(Report {
+        states: visited.len(),
+        executions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Message passing: data (loc 0) then flag (loc 1); reader checks that
+    /// acquiring the flag makes the data visible, and that a relaxed flag
+    /// does not.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct MessagePassing {
+        publish: Ord,
+        consume: Ord,
+        pc: [u8; 2],
+        saw_flag: bool,
+        data: Option<u64>,
+    }
+
+    impl MessagePassing {
+        fn new(publish: Ord, consume: Ord) -> MessagePassing {
+            MessagePassing {
+                publish,
+                consume,
+                pc: [0; 2],
+                saw_flag: false,
+                data: None,
+            }
+        }
+    }
+
+    impl System for MessagePassing {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn locs(&self) -> usize {
+            2
+        }
+        fn done(&self, tid: usize) -> bool {
+            self.pc[tid] >= 2
+        }
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) {
+            match (tid, self.pc[tid]) {
+                (0, 0) => ctx.store(0, 7, Ord::Relaxed),
+                (0, 1) => ctx.store(1, 1, self.publish),
+                (1, 0) => {
+                    if ctx.load(1, self.consume) == 1 {
+                        self.saw_flag = true;
+                    } else {
+                        // Not yet: finish without reading the data.
+                        self.pc[tid] = 1;
+                    }
+                }
+                (1, 1) => {
+                    if self.saw_flag {
+                        self.data = Some(ctx.load(0, Ord::Relaxed));
+                    }
+                }
+                _ => unreachable!("stepped a finished thread"),
+            }
+            self.pc[tid] += 1;
+        }
+        fn finalize(&self, _exec: &Exec) -> Result<(), String> {
+            if self.saw_flag && self.data != Some(7) {
+                return Err(format!("flag seen but data read {:?}", self.data));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn release_acquire_message_passing_holds() {
+        let report = explore(MessagePassing::new(Ord::Release, Ord::Acquire)).expect("passes");
+        assert!(report.executions > 0);
+    }
+
+    #[test]
+    fn relaxed_message_passing_fails() {
+        let violation =
+            explore(MessagePassing::new(Ord::Relaxed, Ord::Acquire)).expect_err("must fail");
+        assert!(violation.message.contains("data read"));
+        assert!(!violation.trace.is_empty());
+    }
+
+    /// Coherence: after a thread reads the newest store, it can never read
+    /// an older one (views are monotone).
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Coherence {
+        pc: [u8; 1],
+        reads: [u64; 2],
+    }
+
+    impl System for Coherence {
+        fn threads(&self) -> usize {
+            1
+        }
+        fn locs(&self) -> usize {
+            1
+        }
+        fn done(&self, tid: usize) -> bool {
+            self.pc[tid] >= 3
+        }
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) {
+            match self.pc[tid] {
+                0 => ctx.store(0, 5, Ord::Relaxed),
+                1 => self.reads[0] = ctx.load(0, Ord::Relaxed),
+                2 => self.reads[1] = ctx.load(0, Ord::Relaxed),
+                _ => unreachable!("stepped a finished thread"),
+            }
+            self.pc[tid] += 1;
+        }
+        fn finalize(&self, _exec: &Exec) -> Result<(), String> {
+            if self.reads != [5, 5] {
+                return Err(format!("own store not observed: {:?}", self.reads));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn threads_observe_their_own_stores() {
+        explore(Coherence {
+            pc: [0],
+            reads: [0; 2],
+        })
+        .expect("coherence holds");
+    }
+
+    /// RMW atomicity: two relaxed fetch_adds never lose an increment.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Counter {
+        pc: [u8; 2],
+    }
+
+    impl System for Counter {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn locs(&self) -> usize {
+            1
+        }
+        fn done(&self, tid: usize) -> bool {
+            self.pc[tid] >= 1
+        }
+        fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) {
+            ctx.fetch_add(0, 1, Ord::Relaxed);
+            self.pc[tid] += 1;
+        }
+        fn finalize(&self, exec: &Exec) -> Result<(), String> {
+            if exec.latest(0) != 2 {
+                return Err(format!("lost increment: {}", exec.latest(0)));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn rmw_increments_are_never_lost() {
+        explore(Counter { pc: [0; 2] }).expect("atomic");
+    }
+}

@@ -1,0 +1,115 @@
+//! `CallBudget::try_acquire` admission (`crates/sat/src/cancel.rs`): each
+//! oracle call CASes `consumed` upward via
+//! `fetch_update(AcqRel, Acquire, |used| (used < limit).then(|| used + 1))`.
+//! Properties: the counter never exceeds the limit (no over-admission), a
+//! refused caller consumes nothing, and admissions + refusals account for
+//! every attempt.
+//!
+//! The broken variant does the textbook check-then-act: load, compare, then
+//! a separate fetch_add. Two threads passing the check simultaneously
+//! over-admit, and the checker must find that schedule.
+
+use crate::model::{explore, Ctx, Exec, Ord, Report, System, Violation};
+
+const CONSUMED: usize = 0;
+const LIMIT: u64 = 3;
+const THREADS: usize = 2;
+const ATTEMPTS: u8 = 2;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Budget {
+    broken: bool,
+    /// Per thread: attempts completed so far.
+    attempts: [u8; THREADS],
+    /// Broken variant: mid-attempt flag (passed the check, add pending).
+    pending_add: [bool; THREADS],
+    admitted: [u8; THREADS],
+    refused: [u8; THREADS],
+}
+
+impl Budget {
+    fn new(broken: bool) -> Budget {
+        Budget {
+            broken,
+            attempts: [0; THREADS],
+            pending_add: [false; THREADS],
+            admitted: [0; THREADS],
+            refused: [0; THREADS],
+        }
+    }
+}
+
+impl System for Budget {
+    fn threads(&self) -> usize {
+        THREADS
+    }
+    fn locs(&self) -> usize {
+        1
+    }
+    fn done(&self, tid: usize) -> bool {
+        self.attempts[tid] >= ATTEMPTS && !self.pending_add[tid]
+    }
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) {
+        if self.broken {
+            if self.pending_add[tid] {
+                ctx.fetch_add(CONSUMED, 1, Ord::Relaxed);
+                self.admitted[tid] += 1;
+                self.pending_add[tid] = false;
+                self.attempts[tid] += 1;
+            } else if ctx.load(CONSUMED, Ord::Relaxed) < LIMIT {
+                self.pending_add[tid] = true; // check passed; add is separate
+            } else {
+                self.refused[tid] += 1;
+                self.attempts[tid] += 1;
+            }
+            return;
+        }
+        // try_acquire: one atomic fetch_update, as in CallBudget.
+        let result = ctx.rmw(CONSUMED, Ord::AcqRel, Ord::Acquire, |used| {
+            (used < LIMIT).then(|| used + 1)
+        });
+        match result {
+            Ok(_) => self.admitted[tid] += 1,
+            Err(_) => self.refused[tid] += 1,
+        }
+        self.attempts[tid] += 1;
+    }
+    fn invariant(&self, exec: &Exec) -> Result<(), String> {
+        let consumed = exec.latest(CONSUMED);
+        if consumed > LIMIT {
+            return Err(format!(
+                "budget over-admitted: consumed {consumed} > limit {LIMIT}"
+            ));
+        }
+        Ok(())
+    }
+    fn finalize(&self, exec: &Exec) -> Result<(), String> {
+        let admitted: u8 = self.admitted.iter().sum();
+        let refused: u8 = self.refused.iter().sum();
+        // Refusals consume nothing: the final counter equals admissions.
+        if exec.latest(CONSUMED) != u64::from(admitted) {
+            return Err(format!(
+                "refusal consumed budget: counter {} vs {admitted} admissions",
+                exec.latest(CONSUMED)
+            ));
+        }
+        if usize::from(admitted + refused) != THREADS * usize::from(ATTEMPTS) {
+            return Err("attempt unaccounted for".to_string());
+        }
+        // 4 attempts against a limit of 3: exactly 3 must be admitted.
+        if admitted != LIMIT as u8 {
+            return Err(format!("expected {LIMIT} admissions, got {admitted}"));
+        }
+        Ok(())
+    }
+}
+
+/// CAS-loop admission: never over the limit, refusals consume nothing.
+pub fn check_correct() -> Result<Report, Violation> {
+    explore(Budget::new(false))
+}
+
+/// Check-then-add admission: the checker must find over-admission.
+pub fn check_broken() -> Result<Report, Violation> {
+    explore(Budget::new(true))
+}

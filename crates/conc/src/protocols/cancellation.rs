@@ -1,0 +1,106 @@
+//! `CancelToken` publish/observe visibility (`crates/sat/src/cancel.rs`):
+//! the winning engine writes its result, then `cancel()`s the token with a
+//! *Release* store; losers poll `is_cancelled()` with *Acquire* loads. The
+//! property: once a loser observes the flag, the winner's result is visible
+//! — and cancellation is eventually observed (the poll loop cannot run
+//! forever, modeled by state-dedup pruning the stale-read cycle).
+//!
+//! The broken variant publishes the flag with a Relaxed store: the flag can
+//! be observed while the result write is not yet visible, and the checker
+//! must produce that stale-read schedule.
+
+use crate::model::{explore, Ctx, Exec, Ord, Report, System, Violation};
+
+const FLAG: usize = 0;
+const RESULT: usize = 1;
+const WINNER_RESULT: u64 = 42;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Cancellation {
+    publish: Ord,
+    /// pc[0]: winner; pc[1..]: pollers.
+    pc: [u8; 3],
+    observed: [Option<u64>; 2],
+}
+
+impl Cancellation {
+    fn new(publish: Ord) -> Cancellation {
+        Cancellation {
+            publish,
+            pc: [0; 3],
+            observed: [None; 2],
+        }
+    }
+}
+
+impl System for Cancellation {
+    fn threads(&self) -> usize {
+        3
+    }
+    fn locs(&self) -> usize {
+        2
+    }
+    fn done(&self, tid: usize) -> bool {
+        self.pc[tid] >= 2
+    }
+    fn step(&mut self, tid: usize, ctx: &mut Ctx<'_>) {
+        if tid == 0 {
+            match self.pc[0] {
+                0 => ctx.store(RESULT, WINNER_RESULT, Ord::Relaxed),
+                1 => ctx.store(FLAG, 1, self.publish),
+                _ => unreachable!("stepped the finished winner"),
+            }
+            self.pc[0] += 1;
+            return;
+        }
+        let poller = tid - 1;
+        match self.pc[tid] {
+            0 => {
+                // while !token.is_cancelled() {} — the not-yet branch leaves
+                // the state unchanged, so dedup prunes the livelock cycle:
+                // every *terminal* state has the flag observed.
+                if ctx.load(FLAG, Ord::Acquire) == 1 {
+                    self.pc[tid] = 1;
+                }
+            }
+            1 => {
+                self.observed[poller] = Some(ctx.load(RESULT, Ord::Relaxed));
+                self.pc[tid] = 2;
+            }
+            _ => unreachable!("stepped a finished poller"),
+        }
+    }
+    fn invariant(&self, _exec: &Exec) -> Result<(), String> {
+        for (i, observed) in self.observed.iter().enumerate() {
+            if let Some(value) = observed {
+                if *value != WINNER_RESULT {
+                    return Err(format!(
+                        "poller {i} observed the cancel flag but read stale result {value}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+    fn finalize(&self, exec: &Exec) -> Result<(), String> {
+        // Terminal ⇒ every poller left its loop ⇒ cancellation was observed.
+        if self.observed.iter().any(Option::is_none) {
+            return Err("poller finished without observing cancellation".to_string());
+        }
+        if exec.latest(FLAG) != 1 {
+            return Err("terminal state without the flag set".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Release publish / Acquire poll: observed flag ⇒ visible result, and the
+/// flag is eventually observed on every terminating schedule.
+pub fn check_correct() -> Result<Report, Violation> {
+    explore(Cancellation::new(Ord::Release))
+}
+
+/// Relaxed publish: the checker must find a stale-result schedule.
+pub fn check_broken() -> Result<Report, Violation> {
+    explore(Cancellation::new(Ord::Relaxed))
+}

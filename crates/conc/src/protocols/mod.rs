@@ -1,0 +1,76 @@
+//! Model-checked protocols from the workspace, each in a *correct* variant
+//! (must pass exhaustively) and a deliberately *broken* variant (the checker
+//! must produce a counterexample trace — this is the checker's own test).
+
+pub mod budget;
+pub mod cancellation;
+pub mod decisive_win;
+pub mod ticket;
+
+use crate::model::{Report, Violation};
+
+/// One checkable protocol variant.
+pub struct Check {
+    /// `protocol/variant` identifier.
+    pub name: &'static str,
+    /// What the variant demonstrates.
+    pub description: &'static str,
+    /// `true` if this variant is expected to yield a counterexample.
+    pub expect_violation: bool,
+    /// Runs the exhaustive exploration.
+    pub run: fn() -> Result<Report, Violation>,
+}
+
+/// Every registered protocol check, correct and broken variants alike.
+pub fn suite() -> Vec<Check> {
+    vec![
+        Check {
+            name: "decisive-win/relaxed-swap",
+            description: "portfolio race: relaxed swap admits exactly one winner",
+            expect_violation: false,
+            run: decisive_win::check_correct,
+        },
+        Check {
+            name: "decisive-win/load-then-store",
+            description: "broken: non-atomic claim admits two winners",
+            expect_violation: true,
+            run: decisive_win::check_broken,
+        },
+        Check {
+            name: "cancellation/release-acquire",
+            description: "cancel publish: result visible once the flag is observed",
+            expect_violation: false,
+            run: cancellation::check_correct,
+        },
+        Check {
+            name: "cancellation/relaxed-publish",
+            description: "broken: relaxed flag store lets a stale result be read",
+            expect_violation: true,
+            run: cancellation::check_broken,
+        },
+        Check {
+            name: "budget/fetch-update",
+            description: "CallBudget admission: never over the limit, no use after refusal",
+            expect_violation: false,
+            run: budget::check_correct,
+        },
+        Check {
+            name: "budget/load-then-add",
+            description: "broken: check-then-add admits past the limit",
+            expect_violation: true,
+            run: budget::check_broken,
+        },
+        Check {
+            name: "ticket/relaxed-fetch-add",
+            description: "engine-index dispenser: relaxed fetch_add tickets are unique",
+            expect_violation: false,
+            run: ticket::check_correct,
+        },
+        Check {
+            name: "ticket/load-then-store",
+            description: "broken: non-atomic increment hands out duplicate tickets",
+            expect_violation: true,
+            run: ticket::check_broken,
+        },
+    ]
+}

@@ -153,6 +153,8 @@ impl Manthan3 {
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize_with_budget(&self, dqbf: &Dqbf, budget: Budget) -> SynthesisResult {
+        // invariant: documented panic contract — callers must pass a
+        // validated DQBF.
         dqbf.validate().expect("well-formed DQBF");
         let mut ctx = SynthesisCtx::new(dqbf, &self.config, budget);
 
@@ -287,6 +289,8 @@ fn stage_order(ctx: &mut SynthesisCtx<'_>) -> Option<SynthesisOutcome> {
 /// clauses and swaps activation literals — no solver or encoding is ever
 /// reconstructed inside the loop.
 fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
+    // invariant: the stage pipeline runs preprocess and ordering before
+    // verify/repair; both stages stored their artifacts in ctx.
     let mut session = ctx.session.take().expect("preprocess ran");
     let order = ctx.order.take().expect("order ran");
 
@@ -342,6 +346,7 @@ fn stage_verify_repair(ctx: &mut SynthesisCtx<'_>) -> SynthesisOutcome {
         if ctx.repair.is_none() {
             ctx.repair = Some(RepairSession::new(ctx.dqbf, &mut ctx.oracle));
         }
+        // invariant: the branch above creates the session when absent.
         let repair_session = ctx.repair.as_mut().expect("repair session just opened");
         let candidates = find_candidates_to_repair(
             ctx.dqbf,

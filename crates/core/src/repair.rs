@@ -194,6 +194,7 @@ pub fn repair_vector(
                     .filter(|l| l.var() != yk)
                     .collect();
                 let beta = build_cube(vector, &core);
+                // invariant: yk came from the vector's own output list.
                 let current = vector.get(yk).expect("candidate exists");
                 let new_function = if target_value {
                     // Output must change from 1 to 0 on the cube: strengthen.

@@ -236,6 +236,8 @@ impl VerifySession {
             self.error_encoded = true;
         }
         for &y in dqbf.existentials() {
+            // invariant: a HenkinVector is total over the existentials by
+            // construction.
             let f = vector.get(y).expect("every output has a candidate");
             if self.slots.get(&y).is_some_and(|slot| slot.function == f) {
                 continue;

@@ -1,0 +1,38 @@
+//! ClauseRef locals held across (and not across) GC-trigger calls.
+
+pub struct ClauseRef(u32);
+
+pub struct Solver;
+
+impl Solver {
+    fn maybe_collect_garbage(&mut self) {}
+
+    fn lookup(&self, _r: &ClauseRef) -> u32 {
+        0
+    }
+
+    fn fresh(&self) -> ClauseRef {
+        ClauseRef(0)
+    }
+
+    pub fn stale_use(&mut self) -> u32 {
+        let cref = self.fresh();
+        self.maybe_collect_garbage();
+        self.lookup(&cref)
+    }
+
+    pub fn safe_use(&mut self) -> u32 {
+        let cref = self.fresh();
+        let value = self.lookup(&cref);
+        self.maybe_collect_garbage();
+        value
+    }
+
+    pub fn rebound_use(&mut self) -> u32 {
+        let cref = self.fresh();
+        self.lookup(&cref);
+        self.maybe_collect_garbage();
+        let cref = self.fresh();
+        self.lookup(&cref)
+    }
+}

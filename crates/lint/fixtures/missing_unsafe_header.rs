@@ -1,0 +1,5 @@
+//! A crate root that forgot its `#![forbid(unsafe_code)]` header.
+
+pub fn fine() -> u32 {
+    1
+}

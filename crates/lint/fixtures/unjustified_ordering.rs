@@ -1,0 +1,17 @@
+//! Atomic orderings with and without justification comments.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn justified(flag: &AtomicBool) -> bool {
+    // ordering: Acquire pairs with the Release store in `publish`.
+    flag.load(Ordering::Acquire)
+}
+
+pub fn unjustified(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+    // `cmp::Ordering` variants must never fire this rule.
+    a.cmp(&b)
+}

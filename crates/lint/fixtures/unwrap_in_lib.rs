@@ -1,0 +1,27 @@
+//! unwrap/expect in library code, with a test module that is exempt.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always set")
+}
+
+pub fn good_expect(v: Option<u32>) -> u32 {
+    // invariant: callers only pass Some; enforced by construction.
+    v.expect("always set")
+}
+
+pub fn good_fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Machine-readable diagnostics: `file:line: [rule] message`.
+
+use std::fmt;
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The enclosing function's name, when the rule knows it; allowlist
+    /// entries of the form `file::function` match on this.
+    pub symbol: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// `true` if the allowlist entry `entry` suppresses `diag`. Three forms:
+/// a whole file (`crates/x/src/lib.rs`), a specific line
+/// (`crates/x/src/lib.rs:120`), or a function (`crates/x/src/lib.rs::solve`).
+pub fn allow_matches(entry: &str, diag: &Diagnostic) -> bool {
+    if let Some((file, sym)) = entry.split_once("::") {
+        return file == diag.file && diag.symbol.as_deref() == Some(sym);
+    }
+    if let Some((file, line)) = entry.rsplit_once(':') {
+        if let Ok(line) = line.parse::<u32>() {
+            return file == diag.file && line == diag.line;
+        }
+    }
+    entry == diag.file
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "r",
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            symbol: Some("solve".into()),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn display_is_machine_readable() {
+        assert_eq!(diag().to_string(), "crates/x/src/lib.rs:12: [r] m");
+    }
+
+    #[test]
+    fn allow_forms() {
+        let d = diag();
+        assert!(allow_matches("crates/x/src/lib.rs", &d));
+        assert!(allow_matches("crates/x/src/lib.rs:12", &d));
+        assert!(allow_matches("crates/x/src/lib.rs::solve", &d));
+        assert!(!allow_matches("crates/x/src/lib.rs:13", &d));
+        assert!(!allow_matches("crates/x/src/lib.rs::other", &d));
+        assert!(!allow_matches("crates/y/src/lib.rs", &d));
+    }
+}

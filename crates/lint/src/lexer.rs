@@ -1,0 +1,416 @@
+//! A hand-rolled token-level lexer for Rust source files.
+//!
+//! The linter deliberately avoids `syn` (crates.io is unreachable from the
+//! build environment) and instead scans source at the token level: enough to
+//! see identifiers, punctuation, and brace structure, while correctly
+//! skipping the places naive text search goes wrong — string literals, raw
+//! strings, char literals vs. lifetimes, and (nested) block comments.
+//!
+//! Comments are not discarded: rules like `atomic-ordering` and
+//! `no-unwrap-in-lib` look for justification comments (`// ordering:`,
+//! `// invariant:`) adjacent to the flagged line, so the lexer returns them
+//! as a separate side channel keyed by line number.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// A string, char, byte, or numeric literal (content not interpreted).
+    Literal,
+    /// A lifetime (`'a`); kept distinct so char literals are not confused.
+    Lifetime,
+    /// Punctuation. Multi-character operators are split into single
+    /// characters except `::`, which rules match on.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Literal`], the raw source slice).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if the token is the identifier `ident`.
+    pub fn is_ident(&self, ident: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == ident
+    }
+
+    /// `true` if the token is the punctuation `punct`.
+    pub fn is_punct(&self, punct: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == punct
+    }
+}
+
+/// A comment with its source position (one entry per `//` line comment, one
+/// per `/* … */` block regardless of how many lines it spans).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (equal to `line` for
+    /// line comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// `true` if any comment whose text contains `marker` touches one of the
+    /// lines in `lines` (inclusive range).
+    pub fn comment_with_marker_on(&self, marker: &str, first: u32, last: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= first && c.line <= last && c.text.contains(marker))
+    }
+}
+
+/// Lexes `src` into tokens and comments. The lexer is total: malformed
+/// source never panics, it just degrades into best-effort tokens.
+pub fn lex(src: &str) -> LexedFile {
+    let bytes = src.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let (end, newlines) = scan_raw_or_byte_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime: `'x'` is a char,
+                // `'x` (no closing quote after one ident) is a lifetime.
+                if is_lifetime(bytes, i) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let end = scan_char_literal(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = bytes[j];
+                    // Stop a float scan at `..` so ranges stay punctuation.
+                    if c == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                        break;
+                    }
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns the index one
+/// past the closing quote and the number of newlines inside.
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// `true` if the source at `i` starts a raw string (`r"`, `r#"`) or byte
+/// string (`b"`, `br"`, `br#"`) rather than a plain identifier.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    // `b"…"`, `r"…"`, `br##"…"`: the prefix must end in a quote. A raw
+    // identifier `r#foo` has an ident char here instead and falls through to
+    // identifier lexing.
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a raw/byte string starting at its prefix; returns the index one past
+/// the terminator and the number of newlines inside.
+fn scan_raw_or_byte_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return (j, newlines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// `true` if the `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !(next.is_ascii_alphabetic() || next == b'_') {
+        return false; // `'\n'`, `'0'` etc. are char literals
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a lifetime.
+    // Multi-character contents (`'ab'` is not valid Rust anyway) are treated
+    // as lifetimes, which is the safe direction for a scanner.
+    bytes.get(i + 2) != Some(&b'\'')
+}
+
+/// Scans a char literal starting at the opening quote; returns the index one
+/// past the closing quote.
+fn scan_char_literal(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // malformed; stop at the line end
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}\n");
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("main", 1), ("let", 2), ("x", 2)]);
+        assert!(!lexed.tokens.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let lexed = lex("Ordering::SeqCst");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Ordering", "::", "SeqCst"]);
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        let lexed = lex("let s = \"fn unwrap() {\"; let c = '{'; let l: &'a str;");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        // The brace inside the char literal is not punctuation.
+        let braces = lexed.tokens.iter().filter(|t| t.is_punct("{")).count();
+        assert_eq!(braces, 0);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r####"let s = r#"quote " inside"#; let t = 1;"####);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("quote")));
+    }
+
+    #[test]
+    fn comments_are_collected_with_positions() {
+        let lexed =
+            lex("let a = 1; // ordering: Relaxed is enough\n/* block\nspans */ let b = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comment_with_marker_on("ordering:", 1, 1));
+        assert!(!lexed.comment_with_marker_on("ordering:", 2, 3));
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn numeric_range_does_not_swallow_dots() {
+        let lexed = lex("for i in 0..16 {}");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"16"));
+        assert_eq!(texts.iter().filter(|&&t| t == ".").count(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! manthan3-lint: the workspace invariant linter.
+//!
+//! A dependency-free, token-level scanner that enforces the cross-cutting
+//! invariants `rustc` and `clippy` cannot see: ClauseRef lifetimes across
+//! arena GC, cancellation-poll reachability from public entry points,
+//! justified atomic orderings, panic-free library code, and
+//! `#![forbid(unsafe_code)]` crate headers. Run it as
+//! `cargo run -p manthan3-lint -- check`; configuration and allowlists live
+//! in `lint.toml` at the workspace root.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use config::LintConfig;
+use diag::{allow_matches, Diagnostic};
+use rules::Workspace;
+use source::SourceFile;
+use std::path::Path;
+
+/// The outcome of a full workspace check.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived the allowlists, in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+/// Scans the workspace rooted at `root` and runs every registered rule.
+pub fn check_workspace(root: &Path, config: &LintConfig) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    for rel in source::workspace_sources(root)? {
+        files.push(SourceFile::load(root, &rel)?);
+    }
+    Ok(check_files(files, config))
+}
+
+/// Runs every rule over an already-built file set (used by fixture tests).
+pub fn check_files(files: Vec<SourceFile>, config: &LintConfig) -> LintReport {
+    let workspace = Workspace { files };
+    let mut report = LintReport {
+        files_scanned: workspace.files.len(),
+        ..LintReport::default()
+    };
+    for rule in rules::registry() {
+        let allow = config.allowlist(rule.name());
+        for diag in rule.check(&workspace, config) {
+            if allow.iter().any(|entry| allow_matches(entry, &diag)) {
+                report.suppressed += 1;
+            } else {
+                report.diagnostics.push(diag);
+            }
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}

@@ -1,0 +1,119 @@
+//! `cancel-poll`: every public solve/sample/probe entry point in the
+//! cancellation-aware crates must reach a `CancelToken` poll. A long-running
+//! entry point that never polls turns cooperative cancellation into a dead
+//! letter: the portfolio's losers keep burning CPU after a winner cancelled
+//! them.
+//!
+//! Reachability is a name-union approximation: the workspace-wide map
+//! `fn name → names it calls` is walked transitively from each entry point.
+//! Distinct functions sharing a name are merged, which biases the analysis
+//! toward *passing* — a miss therefore means no function of any reached name
+//! polls, which is a real finding. Entry points that are legitimately
+//! poll-free (e.g. pure accessors that merely match a prefix) belong in the
+//! allowlist with a justification comment in `lint.toml`.
+
+use super::{Rule, Workspace};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct CancelPoll;
+
+impl Rule for CancelPoll {
+    fn name(&self) -> &'static str {
+        "cancel-poll"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub solve/sample/probe entry points must reach a CancelToken poll"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let prefixes_default = [
+            "solve".to_string(),
+            "sample".to_string(),
+            "probe".to_string(),
+        ];
+        let prefixes = config.list_or(self.name(), "entry-prefixes", &prefixes_default);
+        let scopes_default = [
+            "crates/sat/src".to_string(),
+            "crates/maxsat/src".to_string(),
+            "crates/sampler/src".to_string(),
+            "crates/core/src/oracle".to_string(),
+        ];
+        let scopes = config.list_or(self.name(), "scopes", &scopes_default);
+        let polls_default = ["is_cancelled".to_string()];
+        let polls = config.list_or(self.name(), "poll-markers", &polls_default);
+
+        // Workspace-wide call map: name → union of called names over every
+        // function bearing that name.
+        let mut call_map: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for file in &workspace.files {
+            for f in &file.functions {
+                let entry = call_map.entry(f.name.as_str()).or_default();
+                entry.extend(f.calls.iter().map(String::as_str));
+            }
+        }
+
+        let mut out = Vec::new();
+        for file in &workspace.files {
+            if !scopes.iter().any(|s| file.rel_path.starts_with(s.as_str())) {
+                continue;
+            }
+            for f in &file.functions {
+                if !f.is_pub || f.in_test || !matches_prefix(&f.name, prefixes) {
+                    continue;
+                }
+                if reaches_poll(&f.name, &call_map, polls) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: file.rel_path.clone(),
+                    line: f.line,
+                    symbol: Some(f.name.clone()),
+                    message: format!(
+                        "pub fn `{}` never reaches a cancellation poll ({}); \
+                         wire a poll or allowlist with a justification",
+                        f.name,
+                        polls.join("/")
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Word-boundary prefix match: `solve` matches `solve` and
+/// `solve_with_assumptions` but not `solver_config`.
+fn matches_prefix(name: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        name.strip_prefix(p.as_str())
+            .is_some_and(|rest| rest.is_empty() || rest.starts_with('_'))
+    })
+}
+
+/// BFS over the name-union call graph from `entry`, looking for any poll
+/// marker name.
+fn reaches_poll(entry: &str, call_map: &BTreeMap<&str, BTreeSet<&str>>, polls: &[String]) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: Vec<&str> = vec![entry];
+    while let Some(name) = queue.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        let Some(calls) = call_map.get(name) else {
+            continue;
+        };
+        for callee in calls {
+            if polls.iter().any(|p| p == callee) {
+                return true;
+            }
+            if !seen.contains(callee) {
+                queue.push(callee);
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,165 @@
+//! `clauseref-across-gc`: a `ClauseRef` local must not be used after a call
+//! that may run clause-arena garbage collection. GC compacts the arena and
+//! remaps every *tracked* reference through the relocation table — but a
+//! stale local still indexes the old layout, silently reading a different
+//! clause (or freed space) afterwards. This is the classic arena bug class;
+//! the solver hit exactly this shape before the arena landed its forwarding
+//! headers.
+//!
+//! Detection is textual within one function body: a binding of a known
+//! ClauseRef-typed local (by configured name, or by explicit `: ClauseRef`
+//! ascription), followed by a call to a configured GC-trigger function,
+//! followed by another use of that local. Bindings are superseded by
+//! re-`let`s of the same name. Functions that legitimately hold refs across
+//! GC because they *perform* the remap (e.g. `collect_garbage` itself)
+//! belong in the allowlist.
+
+use super::{Rule, Workspace};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::FnItem;
+
+pub struct ClauseRefAcrossGc;
+
+impl Rule for ClauseRefAcrossGc {
+    fn name(&self) -> &'static str {
+        "clauseref-across-gc"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ClauseRef local may live across a call that can GC the clause arena"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let scopes_default = ["crates/sat/src".to_string()];
+        let scopes = config.list_or(self.name(), "scopes", &scopes_default);
+        let triggers_default = [
+            "maybe_collect_garbage".to_string(),
+            "collect_garbage".to_string(),
+            "reduce_db".to_string(),
+            "reduce_learnt_db".to_string(),
+            "simplify".to_string(),
+            "inprocess".to_string(),
+        ];
+        let triggers = config.list_or(self.name(), "gc-triggers", &triggers_default);
+        let idents_default = [
+            "cref".to_string(),
+            "confl".to_string(),
+            "clause_ref".to_string(),
+        ];
+        let ref_idents = config.list_or(self.name(), "ref-idents", &idents_default);
+
+        let mut out = Vec::new();
+        for file in &workspace.files {
+            if !scopes.iter().any(|s| file.rel_path.starts_with(s.as_str())) {
+                continue;
+            }
+            for f in &file.functions {
+                if f.in_test {
+                    continue;
+                }
+                check_fn(self.name(), file, f, triggers, ref_idents, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// A ClauseRef binding and its live range within the body token slice. The
+/// range ends at the next re-`let` of the same name (or the body end), so
+/// rebinding after GC starts a fresh, valid reference.
+struct Binding {
+    name: String,
+    token: usize,
+    end: usize,
+    line: u32,
+}
+
+fn check_fn(
+    rule: &'static str,
+    file: &crate::source::SourceFile,
+    f: &FnItem,
+    triggers: &[String],
+    ref_idents: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let tokens = file.tokens();
+    let body = &tokens[f.body.clone()];
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut trigger_calls: Vec<(usize, u32, String)> = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.is_ident("let") {
+            if let Some((name, at)) = binding_name(body, i, ref_idents) {
+                // A re-`let` closes the previous binding's live range.
+                for b in bindings.iter_mut().filter(|b| b.name == name) {
+                    b.end = b.end.min(i);
+                }
+                bindings.push(Binding {
+                    name,
+                    token: at,
+                    end: body.len(),
+                    line: body[at].line,
+                });
+            }
+        } else if t.kind == TokenKind::Ident
+            && triggers.iter().any(|g| t.is_ident(g))
+            && body.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            trigger_calls.push((i, t.line, t.text.clone()));
+        }
+    }
+    // For each binding, find the first use after the first in-range trigger
+    // that follows the binding.
+    for b in &bindings {
+        let Some((t_idx, t_line, t_name)) = trigger_calls
+            .iter()
+            .find(|(i, _, _)| *i > b.token && *i < b.end)
+        else {
+            continue;
+        };
+        let Some(use_tok) = body
+            .iter()
+            .enumerate()
+            .take(b.end)
+            .skip(t_idx + 1)
+            .find(|(_, t)| t.is_ident(&b.name))
+        else {
+            continue;
+        };
+        out.push(Diagnostic {
+            rule,
+            file: file.rel_path.clone(),
+            line: use_tok.1.line,
+            symbol: Some(f.name.clone()),
+            message: format!(
+                "ClauseRef `{}` (bound line {}) is used after `{}` (line {}), \
+                 which may compact the clause arena and invalidate it",
+                b.name, b.line, t_name, t_line
+            ),
+        });
+    }
+}
+
+/// Recognises `let [mut] x`, `let Some([mut] x)`, and `let x: ClauseRef`
+/// starting at the `let` token `i`; returns the bound name and its token
+/// index when it is a ClauseRef binding.
+fn binding_name(body: &[Token], i: usize, ref_idents: &[String]) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if body.get(j).is_some_and(|t| t.is_ident("Some"))
+        && body.get(j + 1).is_some_and(|t| t.is_punct("("))
+    {
+        j += 2;
+    }
+    if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let tok = body.get(j)?;
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let by_name = ref_idents.iter().any(|r| tok.is_ident(r));
+    let by_type = body.get(j + 1).is_some_and(|t| t.is_punct(":"))
+        && body.get(j + 2).is_some_and(|t| t.is_ident("ClauseRef"));
+    (by_name || by_type).then(|| (tok.text.clone(), j))
+}

@@ -1,0 +1,56 @@
+//! `forbid-unsafe-header`: every crate root (`lib.rs` / `main.rs`) must carry
+//! `#![forbid(unsafe_code)]` so unsafety can only enter the workspace through
+//! an explicit, reviewed lint-policy change.
+
+use super::{Rule, Workspace};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+pub struct ForbidUnsafeHeader;
+
+impl Rule for ForbidUnsafeHeader {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe-header"
+    }
+
+    fn description(&self) -> &'static str {
+        "crate roots must declare #![forbid(unsafe_code)]"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let roots_default = ["lib.rs".to_string(), "main.rs".to_string()];
+        let roots = config.list_or(self.name(), "roots", &roots_default);
+        let mut out = Vec::new();
+        for file in &workspace.files {
+            let is_root = roots
+                .iter()
+                .any(|r| file.rel_path.ends_with(&format!("/{r}")));
+            if is_root && !has_forbid_unsafe(file) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: file.rel_path.clone(),
+                    line: 1,
+                    symbol: None,
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Scans for the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let tokens = file.tokens();
+    tokens.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
+}

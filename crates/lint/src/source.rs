@@ -1,0 +1,364 @@
+//! The source model the rules run against: lexed files plus a light
+//! structural pass recognising test regions and function items.
+//!
+//! The structural pass is token-level, not a parse: it tracks brace depth,
+//! attaches `#[cfg(test)]` / `#[test]` attributes to the block that follows
+//! them, and records for every `fn` item its name, visibility, body token
+//! range, and the names it calls. That is deliberately an approximation —
+//! rules that consume it (`cancel-poll`, `clauseref-across-gc`) are designed
+//! so that imprecision shows up as a diagnostic to allowlist, never as a
+//! silently skipped file.
+
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with forward slashes.
+    pub rel_path: String,
+    /// The lexed token/comment streams.
+    pub lexed: LexedFile,
+    /// For each token index, `true` if the token lies inside a test region
+    /// (`#[cfg(test)] mod …` or a `#[test]` fn).
+    pub in_test: Vec<bool>,
+    /// Function items found by the structural pass, in source order.
+    pub functions: Vec<FnItem>,
+}
+
+/// One `fn` item recognised by the structural pass.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// `true` for `pub` / `pub(crate)` / `pub(super)` functions.
+    pub is_pub: bool,
+    /// `true` if the item lies in a test region.
+    pub in_test: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, **exclusive** of the outer braces; empty for
+    /// bodyless items (trait methods, extern decls).
+    pub body: std::ops::Range<usize>,
+    /// Names of functions/methods invoked in the body: every identifier
+    /// directly followed by `(`, plus generic calls `name::<…>(`.
+    pub calls: BTreeSet<String>,
+}
+
+impl SourceFile {
+    /// Loads and scans the file at `root.join(rel_path)`.
+    pub fn load(root: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(root.join(rel_path))?;
+        Ok(SourceFile::from_source(rel_path, &src))
+    }
+
+    /// Scans in-memory source, for fixture tests.
+    pub fn from_source(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let in_test = mark_test_regions(&lexed.tokens);
+        let functions = collect_functions(&lexed.tokens, &in_test);
+        SourceFile {
+            rel_path: rel_path.replace('\\', "/"),
+            lexed,
+            in_test,
+            functions,
+        }
+    }
+
+    /// The tokens of the file.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// `true` if a justification comment containing `marker` is adjacent to
+    /// `line`: the marker may sit anywhere in a contiguous comment block
+    /// (consecutive comment lines) that ends on the line itself or within
+    /// the two lines above it, so multi-line justifications count in full.
+    pub fn has_adjacent_marker(&self, marker: &str, line: u32) -> bool {
+        let comments = &self.lexed.comments;
+        for (i, comment) in comments.iter().enumerate() {
+            if comment.line > line || !comment.text.contains(marker) {
+                continue;
+            }
+            // Extend through the contiguous block this comment belongs to.
+            let mut end = comment.end_line;
+            for later in &comments[i + 1..] {
+                if later.line <= end + 1 {
+                    end = end.max(later.end_line);
+                } else {
+                    break;
+                }
+            }
+            if end + 2 >= line {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Marks, for every token, whether it lies inside a `#[cfg(test)]` block or
+/// a `#[test]` function body.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Find the block the attribute governs: the first `{` before the
+            // next `;` (a `#[cfg(test)] use …;` governs no block).
+            let mut j = i;
+            let mut open = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct("{") {
+                    open = Some(j);
+                    break;
+                }
+                if tokens[j].is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = matching_brace(tokens, open);
+                for flag in in_test.iter_mut().take(close + 1).skip(i) {
+                    *flag = true;
+                }
+                // Continue after the attribute itself; nested attributes
+                // inside the region are already covered.
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// `true` if tokens at `i` begin `#[cfg(test)]` or `#[test]` (also matching
+/// composite forms like `#[cfg(all(test, …))]`).
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct("#") || !tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+        return false;
+    }
+    // Scan the attribute's bracket group for the `test` identifier.
+    let mut depth = 0usize;
+    for t in &tokens[i + 1..] {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_ident("test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token on
+/// imbalance).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Collects `fn` items: name, visibility, body range, called names.
+fn collect_functions(tokens: &[Token], in_test: &[bool]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // Visibility: `pub` within the few tokens before `fn`, stopping
+            // at the previous item boundary so a neighbouring item's
+            // visibility is never picked up.
+            let is_pub = tokens[..i]
+                .iter()
+                .rev()
+                .take(6)
+                .take_while(|t| !(t.is_punct(";") || t.is_punct("{") || t.is_punct("}")))
+                .any(|t| t.is_ident("pub"));
+            // The body is the first `{` before a `;` at signature level.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut body = 0..0;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct(";") && angle <= 0 {
+                    break; // bodyless declaration
+                } else if t.is_punct("{") && angle <= 0 {
+                    let close = matching_brace(tokens, j);
+                    body = j + 1..close;
+                    break;
+                }
+                j += 1;
+            }
+            let calls = called_names(&tokens[body.clone()]);
+            out.push(FnItem {
+                name,
+                is_pub,
+                in_test: in_test.get(i).copied().unwrap_or(false),
+                line,
+                body: body.clone(),
+                calls,
+            });
+            // Do not skip the body: nested fns are items too.
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Every identifier in `body` directly followed by `(` or by `::` `<` … `(`
+/// (turbofish). Keywords that syntactically precede `(` are excluded.
+fn called_names(body: &[Token]) -> BTreeSet<String> {
+    const NOT_CALLS: &[&str] = &[
+        "if", "while", "for", "match", "return", "in", "as", "loop", "else", "move", "fn", "let",
+        "ref", "mut", "box", "unsafe", "await",
+    ];
+    let mut out = BTreeSet::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident || NOT_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        match body.get(i + 1) {
+            Some(next) if next.is_punct("(") => {
+                out.insert(t.text.clone());
+            }
+            Some(next) if next.is_punct("!") => {
+                // Macro invocation: record the macro name too; reachability
+                // treats it like a call (e.g. `debug_assert!`).
+                out.insert(t.text.clone());
+            }
+            // Turbofish `name::<T>(…)`.
+            Some(next)
+                if next.is_punct("::") && body.get(i + 2).is_some_and(|t| t.is_punct("<")) =>
+            {
+                out.insert(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Recursively collects the workspace's `.rs` files the linter scans:
+/// everything under `crates/*/src` and the root `src/`, excluding `vendor/`,
+/// `target/`, and the linter's own `fixtures/`.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .filter(|r| !r.contains("/fixtures/"))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_are_collected_with_bodies_and_calls() {
+        let file = SourceFile::from_source(
+            "x.rs",
+            "pub fn outer(a: u32) -> u32 { helper(a); a.method() }\nfn helper(a: u32) {}\n",
+        );
+        assert_eq!(file.functions.len(), 2);
+        let outer = &file.functions[0];
+        assert_eq!(outer.name, "outer");
+        assert!(outer.is_pub);
+        assert!(outer.calls.contains("helper"));
+        assert!(outer.calls.contains("method"));
+        assert!(!file.functions[1].is_pub);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { live(); }\n}\n";
+        let file = SourceFile::from_source("x.rs", src);
+        let live = file.functions.iter().find(|f| f.name == "live").unwrap();
+        let t = file.functions.iter().find(|f| f.name == "t").unwrap();
+        assert!(!live.in_test);
+        assert!(t.in_test);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_marks_only_that_fn() {
+        let src = "#[test]\nfn t() {}\nfn live() {}\n";
+        let file = SourceFile::from_source("x.rs", src);
+        assert!(
+            file.functions
+                .iter()
+                .find(|f| f.name == "t")
+                .unwrap()
+                .in_test
+        );
+        assert!(
+            !file
+                .functions
+                .iter()
+                .find(|f| f.name == "live")
+                .unwrap()
+                .in_test
+        );
+    }
+
+    #[test]
+    fn generic_signatures_do_not_derail_body_detection() {
+        let src = "pub fn generic<C>(c: C) -> bool where C: IntoIterator<Item = u32> { c.into_iter().count() > 0 }";
+        let file = SourceFile::from_source("x.rs", src);
+        assert_eq!(file.functions.len(), 1);
+        assert!(file.functions[0].calls.contains("into_iter"));
+    }
+}

@@ -614,6 +614,8 @@ impl MaxSatSolver {
                         // group stays bounded (the RC2 discipline).
                         let (escalate, next_assume) = {
                             let entry = &active[i];
+                            // invariant: `i` indexes the group partition of
+                            // `active`, whose entries all carry outputs.
                             let outputs = entry.outputs.as_ref().expect("group entry");
                             let next = entry.bound + 1;
                             (
@@ -679,10 +681,12 @@ impl MaxSatSolver {
             }
             self.totalizer = Some(Totalizer::encode(&mut self.solver, &counters));
         }
+        // invariant: the branch above encodes the totalizer when absent.
         self.totalizer.as_ref().expect("totalizer just encoded")
     }
 
     fn cost_of_current_model(&self) -> u64 {
+        // invariant: only called after a SAT solve stored a model.
         let model = self.model.as_ref().expect("model available");
         self.softs
             .iter()
@@ -697,12 +701,15 @@ impl MaxSatSolver {
     ///
     /// Panics if the last solve call did not produce an optimum.
     pub fn model(&self) -> Assignment {
+        // invariant: documented panic contract — callers may only ask for
+        // the model after an Optimum outcome.
         self.model.clone().expect("no MaxSAT model available")
     }
 
     /// Returns the soft clauses violated by the last optimum's model, in
     /// insertion order.
     pub fn violated_softs(&self) -> Vec<SoftId> {
+        // invariant: same contract as `model` — only valid after an Optimum.
         let model = self.model.as_ref().expect("no MaxSAT model available");
         self.softs
             .iter()

@@ -427,7 +427,12 @@ impl Portfolio {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let index = next_engine.fetch_add(1, Ordering::SeqCst);
+                    // ordering: Relaxed suffices — only RMW atomicity makes
+                    // job indices unique; `jobs_ref` was written before the
+                    // scope spawned the workers, so its visibility comes from
+                    // thread creation, not this counter. Model-checked by
+                    // manthan3-conc `ticket/relaxed-fetch-add`.
+                    let index = next_engine.fetch_add(1, Ordering::Relaxed);
                     let Some(&(engine, sample_shards, repair_strategy, restart_policy)) =
                         jobs_ref.get(index)
                     else {
@@ -455,7 +460,12 @@ impl Portfolio {
                     // others; claiming and cancelling are tied together so a
                     // near-simultaneous second decisive finisher cannot be
                     // misattributed as the winner by report push order.
-                    let claimed_win = decisive && !race_claimed.swap(true, Ordering::SeqCst);
+                    // ordering: Relaxed suffices — swap atomicity alone picks
+                    // the single winner; the winner's report travels through
+                    // the `finished` mutex and cancellation publishes via the
+                    // token's own Release store. Model-checked by
+                    // manthan3-conc `decisive-win/relaxed-swap`.
+                    let claimed_win = decisive && !race_claimed.swap(true, Ordering::Relaxed);
                     if claimed_win {
                         budget.cancel_token().cancel();
                     }

@@ -10,6 +10,7 @@
 
 use crate::{SampleOutcome, Sampler, SamplerConfig, ShortfallReason};
 use manthan3_cnf::{Assignment, Cnf};
+use manthan3_sat::CancelToken;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -131,6 +132,19 @@ impl ShardedSampler {
     /// merged batch is short. Consecutive calls use fresh derived seeds, so
     /// repeated requests keep producing new batches deterministically.
     pub fn sample(&mut self, n: usize) -> (Vec<Assignment>, SampleOutcome) {
+        // An already-cancelled run must not spawn workers or build per-shard
+        // solvers: report the empty batch immediately (the plain sampler
+        // polls the same way at each draw).
+        if self.cancelled() {
+            return (
+                Vec::new(),
+                SampleOutcome {
+                    requested: n,
+                    emitted: 0,
+                    reason: Some(ShortfallReason::Cancelled),
+                },
+            );
+        }
         // A settled UNSAT verdict is final: short-circuit instead of paying
         // one budget call per shard to re-derive it (the plain sampler
         // short-circuits the same way).
@@ -204,8 +218,19 @@ impl ShardedSampler {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || loop {
-                    let shard = next_ref.fetch_add(1, Ordering::SeqCst);
+                    // ordering: Relaxed suffices — RMW atomicity alone makes
+                    // shard claims unique; the shard inputs were written
+                    // before the scope spawned the workers, so visibility
+                    // comes from thread creation, not this counter. Model-
+                    // checked by manthan3-conc `ticket/relaxed-fetch-add`.
+                    let shard = next_ref.fetch_add(1, Ordering::Relaxed);
                     if shard >= k {
+                        break;
+                    }
+                    // Poll between claiming a shard and building its solver:
+                    // a mid-run cancellation (e.g. the portfolio race was
+                    // won) must not pay for another Sampler construction.
+                    if self.cancelled() {
                         break;
                     }
                     let mut config = self.config.clone();
@@ -233,12 +258,21 @@ impl ShardedSampler {
         });
         slots
             .into_iter()
-            .map(|slot| {
+            .filter_map(|slot| {
+                // Unclaimed slots mean the run was cancelled between claim
+                // and solve; the merge treats the shard as absent.
                 slot.into_inner()
                     .expect("no shard worker panicked holding its slot")
-                    .expect("every shard index was claimed by a worker")
             })
             .collect()
+    }
+
+    /// Polls the run's cooperative cancellation token.
+    fn cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
     }
 
     /// The bias-weighted merge: weight, dedup, select, top up.
@@ -249,7 +283,15 @@ impl ShardedSampler {
     ) -> (Vec<Assignment>, SampleOutcome) {
         let total_emitted: usize = shard_results.iter().map(|r| r.samples.len()).sum();
         if total_emitted == 0 {
-            let reason = aggregate_reason(&shard_results, self.satisfiable);
+            // A cancellation that emptied every shard (workers stopped
+            // between claim and solve) leaves no shard-reported reason;
+            // attribute the empty batch to the cancellation, not the budget
+            // fallback. An UNSAT verdict still wins: it is final.
+            let reason = if self.satisfiable != Some(false) && self.cancelled() {
+                Some(ShortfallReason::Cancelled)
+            } else {
+                aggregate_reason(&shard_results, self.satisfiable)
+            };
             return (
                 Vec::new(),
                 SampleOutcome {
@@ -567,6 +609,27 @@ mod tests {
             sorted.sort();
             assert_eq!(sorted, reference, "{threads} threads changed the merge");
         }
+    }
+
+    #[test]
+    fn pre_cancelled_request_does_no_work() {
+        let cnf = chain_cnf(8);
+        let token = CancelToken::new();
+        let budget = CallBudget::limited(64);
+        let mut cfg = config(7, 4);
+        cfg.cancel = Some(token.clone());
+        cfg.calls = Some(budget.clone());
+        let mut sampler = ShardedSampler::new(&cnf, cfg);
+        token.cancel();
+        let (samples, outcome) = sampler.sample(16);
+        assert!(samples.is_empty());
+        assert_eq!(outcome.reason, Some(ShortfallReason::Cancelled));
+        // The early poll returns before any shard solver runs, so the shared
+        // call budget is untouched — this is the regression guard for the
+        // "cancelled run still builds k solvers" bug.
+        assert_eq!(budget.consumed(), 0);
+        // The verdict cache must not have been poisoned by the empty batch.
+        assert_eq!(sampler.known_satisfiable(), None);
     }
 
     #[test]

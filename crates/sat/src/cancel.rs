@@ -41,12 +41,17 @@ impl CancelToken {
     /// Raises the flag: every solver polling this token (or a clone of it)
     /// gives up at its next poll point.
     pub fn cancel(&self) {
+        // ordering: Release publishes everything the canceller wrote (e.g.
+        // the winning result) to whoever Acquire-observes the flag; model-
+        // checked by manthan3-conc `cancellation/release-acquire`.
         self.flag.store(true, Ordering::Release);
     }
 
     /// Returns `true` once [`CancelToken::cancel`] has been called on this
     /// token or any clone of it.
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in `cancel` so an
+        // observed flag implies the canceller's prior writes are visible.
         self.flag.load(Ordering::Acquire)
     }
 }
@@ -124,11 +129,17 @@ impl CallBudget {
     pub fn try_acquire(&self) -> bool {
         match self.limit {
             None => {
+                // ordering: AcqRel keeps the counter a synchronization point
+                // so `consumed()` readers see calls that happened-before.
                 self.consumed.fetch_add(1, Ordering::AcqRel);
                 true
             }
             Some(limit) => self
                 .consumed
+                // ordering: AcqRel on success / Acquire on refusal; RMW
+                // atomicity makes admission exact (never past the limit,
+                // refusals consume nothing) — model-checked by
+                // manthan3-conc `budget/fetch-update`.
                 .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
                     (used < limit).then_some(used + 1)
                 })
@@ -138,6 +149,8 @@ impl CallBudget {
 
     /// Number of calls drawn so far across every clone.
     pub fn consumed(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel RMWs in `try_acquire` so
+        // the count reflects every acquisition that happened-before.
         self.consumed.load(Ordering::Acquire)
     }
 

@@ -601,8 +601,13 @@ impl Solver {
             if path_count == 0 {
                 break;
             }
+            // invariant: path_count > 0 means pl is an implied (non-decision)
+            // literal of the current level, and every implied literal was
+            // enqueued with its reason clause recorded.
             confl = self.reasons[pl.var().index()].expect("non-decision literal has a reason");
         }
+        // invariant: a conflict at a positive decision level traverses at
+        // least one trail literal before path_count reaches zero.
         learnt[0] = !p.expect("conflict analysis visited at least one literal");
 
         // Compute backtrack level and move the corresponding literal to slot 1.
@@ -844,13 +849,18 @@ impl Solver {
     fn collect_garbage(&mut self) {
         let reloc = self.arena.collect(self.clause_refs.iter().copied());
         for cref in &mut self.clause_refs {
+            // invariant: clause_refs seeded the collect's live set above.
             *cref = reloc.forward(*cref).expect("live clause survives GC");
         }
         for cref in &mut self.learnt_refs {
+            // invariant: learnt_refs is a subset of clause_refs, which
+            // seeded the collect's live set.
             *cref = reloc.forward(*cref).expect("learnt clause survives GC");
         }
         for reason in &mut self.reasons {
             if let Some(cref) = *reason {
+                // invariant: reason clauses are locked against deletion, so
+                // they are always in the live set.
                 *reason = Some(reloc.forward(cref).expect("reason clause survives GC"));
             }
         }
@@ -1085,6 +1095,8 @@ impl Solver {
                 .iter()
                 .copied()
                 .min_by_key(|&code| occ[code as usize].len())
+                // invariant: empty clauses surface as UNSAT long before
+                // subsumption runs; every stored clause has a literal.
                 .expect("clauses are non-empty");
             for di in 0..occ[pivot as usize].len() + occ[(pivot ^ 1) as usize].len() {
                 let plist = &occ[pivot as usize];
@@ -1168,6 +1180,8 @@ impl Solver {
         self.unwatch_clause(cref);
         let pos = (0..self.arena.len(cref))
             .find(|&i| self.arena.lit(cref, i) == lit)
+            // invariant: the caller found `lit` via this clause's own
+            // occurrence entry, so the literal is present.
             .expect("literal to strengthen away is in the clause");
         self.arena.remove_lit(cref, pos);
         self.reattach_rewritten(cref);
@@ -1214,6 +1228,8 @@ impl Solver {
                 // nonfalse[1]; find a second unfalsified watch afresh.
                 let second = (1..self.arena.len(cref))
                     .find(|&i| self.lit_value(self.arena.lit(cref, i)) != VALUE_FALSE)
+                    // invariant: this branch is only taken when the caller
+                    // counted at least two unfalsified literals.
                     .expect("two unfalsified literals exist");
                 self.arena.swap_lits(cref, 1, second);
                 self.watch_clause(cref);
