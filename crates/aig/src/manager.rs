@@ -313,6 +313,50 @@ impl Aig {
         }
     }
 
+    /// Copies the cone of `f` from `source` into this AIG and returns the
+    /// equivalent root here.
+    ///
+    /// Inputs are matched by label, so a cone built over CNF-variable labels
+    /// in one AIG means the same function after the import. Structural
+    /// hashing applies on the way in: shared sub-cones (and cones already
+    /// present in `self`) are reused, not duplicated. This is how the
+    /// compositional engine merges per-cluster Henkin vectors — each grown
+    /// in its own cluster-local AIG — into one shared vector for the
+    /// whole-formula verify.
+    pub fn import(&mut self, source: &Aig, f: AigRef) -> AigRef {
+        let mut cache: HashMap<usize, AigRef> = HashMap::new();
+        self.import_rec(source, f, &mut cache)
+    }
+
+    fn import_rec(
+        &mut self,
+        source: &Aig,
+        f: AigRef,
+        cache: &mut HashMap<usize, AigRef>,
+    ) -> AigRef {
+        let id = f.node_id();
+        let mapped = if let Some(&m) = cache.get(&id) {
+            m
+        } else {
+            let m = match source.nodes[id] {
+                Node::Constant => AigRef::FALSE,
+                Node::Input(label) => self.input(label),
+                Node::And(a, b) => {
+                    let na = self.import_rec(source, a, cache);
+                    let nb = self.import_rec(source, b, cache);
+                    self.and(na, nb)
+                }
+            };
+            cache.insert(id, m);
+            m
+        };
+        if f.is_complemented() {
+            !mapped
+        } else {
+            mapped
+        }
+    }
+
     /// Returns the label of the input node referenced by `f`, if `f` is a
     /// (possibly complemented) primary input.
     pub fn input_label(&self, f: AigRef) -> Option<usize> {
@@ -450,6 +494,57 @@ mod tests {
             let v: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
             assert_eq!(aig.eval(g, &v), !v[1]);
         }
+    }
+
+    #[test]
+    fn import_preserves_semantics_across_managers() {
+        let mut src = Aig::new();
+        let x = src.input(0);
+        let y = src.input(1);
+        let z = src.input(2);
+        let f = src.xor(x, y);
+        let g = src.ite(f, z, !x);
+
+        let mut dst = Aig::new();
+        // Pre-populate dst so node ids diverge from src.
+        let _noise = dst.input(7);
+        let imported = dst.import(&src, g);
+        let imported_neg = dst.import(&src, !g);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(dst.eval(imported, &v), src.eval(g, &v));
+            assert_eq!(dst.eval(imported_neg, &v), !src.eval(g, &v));
+        }
+        // Complemented root maps to the complement of the same node.
+        assert_eq!(imported_neg, !imported);
+        // Inputs are matched by label, not by node id.
+        let mut support = dst.support(imported);
+        support.sort_unstable();
+        assert_eq!(support, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn import_dedups_through_structural_hashing() {
+        let mut src = Aig::new();
+        let x = src.input(0);
+        let y = src.input(1);
+        let f = src.and(x, y);
+
+        let mut dst = Aig::new();
+        let dx = dst.input(0);
+        let dy = dst.input(1);
+        let existing = dst.and(dx, dy);
+        let before = dst.num_nodes();
+        let imported = dst.import(&src, f);
+        // The cone already exists in dst: nothing new is allocated and the
+        // import lands on the existing node.
+        assert_eq!(dst.num_nodes(), before);
+        assert_eq!(imported, existing);
+        // Importing again is idempotent.
+        assert_eq!(dst.import(&src, f), existing);
+        // Constants map to constants.
+        assert_eq!(dst.import(&src, AigRef::FALSE), AigRef::FALSE);
+        assert_eq!(dst.import(&src, AigRef::TRUE), AigRef::TRUE);
     }
 
     #[test]

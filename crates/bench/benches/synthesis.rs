@@ -9,8 +9,9 @@ use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, Expansio
 use manthan3_bench::{run_engine, EngineKind, RunRecord};
 use manthan3_cnf::{Assignment, Cnf, Lit, Var};
 use manthan3_core::{
-    find_candidates_from_scratch, find_candidates_to_repair, Budget, Manthan3, Manthan3Config,
-    Oracle, RepairSession, RepairStrategy, Sigma, SolverProfile, SynthesisStats, VerifySession,
+    find_candidates_from_scratch, find_candidates_to_repair, Budget, CompositionalConfig,
+    CompositionalEngine, Manthan3, Manthan3Config, Oracle, RepairSession, RepairStrategy, Sigma,
+    SolverProfile, SynthesisOutcome, SynthesisStats, VerifySession,
 };
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
 use manthan3_gen::controller::{controller, ControllerParams};
@@ -876,6 +877,220 @@ fn bench_solver_modernization(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compositional workload (ISSUE 8): `k` disjoint block-offset copies of
+/// a planted-true instance, plus two layers of widened clauses. Each widened
+/// clause is a superset of a per-copy clause (hence implied by it), so the
+/// per-copy Skolem functions already satisfy every one of them — they only
+/// shape the co-occurrence graph. The *glue* layer (template widened with all
+/// of the copy's outputs) welds each copy into a single natural cluster; the
+/// *coupling* layer (left copy's template widened with the first output of
+/// the right copy) then chains the copies into one natural cluster — exactly
+/// the shape `max_cluster_size` exists to split, and a split at the per-copy
+/// output count recovers the copy partition in BFS order. Returns the
+/// instance and that per-copy output count.
+fn compositional_workload(k: usize) -> (Dqbf, usize) {
+    let base = planted_true(
+        &PlantedParams {
+            num_universals: 8,
+            num_existentials: 6,
+            max_dependencies: 5,
+            ..PlantedParams::default()
+        },
+        21,
+    )
+    .dqbf;
+    let n = base.num_vars();
+    let offset = |v: Var, c: usize| Var::new((v.index() + c * n) as u32);
+    let mut dqbf = Dqbf::new();
+    for c in 0..k {
+        for &x in base.universals() {
+            dqbf.add_universal(offset(x, c));
+        }
+    }
+    for c in 0..k {
+        for &y in base.existentials() {
+            let deps: Vec<Var> = base.dependencies(y).iter().map(|&d| offset(d, c)).collect();
+            dqbf.add_existential(offset(y, c), deps);
+        }
+    }
+    for c in 0..k {
+        for clause in base.matrix().clauses() {
+            let mapped: Vec<Lit> = clause
+                .iter()
+                .map(|l| offset(l.var(), c).lit(l.is_positive()))
+                .collect();
+            dqbf.add_clause(mapped);
+        }
+    }
+    let template = base
+        .matrix()
+        .clauses()
+        .iter()
+        .find(|cl| cl.iter().any(|l| base.existentials().contains(&l.var())))
+        .expect("the planted matrix constrains its outputs");
+    let &first_output = base
+        .existentials()
+        .first()
+        .expect("the planted instance has outputs");
+    // The glue layer: the template widened with every output of the copy, so
+    // the copy's outputs form one co-occurrence clique (one natural cluster
+    // per copy instead of whatever the planted matrix fragments into).
+    for c in 0..k {
+        let mut glued: Vec<Lit> = template
+            .iter()
+            .map(|l| offset(l.var(), c).lit(l.is_positive()))
+            .collect();
+        for &y in base.existentials() {
+            let lit = offset(y, c).positive();
+            if !glued.contains(&lit) {
+                glued.push(lit);
+            }
+        }
+        dqbf.add_clause(glued);
+    }
+    // The coupling layer: widen one output-mentioning clause of each copy
+    // with the first output of the next copy.
+    for c in 0..k - 1 {
+        let mut widened: Vec<Lit> = template
+            .iter()
+            .map(|l| offset(l.var(), c).lit(l.is_positive()))
+            .collect();
+        widened.push(offset(first_output, c + 1).positive());
+        dqbf.add_clause(widened);
+    }
+    (dqbf, base.existentials().len())
+}
+
+/// The acceptance benchmark for compositional decomposition (ISSUE 8): on
+/// the `k`-copy coupled workload, the compositional engine (cluster cap =
+/// the per-copy output count, recovering the copy partition) must reach the
+/// same verdict as the monolithic Manthan3 run — both vectors passing the
+/// independent whole-formula certificate check — and beat it on wall clock
+/// on a multi-core host. On a single core the cluster loops time-slice and
+/// the strict assertion degrades to a no-pathological-overhead bound,
+/// mirroring the sharded-sampling and portfolio benches. A capless run on
+/// the same instance must degenerate to the monolithic pipeline (one
+/// natural cluster) with at most one extra whole-formula verify.
+///
+/// The acceptance result is also written to `target/BENCH_compositional.json`
+/// so the perf trajectory is machine-readable across PRs.
+fn bench_compositional(c: &mut Criterion) {
+    const COPIES: usize = 4;
+    const ROUNDS: usize = 5;
+    let (dqbf, per_copy_outputs) = compositional_workload(COPIES);
+
+    let compositional_config = CompositionalConfig {
+        max_cluster_size: Some(per_copy_outputs),
+        ..CompositionalConfig::default()
+    };
+
+    let mut monolithic_wall = Duration::ZERO;
+    let mut compositional_wall = Duration::ZERO;
+    let mut clusters = 0usize;
+    let mut verdict = String::new();
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let monolithic = Manthan3::new(Manthan3Config::default()).synthesize(&dqbf);
+        monolithic_wall += start.elapsed();
+
+        let start = Instant::now();
+        let compositional =
+            CompositionalEngine::new(compositional_config.clone()).synthesize(&dqbf);
+        compositional_wall += start.elapsed();
+
+        // Identical verdicts, both independently certificate-checked.
+        let SynthesisOutcome::Realizable(mono_vector) = &monolithic.outcome else {
+            panic!(
+                "monolithic engine failed the planted workload: {:?}",
+                monolithic.outcome
+            );
+        };
+        let SynthesisOutcome::Realizable(comp_vector) = &compositional.outcome else {
+            panic!(
+                "compositional engine failed the planted workload: {:?}",
+                compositional.outcome
+            );
+        };
+        assert!(verify::check(&dqbf, mono_vector).is_valid());
+        assert!(verify::check(&dqbf, comp_vector).is_valid());
+        assert!(
+            compositional.stats.clusters >= 2,
+            "the cluster cap must split the coupled workload (got {} clusters)",
+            compositional.stats.clusters
+        );
+        clusters = compositional.stats.clusters;
+        verdict = "realizable".to_string();
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "compositional acceptance: {COPIES}-copy coupled workload ({} outputs) x {ROUNDS} \
+         rounds — monolithic {:.2}ms, compositional {:.2}ms across {clusters} clusters \
+         ({:.2}x, {cores} cores)",
+        dqbf.existentials().len(),
+        monolithic_wall.as_secs_f64() * 1e3,
+        compositional_wall.as_secs_f64() * 1e3,
+        monolithic_wall.as_secs_f64() / compositional_wall.as_secs_f64().max(1e-9),
+    );
+    if cores >= 2 {
+        assert!(
+            compositional_wall < monolithic_wall,
+            "compositional synthesis ({compositional_wall:?}) is not faster than the \
+             monolithic engine ({monolithic_wall:?}) on a {cores}-core host"
+        );
+    } else {
+        assert!(
+            compositional_wall < monolithic_wall * 2,
+            "compositional synthesis ({compositional_wall:?}) pays pathological overhead \
+             over the monolithic engine ({monolithic_wall:?}) on a single core"
+        );
+    }
+
+    // Single-cluster degeneracy: without the cap the coupling chains every
+    // copy into one natural cluster, so the engine must delegate to the
+    // monolithic pipeline — same verdict, at most one extra verify.
+    let capless = CompositionalEngine::default().synthesize(&dqbf);
+    let SynthesisOutcome::Realizable(capless_vector) = &capless.outcome else {
+        panic!("capless compositional run failed: {:?}", capless.outcome);
+    };
+    assert!(verify::check(&dqbf, capless_vector).is_valid());
+    assert_eq!(capless.stats.clusters, 1, "capless run must degenerate");
+    assert!(
+        capless.stats.compose_verifies <= 1,
+        "degenerate run paid {} composition verifies",
+        capless.stats.compose_verifies
+    );
+
+    // The machine-readable perf-trajectory record.
+    let json = format!(
+        "{{\n  \"instance\": \"planted_x{COPIES}_coupled\",\n  \"clusters\": {clusters},\n  \
+         \"monolithic_wall_s\": {:.4},\n  \"compositional_wall_s\": {:.4},\n  \
+         \"verdict\": \"{verdict}\"\n}}\n",
+        monolithic_wall.as_secs_f64(),
+        compositional_wall.as_secs_f64(),
+    );
+    // Anchor on the manifest dir: criterion benches run with the package —
+    // not the workspace — as working directory.
+    let target = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+    std::fs::write(format!("{target}/BENCH_compositional.json"), json)
+        .expect("write target/BENCH_compositional.json");
+
+    let mut group = c.benchmark_group("compositional");
+    group.bench_function("compositional", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                CompositionalEngine::new(compositional_config.clone()).synthesize(&dqbf),
+            )
+        })
+    });
+    group.bench_function("monolithic", |b| {
+        b.iter(|| std::hint::black_box(Manthan3::new(Manthan3Config::default()).synthesize(&dqbf)))
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -888,6 +1103,6 @@ criterion_group! {
     config = config();
     targets = bench_engines, bench_verification_session, bench_repair_session,
         bench_repair_core_guided, bench_sharded_sampling, bench_portfolio,
-        bench_solver_modernization
+        bench_solver_modernization, bench_compositional
 }
 criterion_main!(synthesis);

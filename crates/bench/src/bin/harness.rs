@@ -20,7 +20,9 @@
 //! harness [--scale N] [--seed N] [--budget-ms N] [--out DIR]
 //!         [--engine NAME]... [--sample-shards N]
 //!         [--repair-strategy linear|core-guided]
-//!         [--solver-profile modern|legacy] [--ablations] [--quick]
+//!         [--solver-profile modern|legacy]
+//!         [--max-cluster-size N] [--compose-repairs on|off]
+//!         [--ablations] [--quick]
 //! ```
 //!
 //! `--engine NAME` (repeatable) adds an engine to the run set; the set
@@ -40,7 +42,16 @@
 //! behavior); the per-run solver-layer columns of `runs.csv`
 //! (`sat_propagations`, `props_per_sec`, `sat_restarts`, `learnt_db_live`,
 //! `glue2_clauses`, `inprocess_reductions`, `arena_collections`) and the
-//! matching `summary_table.csv` rows report its effect. Malformed
+//! matching `summary_table.csv` rows report its effect.
+//! `--engine compositional` adds the dependency-driven compositional engine
+//! (partition the outputs into clusters, synthesize them concurrently,
+//! compose with coupled-residue repair); `--max-cluster-size N` caps the
+//! outputs per cluster (forcing coupling clauses and composition repair
+//! work) and `--compose-repairs on|off` toggles the coupled-residue repair
+//! against a monolithic re-synthesis fallback. The per-run `clusters` /
+//! `cluster_wall_max_s` / `cluster_wall_sum_s` columns of `runs.csv` and the
+//! matching `summary_table.csv` rows report the partition and the critical
+//! path of the concurrent cluster phase. Malformed
 //! flag values abort with a diagnostic and a non-zero exit status.
 
 use manthan3_bench::{csvio, report, run_suite_with_options, EngineKind, RunOptions};
@@ -61,6 +72,8 @@ struct Args {
     sample_shards: usize,
     repair_strategy: RepairStrategy,
     solver_profile: SolverProfile,
+    max_cluster_size: Option<usize>,
+    compose_repairs: bool,
 }
 
 /// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
@@ -71,7 +84,9 @@ fn usage_error(message: &str) -> ! {
         "usage: harness [--scale N] [--seed N] [--budget-ms N] [--out DIR] \
          [--engine NAME]... [--sample-shards N] \
          [--repair-strategy linear|core-guided] \
-         [--solver-profile modern|legacy] [--ablations] [--quick]"
+         [--solver-profile modern|legacy] \
+         [--max-cluster-size N] [--compose-repairs on|off] \
+         [--ablations] [--quick]"
     );
     std::process::exit(2);
 }
@@ -103,6 +118,8 @@ fn parse_args() -> Args {
         sample_shards: 1,
         repair_strategy: RepairStrategy::default(),
         solver_profile: SolverProfile::default(),
+        max_cluster_size: None,
+        compose_repairs: true,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -138,6 +155,21 @@ fn parse_args() -> Args {
             "--solver-profile" => {
                 args.solver_profile = parse_value("--solver-profile", iter.next());
             }
+            "--max-cluster-size" => {
+                let size: usize = parse_value("--max-cluster-size", iter.next());
+                if size == 0 {
+                    usage_error("--max-cluster-size must be at least 1");
+                }
+                args.max_cluster_size = Some(size);
+            }
+            "--compose-repairs" => match iter.next().as_deref() {
+                Some("on") => args.compose_repairs = true,
+                Some("off") => args.compose_repairs = false,
+                Some(other) => usage_error(&format!(
+                    "invalid value {other:?} for --compose-repairs (expected on or off)"
+                )),
+                None => usage_error("--compose-repairs requires a value"),
+            },
             "--ablations" => args.ablations = true,
             "--quick" => {
                 args.scale = 1;
@@ -169,6 +201,8 @@ fn main() {
             sample_shards: args.sample_shards,
             repair_strategy: args.repair_strategy,
             solver_profile: args.solver_profile,
+            max_cluster_size: args.max_cluster_size,
+            compose_repairs: args.compose_repairs,
         },
     );
     println!("finished in {:?}", start.elapsed());
@@ -210,6 +244,9 @@ fn main() {
                 r.oracle.glue2_clauses.to_string(),
                 r.oracle.inprocess_reductions.to_string(),
                 r.oracle.arena_collections.to_string(),
+                r.clusters.to_string(),
+                format!("{:.4}", r.cluster_wall_max.as_secs_f64()),
+                format!("{:.4}", r.cluster_wall_sum.as_secs_f64()),
             ]
         })
         .collect();
@@ -240,6 +277,9 @@ fn main() {
             "glue2_clauses",
             "inprocess_reductions",
             "arena_collections",
+            "clusters",
+            "cluster_wall_max_s",
+            "cluster_wall_sum_s",
         ],
         &raw_rows,
     )

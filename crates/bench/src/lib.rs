@@ -21,7 +21,8 @@ pub mod report;
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_core::{
-    Manthan3, Manthan3Config, OracleStats, RepairStrategy, SolverProfile, SynthesisOutcome,
+    CompositionalConfig, CompositionalEngine, Manthan3, Manthan3Config, OracleStats,
+    RepairStrategy, SolverProfile, SynthesisOutcome,
 };
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
@@ -46,6 +47,15 @@ pub struct RunOptions {
     /// pre-modernization legacy behavior. Reaches the Manthan3 engine and
     /// the portfolio's Manthan3 racer; the baselines keep their defaults.
     pub solver_profile: SolverProfile,
+    /// Upper bound on the outputs per cluster for the compositional engine
+    /// (`--max-cluster-size`; `None` keeps the natural partition). Ignored
+    /// by every other engine.
+    pub max_cluster_size: Option<usize>,
+    /// Whether a compositional composition counterexample is repaired by
+    /// merging only the offending clusters (`true`, the default) or by one
+    /// monolithic re-synthesis (`--compose-repairs off`). Ignored by every
+    /// other engine.
+    pub compose_repairs: bool,
 }
 
 impl Default for RunOptions {
@@ -54,6 +64,8 @@ impl Default for RunOptions {
             sample_shards: 1,
             repair_strategy: RepairStrategy::default(),
             solver_profile: SolverProfile::default(),
+            max_cluster_size: None,
+            compose_repairs: true,
         }
     }
 }
@@ -71,6 +83,11 @@ pub enum EngineKind {
     /// shared budget with cooperative cancellation — the live counterpart
     /// of the post-hoc VBS (`manthan3-portfolio`).
     Portfolio,
+    /// The dependency-driven compositional engine (`manthan3-core`'s
+    /// `CompositionalEngine`): partition the outputs into clusters,
+    /// synthesize them concurrently, compose with coupled-residue repair.
+    /// Opt-in like the portfolio (`--engine compositional`).
+    Compositional,
 }
 
 impl EngineKind {
@@ -91,6 +108,7 @@ impl fmt::Display for EngineKind {
             EngineKind::Hqs2Like => "hqs2like",
             EngineKind::PedantLike => "pedantlike",
             EngineKind::Portfolio => "portfolio",
+            EngineKind::Compositional => "compositional",
         };
         write!(f, "{name}")
     }
@@ -105,8 +123,10 @@ impl FromStr for EngineKind {
             "hqs2like" => Ok(EngineKind::Hqs2Like),
             "pedantlike" => Ok(EngineKind::PedantLike),
             "portfolio" => Ok(EngineKind::Portfolio),
+            "compositional" => Ok(EngineKind::Compositional),
             other => Err(format!(
-                "unknown engine {other:?} (expected manthan3, hqs2like, pedantlike or portfolio)"
+                "unknown engine {other:?} (expected manthan3, hqs2like, pedantlike, portfolio \
+                 or compositional)"
             )),
         }
     }
@@ -147,6 +167,17 @@ pub struct RunRecord {
     /// Number of sample shards the run's sampling stage used (1 = the plain
     /// single-threaded sampler; 0 for engines that do not sample).
     pub sample_shards: usize,
+    /// Number of output clusters the compositional engine synthesized
+    /// concurrently (1 = it degenerated to the monolithic pipeline; 0 for
+    /// every other engine).
+    pub clusters: usize,
+    /// Longest per-cluster synthesis wall clock — the critical path of the
+    /// concurrent cluster phase (zero for non-compositional runs).
+    pub cluster_wall_max: Duration,
+    /// Sum of the per-cluster synthesis wall clocks — the total cluster
+    /// work, i.e. what a sequential schedule would have paid (zero for
+    /// non-compositional runs).
+    pub cluster_wall_sum: Duration,
 }
 
 impl RunRecord {
@@ -197,6 +228,10 @@ pub fn run_engine_with(
 ) -> RunRecord {
     let sample_shards = options.sample_shards.max(1);
     let start = Instant::now();
+    // Per-cluster metadata only the compositional engine fills in.
+    let mut clusters = 0usize;
+    let mut cluster_wall_max = Duration::ZERO;
+    let mut cluster_wall_sum = Duration::ZERO;
     let (outcome, oracle, repair_iterations, sample_wall, record_shards) = match engine {
         EngineKind::Manthan3 => {
             let config = Manthan3Config {
@@ -240,6 +275,37 @@ pub fn run_engine_with(
             let oracle = result.merged_oracle_stats();
             (result.outcome, oracle, 0, Duration::ZERO, sample_shards)
         }
+        EngineKind::Compositional => {
+            let config = CompositionalConfig {
+                engine: Manthan3Config {
+                    time_budget: Some(budget),
+                    sample_shards,
+                    repair_strategy: options.repair_strategy,
+                    solver_profile: options.solver_profile,
+                    ..Manthan3Config::default()
+                },
+                max_cluster_size: options.max_cluster_size,
+                compose_repairs: options.compose_repairs,
+                threads: 0,
+            };
+            let result = CompositionalEngine::new(config).synthesize(&instance.dqbf);
+            clusters = result.stats.clusters;
+            cluster_wall_max = result
+                .stats
+                .cluster_walls
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or_default();
+            cluster_wall_sum = result.stats.cluster_walls.iter().sum();
+            (
+                result.outcome,
+                result.stats.oracle,
+                result.stats.repair_iterations,
+                result.stats.sampling_time,
+                result.stats.sample_shards,
+            )
+        }
     };
     let time = start.elapsed();
     let (synthesized, decided, label) = match &outcome {
@@ -266,6 +332,9 @@ pub fn run_engine_with(
         repair_iterations,
         sample_wall,
         sample_shards: record_shards,
+        clusters,
+        cluster_wall_max,
+        cluster_wall_sum,
     }
 }
 
@@ -361,11 +430,15 @@ mod tests {
         assert_eq!(EngineKind::Hqs2Like.to_string(), "hqs2like");
         assert_eq!(EngineKind::PedantLike.to_string(), "pedantlike");
         assert_eq!(EngineKind::Portfolio.to_string(), "portfolio");
+        assert_eq!(EngineKind::Compositional.to_string(), "compositional");
     }
 
     #[test]
     fn engine_names_round_trip_through_fromstr() {
-        for engine in EngineKind::ALL.into_iter().chain([EngineKind::Portfolio]) {
+        for engine in EngineKind::ALL
+            .into_iter()
+            .chain([EngineKind::Portfolio, EngineKind::Compositional])
+        {
             assert_eq!(engine.to_string().parse::<EngineKind>(), Ok(engine));
         }
         assert!("hqs3like".parse::<EngineKind>().is_err());
@@ -450,6 +523,29 @@ mod tests {
                 "solver-layer propagation counters must be billed under {profile}"
             );
         }
+    }
+
+    #[test]
+    fn compositional_engine_records_cluster_metadata() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        let record = run_engine(EngineKind::Compositional, &instance, Duration::from_secs(5));
+        assert!(
+            record.synthesized,
+            "compositional failed: {}",
+            record.outcome
+        );
+        assert!(record.clusters >= 1, "cluster count must be recorded");
+        assert!(record.cluster_wall_sum >= record.cluster_wall_max);
+        // Non-compositional runs leave the cluster columns zeroed.
+        let plain = run_engine(EngineKind::Manthan3, &instance, Duration::from_secs(5));
+        assert_eq!(plain.clusters, 0);
+        assert_eq!(plain.cluster_wall_sum, Duration::ZERO);
     }
 
     #[test]

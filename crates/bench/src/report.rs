@@ -122,6 +122,22 @@ pub struct Summary {
     /// Instances decided by the live parallel portfolio engine, when its
     /// records are present.
     pub portfolio_decided: Option<usize>,
+    /// Instances synthesized by the compositional engine, when its records
+    /// are present (`--engine compositional`).
+    pub compositional_synthesized: Option<usize>,
+    /// Instances decided by the compositional engine, when its records are
+    /// present.
+    pub compositional_decided: Option<usize>,
+    /// Total output clusters across the compositional runs, when present
+    /// (instances × their partition sizes; equals the instance count when
+    /// every instance degenerated to the monolithic pipeline).
+    pub compositional_clusters: Option<usize>,
+    /// Sum over the compositional runs of their longest per-cluster wall
+    /// clock — the critical path a perfectly parallel schedule pays.
+    pub cluster_wall_max_s: Option<f64>,
+    /// Sum over the compositional runs of their total per-cluster wall
+    /// clock — what a sequential schedule would have paid.
+    pub cluster_wall_sum_s: Option<f64>,
     /// Total MaxSAT solve calls across every run of the suite.
     pub maxsat_calls: usize,
     /// Full hard-clause MaxSAT encodings constructed across every run (the
@@ -235,6 +251,42 @@ pub fn summary(records: &[RunRecord]) -> Summary {
             Some(portfolio_records.iter().filter(|r| r.decided).count()),
         )
     };
+    let compositional_records: Vec<&RunRecord> = records
+        .iter()
+        .filter(|r| r.engine == EngineKind::Compositional)
+        .collect();
+    let (
+        compositional_synthesized,
+        compositional_decided,
+        compositional_clusters,
+        cluster_wall_max_s,
+        cluster_wall_sum_s,
+    ) = if compositional_records.is_empty() {
+        (None, None, None, None, None)
+    } else {
+        (
+            Some(
+                compositional_records
+                    .iter()
+                    .filter(|r| r.synthesized)
+                    .count(),
+            ),
+            Some(compositional_records.iter().filter(|r| r.decided).count()),
+            Some(compositional_records.iter().map(|r| r.clusters).sum()),
+            Some(
+                compositional_records
+                    .iter()
+                    .map(|r| r.cluster_wall_max.as_secs_f64())
+                    .sum(),
+            ),
+            Some(
+                compositional_records
+                    .iter()
+                    .map(|r| r.cluster_wall_sum.as_secs_f64())
+                    .sum(),
+            ),
+        )
+    };
 
     let maxsat_calls = records.iter().map(|r| r.oracle.maxsat_calls).sum();
     let maxsat_fresh_encodes = records.iter().map(|r| r.oracle.maxsat_hard_encodings).sum();
@@ -293,6 +345,11 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         manthan3_within_10s_of_vbs,
         portfolio_synthesized,
         portfolio_decided,
+        compositional_synthesized,
+        compositional_decided,
+        compositional_clusters,
+        cluster_wall_max_s,
+        cluster_wall_sum_s,
         maxsat_calls,
         maxsat_fresh_encodes,
         maxsat_incremental_hits,
@@ -364,6 +421,27 @@ impl Summary {
                 synthesized.to_string(),
             ]);
             rows.push(vec!["decided_portfolio".into(), decided.to_string()]);
+        }
+        if let (Some(synthesized), Some(decided)) =
+            (self.compositional_synthesized, self.compositional_decided)
+        {
+            rows.push(vec![
+                "synthesized_compositional".into(),
+                synthesized.to_string(),
+            ]);
+            rows.push(vec!["decided_compositional".into(), decided.to_string()]);
+        }
+        // Compositional cluster columns: the partition sizes and the
+        // parallel-vs-sequential cluster wall clocks (critical path vs.
+        // total work).
+        if let (Some(clusters), Some(wall_max), Some(wall_sum)) = (
+            self.compositional_clusters,
+            self.cluster_wall_max_s,
+            self.cluster_wall_sum_s,
+        ) {
+            rows.push(vec!["compositional_clusters".into(), clusters.to_string()]);
+            rows.push(vec!["cluster_wall_max_s".into(), format!("{wall_max:.4}")]);
+            rows.push(vec!["cluster_wall_sum_s".into(), format!("{wall_sum:.4}")]);
         }
         // MaxSAT oracle counters: the bench trajectory of the incremental
         // repair refactor (fresh encodes should stay at ~one per
@@ -492,6 +570,18 @@ impl fmt::Display for Summary {
                 "\nparallel portfolio:        {synthesized} (decided {decided}, true wall-clock)"
             )?;
         }
+        if let (Some(synthesized), Some(decided)) =
+            (self.compositional_synthesized, self.compositional_decided)
+        {
+            write!(
+                f,
+                "\ncompositional:             {synthesized} (decided {decided}, {} clusters, \
+                 cluster wall {:.2}s critical path / {:.2}s total)",
+                self.compositional_clusters.unwrap_or(0),
+                self.cluster_wall_max_s.unwrap_or(0.0),
+                self.cluster_wall_sum_s.unwrap_or(0.0)
+            )?;
+        }
         Ok(())
     }
 }
@@ -513,6 +603,9 @@ mod tests {
             repair_iterations: 0,
             sample_wall: Duration::ZERO,
             sample_shards: 1,
+            clusters: 0,
+            cluster_wall_max: Duration::ZERO,
+            cluster_wall_sum: Duration::ZERO,
         }
     }
 
@@ -604,6 +697,46 @@ mod tests {
             .iter()
             .any(|r| r[0] == "synthesized_portfolio" && r[1] == "3"));
         assert!(s.to_string().contains("parallel portfolio"));
+    }
+
+    #[test]
+    fn compositional_records_fill_the_cluster_summary() {
+        // No compositional records: the columns stay absent.
+        let s = summary(&sample_records());
+        assert_eq!(s.compositional_synthesized, None);
+        assert!(!s.rows().iter().any(|r| r[0] == "compositional_clusters"));
+
+        let mut records = sample_records();
+        let mut c1 = record("i1", EngineKind::Compositional, true, 0.06);
+        c1.clusters = 3;
+        c1.cluster_wall_max = Duration::from_millis(40);
+        c1.cluster_wall_sum = Duration::from_millis(100);
+        let mut c2 = record("i2", EngineKind::Compositional, true, 0.5);
+        c2.clusters = 1;
+        c2.cluster_wall_max = Duration::from_millis(500);
+        c2.cluster_wall_sum = Duration::from_millis(500);
+        records.push(c1);
+        records.push(c2);
+        let s = summary(&records);
+        assert_eq!(s.compositional_synthesized, Some(2));
+        assert_eq!(s.compositional_decided, Some(2));
+        assert_eq!(s.compositional_clusters, Some(4));
+        assert!((s.cluster_wall_max_s.unwrap() - 0.54).abs() < 1e-9);
+        assert!((s.cluster_wall_sum_s.unwrap() - 0.6).abs() < 1e-9);
+        let rows = s.rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "synthesized_compositional" && r[1] == "2"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "compositional_clusters" && r[1] == "4"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "cluster_wall_max_s" && r[1] == "0.5400"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "cluster_wall_sum_s" && r[1] == "0.6000"));
+        assert!(s.to_string().contains("compositional:"));
     }
 
     #[test]

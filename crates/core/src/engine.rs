@@ -78,18 +78,11 @@ struct SynthesisCtx<'a> {
 }
 
 impl<'a> SynthesisCtx<'a> {
-    fn new(dqbf: &'a Dqbf, config: &'a Manthan3Config, budget: Budget) -> Self {
+    fn new(dqbf: &'a Dqbf, config: &'a Manthan3Config, oracle: Oracle) -> Self {
         SynthesisCtx {
             dqbf,
             config,
-            // The repair strategy travels Config → Oracle → RepairSession
-            // (every MaxSAT solver the run constructs searches with it), and
-            // the solver profile + restart override travel Config → Oracle →
-            // every constructed solver the same way.
-            oracle: Oracle::new(budget)
-                .with_repair_strategy(config.repair_strategy)
-                .with_solver_profile(config.solver_profile)
-                .with_restart_policy(config.restart_policy),
+            oracle,
             stats: SynthesisStats::default(),
             vector: HenkinVector::new(),
             defined: Vec::new(),
@@ -153,10 +146,32 @@ impl Manthan3 {
     ///
     /// Panics if `dqbf` fails [`Dqbf::validate`].
     pub fn synthesize_with_budget(&self, dqbf: &Dqbf, budget: Budget) -> SynthesisResult {
+        // The repair strategy travels Config → Oracle → RepairSession (every
+        // MaxSAT solver the run constructs searches with it), and the solver
+        // profile + restart override travel Config → Oracle → every
+        // constructed solver the same way.
+        let oracle = Oracle::new(budget)
+            .with_repair_strategy(self.config.repair_strategy)
+            .with_solver_profile(self.config.solver_profile)
+            .with_restart_policy(self.config.restart_policy);
+        self.synthesize_with_oracle(dqbf, oracle)
+    }
+
+    /// Like [`Manthan3::synthesize_with_budget`], but the whole [`Oracle`] is
+    /// supplied by the caller, configuration and all. This is how the
+    /// compositional engine runs one pipeline per cluster while the clusters
+    /// share a single call allowance
+    /// ([`Oracle::with_call_allowance`]) on top of the shared deadline and
+    /// cancellation token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dqbf` fails [`Dqbf::validate`].
+    pub fn synthesize_with_oracle(&self, dqbf: &Dqbf, oracle: Oracle) -> SynthesisResult {
         // invariant: documented panic contract — callers must pass a
         // validated DQBF.
         dqbf.validate().expect("well-formed DQBF");
-        let mut ctx = SynthesisCtx::new(dqbf, &self.config, budget);
+        let mut ctx = SynthesisCtx::new(dqbf, &self.config, oracle);
 
         let outcome = stage_preprocess(&mut ctx)
             .or_else(|| stage_sample(&mut ctx))

@@ -151,6 +151,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compose;
 mod config;
 mod engine;
 mod learn;
@@ -161,10 +162,11 @@ mod repair;
 mod session;
 mod stats;
 
+pub use compose::{CompositionalConfig, CompositionalEngine};
 pub use config::Manthan3Config;
 pub use engine::{Manthan3, SynthesisOutcome, SynthesisResult};
 pub use manthan3_maxsat::RepairStrategy;
-pub use manthan3_sat::{RestartPolicy, SolverProfile};
+pub use manthan3_sat::{CallBudget, RestartPolicy, SolverProfile};
 pub use oracle::{Budget, Oracle, OracleStats, UnknownReason};
 pub use order::{DependencyState, Order};
 pub use repair::{

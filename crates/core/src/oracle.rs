@@ -211,6 +211,33 @@ pub struct OracleStats {
 }
 
 impl OracleStats {
+    /// Accumulates `other` into `self`, field by field. Cumulative counters
+    /// add; the live-database gauges add too, so the merged value is the
+    /// total live footprint across the merged oracles' last-observed
+    /// solvers. Used by the portfolio's report merge and the compositional
+    /// engine's per-cluster aggregation.
+    pub fn absorb(&mut self, other: &OracleStats) {
+        self.sat_solvers_constructed += other.sat_solvers_constructed;
+        self.maxsat_solvers_constructed += other.maxsat_solvers_constructed;
+        self.samplers_constructed += other.samplers_constructed;
+        self.sat_calls += other.sat_calls;
+        self.maxsat_calls += other.maxsat_calls;
+        self.sampler_calls += other.sampler_calls;
+        self.sample_shortfalls += other.sample_shortfalls;
+        self.maxsat_hard_encodings += other.maxsat_hard_encodings;
+        self.maxsat_incremental_calls += other.maxsat_incremental_calls;
+        self.maxsat_probes += other.maxsat_probes;
+        self.maxsat_cores += other.maxsat_cores;
+        self.conflicts += other.conflicts;
+        self.sat_propagations += other.sat_propagations;
+        self.sat_restarts += other.sat_restarts;
+        self.learnt_db_live += other.learnt_db_live;
+        self.glue2_clauses += other.glue2_clauses;
+        self.inprocess_reductions += other.inprocess_reductions;
+        self.arena_collections += other.arena_collections;
+        self.budget_exhaustions += other.budget_exhaustions;
+    }
+
     /// Bills the solver-layer work between two [`SolverStats`] snapshots to
     /// the cumulative counters, and refreshes the live-database gauges from
     /// the `after` snapshot. Shared by the solve paths and the session
@@ -267,6 +294,16 @@ impl Oracle {
             solver_profile: SolverProfile::default(),
             restart_policy: None,
         }
+    }
+
+    /// Replaces the call allowance with an externally shared [`CallBudget`]
+    /// (builder style). The compositional engine hands every per-cluster
+    /// oracle a clone of one allowance, so concurrent cluster loops draw on
+    /// a single global `max_sat_calls` pool instead of each getting a full
+    /// private quota.
+    pub fn with_call_allowance(mut self, calls: CallBudget) -> Self {
+        self.calls = calls;
+        self
     }
 
     /// Selects the [`RepairStrategy`] for subsequently constructed MaxSAT
@@ -668,6 +705,30 @@ mod tests {
         assert_eq!(oracle.stats().budget_exhaustions, 1);
         // The refused call is not counted as performed.
         assert_eq!(oracle.stats().sat_calls, 1);
+    }
+
+    #[test]
+    fn shared_call_allowance_pools_consumption_across_oracles() {
+        // Two oracles drawing on one allowance: together they may make only
+        // as many solves as the pool permits, regardless of their own
+        // budgets' limits.
+        let pool = CallBudget::limited(2);
+        let mut a =
+            Oracle::new(Budget::new(None, None, Some(10))).with_call_allowance(pool.clone());
+        let mut b =
+            Oracle::new(Budget::new(None, None, Some(10))).with_call_allowance(pool.clone());
+        assert_eq!(a.call_allowance(), &pool);
+        assert_eq!(b.call_allowance(), &pool);
+        let mut sa = a.new_solver();
+        sa.ensure_vars(1);
+        let mut sb = b.new_solver();
+        sb.ensure_vars(1);
+        assert_eq!(a.solve(&mut sa), SolveResult::Sat);
+        assert_eq!(b.solve(&mut sb), SolveResult::Sat);
+        assert_eq!(pool.consumed(), 2);
+        // The pool is dry: both oracles are exhausted now.
+        assert_eq!(a.exhausted(), Some(UnknownReason::OracleBudget));
+        assert_eq!(b.solve(&mut sb), SolveResult::Unknown);
     }
 
     #[test]

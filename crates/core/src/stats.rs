@@ -41,6 +41,16 @@ pub struct SynthesisStats {
     pub repair_time: Duration,
     /// Total wall-clock time of the synthesis call.
     pub total_time: Duration,
+    /// Number of output clusters the compositional engine synthesized
+    /// concurrently (0 = the monolithic pipeline ran).
+    pub clusters: usize,
+    /// Per-cluster synthesis wall-clock times, in cluster order (empty for
+    /// monolithic runs).
+    pub cluster_walls: Vec<Duration>,
+    /// Whole-formula verify calls made at composition time.
+    pub compose_verifies: usize,
+    /// Cross-cluster (coupled-residue) repair rounds at composition time.
+    pub compose_repairs: usize,
 }
 
 impl SynthesisStats {

@@ -1,0 +1,243 @@
+//! Compositional/monolithic equivalence properties (ISSUE 8 satellite): on
+//! randomly generated decomposable instances the [`CompositionalEngine`] must
+//! agree with the monolithic [`Manthan3`] pipeline verdict-for-verdict, and
+//! every Realizable vector — from either engine, whatever the cluster cap —
+//! must pass the independent whole-formula certificate check. Planted
+//! instances make the ground truth known, so "agree" is checkable as "both
+//! synthesize", not merely "don't contradict each other".
+//!
+//! Two deterministic forced-coupling cases ride along: a cap-1 split whose
+//! coupling clause is satisfied by the per-cluster functions outright
+//! (composition verifies with zero repairs), and the propositionally
+//! unsatisfiable (¬y1)(¬y2)(y1∨y2) split where the composition verify *must*
+//! counterexample and the coupled-residue repair path must deliver the
+//! Unrealizable verdict.
+
+use manthan3_cnf::{Lit, Var};
+use manthan3_core::{
+    CompositionalConfig, CompositionalEngine, Manthan3, Manthan3Config, SynthesisOutcome,
+};
+use manthan3_dqbf::{verify, Dqbf};
+use manthan3_gen::planted::{planted_true, PlantedParams};
+use proptest::prelude::*;
+
+/// Engine settings shared by both pipelines: no wall clock (determinism),
+/// the fast structural budgets (debug-build test speed).
+fn engine_config() -> Manthan3Config {
+    Manthan3Config {
+        num_samples: 60,
+        ..Manthan3Config::fast()
+    }
+}
+
+fn compositional_config(max_cluster_size: Option<usize>) -> CompositionalConfig {
+    CompositionalConfig {
+        engine: engine_config(),
+        max_cluster_size,
+        compose_repairs: true,
+        threads: 1,
+    }
+}
+
+/// One block of a decomposable instance: a small planted-true sub-DQBF.
+#[derive(Debug, Clone)]
+struct Block {
+    num_universals: usize,
+    num_existentials: usize,
+    seed: u64,
+}
+
+/// Builds the block-offset union of the planted blocks. With `couple`, each
+/// adjacent block pair additionally gets one *widened* clause — a clause of
+/// the left block extended with an output of the right block. The widened
+/// clause is a superset of a block clause, hence implied by it, so the
+/// instance stays realizable; but it chains the blocks into one natural
+/// co-occurrence cluster, which is exactly what a cluster cap then splits
+/// back apart (making the widened clauses coupling clauses).
+fn assemble(blocks: &[Block], couple: bool) -> Dqbf {
+    let mut dqbf = Dqbf::new();
+    let mut offset = 0u32;
+    let mut block_templates: Vec<Vec<Lit>> = Vec::new();
+    let mut block_first_output: Vec<Var> = Vec::new();
+    for block in blocks {
+        let base = planted_true(
+            &PlantedParams {
+                num_universals: block.num_universals,
+                num_existentials: block.num_existentials,
+                max_dependencies: block.num_universals,
+                ..PlantedParams::default()
+            },
+            block.seed,
+        )
+        .dqbf;
+        let shift = |v: Var| Var::new(v.index() as u32 + offset);
+        for &x in base.universals() {
+            dqbf.add_universal(shift(x));
+        }
+        for &y in base.existentials() {
+            dqbf.add_existential(shift(y), base.dependencies(y).iter().map(|&d| shift(d)));
+        }
+        for clause in base.matrix().clauses() {
+            dqbf.add_clause(clause.iter().map(|l| shift(l.var()).lit(l.is_positive())));
+        }
+        let template = base
+            .matrix()
+            .clauses()
+            .iter()
+            .find(|cl| cl.iter().any(|l| base.existentials().contains(&l.var())))
+            .expect("a planted matrix constrains its outputs");
+        block_templates.push(
+            template
+                .iter()
+                .map(|l| shift(l.var()).lit(l.is_positive()))
+                .collect(),
+        );
+        block_first_output.push(shift(
+            *base
+                .existentials()
+                .first()
+                .expect("a planted block has outputs"),
+        ));
+        offset += base.num_vars() as u32;
+    }
+    if couple {
+        for pair in 0..blocks.len().saturating_sub(1) {
+            let mut widened = block_templates[pair].clone();
+            widened.push(block_first_output[pair + 1].positive());
+            dqbf.add_clause(widened);
+        }
+    }
+    dqbf
+}
+
+/// A strategy over 1–3 planted blocks plus the coupling flag and a cluster
+/// cap (0 ⇒ uncapped). The vendored proptest has no `prop_flat_map`, so the
+/// block count selects a prefix of three independently drawn blocks.
+fn instances() -> impl Strategy<Value = (Vec<Block>, bool, usize)> {
+    let block = (2usize..=4, 1usize..=3, 0u64..1024).prop_map(|(u, e, seed)| Block {
+        num_universals: u,
+        num_existentials: e,
+        seed,
+    });
+    (
+        proptest::collection::vec(block, 3),
+        1usize..=3,
+        any::<bool>(),
+        0usize..=3,
+    )
+        .prop_map(|(blocks, count, couple, cap)| {
+            (blocks.into_iter().take(count).collect(), couple, cap)
+        })
+}
+
+fn synthesized(dqbf: &Dqbf, outcome: &SynthesisOutcome) -> bool {
+    matches!(outcome, SynthesisOutcome::Realizable(v) if verify::check(dqbf, v).is_valid())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On planted (ground-truth realizable) decomposable instances, the
+    /// monolithic and compositional pipelines both synthesize, and both
+    /// vectors pass the independent whole-formula certificate check — for
+    /// the natural decomposition and under an arbitrary cluster cap alike.
+    #[test]
+    fn compositional_agrees_with_monolithic_on_planted_instances(
+        (blocks, couple, cap) in instances()
+    ) {
+        let dqbf = assemble(&blocks, couple);
+        let monolithic = Manthan3::new(engine_config()).synthesize(&dqbf);
+        prop_assert!(
+            synthesized(&dqbf, &monolithic.outcome),
+            "monolithic failed a planted instance: {:?}",
+            monolithic.outcome
+        );
+        let cap = if cap == 0 { None } else { Some(cap) };
+        let compositional =
+            CompositionalEngine::new(compositional_config(cap)).synthesize(&dqbf);
+        prop_assert!(
+            synthesized(&dqbf, &compositional.outcome),
+            "compositional (cap {cap:?}, {} clusters) diverged from the monolithic \
+             verdict on a planted instance: {:?}",
+            compositional.stats.clusters,
+            compositional.outcome
+        );
+        prop_assert!(compositional.stats.clusters >= 1);
+    }
+
+    /// Poisoning one block with a propositional contradiction over its first
+    /// output makes the whole matrix unsatisfiable; both engines must report
+    /// Unrealizable — for the compositional engine this exercises the
+    /// cluster-verdict transfer (a cluster's Unrealizable is the formula's).
+    #[test]
+    fn poisoned_block_is_unrealizable_for_both_engines(
+        (blocks, couple, cap) in instances()
+    ) {
+        let mut dqbf = assemble(&blocks, couple);
+        let &y = dqbf.existentials().first().expect("planted outputs");
+        dqbf.add_clause([y.positive()]);
+        dqbf.add_clause([y.negative()]);
+        let monolithic = Manthan3::new(engine_config()).synthesize(&dqbf);
+        prop_assert!(
+            matches!(monolithic.outcome, SynthesisOutcome::Unrealizable),
+            "monolithic missed the planted contradiction: {:?}",
+            monolithic.outcome
+        );
+        let cap = if cap == 0 { None } else { Some(cap) };
+        let compositional =
+            CompositionalEngine::new(compositional_config(cap)).synthesize(&dqbf);
+        prop_assert!(
+            matches!(compositional.outcome, SynthesisOutcome::Unrealizable),
+            "compositional (cap {cap:?}) missed the planted contradiction: {:?}",
+            compositional.outcome
+        );
+    }
+}
+
+/// A cap-1 split whose coupling clause the per-cluster functions already
+/// satisfy: composition verifies on the first try, zero coupled-residue
+/// repairs.
+#[test]
+fn implied_coupling_composes_without_repair() {
+    let x = Var::new(0);
+    let (y1, y2) = (Var::new(1), Var::new(2));
+    let mut dqbf = Dqbf::new();
+    dqbf.add_universal(x);
+    dqbf.add_existential(y1, [x]);
+    dqbf.add_existential(y2, [x]);
+    dqbf.add_clause([y1.positive(), x.positive()]);
+    dqbf.add_clause([y2.positive(), x.negative()]);
+    // Implied by the first clause: a superset.
+    dqbf.add_clause([y1.positive(), x.positive(), y2.positive()]);
+    let result = CompositionalEngine::new(compositional_config(Some(1))).synthesize(&dqbf);
+    assert!(synthesized(&dqbf, &result.outcome), "{:?}", result.outcome);
+    assert_eq!(result.stats.clusters, 2);
+    assert_eq!(result.stats.compose_repairs, 0);
+    assert!(result.stats.compose_verifies >= 1);
+}
+
+/// The propositionally unsatisfiable forced-coupling instance: each cap-1
+/// cluster is realizable on its own ((¬y1) and (¬y2) alone), so the
+/// falsity is only visible to the composition verify, and the coupled-residue
+/// repair must merge the clusters and return Unrealizable.
+#[test]
+fn coupled_contradiction_is_found_by_the_composition_repair() {
+    let x = Var::new(0);
+    let (y1, y2) = (Var::new(1), Var::new(2));
+    let mut dqbf = Dqbf::new();
+    dqbf.add_universal(x);
+    dqbf.add_existential(y1, [x]);
+    dqbf.add_existential(y2, [x]);
+    dqbf.add_clause([y1.negative()]);
+    dqbf.add_clause([y2.negative()]);
+    dqbf.add_clause([y1.positive(), y2.positive()]);
+    let result = CompositionalEngine::new(compositional_config(Some(1))).synthesize(&dqbf);
+    assert!(
+        matches!(result.outcome, SynthesisOutcome::Unrealizable),
+        "{:?}",
+        result.outcome
+    );
+    assert_eq!(result.stats.clusters, 2);
+    assert!(result.stats.compose_verifies >= 1);
+    assert!(result.stats.compose_repairs >= 1);
+}

@@ -1,0 +1,543 @@
+//! Dependency-driven decomposition of a DQBF into output clusters.
+//!
+//! Following the compositional-synthesis line of work (Finkbeiner & Passing;
+//! "On Dependent Variables in Reactive Synthesis"), the existential variables
+//! are partitioned into *clusters* such that the matrix never couples two
+//! clusters: two Y variables land in the same cluster iff they co-occur in a
+//! matrix clause, directly or transitively through other Y variables. Each
+//! cluster then induces a strictly smaller sub-DQBF (its projected matrix
+//! plus the pure-X clauses, over the original variable numbering) that can be
+//! synthesized independently — and concurrently — of the others.
+//!
+//! Definition chains need no extra edges here: Manthan3's matrices are CNF,
+//! so a variable defined in terms of another (in the [`crate::unique`] Padoa
+//! sense) is defined *through its defining clauses*, and those clauses
+//! already put the two variables in the same clause-co-occurrence component.
+//! The Padoa analysis is still run (budgeted, optional) to annotate each
+//! cluster with its uniquely-defined outputs, which downstream engines can
+//! use to pick synthesis order or skip learning.
+//!
+//! A `max_cluster_size` cap may split a natural cluster into smaller pieces;
+//! the clauses that then span two pieces are reported as *coupling clauses*.
+//! They are excluded from every per-cluster projection (each projection stays
+//! a clause subset of the whole matrix, so a cluster-level "unrealizable"
+//! verdict is sound for the whole formula) and must instead be discharged by
+//! a composition-time verify over the recombined vector, with a
+//! coupled-residue repair merging the offending clusters when it fails.
+
+use crate::{unique, Dqbf};
+use manthan3_cnf::Var;
+use manthan3_sat::SolverConfig;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling [`decompose`].
+#[derive(Debug, Clone, Default)]
+pub struct DecomposeOptions {
+    /// Upper bound on the number of outputs per cluster. Natural clusters
+    /// larger than this are split (in BFS order over the Y-incidence graph,
+    /// so tightly coupled outputs stay together), which is the only way
+    /// coupling clauses can arise. `None` keeps every natural cluster whole.
+    pub max_cluster_size: Option<usize>,
+    /// When set, each output is probed with Padoa's method (under this
+    /// conflict-budgeted solver configuration) and uniquely defined outputs
+    /// are recorded in [`Cluster::defined_outputs`]. Probes that give up
+    /// within the budget conservatively report "not defined".
+    pub definition_probe: Option<SolverConfig>,
+}
+
+impl DecomposeOptions {
+    /// Enables the Padoa definedness probe with the given conflict budget.
+    pub fn with_definition_probe(mut self, max_conflicts: u64) -> Self {
+        self.definition_probe = Some(SolverConfig::budgeted(max_conflicts));
+        self
+    }
+
+    /// Caps the number of outputs per cluster.
+    pub fn with_max_cluster_size(mut self, size: usize) -> Self {
+        self.max_cluster_size = Some(size.max(1));
+        self
+    }
+}
+
+/// One output cluster of a [`Decomposition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The existential variables of this cluster, in ascending order.
+    pub outputs: Vec<Var>,
+    /// The union of the Henkin dependency sets of [`Cluster::outputs`] —
+    /// the universals the cluster's sub-DQBF may read.
+    pub henkin: BTreeSet<Var>,
+    /// Indices (into the parent matrix) of the clauses whose existential
+    /// support is non-empty and contained in this cluster.
+    pub clause_indices: Vec<usize>,
+    /// Outputs the Padoa probe proved uniquely defined by their dependency
+    /// set (empty when the probe was not requested).
+    pub defined_outputs: Vec<Var>,
+}
+
+/// A partition of a DQBF's outputs into clusters, with the clause ownership
+/// map needed to build per-cluster subproblems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The clusters, ordered by their smallest output variable.
+    pub clusters: Vec<Cluster>,
+    /// Indices of clauses whose existential support spans more than one
+    /// cluster. Empty unless `max_cluster_size` split a natural cluster.
+    pub coupling_clauses: Vec<usize>,
+    /// Indices of clauses with no existential variables at all. These
+    /// constrain the universals alone, so every subproblem includes them
+    /// (if they are unsatisfiable the whole formula is, and any single
+    /// cluster's engine may discover that).
+    pub shared_clauses: Vec<usize>,
+}
+
+impl Decomposition {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` when the decomposition is a single cluster with no
+    /// coupling clauses — i.e. compositional synthesis would degenerate to
+    /// the monolithic engine.
+    pub fn is_monolithic(&self) -> bool {
+        self.clusters.len() <= 1 && self.coupling_clauses.is_empty()
+    }
+
+    /// The index of the cluster owning existential `y`, if any.
+    pub fn owner(&self, y: Var) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.outputs.binary_search(&y).is_ok())
+    }
+
+    /// Builds the sub-DQBF of cluster `idx`: all universals, the cluster's
+    /// existentials with their original Henkin sets, and the cluster-owned
+    /// plus shared clauses — everything over the parent variable numbering,
+    /// so per-cluster Skolem functions compose without renaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn subproblem(&self, dqbf: &Dqbf, idx: usize) -> Dqbf {
+        self.build(dqbf, &[idx])
+    }
+
+    /// Builds the merged sub-DQBF of several clusters, additionally pulling
+    /// in every coupling clause whose existential support falls inside the
+    /// union — the coupled residue a composition-time repair discharges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn merged_subproblem(&self, dqbf: &Dqbf, indices: &[usize]) -> Dqbf {
+        self.build(dqbf, indices)
+    }
+
+    fn build(&self, dqbf: &Dqbf, indices: &[usize]) -> Dqbf {
+        let mut sub = Dqbf::new();
+        for &x in dqbf.universals() {
+            sub.add_universal(x);
+        }
+        let mut outputs: BTreeSet<Var> = BTreeSet::new();
+        for &i in indices {
+            outputs.extend(self.clusters[i].outputs.iter().copied());
+        }
+        for &y in dqbf.existentials() {
+            if outputs.contains(&y) {
+                sub.add_existential(y, dqbf.dependencies(y).iter().copied());
+            }
+        }
+        let clauses = dqbf.matrix().clauses();
+        let mut picked: Vec<usize> = self.shared_clauses.clone();
+        for &i in indices {
+            picked.extend(self.clusters[i].clause_indices.iter().copied());
+        }
+        for &ci in &self.coupling_clauses {
+            let inside = clauses[ci]
+                .iter()
+                .all(|l| !dqbf.is_existential(l.var()) || outputs.contains(&l.var()));
+            if inside {
+                picked.push(ci);
+            }
+        }
+        picked.sort_unstable();
+        picked.dedup();
+        for ci in picked {
+            sub.add_clause(clauses[ci].iter().copied());
+        }
+        // Keep the parent numbering even if the picked clauses do not
+        // mention the highest parent variable.
+        sub.matrix_mut().ensure_vars(dqbf.num_vars());
+        sub
+    }
+}
+
+/// Partitions the outputs of `dqbf` into clusters (see the module docs for
+/// the exact clustering relation) and reports the clause ownership map.
+pub fn decompose(dqbf: &Dqbf, options: &DecomposeOptions) -> Decomposition {
+    let ys: Vec<Var> = dqbf.existentials().to_vec();
+    let index_of: BTreeMap<Var, usize> = ys.iter().enumerate().map(|(i, &y)| (y, i)).collect();
+
+    // Union-find over clause co-occurrence of existential variables.
+    let mut uf = UnionFind::new(ys.len());
+    let clause_supports: Vec<Vec<usize>> = dqbf
+        .matrix()
+        .clauses()
+        .iter()
+        .map(|clause| {
+            let mut support: Vec<usize> = clause
+                .iter()
+                .filter_map(|l| index_of.get(&l.var()).copied())
+                .collect();
+            support.sort_unstable();
+            support.dedup();
+            support
+        })
+        .collect();
+    for support in &clause_supports {
+        for w in support.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+
+    // Natural clusters, deterministically ordered by smallest member.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..ys.len() {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut natural: Vec<Vec<usize>> = groups.into_values().collect();
+    natural.sort_by_key(|g| g[0]);
+
+    // Optional split of oversized clusters, BFS order over Y-incidence so
+    // tightly coupled outputs stay in the same piece.
+    let mut parts: Vec<Vec<usize>> = Vec::new();
+    match options.max_cluster_size {
+        Some(cap) if natural.iter().any(|g| g.len() > cap) => {
+            let adjacency = incidence_adjacency(ys.len(), &clause_supports);
+            for group in natural {
+                if group.len() <= cap {
+                    parts.push(group);
+                } else {
+                    parts.extend(split_group(&group, &adjacency, cap));
+                }
+            }
+        }
+        _ => parts = natural,
+    }
+
+    // Assign every clause: no Y support → shared, support inside one part →
+    // owned, otherwise coupling.
+    let mut part_of = vec![usize::MAX; ys.len()];
+    for (p, part) in parts.iter().enumerate() {
+        for &i in part {
+            part_of[i] = p;
+        }
+    }
+    let mut shared_clauses = Vec::new();
+    let mut coupling_clauses = Vec::new();
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); parts.len()];
+    for (ci, support) in clause_supports.iter().enumerate() {
+        match support.split_first() {
+            None => shared_clauses.push(ci),
+            Some((&first, rest)) => {
+                let p = part_of[first];
+                if rest.iter().all(|&i| part_of[i] == p) {
+                    owned[p].push(ci);
+                } else {
+                    coupling_clauses.push(ci);
+                }
+            }
+        }
+    }
+
+    let clusters: Vec<Cluster> = parts
+        .into_iter()
+        .zip(owned)
+        .map(|(part, clause_indices)| {
+            let outputs: Vec<Var> = part.iter().map(|&i| ys[i]).collect();
+            let henkin: BTreeSet<Var> = outputs
+                .iter()
+                .flat_map(|&y| dqbf.dependencies(y).iter().copied())
+                .collect();
+            let defined_outputs = match &options.definition_probe {
+                Some(config) => outputs
+                    .iter()
+                    .copied()
+                    .filter(|&y| unique::is_uniquely_defined_with(dqbf, y, config))
+                    .collect(),
+                None => Vec::new(),
+            };
+            Cluster {
+                outputs,
+                henkin,
+                clause_indices,
+                defined_outputs,
+            }
+        })
+        .collect();
+
+    Decomposition {
+        clusters,
+        coupling_clauses,
+        shared_clauses,
+    }
+}
+
+/// Adjacency lists of the Y-incidence graph (edge iff clause co-occurrence).
+fn incidence_adjacency(n: usize, clause_supports: &[Vec<usize>]) -> Vec<BTreeSet<usize>> {
+    let mut adjacency = vec![BTreeSet::new(); n];
+    for support in clause_supports {
+        for &a in support {
+            for &b in support {
+                if a != b {
+                    adjacency[a].insert(b);
+                }
+            }
+        }
+    }
+    adjacency
+}
+
+/// Splits one natural cluster into pieces of at most `cap` members by
+/// filling chunks in BFS order from the smallest member.
+fn split_group(group: &[usize], adjacency: &[BTreeSet<usize>], cap: usize) -> Vec<Vec<usize>> {
+    let members: BTreeSet<usize> = group.iter().copied().collect();
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(group.len());
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &start in group {
+        if !visited.insert(start) {
+            continue;
+        }
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &j in &adjacency[i] {
+                if members.contains(&j) && visited.insert(j) {
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    order
+        .chunks(cap)
+        .map(|chunk| {
+            let mut part = chunk.to_vec();
+            part.sort_unstable();
+            part
+        })
+        .collect()
+}
+
+/// A plain union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manthan3_cnf::Var;
+
+    /// Two independent copies of the "y ↔ x" gate plus a pure-X clause.
+    fn two_block_example() -> Dqbf {
+        let (x1, x2) = (Var::new(0), Var::new(1));
+        let (y1, y2) = (Var::new(2), Var::new(3));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x1);
+        dqbf.add_universal(x2);
+        dqbf.add_existential(y1, [x1]);
+        dqbf.add_existential(y2, [x2]);
+        dqbf.add_clause([y1.negative(), x1.positive()]);
+        dqbf.add_clause([y1.positive(), x1.negative()]);
+        dqbf.add_clause([y2.negative(), x2.positive()]);
+        dqbf.add_clause([y2.positive(), x2.negative()]);
+        dqbf.add_clause([x1.positive(), x2.positive(), x1.negative()]); // pure-X
+        dqbf
+    }
+
+    #[test]
+    fn independent_blocks_split_into_clusters() {
+        let dqbf = two_block_example();
+        let d = decompose(&dqbf, &DecomposeOptions::default());
+        assert_eq!(d.num_clusters(), 2);
+        assert!(!d.is_monolithic());
+        assert!(d.coupling_clauses.is_empty());
+        assert_eq!(d.shared_clauses, vec![4]);
+        assert_eq!(d.clusters[0].outputs, vec![Var::new(2)]);
+        assert_eq!(d.clusters[1].outputs, vec![Var::new(3)]);
+        assert_eq!(d.clusters[0].clause_indices, vec![0, 1]);
+        assert_eq!(d.clusters[1].clause_indices, vec![2, 3]);
+        assert_eq!(d.owner(Var::new(2)), Some(0));
+        assert_eq!(d.owner(Var::new(3)), Some(1));
+        assert_eq!(d.owner(Var::new(0)), None);
+        assert_eq!(
+            d.clusters[0].henkin,
+            [Var::new(0)].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn clause_co_occurrence_is_transitive() {
+        // y1–y2 share a clause, y2–y3 share a clause: one cluster of three.
+        let x = Var::new(0);
+        let (y1, y2, y3) = (Var::new(1), Var::new(2), Var::new(3));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y1, [x]);
+        dqbf.add_existential(y2, [x]);
+        dqbf.add_existential(y3, [x]);
+        dqbf.add_clause([y1.positive(), y2.positive()]);
+        dqbf.add_clause([y2.negative(), y3.positive()]);
+        let d = decompose(&dqbf, &DecomposeOptions::default());
+        assert_eq!(d.num_clusters(), 1);
+        assert_eq!(
+            d.clusters[0].outputs,
+            vec![Var::new(1), Var::new(2), Var::new(3)]
+        );
+        assert!(d.coupling_clauses.is_empty());
+    }
+
+    #[test]
+    fn paper_example_decomposes_along_its_gate_structure() {
+        // y2's defining clauses mention y1 (one cluster), while y3 is
+        // defined purely from x2, x3 and shares no clause with the others.
+        let dqbf = Dqbf::paper_example();
+        let d = decompose(&dqbf, &DecomposeOptions::default());
+        assert_eq!(d.num_clusters(), 2);
+        assert_eq!(d.clusters[0].outputs, vec![Var::new(3), Var::new(4)]);
+        assert_eq!(d.clusters[1].outputs, vec![Var::new(5)]);
+        assert!(d.coupling_clauses.is_empty());
+    }
+
+    #[test]
+    fn max_cluster_size_splits_and_reports_coupling() {
+        let x = Var::new(0);
+        let (y1, y2) = (Var::new(1), Var::new(2));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y1, [x]);
+        dqbf.add_existential(y2, [x]);
+        dqbf.add_clause([y1.positive(), x.positive()]);
+        dqbf.add_clause([y1.positive(), y2.positive()]); // becomes coupling
+        dqbf.add_clause([y2.positive(), x.negative()]);
+        let opts = DecomposeOptions::default().with_max_cluster_size(1);
+        let d = decompose(&dqbf, &opts);
+        assert_eq!(d.num_clusters(), 2);
+        assert!(!d.is_monolithic());
+        assert_eq!(d.coupling_clauses, vec![1]);
+        assert_eq!(d.clusters[0].clause_indices, vec![0]);
+        assert_eq!(d.clusters[1].clause_indices, vec![2]);
+    }
+
+    #[test]
+    fn subproblems_keep_parent_numbering_and_validate() {
+        let dqbf = two_block_example();
+        let d = decompose(&dqbf, &DecomposeOptions::default());
+        for i in 0..d.num_clusters() {
+            let sub = d.subproblem(&dqbf, i);
+            assert!(sub.validate().is_ok());
+            assert_eq!(sub.num_vars(), dqbf.num_vars());
+            assert_eq!(sub.universals(), dqbf.universals());
+            assert_eq!(sub.existentials(), &d.clusters[i].outputs[..]);
+            // Owned + shared clauses, nothing else.
+            assert_eq!(
+                sub.num_clauses(),
+                d.clusters[i].clause_indices.len() + d.shared_clauses.len()
+            );
+            // Original Henkin sets survive.
+            for &y in sub.existentials() {
+                assert_eq!(sub.dependencies(y), dqbf.dependencies(y));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_subproblem_pulls_in_internal_coupling() {
+        let x = Var::new(0);
+        let (y1, y2) = (Var::new(1), Var::new(2));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y1, [x]);
+        dqbf.add_existential(y2, [x]);
+        dqbf.add_clause([y1.positive(), x.positive()]);
+        dqbf.add_clause([y1.positive(), y2.positive()]);
+        dqbf.add_clause([y2.positive(), x.negative()]);
+        let opts = DecomposeOptions::default().with_max_cluster_size(1);
+        let d = decompose(&dqbf, &opts);
+        // Each piece alone misses the coupling clause…
+        assert_eq!(d.subproblem(&dqbf, 0).num_clauses(), 1);
+        assert_eq!(d.subproblem(&dqbf, 1).num_clauses(), 1);
+        // …the merged subproblem restores it.
+        let merged = d.merged_subproblem(&dqbf, &[0, 1]);
+        assert_eq!(merged.num_clauses(), 3);
+        assert!(merged.validate().is_ok());
+        assert_eq!(merged.existentials(), dqbf.existentials());
+    }
+
+    #[test]
+    fn definition_probe_annotates_defined_outputs() {
+        // y1 ↔ x1 is uniquely defined; a free output is not.
+        let (x1, x2) = (Var::new(0), Var::new(1));
+        let (y1, y2) = (Var::new(2), Var::new(3));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x1);
+        dqbf.add_universal(x2);
+        dqbf.add_existential(y1, [x1]);
+        dqbf.add_existential(y2, [x2]);
+        dqbf.add_clause([y1.negative(), x1.positive()]);
+        dqbf.add_clause([y1.positive(), x1.negative()]);
+        dqbf.add_clause([y2.positive(), x2.positive()]);
+        let opts = DecomposeOptions::default().with_definition_probe(10_000);
+        let d = decompose(&dqbf, &opts);
+        assert_eq!(d.num_clusters(), 2);
+        assert_eq!(d.clusters[0].defined_outputs, vec![Var::new(2)]);
+        assert!(d.clusters[1].defined_outputs.is_empty());
+        // Without the probe nothing is annotated.
+        let bare = decompose(&dqbf, &DecomposeOptions::default());
+        assert!(bare.clusters.iter().all(|c| c.defined_outputs.is_empty()));
+    }
+
+    #[test]
+    fn formula_without_existentials_is_a_single_empty_decomposition() {
+        let x = Var::new(0);
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_clause([x.positive()]);
+        let d = decompose(&dqbf, &DecomposeOptions::default());
+        assert_eq!(d.num_clusters(), 0);
+        assert!(d.is_monolithic());
+        assert_eq!(d.shared_clauses, vec![0]);
+    }
+}

@@ -17,6 +17,8 @@ pub enum DqbfError {
     },
     /// The matrix mentions a variable that is not quantified.
     UnquantifiedVariable(Var),
+    /// An existential lists itself in its own Henkin dependency set.
+    SelfDependency(Var),
 }
 
 impl fmt::Display for DqbfError {
@@ -32,6 +34,9 @@ impl fmt::Display for DqbfError {
             ),
             DqbfError::UnquantifiedVariable(v) => {
                 write!(f, "matrix variable {v} is not quantified")
+            }
+            DqbfError::SelfDependency(v) => {
+                write!(f, "existential {v} depends on itself")
             }
         }
     }
@@ -150,8 +155,8 @@ impl Dqbf {
     /// # Errors
     ///
     /// Returns a [`DqbfError`] describing the first problem found: duplicate
-    /// quantification, a dependency that is not universal, or a matrix
-    /// variable that is not quantified.
+    /// quantification, an existential depending on itself, a dependency that
+    /// is not universal, or a matrix variable that is not quantified.
     pub fn validate(&self) -> Result<(), DqbfError> {
         let mut seen: BTreeSet<Var> = BTreeSet::new();
         for &v in self.universals.iter().chain(self.existentials.iter()) {
@@ -162,6 +167,9 @@ impl Dqbf {
         let universal_set: BTreeSet<Var> = self.universals.iter().copied().collect();
         for (&y, deps) in &self.dependencies {
             for &d in deps {
+                if d == y {
+                    return Err(DqbfError::SelfDependency(y));
+                }
                 if !universal_set.contains(&d) {
                     return Err(DqbfError::UnknownDependency {
                         existential: y,
@@ -326,6 +334,23 @@ mod tests {
             unquantified.validate(),
             Err(DqbfError::UnquantifiedVariable(z))
         );
+    }
+
+    #[test]
+    fn validation_rejects_self_dependency() {
+        // Regression: an existential listing itself in its own dependency
+        // set used to surface as UnknownDependency (or, worse, slip through
+        // if the variable was also declared universal elsewhere); it must be
+        // rejected with the dedicated variant.
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y, [x, y]);
+        assert_eq!(dqbf.validate(), Err(DqbfError::SelfDependency(y)));
+        assert!(DqbfError::SelfDependency(y)
+            .to_string()
+            .contains("depends on itself"));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`semantics`] — brute-force truth evaluation for small instances
 //!   (used as an independent test oracle),
 //! * [`unique`] — Padoa-style unique-definition extraction (the role played
-//!   by the UNIQUE tool in the paper's implementation).
+//!   by the UNIQUE tool in the paper's implementation),
+//! * [`decompose`] — dependency-driven partitioning of the outputs into
+//!   independent clusters for compositional synthesis.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decompose;
 mod formula;
 mod henkin;
 mod parser;

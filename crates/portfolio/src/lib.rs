@@ -38,6 +38,17 @@
 //! core-guided one; instances with phase transitions in the search by the
 //! adaptive-restart one.
 //!
+//! The opt-in fourth entry [`PortfolioEngine::Compositional`] races the
+//! dependency-driven compositional pipeline
+//! ([`CompositionalEngine`](manthan3_core::CompositionalEngine)): the DQBF
+//! is partitioned into output clusters that are synthesized independently
+//! and composed with a whole-formula verify. Its racing dimension is
+//! [`PortfolioConfig::compositional_merge_thresholds`] — one racer per
+//! `max_cluster_size` cap, so instances with natural cluster structure are
+//! won by a fine partition while strongly coupled ones fall back to the
+//! monolithic pipeline. Reports from this racer carry the cluster count in
+//! [`EngineReport::clusters`].
+//!
 //! # Examples
 //!
 //! ```
@@ -56,8 +67,8 @@
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_core::{
-    Budget, Manthan3, Manthan3Config, OracleStats, RepairStrategy, RestartPolicy, SynthesisOutcome,
-    UnknownReason,
+    Budget, CompositionalConfig, CompositionalEngine, Manthan3, Manthan3Config, OracleStats,
+    RepairStrategy, RestartPolicy, SynthesisOutcome, UnknownReason,
 };
 use manthan3_dqbf::{verify, Dqbf, HenkinVector};
 use std::fmt;
@@ -74,10 +85,17 @@ pub enum PortfolioEngine {
     Hqs2Like,
     /// The definition + arbiter baseline standing in for Pedant.
     PedantLike,
+    /// The dependency-driven compositional pipeline
+    /// ([`CompositionalEngine`]): partition the outputs into clusters,
+    /// synthesize them concurrently, compose with coupled-residue repair.
+    /// Opt-in — not part of [`PortfolioEngine::ALL`], because on small or
+    /// strongly coupled instances it degenerates to the Manthan3 entry.
+    Compositional,
 }
 
 impl PortfolioEngine {
-    /// All engines, in the order they are dispatched by default.
+    /// The default engines, in the order they are dispatched.
+    /// [`PortfolioEngine::Compositional`] is opt-in and not listed here.
     pub const ALL: [PortfolioEngine; 3] = [
         PortfolioEngine::Manthan3,
         PortfolioEngine::Hqs2Like,
@@ -91,6 +109,7 @@ impl fmt::Display for PortfolioEngine {
             PortfolioEngine::Manthan3 => "manthan3",
             PortfolioEngine::Hqs2Like => "hqs2like",
             PortfolioEngine::PedantLike => "pedantlike",
+            PortfolioEngine::Compositional => "compositional",
         };
         write!(f, "{name}")
     }
@@ -147,6 +166,14 @@ pub struct PortfolioConfig {
     /// predictable Luby racer. Empty (the default) races the single policy
     /// of the configured solver profile.
     pub manthan3_restart_policies: Vec<RestartPolicy>,
+    /// Cluster-merge-threshold diversity for the compositional engine: when
+    /// non-empty, every [`PortfolioEngine::Compositional`] entry in
+    /// `engines` fans out into one racer per listed `max_cluster_size` cap
+    /// (each partitioning the outputs at a different granularity before
+    /// synthesizing the clusters), all under the same shared budget and
+    /// cancellation. Empty (the default) races a single compositional
+    /// entry with the natural (uncapped) partition.
+    pub compositional_merge_thresholds: Vec<usize>,
     /// Engine-specific settings for the expansion baseline (budget fields
     /// ignored).
     pub expansion: ExpansionConfig,
@@ -167,6 +194,7 @@ impl Default for PortfolioConfig {
             manthan3_shard_counts: Vec::new(),
             manthan3_repair_strategies: Vec::new(),
             manthan3_restart_policies: Vec::new(),
+            compositional_merge_thresholds: Vec::new(),
             expansion: ExpansionConfig::default(),
             arbiter: ArbiterConfig::default(),
         }
@@ -201,6 +229,10 @@ pub struct EngineReport {
     /// restart diversity ([`PortfolioConfig::manthan3_restart_policies`]);
     /// `None` for baselines and for the single default configuration.
     pub restart_policy: Option<RestartPolicy>,
+    /// The number of output clusters a [`PortfolioEngine::Compositional`]
+    /// racer synthesized concurrently (`Some(1)` when it delegated to the
+    /// monolithic pipeline); `None` for every other engine.
+    pub clusters: Option<usize>,
     /// The engine's own verdict (losers typically report
     /// [`UnknownReason::Cancelled`]).
     pub outcome: SynthesisOutcome,
@@ -267,29 +299,11 @@ impl PortfolioResult {
     /// The element-wise sum of every engine's oracle counters: the total
     /// oracle work the race performed.
     pub fn merged_oracle_stats(&self) -> OracleStats {
+        // Counters add; gauges add too, so the merged value is the total
+        // live footprint of every racer's last-observed solver.
         let mut merged = OracleStats::default();
         for report in &self.reports {
-            merged.sat_solvers_constructed += report.oracle.sat_solvers_constructed;
-            merged.maxsat_solvers_constructed += report.oracle.maxsat_solvers_constructed;
-            merged.samplers_constructed += report.oracle.samplers_constructed;
-            merged.sat_calls += report.oracle.sat_calls;
-            merged.maxsat_calls += report.oracle.maxsat_calls;
-            merged.sampler_calls += report.oracle.sampler_calls;
-            merged.sample_shortfalls += report.oracle.sample_shortfalls;
-            merged.maxsat_hard_encodings += report.oracle.maxsat_hard_encodings;
-            merged.maxsat_incremental_calls += report.oracle.maxsat_incremental_calls;
-            merged.maxsat_probes += report.oracle.maxsat_probes;
-            merged.maxsat_cores += report.oracle.maxsat_cores;
-            merged.conflicts += report.oracle.conflicts;
-            merged.sat_propagations += report.oracle.sat_propagations;
-            merged.sat_restarts += report.oracle.sat_restarts;
-            // Gauges: summed across racers, i.e. the merged value is the
-            // total live footprint of every racer's last-observed solver.
-            merged.learnt_db_live += report.oracle.learnt_db_live;
-            merged.glue2_clauses += report.oracle.glue2_clauses;
-            merged.inprocess_reductions += report.oracle.inprocess_reductions;
-            merged.arena_collections += report.oracle.arena_collections;
-            merged.budget_exhaustions += report.oracle.budget_exhaustions;
+            merged.absorb(&report.oracle);
         }
         merged
     }
@@ -307,6 +321,7 @@ struct RawReport {
     sample_shards: Option<usize>,
     repair_strategy: Option<RepairStrategy>,
     restart_policy: Option<RestartPolicy>,
+    clusters: Option<usize>,
     outcome: SynthesisOutcome,
     runtime: Duration,
     oracle: OracleStats,
@@ -315,6 +330,31 @@ struct RawReport {
     /// still finish decisively if it was already past its last poll point;
     /// its verdict agrees by soundness but it did not win.
     claimed_win: bool,
+}
+
+/// One racer of the configuration fan-out: an engine plus the
+/// configuration-diversity overrides it runs with (`None` = the configured
+/// base value).
+#[derive(Clone, Copy)]
+struct JobSpec {
+    engine: PortfolioEngine,
+    sample_shards: Option<usize>,
+    repair_strategy: Option<RepairStrategy>,
+    restart_policy: Option<RestartPolicy>,
+    merge_threshold: Option<usize>,
+}
+
+impl JobSpec {
+    /// A racer with no overrides: the engine as configured.
+    fn bare(engine: PortfolioEngine) -> Self {
+        JobSpec {
+            engine,
+            sample_shards: None,
+            repair_strategy: None,
+            restart_policy: None,
+            merge_threshold: None,
+        }
+    }
 }
 
 impl Portfolio {
@@ -347,24 +387,33 @@ impl Portfolio {
         // Configuration racing: with shard-count, repair-strategy, and/or
         // restart-policy diversity configured, each Manthan3 entry fans out
         // into the cross product of the listed dimensions (an empty
-        // dimension contributes the single configured value).
-        type Job = (
-            PortfolioEngine,
-            Option<usize>,
-            Option<RepairStrategy>,
-            Option<RestartPolicy>,
-        );
-        let jobs: Vec<Job> = self
+        // dimension contributes the single configured value). Compositional
+        // entries fan out over the cluster-merge thresholds instead.
+        let jobs: Vec<JobSpec> = self
             .config
             .engines
             .iter()
             .flat_map(|&engine| {
+                if engine == PortfolioEngine::Compositional {
+                    if self.config.compositional_merge_thresholds.is_empty() {
+                        return vec![JobSpec::bare(engine)];
+                    }
+                    return self
+                        .config
+                        .compositional_merge_thresholds
+                        .iter()
+                        .map(|&t| JobSpec {
+                            merge_threshold: Some(t.max(1)),
+                            ..JobSpec::bare(engine)
+                        })
+                        .collect();
+                }
                 if engine != PortfolioEngine::Manthan3
                     || (self.config.manthan3_shard_counts.is_empty()
                         && self.config.manthan3_repair_strategies.is_empty()
                         && self.config.manthan3_restart_policies.is_empty())
                 {
-                    return vec![(engine, None, None, None)];
+                    return vec![JobSpec::bare(engine)];
                 }
                 let shards: Vec<Option<usize>> = if self.config.manthan3_shard_counts.is_empty() {
                     vec![None]
@@ -400,7 +449,12 @@ impl Portfolio {
                 for &k in &shards {
                     for &s in &strategies {
                         for &p in &restarts {
-                            combos.push((engine, k, s, p));
+                            combos.push(JobSpec {
+                                sample_shards: k,
+                                repair_strategy: s,
+                                restart_policy: p,
+                                ..JobSpec::bare(engine)
+                            });
                         }
                     }
                 }
@@ -433,19 +487,10 @@ impl Portfolio {
                     // thread creation, not this counter. Model-checked by
                     // manthan3-conc `ticket/relaxed-fetch-add`.
                     let index = next_engine.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(engine, sample_shards, repair_strategy, restart_policy)) =
-                        jobs_ref.get(index)
-                    else {
+                    let Some(&job) = jobs_ref.get(index) else {
                         break;
                     };
-                    let (outcome, oracle) = self.dispatch(
-                        engine,
-                        sample_shards,
-                        repair_strategy,
-                        restart_policy,
-                        dqbf,
-                        budget.clone(),
-                    );
+                    let (outcome, oracle, clusters) = self.dispatch(job, dqbf, budget.clone());
                     let runtime = race_start.elapsed();
                     // Only certificate-checked vectors (or falsity proofs)
                     // may stop the race.
@@ -473,10 +518,11 @@ impl Portfolio {
                         .lock()
                         .expect("no worker panicked holding the report lock")
                         .push(RawReport {
-                            engine,
-                            sample_shards,
-                            repair_strategy,
-                            restart_policy,
+                            engine: job.engine,
+                            sample_shards: job.sample_shards,
+                            repair_strategy: job.repair_strategy,
+                            restart_policy: job.restart_policy,
+                            clusters,
                             outcome,
                             runtime,
                             oracle,
@@ -503,6 +549,7 @@ impl Portfolio {
                 sample_shards: r.sample_shards,
                 repair_strategy: r.repair_strategy,
                 restart_policy: r.restart_policy,
+                clusters: r.clusters,
                 outcome: r.outcome,
                 runtime: r.runtime,
                 oracle: r.oracle,
@@ -517,43 +564,53 @@ impl Portfolio {
         }
     }
 
-    /// Runs one engine under a clone of the race budget; `sample_shards`,
-    /// `repair_strategy`, and `restart_policy` override the Manthan3
-    /// configuration when this racer is part of a configuration-diversity
-    /// fan-out.
+    /// Runs one racer of the fan-out under a clone of the race budget. The
+    /// third element of the return is the cluster count of a compositional
+    /// run (`None` for every other engine).
     fn dispatch(
         &self,
-        engine: PortfolioEngine,
-        sample_shards: Option<usize>,
-        repair_strategy: Option<RepairStrategy>,
-        restart_policy: Option<RestartPolicy>,
+        job: JobSpec,
         dqbf: &Dqbf,
         budget: Budget,
-    ) -> (SynthesisOutcome, OracleStats) {
-        match engine {
+    ) -> (SynthesisOutcome, OracleStats, Option<usize>) {
+        match job.engine {
             PortfolioEngine::Manthan3 => {
                 let mut config = self.config.manthan3.clone();
-                if let Some(shards) = sample_shards {
+                if let Some(shards) = job.sample_shards {
                     config.sample_shards = shards;
                 }
-                if let Some(strategy) = repair_strategy {
+                if let Some(strategy) = job.repair_strategy {
                     config.repair_strategy = strategy;
                 }
-                if let Some(policy) = restart_policy {
+                if let Some(policy) = job.restart_policy {
                     config.restart_policy = Some(policy);
                 }
                 let result = Manthan3::new(config).synthesize_with_budget(dqbf, budget);
-                (result.outcome, result.stats.oracle)
+                (result.outcome, result.stats.oracle, None)
             }
             PortfolioEngine::Hqs2Like => {
                 let result = ExpansionSolver::new(self.config.expansion.clone())
                     .synthesize_with_budget(dqbf, budget);
-                (result.outcome, result.oracle)
+                (result.outcome, result.oracle, None)
             }
             PortfolioEngine::PedantLike => {
                 let result = ArbiterSolver::new(self.config.arbiter.clone())
                     .synthesize_with_budget(dqbf, budget);
-                (result.outcome, result.oracle)
+                (result.outcome, result.oracle, None)
+            }
+            PortfolioEngine::Compositional => {
+                // Inside a race the worker thread is the parallelism unit:
+                // run the clusters sequentially on this thread instead of
+                // oversubscribing the machine with a nested thread pool.
+                let config = CompositionalConfig {
+                    engine: self.config.manthan3.clone(),
+                    max_cluster_size: job.merge_threshold,
+                    compose_repairs: true,
+                    threads: 1,
+                };
+                let result = CompositionalEngine::new(config).synthesize_with_budget(dqbf, budget);
+                let clusters = result.stats.clusters.max(1);
+                (result.outcome, result.stats.oracle, Some(clusters))
             }
         }
     }
@@ -667,6 +724,49 @@ mod tests {
         // With one worker, completion order is dispatch order.
         let order: Vec<_> = result.reports.iter().map(|r| r.engine).collect();
         assert_eq!(order, PortfolioEngine::ALL.to_vec());
+    }
+
+    #[test]
+    fn compositional_racer_joins_the_race_and_reports_clusters() {
+        let dqbf = Dqbf::paper_example();
+        let mut config = PortfolioConfig::default();
+        config.engines.push(PortfolioEngine::Compositional);
+        config.threads = config.engines.len();
+        let result = Portfolio::new(config).run(&dqbf);
+        let vector = result.vector().expect("true instance");
+        assert!(verify::check(&dqbf, vector).is_valid());
+        assert_eq!(result.reports.len(), 4, "the fourth racer is opt-in");
+        let compositional = result
+            .report(PortfolioEngine::Compositional)
+            .expect("compositional raced");
+        // The paper example decomposes into two clusters; even a cancelled
+        // loser knows its partition.
+        assert_eq!(compositional.clusters, Some(2));
+        assert!(result
+            .reports
+            .iter()
+            .filter(|r| r.engine != PortfolioEngine::Compositional)
+            .all(|r| r.clusters.is_none()));
+    }
+
+    #[test]
+    fn merge_threshold_diversity_races_multiple_compositional_configs() {
+        let dqbf = Dqbf::paper_example();
+        let config = PortfolioConfig {
+            engines: vec![PortfolioEngine::Compositional],
+            compositional_merge_thresholds: vec![1, 2],
+            threads: 2,
+            ..PortfolioConfig::default()
+        };
+        let result = Portfolio::new(config).run(&dqbf);
+        assert!(result.is_realizable());
+        assert_eq!(result.reports.len(), 2, "one racer per merge threshold");
+        assert!(result
+            .reports
+            .iter()
+            .all(|r| r.engine == PortfolioEngine::Compositional));
+        assert!(result.reports.iter().all(|r| r.clusters.is_some()));
+        assert_eq!(result.reports.iter().filter(|r| r.winner).count(), 1);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct SolverStats {
     /// Inprocessing passes that actually ran (calls skipped by the
     /// new-clause throttle are not counted).
     pub inprocess_passes: u64,
+    /// Vivification candidates actually attempted (selected worst-glue
+    /// first, clause activity breaking ties).
+    pub vivify_candidates: u64,
+    /// Vivification attempts that strengthened (shortened) their clause.
+    pub vivify_strengthened: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1243,11 +1248,12 @@ impl Solver {
         self.learnt_refs.retain(|&r| r != cref);
     }
 
-    /// Vivifies the worst-glue learnt clauses: assume the negation of each
-    /// literal in turn; a conflict or satisfied/falsified literal proves a
-    /// shorter clause, which replaces the original.
-    fn vivification_pass(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
+    /// Selects and orders the vivification candidates: eligible learnt
+    /// clauses, worst glue first, clause activity breaking ties — at equal
+    /// glue the more active clause goes first, since activity marks the
+    /// clauses the current search actually leans on, where a strengthening
+    /// pays off on every future propagation.
+    fn vivification_candidates(&self) -> Vec<ClauseRef> {
         let mut candidates: Vec<ClauseRef> = self
             .learnt_refs
             .iter()
@@ -1255,15 +1261,29 @@ impl Solver {
             .filter(|&c| VIVIFY_LEN_RANGE.contains(&self.arena.len(c)) && !self.is_locked(c))
             .collect();
         let arena = &self.arena;
-        candidates.sort_by_key(|&c| std::cmp::Reverse(arena.lbd(c)));
+        candidates.sort_by(|&a, &b| {
+            arena
+                .lbd(b)
+                .cmp(&arena.lbd(a))
+                .then_with(|| arena.activity(b).total_cmp(&arena.activity(a)))
+        });
         candidates.truncate(VIVIFY_MAX_CLAUSES);
-        for cref in candidates {
+        candidates
+    }
+
+    /// Vivifies the worst-glue learnt clauses: assume the negation of each
+    /// literal in turn; a conflict or satisfied/falsified literal proves a
+    /// shorter clause, which replaces the original.
+    fn vivification_pass(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for cref in self.vivification_candidates() {
             if self.cancelled() || !self.ok {
                 return;
             }
             if self.arena.is_deleted(cref) || !VIVIFY_LEN_RANGE.contains(&self.arena.len(cref)) {
                 continue;
             }
+            self.stats.vivify_candidates += 1;
             let lits: Vec<Lit> = (0..self.arena.len(cref))
                 .map(|i| self.arena.lit(cref, i))
                 .collect();
@@ -1299,6 +1319,7 @@ impl Solver {
                 self.arena.delete(cref);
                 self.finish_deletions_detached(cref);
                 self.stats.inprocess_strengthened += 1;
+                self.stats.vivify_strengthened += 1;
                 match kept.len() {
                     0 => {
                         self.ok = false;
@@ -2185,6 +2206,56 @@ mod tests {
         for &cref in &s.clause_refs {
             assert!(!s.arena.is_deleted(cref));
         }
+    }
+
+    #[test]
+    fn vivification_prefers_active_clauses_at_equal_glue() {
+        let mut s = Solver::new();
+        s.ensure_vars(12);
+        // Three learnt clauses: two at glue 4 with different activities, one
+        // at glue 6. Order must be: worst glue first, then the more active
+        // of the glue-4 pair.
+        let cold = s.arena.alloc(&[lit(1), lit(2), lit(3)], true);
+        s.arena.set_lbd(cold, 4);
+        s.arena.set_activity(cold, 1.0);
+        let hot = s.arena.alloc(&[lit(4), lit(5), lit(6)], true);
+        s.arena.set_lbd(hot, 4);
+        s.arena.set_activity(hot, 8.0);
+        let worst = s.arena.alloc(&[lit(7), lit(8), lit(9)], true);
+        s.arena.set_lbd(worst, 6);
+        s.arena.set_activity(worst, 0.5);
+        for cref in [cold, hot, worst] {
+            s.clause_refs.push(cref);
+            s.learnt_refs.push(cref);
+            s.watch_clause(cref);
+        }
+        assert_eq!(s.vivification_candidates(), vec![worst, hot, cold]);
+    }
+
+    #[test]
+    fn vivification_counts_candidates_and_strengthened_clauses() {
+        let mut s = Solver::new();
+        // Level-0 chain: (1) and (¬1 ∨ 2) propagate 2, falsifying the ¬2
+        // of the planted learnt clause — vivification must drop it. The
+        // chain is chosen so the subsumption pass cannot strengthen the
+        // clause first (no subset-modulo-one-flip relation holds).
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.ensure_vars(8);
+        let learnt = s.arena.alloc(&[lit(-2), lit(5), lit(6)], true);
+        s.arena.set_lbd(learnt, 3);
+        s.clause_refs.push(learnt);
+        s.learnt_refs.push(learnt);
+        s.watch_clause(learnt);
+        s.inprocess();
+        let stats = s.stats();
+        assert_eq!(
+            stats.vivify_candidates, 1,
+            "the planted clause is the only candidate"
+        );
+        assert_eq!(stats.vivify_strengthened, 1, "¬2 is falsified at level 0");
+        assert!(stats.vivify_strengthened <= stats.vivify_candidates);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]
