@@ -40,9 +40,12 @@
 //! `--solver-profile` selects the CDCL policy bundle of the Manthan3 oracle's
 //! solvers (the modernized defaults vs. the pre-modernization legacy
 //! behavior); the per-run solver-layer columns of `runs.csv`
-//! (`sat_propagations`, `props_per_sec`, `sat_restarts`, `learnt_db_live`,
-//! `glue2_clauses`, `inprocess_reductions`, `arena_collections`) and the
-//! matching `summary_table.csv` rows report its effect.
+//! (`sat_propagations`, `props_per_sec`, `conflicts`, `decisions`,
+//! `sat_restarts`, `reused_levels`, `rephases`, `learnt_clauses_live`,
+//! `glue2_clauses`, the `inprocess_*` / `vivify_*` breakdown,
+//! `arena_collections`, `arena_live_words`, `budget_exhaustions`, and the
+//! `*_solvers_constructed` / `samplers_constructed` provenance counters) and
+//! the matching `summary_table.csv` rows report its effect.
 //! `--engine compositional` adds the dependency-driven compositional engine
 //! (partition the outputs into clusters, synthesize them concurrently,
 //! compose with coupled-residue repair); `--max-cluster-size N` caps the
@@ -239,11 +242,24 @@ fn main() {
                         0.0
                     }
                 ),
+                r.oracle.conflicts.to_string(),
+                r.oracle.decisions.to_string(),
                 r.oracle.sat_restarts.to_string(),
+                r.oracle.reused_levels.to_string(),
+                r.oracle.rephases.to_string(),
                 r.oracle.learnt_db_live.to_string(),
                 r.oracle.glue2_clauses.to_string(),
-                r.oracle.inprocess_reductions.to_string(),
+                r.oracle.inprocess_subsumed.to_string(),
+                r.oracle.inprocess_strengthened.to_string(),
+                r.oracle.inprocess_passes.to_string(),
+                r.oracle.vivify_candidates.to_string(),
+                r.oracle.vivify_strengthened.to_string(),
                 r.oracle.arena_collections.to_string(),
+                r.oracle.arena_live_words.to_string(),
+                r.oracle.budget_exhaustions.to_string(),
+                r.oracle.sat_solvers_constructed.to_string(),
+                r.oracle.maxsat_solvers_constructed.to_string(),
+                r.oracle.samplers_constructed.to_string(),
                 r.clusters.to_string(),
                 format!("{:.4}", r.cluster_wall_max.as_secs_f64()),
                 format!("{:.4}", r.cluster_wall_sum.as_secs_f64()),
@@ -272,11 +288,24 @@ fn main() {
             "sample_shortfalls",
             "sat_propagations",
             "props_per_sec",
+            "conflicts",
+            "decisions",
             "sat_restarts",
-            "learnt_db_live",
+            "reused_levels",
+            "rephases",
+            "learnt_clauses_live",
             "glue2_clauses",
-            "inprocess_reductions",
+            "inprocess_subsumed",
+            "inprocess_strengthened",
+            "inprocess_passes",
+            "vivify_candidates",
+            "vivify_strengthened",
             "arena_collections",
+            "arena_live_words",
+            "budget_exhaustions",
+            "sat_solvers_constructed",
+            "maxsat_solvers_constructed",
+            "samplers_constructed",
             "clusters",
             "cluster_wall_max_s",
             "cluster_wall_sum_s",

@@ -176,19 +176,48 @@ pub struct Summary {
     /// Propagations per second of engine wall-clock across the suite (the
     /// solver-modernization throughput headline).
     pub sat_propagations_per_sec: f64,
+    /// Total CDCL conflicts across every run.
+    pub conflicts: u64,
+    /// Total CDCL decisions across every run.
+    pub decisions: u64,
     /// Total CDCL restarts across every run.
     pub sat_restarts: u64,
+    /// Assumption decision levels reused between incremental solve calls
+    /// across every run.
+    pub reused_levels: u64,
+    /// Rephasing events across every run.
+    pub rephases: u64,
     /// Live learnt clauses left in the solvers at the end of each run,
     /// summed across runs (for the portfolio: summed across its racers).
     pub learnt_db_live: usize,
     /// Glue (LBD ≤ 2) learnt clauses alive at the end of each run, summed
     /// across runs.
     pub glue2_clauses: usize,
-    /// Clauses removed or strengthened by inter-call inprocessing across
-    /// every run (zero under the legacy profile).
-    pub inprocess_reductions: u64,
+    /// Clauses subsumed away by inter-call inprocessing across every run
+    /// (zero under the legacy profile).
+    pub inprocess_subsumed: u64,
+    /// Clauses strengthened by inter-call inprocessing across every run.
+    pub inprocess_strengthened: u64,
+    /// Inprocessing passes that actually ran across every run.
+    pub inprocess_passes: u64,
+    /// Vivification candidates attempted across every run.
+    pub vivify_candidates: u64,
+    /// Vivification attempts that strengthened their clause across every
+    /// run.
+    pub vivify_strengthened: u64,
     /// Clause-arena compacting garbage collections across every run.
     pub arena_collections: u64,
+    /// Arena words occupied by live clauses at the end of each run, summed
+    /// across runs.
+    pub arena_live_words: usize,
+    /// Calls refused because a budget was exhausted, across every run.
+    pub budget_exhaustions: usize,
+    /// CDCL solvers constructed through the oracles across every run.
+    pub sat_solvers_constructed: usize,
+    /// MaxSAT solvers constructed through the oracles across every run.
+    pub maxsat_solvers_constructed: usize,
+    /// Samplers constructed through the oracles across every run.
+    pub samplers_constructed: usize,
 }
 
 /// Computes the summary table from the run records.
@@ -325,11 +354,33 @@ pub fn summary(records: &[RunRecord]) -> Summary {
     } else {
         0.0
     };
+    let conflicts: u64 = records.iter().map(|r| r.oracle.conflicts).sum();
+    let decisions: u64 = records.iter().map(|r| r.oracle.decisions).sum();
     let sat_restarts: u64 = records.iter().map(|r| r.oracle.sat_restarts).sum();
+    let reused_levels: u64 = records.iter().map(|r| r.oracle.reused_levels).sum();
+    let rephases: u64 = records.iter().map(|r| r.oracle.rephases).sum();
     let learnt_db_live: usize = records.iter().map(|r| r.oracle.learnt_db_live).sum();
     let glue2_clauses: usize = records.iter().map(|r| r.oracle.glue2_clauses).sum();
-    let inprocess_reductions: u64 = records.iter().map(|r| r.oracle.inprocess_reductions).sum();
+    let inprocess_subsumed: u64 = records.iter().map(|r| r.oracle.inprocess_subsumed).sum();
+    let inprocess_strengthened: u64 = records
+        .iter()
+        .map(|r| r.oracle.inprocess_strengthened)
+        .sum();
+    let inprocess_passes: u64 = records.iter().map(|r| r.oracle.inprocess_passes).sum();
+    let vivify_candidates: u64 = records.iter().map(|r| r.oracle.vivify_candidates).sum();
+    let vivify_strengthened: u64 = records.iter().map(|r| r.oracle.vivify_strengthened).sum();
     let arena_collections: u64 = records.iter().map(|r| r.oracle.arena_collections).sum();
+    let arena_live_words: usize = records.iter().map(|r| r.oracle.arena_live_words).sum();
+    let budget_exhaustions: usize = records.iter().map(|r| r.oracle.budget_exhaustions).sum();
+    let sat_solvers_constructed: usize = records
+        .iter()
+        .map(|r| r.oracle.sat_solvers_constructed)
+        .sum();
+    let maxsat_solvers_constructed: usize = records
+        .iter()
+        .map(|r| r.oracle.maxsat_solvers_constructed)
+        .sum();
+    let samplers_constructed: usize = records.iter().map(|r| r.oracle.samplers_constructed).sum();
 
     Summary {
         total_instances: instances.len(),
@@ -363,11 +414,24 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         maxsat_calls_per_repair_iteration,
         sat_propagations,
         sat_propagations_per_sec,
+        conflicts,
+        decisions,
         sat_restarts,
+        reused_levels,
+        rephases,
         learnt_db_live,
         glue2_clauses,
-        inprocess_reductions,
+        inprocess_subsumed,
+        inprocess_strengthened,
+        inprocess_passes,
+        vivify_candidates,
+        vivify_strengthened,
         arena_collections,
+        arena_live_words,
+        budget_exhaustions,
+        sat_solvers_constructed,
+        maxsat_solvers_constructed,
+        samplers_constructed,
     }
 }
 
@@ -489,19 +553,65 @@ impl Summary {
             "sat_propagations_per_sec".into(),
             format!("{:.1}", self.sat_propagations_per_sec),
         ]);
+        rows.push(vec!["conflicts".into(), self.conflicts.to_string()]);
+        rows.push(vec!["decisions".into(), self.decisions.to_string()]);
         rows.push(vec!["sat_restarts".into(), self.sat_restarts.to_string()]);
+        rows.push(vec!["reused_levels".into(), self.reused_levels.to_string()]);
+        rows.push(vec!["rephases".into(), self.rephases.to_string()]);
+        // Live learnt-clause gauge: the per-run sum of each solver's final
+        // `learnt_clauses` count.
         rows.push(vec![
-            "learnt_db_live".into(),
+            "learnt_clauses_live".into(),
             self.learnt_db_live.to_string(),
         ]);
         rows.push(vec!["glue2_clauses".into(), self.glue2_clauses.to_string()]);
         rows.push(vec![
             "inprocess_reductions".into(),
-            self.inprocess_reductions.to_string(),
+            (self.inprocess_subsumed + self.inprocess_strengthened).to_string(),
+        ]);
+        rows.push(vec![
+            "inprocess_subsumed".into(),
+            self.inprocess_subsumed.to_string(),
+        ]);
+        rows.push(vec![
+            "inprocess_strengthened".into(),
+            self.inprocess_strengthened.to_string(),
+        ]);
+        rows.push(vec![
+            "inprocess_passes".into(),
+            self.inprocess_passes.to_string(),
+        ]);
+        rows.push(vec![
+            "vivify_candidates".into(),
+            self.vivify_candidates.to_string(),
+        ]);
+        rows.push(vec![
+            "vivify_strengthened".into(),
+            self.vivify_strengthened.to_string(),
         ]);
         rows.push(vec![
             "arena_collections".into(),
             self.arena_collections.to_string(),
+        ]);
+        rows.push(vec![
+            "arena_live_words".into(),
+            self.arena_live_words.to_string(),
+        ]);
+        rows.push(vec![
+            "budget_exhaustions".into(),
+            self.budget_exhaustions.to_string(),
+        ]);
+        rows.push(vec![
+            "sat_solvers_constructed".into(),
+            self.sat_solvers_constructed.to_string(),
+        ]);
+        rows.push(vec![
+            "maxsat_solvers_constructed".into(),
+            self.maxsat_solvers_constructed.to_string(),
+        ]);
+        rows.push(vec![
+            "samplers_constructed".into(),
+            self.samplers_constructed.to_string(),
         ]);
         rows
     }
@@ -552,15 +662,33 @@ impl fmt::Display for Summary {
         )?;
         write!(
             f,
-            "\nSAT solver layer:          {} propagations ({:.0}/s), {} restarts, \
-             {} learnt live ({} glue), {} inprocess reductions, {} arena GCs",
+            "\nSAT solver layer:          {} propagations ({:.0}/s), {} conflicts, \
+             {} decisions, {} restarts ({} reused levels, {} rephases), \
+             {} learnt live ({} glue), {} inprocess reductions \
+             ({} subsumed + {} strengthened over {} passes; vivify {}/{}), \
+             {} arena GCs ({} live words), {} budget refusals, \
+             {}/{}/{} solvers (sat/maxsat/samplers)",
             self.sat_propagations,
             self.sat_propagations_per_sec,
+            self.conflicts,
+            self.decisions,
             self.sat_restarts,
+            self.reused_levels,
+            self.rephases,
             self.learnt_db_live,
             self.glue2_clauses,
-            self.inprocess_reductions,
-            self.arena_collections
+            self.inprocess_subsumed + self.inprocess_strengthened,
+            self.inprocess_subsumed,
+            self.inprocess_strengthened,
+            self.inprocess_passes,
+            self.vivify_strengthened,
+            self.vivify_candidates,
+            self.arena_collections,
+            self.arena_live_words,
+            self.budget_exhaustions,
+            self.sat_solvers_constructed,
+            self.maxsat_solvers_constructed,
+            self.samplers_constructed
         )?;
         if let (Some(synthesized), Some(decided)) =
             (self.portfolio_synthesized, self.portfolio_decided)
@@ -813,24 +941,57 @@ mod tests {
     fn solver_counters_aggregate_into_the_summary() {
         let mut records = sample_records();
         records[0].oracle.sat_propagations = 900;
+        records[0].oracle.conflicts = 30;
+        records[0].oracle.decisions = 60;
         records[0].oracle.sat_restarts = 12;
+        records[0].oracle.reused_levels = 9;
+        records[0].oracle.rephases = 2;
         records[0].oracle.learnt_db_live = 40;
         records[0].oracle.glue2_clauses = 7;
-        records[0].oracle.inprocess_reductions = 5;
+        records[0].oracle.inprocess_subsumed = 3;
+        records[0].oracle.inprocess_strengthened = 2;
+        records[0].oracle.inprocess_passes = 4;
+        records[0].oracle.vivify_candidates = 10;
+        records[0].oracle.vivify_strengthened = 2;
         records[0].oracle.arena_collections = 2;
+        records[0].oracle.arena_live_words = 512;
+        records[0].oracle.budget_exhaustions = 1;
+        records[0].oracle.sat_solvers_constructed = 2;
+        records[0].oracle.maxsat_solvers_constructed = 1;
+        records[0].oracle.samplers_constructed = 1;
         records[3].oracle.sat_propagations = 100;
+        records[3].oracle.conflicts = 5;
+        records[3].oracle.decisions = 8;
         records[3].oracle.sat_restarts = 3;
+        records[3].oracle.reused_levels = 1;
+        records[3].oracle.rephases = 1;
         records[3].oracle.learnt_db_live = 10;
         records[3].oracle.glue2_clauses = 1;
-        records[3].oracle.inprocess_reductions = 1;
+        records[3].oracle.inprocess_subsumed = 1;
+        records[3].oracle.inprocess_passes = 1;
         records[3].oracle.arena_collections = 1;
+        records[3].oracle.arena_live_words = 128;
+        records[3].oracle.sat_solvers_constructed = 2;
         let s = summary(&records);
         assert_eq!(s.sat_propagations, 1000);
+        assert_eq!(s.conflicts, 35);
+        assert_eq!(s.decisions, 68);
         assert_eq!(s.sat_restarts, 15);
+        assert_eq!(s.reused_levels, 10);
+        assert_eq!(s.rephases, 3);
         assert_eq!(s.learnt_db_live, 50);
         assert_eq!(s.glue2_clauses, 8);
-        assert_eq!(s.inprocess_reductions, 6);
+        assert_eq!(s.inprocess_subsumed, 4);
+        assert_eq!(s.inprocess_strengthened, 2);
+        assert_eq!(s.inprocess_passes, 5);
+        assert_eq!(s.vivify_candidates, 10);
+        assert_eq!(s.vivify_strengthened, 2);
         assert_eq!(s.arena_collections, 3);
+        assert_eq!(s.arena_live_words, 640);
+        assert_eq!(s.budget_exhaustions, 1);
+        assert_eq!(s.sat_solvers_constructed, 4);
+        assert_eq!(s.maxsat_solvers_constructed, 1);
+        assert_eq!(s.samplers_constructed, 1);
         // sample_records() totals 0.1+0.5+0.9 + 1.0+2.0+2.0 + 2.0+0.2+2.0 = 10.7 s.
         assert!((s.sat_propagations_per_sec - 1000.0 / 10.7).abs() < 1e-6);
         let rows = s.rows();
@@ -840,17 +1001,52 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r[0] == "sat_propagations_per_sec" && r[1] == "93.5"));
+        assert!(rows.iter().any(|r| r[0] == "conflicts" && r[1] == "35"));
+        assert!(rows.iter().any(|r| r[0] == "decisions" && r[1] == "68"));
         assert!(rows.iter().any(|r| r[0] == "sat_restarts" && r[1] == "15"));
+        assert!(rows.iter().any(|r| r[0] == "reused_levels" && r[1] == "10"));
+        assert!(rows.iter().any(|r| r[0] == "rephases" && r[1] == "3"));
         assert!(rows
             .iter()
-            .any(|r| r[0] == "learnt_db_live" && r[1] == "50"));
+            .any(|r| r[0] == "learnt_clauses_live" && r[1] == "50"));
         assert!(rows.iter().any(|r| r[0] == "glue2_clauses" && r[1] == "8"));
+        // The combined reductions row stays alongside the per-kind split.
         assert!(rows
             .iter()
             .any(|r| r[0] == "inprocess_reductions" && r[1] == "6"));
         assert!(rows
             .iter()
+            .any(|r| r[0] == "inprocess_subsumed" && r[1] == "4"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "inprocess_strengthened" && r[1] == "2"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "inprocess_passes" && r[1] == "5"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "vivify_candidates" && r[1] == "10"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "vivify_strengthened" && r[1] == "2"));
+        assert!(rows
+            .iter()
             .any(|r| r[0] == "arena_collections" && r[1] == "3"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "arena_live_words" && r[1] == "640"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "budget_exhaustions" && r[1] == "1"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "sat_solvers_constructed" && r[1] == "4"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "maxsat_solvers_constructed" && r[1] == "1"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "samplers_constructed" && r[1] == "1"));
         assert!(s.to_string().contains("SAT solver layer"));
     }
 

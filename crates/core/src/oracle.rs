@@ -187,12 +187,21 @@ pub struct OracleStats {
     pub maxsat_cores: u64,
     /// Total SAT conflicts across all oracle-routed solve calls.
     pub conflicts: u64,
+    /// Total CDCL decisions across all oracle-routed solve calls.
+    pub decisions: u64,
     /// Total unit propagations across all oracle-routed solve calls (SAT and
     /// MaxSAT alike). Together with the harness's wall-clock column this
     /// yields the propagations-per-second throughput metric.
     pub sat_propagations: u64,
     /// Total search restarts across all oracle-routed solve calls.
     pub sat_restarts: u64,
+    /// Assumption decision levels carried over between incremental solve
+    /// calls instead of being re-decided (trail reuse), across all
+    /// oracle-routed solvers.
+    pub reused_levels: u64,
+    /// Rephasing events (decision phases reset to the best trail seen)
+    /// across all oracle-routed solvers.
+    pub rephases: u64,
     /// Learnt clauses live in the most recently observed solver (a gauge,
     /// refreshed after every billed solve or maintenance pass; summed across
     /// racers by the portfolio merge).
@@ -200,12 +209,26 @@ pub struct OracleStats {
     /// Glue ≤ 2 learnt clauses in the most recently observed solver (a
     /// gauge, like [`OracleStats::learnt_db_live`]).
     pub glue2_clauses: usize,
-    /// Clauses removed or strengthened by inter-call inprocessing
-    /// (subsumption + vivification), across all oracle-routed solvers.
-    pub inprocess_reductions: u64,
+    /// Clauses removed by inprocessing subsumption across all oracle-routed
+    /// solvers.
+    pub inprocess_subsumed: u64,
+    /// Clauses strengthened by inprocessing self-subsumption or
+    /// vivification across all oracle-routed solvers.
+    pub inprocess_strengthened: u64,
+    /// Inprocessing passes that actually ran (throttle-skipped calls are not
+    /// counted), across all oracle-routed solvers.
+    pub inprocess_passes: u64,
+    /// Vivification candidates attempted across all oracle-routed solvers.
+    pub vivify_candidates: u64,
+    /// Vivification attempts that strengthened their clause, across all
+    /// oracle-routed solvers.
+    pub vivify_strengthened: u64,
     /// Compacting clause-arena garbage collections performed by
     /// oracle-routed solvers.
     pub arena_collections: u64,
+    /// Arena words occupied by live clauses in the most recently observed
+    /// solver (a gauge, like [`OracleStats::learnt_db_live`]).
+    pub arena_live_words: usize,
     /// Number of calls that gave up because a budget was exhausted.
     pub budget_exhaustions: usize,
 }
@@ -229,13 +252,28 @@ impl OracleStats {
         self.maxsat_probes += other.maxsat_probes;
         self.maxsat_cores += other.maxsat_cores;
         self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
         self.sat_propagations += other.sat_propagations;
         self.sat_restarts += other.sat_restarts;
+        self.reused_levels += other.reused_levels;
+        self.rephases += other.rephases;
         self.learnt_db_live += other.learnt_db_live;
         self.glue2_clauses += other.glue2_clauses;
-        self.inprocess_reductions += other.inprocess_reductions;
+        self.inprocess_subsumed += other.inprocess_subsumed;
+        self.inprocess_strengthened += other.inprocess_strengthened;
+        self.inprocess_passes += other.inprocess_passes;
+        self.vivify_candidates += other.vivify_candidates;
+        self.vivify_strengthened += other.vivify_strengthened;
         self.arena_collections += other.arena_collections;
+        self.arena_live_words += other.arena_live_words;
         self.budget_exhaustions += other.budget_exhaustions;
+    }
+
+    /// Total inprocessing reductions (clauses subsumed away plus clauses
+    /// strengthened) — the combined column the benchmark CSVs report next to
+    /// the per-kind breakdown.
+    pub fn inprocess_reductions(&self) -> u64 {
+        self.inprocess_subsumed + self.inprocess_strengthened
     }
 
     /// Bills the solver-layer work between two [`SolverStats`] snapshots to
@@ -244,13 +282,20 @@ impl OracleStats {
     /// maintenance hook so every counter means the same thing on both.
     fn bill_solver_delta(&mut self, before: &SolverStats, after: &SolverStats) {
         self.conflicts += after.conflicts - before.conflicts;
+        self.decisions += after.decisions - before.decisions;
         self.sat_propagations += after.propagations - before.propagations;
         self.sat_restarts += after.restarts - before.restarts;
-        self.inprocess_reductions += (after.inprocess_subsumed + after.inprocess_strengthened)
-            - (before.inprocess_subsumed + before.inprocess_strengthened);
+        self.reused_levels += after.reused_levels - before.reused_levels;
+        self.rephases += after.rephases - before.rephases;
+        self.inprocess_subsumed += after.inprocess_subsumed - before.inprocess_subsumed;
+        self.inprocess_strengthened += after.inprocess_strengthened - before.inprocess_strengthened;
+        self.inprocess_passes += after.inprocess_passes - before.inprocess_passes;
+        self.vivify_candidates += after.vivify_candidates - before.vivify_candidates;
+        self.vivify_strengthened += after.vivify_strengthened - before.vivify_strengthened;
         self.arena_collections += after.arena_collections - before.arena_collections;
         self.learnt_db_live = after.learnt_clauses;
         self.glue2_clauses = after.glue2_clauses;
+        self.arena_live_words = after.arena_live_words;
     }
 }
 
@@ -421,7 +466,16 @@ impl Oracle {
     }
 
     /// Solves `solver` under the shared budget.
+    ///
+    /// Refuses already-exhausted budgets up front, before delegating — the
+    /// delegate re-checks (and is what actually draws the call), but the
+    /// early refusal keeps every path from this entry point to the solver
+    /// behind an admission check of its own.
     pub fn solve(&mut self, solver: &mut Solver) -> SolveResult {
+        if self.exhausted().is_some() {
+            self.stats.budget_exhaustions += 1;
+            return SolveResult::Unknown;
+        }
         self.solve_with_assumptions(solver, &[])
     }
 
@@ -547,7 +601,7 @@ impl Oracle {
     /// Bills solver work performed *outside* a solve call — the sessions'
     /// periodic maintenance passes (learnt-DB reduction, level-0 compaction,
     /// inprocessing) — given [`SolverStats`] snapshots taken around the
-    /// pass. Keeps `OracleStats::inprocess_reductions` and
+    /// pass. Keeps the inprocessing counters and
     /// `OracleStats::arena_collections` complete: most of that work happens
     /// between oracle calls, where the per-solve diff-billing cannot see it.
     pub(crate) fn note_solver_maintenance(&mut self, before: &SolverStats, after: &SolverStats) {

@@ -35,4 +35,32 @@ impl Solver {
         let cref = self.fresh();
         self.lookup(&cref)
     }
+
+    fn forward(&self, r: ClauseRef) -> ClauseRef {
+        r
+    }
+
+    // The remap idiom: reading the stale value to translate it is the
+    // rebind itself, so the use afterwards is clean.
+    pub fn remapped_use(&mut self) -> u32 {
+        let mut cref = self.fresh();
+        self.maybe_collect_garbage();
+        cref = self.forward(cref);
+        self.lookup(&cref)
+    }
+
+    // Flow-sensitive case the lexical v1 missed: the use precedes the GC
+    // call in token order, but the loop back edge carries the staleness
+    // into the next iteration.
+    pub fn loop_stale(&mut self) -> u32 {
+        let cref = self.fresh();
+        let mut total = 0;
+        loop {
+            total += self.lookup(&cref);
+            if total > 3 {
+                return total;
+            }
+            self.maybe_collect_garbage();
+        }
+    }
 }

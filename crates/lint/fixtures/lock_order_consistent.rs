@@ -1,0 +1,23 @@
+//! Consistent Mutex nesting: every function takes jobs before results, so
+//! the observed order is total and no cycle exists.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    jobs: Mutex<u32>,
+    results: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn ab(&self) -> u32 {
+        let guard = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        *guard + *results
+    }
+
+    pub fn ab_again(&self) -> u32 {
+        let guard = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        *guard * *results
+    }
+}

@@ -1,0 +1,26 @@
+//! Conflicting Mutex nesting: `ab` takes jobs then results, `ba` takes
+//! results then (through a call) jobs — a deadlock candidate cycle.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    jobs: Mutex<u32>,
+    results: Mutex<u32>,
+}
+
+impl Shared {
+    fn lock_jobs(&self) -> u32 {
+        *self.jobs.lock().unwrap()
+    }
+
+    pub fn ab(&self) -> u32 {
+        let guard = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        *guard + *results
+    }
+
+    pub fn ba(&self) -> u32 {
+        let guard = self.results.lock().unwrap();
+        *guard + self.lock_jobs()
+    }
+}

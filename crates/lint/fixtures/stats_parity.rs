@@ -1,0 +1,15 @@
+//! A stats struct with one fully wired field, one field the merge fn never
+//! touches, and one field no CSV scope names.
+
+pub struct OracleStats {
+    pub merged_and_exported: u64,
+    pub never_merged: u64,
+    pub never_exported: u64,
+}
+
+impl OracleStats {
+    pub fn absorb(&mut self, other: &OracleStats) {
+        self.merged_and_exported += other.merged_and_exported;
+        self.never_exported += other.never_exported;
+    }
+}

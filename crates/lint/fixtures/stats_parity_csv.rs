@@ -1,0 +1,10 @@
+//! The CSV layer of the parity fixture: names `merged_and_exported` as an
+//! identifier and `never_merged` in a header literal — but never mentions
+//! `never_exported` under any spelling.
+
+pub fn rows(merged_and_exported: u64) -> Vec<(String, String)> {
+    vec![
+        ("merged_and_exported".into(), merged_and_exported.to_string()),
+        ("never_merged".into(), "0".into()),
+    ]
+}

@@ -1,0 +1,852 @@
+//! Per-function control-flow graphs built from the token stream.
+//!
+//! The builder is a recursive-descent walk over a function body's tokens. It
+//! recognises the control constructs that matter for path sensitivity —
+//! `if`/`else if`/`else`, `match` arms, `loop`/`while`/`for` with labelled
+//! `break`/`continue`, early `return`, and the `?` operator — and leaves
+//! everything else (plain blocks, struct literals, closures) as straight-line
+//! code. Each node covers one contiguous token range of the body; edges are
+//! the possible successions of control.
+//!
+//! Deliberate approximations, chosen so that imprecision biases the analyses
+//! toward *passing* (the same convention as the token-level rules):
+//!
+//! * closure bodies are treated as executing inline at their definition
+//!   point (they usually do, and a closure that never runs only adds paths);
+//! * `match` is assumed exhaustive — the arms are the only successors;
+//! * nested `fn` items are skipped entirely (they get their own CFG via
+//!   their own [`FnItem`](crate::source::FnItem));
+//! * a `let` in an `if let`/`while let` condition is attributed to the
+//!   condition node, which also flows to the else branch.
+//!
+//! The graph always has a dedicated entry node (id 0) and exit node (id 1).
+//! `return` and `?` edge to the exit; falling off the end of the body edges
+//! to the exit. After construction, nodes unreachable from the entry (dead
+//! code after unconditional jumps, the continuation of a `loop` with no
+//! `break`) are pruned — except the exit node, which is always kept so every
+//! function, including `fn f() { loop {} }`, has a well-defined exit id.
+
+use crate::lexer::{Token, TokenKind};
+use std::ops::Range;
+
+/// Node identifier: an index into [`Cfg::nodes`].
+pub type NodeId = usize;
+
+/// One control-flow node: a contiguous (possibly empty) token range of the
+/// function body, executed straight-line.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// Body-relative token range covered by this node. Join nodes and the
+    /// entry/exit markers are empty.
+    pub tokens: Range<usize>,
+    /// Successor node ids, deduplicated, in creation order.
+    pub succs: Vec<NodeId>,
+    /// Predecessor node ids (computed when the graph is sealed).
+    pub preds: Vec<NodeId>,
+    /// `true` for loop-header nodes (`loop`/`while`/`for`); every back edge
+    /// targets a loop header.
+    pub loop_head: bool,
+}
+
+/// A per-function control-flow graph over body-relative token indices.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All nodes; ids are indices.
+    pub nodes: Vec<Node>,
+    /// The entry node (always id 0, always empty).
+    pub entry: NodeId,
+    /// The exit node (always id 1, always empty). All `return`s, `?`
+    /// propagations, and the fall-off-the-end path lead here.
+    pub exit: NodeId,
+    /// Loop back edges `(from, to)`; each `to` is a loop header. A subset of
+    /// the edges in [`Node::succs`].
+    pub back_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function body (the token slice *between* the
+    /// outer braces, as recorded in [`FnItem::body`](crate::source::FnItem)).
+    pub fn build(body: &[Token]) -> Cfg {
+        let mut b = Builder {
+            tokens: body,
+            nodes: vec![Node::default(), Node::default()],
+            back_edges: Vec::new(),
+            loops: Vec::new(),
+        };
+        let first = b.fresh();
+        b.edge(ENTRY, first);
+        let last = b.walk(0..body.len(), first);
+        b.edge(last, EXIT);
+        b.seal()
+    }
+
+    /// Node ids in reverse postorder from the entry (a good worklist order
+    /// for forward dataflow).
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut state = vec![0u8; self.nodes.len()]; // 0 unvisited, 1 open, 2 done
+        let mut post = Vec::with_capacity(self.nodes.len());
+        // Iterative DFS with an explicit stack of (node, next-succ-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        state[self.entry] = 1;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.nodes[n].succs.len() {
+                let s = self.nodes[n].succs[*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[n] = 2;
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+const ENTRY: NodeId = 0;
+const EXIT: NodeId = 1;
+
+/// An enclosing loop during construction: where `continue` and `break` go.
+struct LoopCtx {
+    label: Option<String>,
+    head: NodeId,
+    after: NodeId,
+}
+
+struct Builder<'a> {
+    tokens: &'a [Token],
+    nodes: Vec<Node>,
+    back_edges: Vec<(NodeId, NodeId)>,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> Builder<'a> {
+    fn fresh(&mut self) -> NodeId {
+        self.nodes.push(Node::default());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+    }
+
+    fn back_edge(&mut self, from: NodeId, to: NodeId) {
+        self.edge(from, to);
+        if !self.back_edges.contains(&(from, to)) {
+            self.back_edges.push((from, to));
+        }
+    }
+
+    /// Appends token `i` to `cur`, returning the node that now ends at
+    /// `i + 1` (a fresh successor if `cur`'s range is not adjacent — which
+    /// happens when a join node resumes after a gap).
+    fn append(&mut self, cur: NodeId, i: usize) -> NodeId {
+        let node = &mut self.nodes[cur];
+        if node.tokens.is_empty() && node.tokens.start == 0 {
+            node.tokens = i..i + 1;
+            cur
+        } else if node.tokens.end == i {
+            node.tokens.end = i + 1;
+            cur
+        } else {
+            let next = self.fresh();
+            self.edge(cur, next);
+            self.nodes[next].tokens = i..i + 1;
+            next
+        }
+    }
+
+    /// Walks `range` starting in node `cur`; returns the node where control
+    /// continues after the range.
+    fn walk(&mut self, range: Range<usize>, mut cur: NodeId) -> NodeId {
+        let mut i = range.start;
+        while i < range.end {
+            let t = &self.tokens[i];
+            if t.is_ident("if") {
+                let (next_i, join) = self.parse_if(i, range.end, cur);
+                i = next_i;
+                cur = join;
+            } else if t.is_ident("match") {
+                let (next_i, join) = self.parse_match(i, range.end, cur);
+                i = next_i;
+                cur = join;
+            } else if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+                let (next_i, after) = self.parse_loop(i, range.end, cur);
+                i = next_i;
+                cur = after;
+            } else if t.is_ident("break") || t.is_ident("continue") {
+                let is_break = t.is_ident("break");
+                cur = self.append(cur, i);
+                i += 1;
+                // Optional loop label.
+                let label = self.tokens.get(i).filter(|t| t.kind == TokenKind::Lifetime);
+                let label_text = label.map(|t| t.text.clone());
+                if label.is_some() {
+                    cur = self.append(cur, i);
+                    i += 1;
+                }
+                // `break expr`: the value tokens still execute.
+                while i < range.end
+                    && !(self.tokens[i].is_punct(";")
+                        || self.tokens[i].is_punct(",")
+                        || self.tokens[i].is_punct("}"))
+                {
+                    cur = self.append(cur, i);
+                    i += 1;
+                }
+                let ctx = self
+                    .loops
+                    .iter()
+                    .rev()
+                    .find(|c| label_text.is_none() || c.label == label_text);
+                if let Some(ctx) = ctx {
+                    let (head, after) = (ctx.head, ctx.after);
+                    if is_break {
+                        self.edge(cur, after);
+                    } else {
+                        self.back_edge(cur, head);
+                    }
+                } else {
+                    // `break` outside any loop (malformed source): treat as
+                    // an early exit so the walk stays total.
+                    self.edge(cur, EXIT);
+                }
+                cur = self.fresh(); // dead continuation, pruned later
+            } else if t.is_ident("return") {
+                cur = self.append(cur, i);
+                i += 1;
+                let mut depth = 0i32;
+                while i < range.end {
+                    let t = &self.tokens[i];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if t.is_punct(";") && depth == 0 {
+                        break;
+                    }
+                    cur = self.append(cur, i);
+                    i += 1;
+                }
+                self.edge(cur, EXIT);
+                cur = self.fresh(); // dead continuation
+            } else if t.is_punct("?") {
+                // `expr?`: either propagates the error to the caller (exit)
+                // or continues. Close the node at the `?` so facts computed
+                // before it are what reaches both paths.
+                cur = self.append(cur, i);
+                i += 1;
+                self.edge(cur, EXIT);
+                let next = self.fresh();
+                self.edge(cur, next);
+                cur = next;
+            } else if t.is_ident("fn")
+                && self
+                    .tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                // Nested fn item: skip it; it gets its own CFG.
+                i = self.skip_fn_item(i, range.end);
+            } else {
+                cur = self.append(cur, i);
+                i += 1;
+            }
+        }
+        cur
+    }
+
+    /// Parses `if cond { … } [else if …]* [else { … }]` starting at the `if`
+    /// token; returns (index after the construct, join node).
+    fn parse_if(&mut self, i: usize, limit: usize, mut cur: NodeId) -> (usize, NodeId) {
+        // Condition tokens (including any `let` pattern) stay in `cur`.
+        cur = self.append(cur, i);
+        let open = self.find_body_open(i + 1, limit);
+        let Some(open) = open else {
+            return (limit, cur); // malformed; swallow
+        };
+        let mut j = i + 1;
+        while j < open {
+            cur = self.walk_cond_token(j, cur);
+            j += 1;
+        }
+        let close = self.matching_brace(open, limit);
+        let join = self.fresh();
+        let then_entry = self.fresh();
+        self.edge(cur, then_entry);
+        let then_exit = self.walk(open + 1..close, then_entry);
+        self.edge(then_exit, join);
+        let mut next_i = close + 1;
+        if self.tokens.get(next_i).is_some_and(|t| t.is_ident("else")) {
+            match self.tokens.get(next_i + 1) {
+                Some(t) if t.is_punct("{") => {
+                    let eopen = next_i + 1;
+                    let eclose = self.matching_brace(eopen, limit);
+                    let else_entry = self.fresh();
+                    self.edge(cur, else_entry);
+                    let else_exit = self.walk(eopen + 1..eclose, else_entry);
+                    self.edge(else_exit, join);
+                    next_i = eclose + 1;
+                }
+                Some(t) if t.is_ident("if") => {
+                    let else_entry = self.fresh();
+                    self.edge(cur, else_entry);
+                    let (after, inner_join) = self.parse_if(next_i + 1, limit, else_entry);
+                    self.edge(inner_join, join);
+                    next_i = after;
+                }
+                _ => {
+                    // Malformed `else`: fall through.
+                    self.edge(cur, join);
+                    next_i += 1;
+                }
+            }
+        } else {
+            // No else: the false path skips straight to the join.
+            self.edge(cur, join);
+        }
+        (next_i, join)
+    }
+
+    /// Walks one condition token, handling `?` inside conditions; other
+    /// control flow inside a condition (closures, nested blocks) is treated
+    /// as straight-line.
+    fn walk_cond_token(&mut self, i: usize, cur: NodeId) -> NodeId {
+        if self.tokens[i].is_punct("?") {
+            let cur = self.append(cur, i);
+            self.edge(cur, EXIT);
+            let next = self.fresh();
+            self.edge(cur, next);
+            next
+        } else {
+            self.append(cur, i)
+        }
+    }
+
+    /// Parses `match scrutinee { arms }`; returns (index after, join node).
+    fn parse_match(&mut self, i: usize, limit: usize, mut cur: NodeId) -> (usize, NodeId) {
+        cur = self.append(cur, i);
+        let Some(open) = self.find_body_open(i + 1, limit) else {
+            return (limit, cur);
+        };
+        let mut j = i + 1;
+        while j < open {
+            cur = self.walk_cond_token(j, cur);
+            j += 1;
+        }
+        let close = self.matching_brace(open, limit);
+        let join = self.fresh();
+        let mut arm_start = open + 1;
+        let mut any_arm = false;
+        while arm_start < close {
+            // Find this arm's `=>` (lexed as `=` `>`) at depth 0.
+            let Some(arrow) = self.find_arrow(arm_start, close) else {
+                break;
+            };
+            any_arm = true;
+            // Pattern + guard tokens: their own node so guard-side effects
+            // stay ordered, branching from the scrutinee.
+            let arm_node = self.fresh();
+            self.edge(cur, arm_node);
+            let mut pat_node = arm_node;
+            let mut k = arm_start;
+            while k < arrow {
+                pat_node = self.walk_cond_token(k, pat_node);
+                k += 1;
+            }
+            // Arm body: a brace block, or tokens up to the top-level comma.
+            let body_first = arrow + 2;
+            let (body_range, next_arm) =
+                if self.tokens.get(body_first).is_some_and(|t| t.is_punct("{")) {
+                    let bclose = self.matching_brace(body_first, close);
+                    let mut na = bclose + 1;
+                    if self.tokens.get(na).is_some_and(|t| t.is_punct(",")) {
+                        na += 1;
+                    }
+                    (body_first + 1..bclose, na)
+                } else {
+                    let end = self.find_arm_end(body_first, close);
+                    let mut na = end;
+                    if self.tokens.get(na).is_some_and(|t| t.is_punct(",")) {
+                        na += 1;
+                    }
+                    (body_first..end, na)
+                };
+            let arm_exit = self.walk(body_range, pat_node);
+            self.edge(arm_exit, join);
+            arm_start = next_arm;
+        }
+        if !any_arm {
+            // `match x {}`: diverges in real Rust; keep the walk total.
+            self.edge(cur, join);
+        }
+        (close + 1, join)
+    }
+
+    /// Parses `loop { … }`, `while cond { … }`, or `for pat in iter { … }`
+    /// starting at the keyword; returns (index after, after-loop node).
+    fn parse_loop(&mut self, i: usize, limit: usize, cur: NodeId) -> (usize, NodeId) {
+        // A label is `'name :` immediately before the keyword.
+        let label = if i >= 2
+            && self.tokens[i - 1].is_punct(":")
+            && self.tokens[i - 2].kind == TokenKind::Lifetime
+        {
+            Some(self.tokens[i - 2].text.clone())
+        } else {
+            None
+        };
+        let head = self.fresh();
+        self.nodes[head].loop_head = true;
+        self.edge(cur, head);
+        // Condition / iterator tokens belong to the header node (they are
+        // re-evaluated on every iteration).
+        let mut h = self.append(head, i);
+        let Some(open) = self.find_body_open(i + 1, limit) else {
+            return (limit, h);
+        };
+        let mut j = i + 1;
+        while j < open {
+            h = self.walk_cond_token(j, h);
+            j += 1;
+        }
+        let close = self.matching_brace(open, limit);
+        let after = self.fresh();
+        if !self.tokens[i].is_ident("loop") {
+            // `while`/`for` exit from the header when the condition fails /
+            // the iterator is exhausted.
+            self.edge(h, after);
+        }
+        self.loops.push(LoopCtx { label, head, after });
+        let body_entry = self.fresh();
+        self.edge(h, body_entry);
+        let body_exit = self.walk(open + 1..close, body_entry);
+        self.back_edge(body_exit, head);
+        self.loops.pop();
+        (close + 1, after)
+    }
+
+    /// Finds the `{` opening the body of an `if`/`match`/`while`/`for`
+    /// construct: the first `{` at paren/bracket depth 0 (struct literals in
+    /// conditions require parentheses in Rust, so this is exact).
+    fn find_body_open(&self, from: usize, limit: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for (j, t) in self.tokens.iter().enumerate().take(limit).skip(from) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth <= 0 {
+                return Some(j);
+            } else if t.is_punct(";") && depth <= 0 {
+                return None; // statement ended without a body (malformed)
+            }
+        }
+        None
+    }
+
+    /// Index of the `}` matching the `{` at `open`, clamped to `limit`.
+    fn matching_brace(&self, open: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        for (j, t) in self.tokens.iter().enumerate().take(limit).skip(open) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        limit.saturating_sub(1).max(open)
+    }
+
+    /// Finds the `=` of the `=>` introducing a match arm body, at brace /
+    /// paren / bracket depth 0 relative to `from`.
+    fn find_arrow(&self, from: usize, limit: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < limit {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct("=")
+                && self.tokens.get(j + 1).is_some_and(|t| t.is_punct(">"))
+            {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Finds the end of an expression arm body: the `,` at depth 0, or the
+    /// match's closing brace.
+    fn find_arm_end(&self, from: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < limit {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            } else if t.is_punct(",") && depth == 0 {
+                return j;
+            }
+            j += 1;
+        }
+        limit
+    }
+
+    /// Skips a nested `fn` item starting at its `fn` keyword; returns the
+    /// index after its body (or after `;` for a bodyless declaration).
+    fn skip_fn_item(&self, i: usize, limit: usize) -> usize {
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        while j < limit {
+            let t = &self.tokens[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if t.is_punct(";") && angle <= 0 {
+                return j + 1;
+            } else if t.is_punct("{") && angle <= 0 {
+                return self.matching_brace(j, limit) + 1;
+            }
+            j += 1;
+        }
+        limit
+    }
+
+    /// Computes predecessors, prunes nodes unreachable from the entry (the
+    /// exit is always kept), and remaps ids.
+    fn seal(mut self) -> Cfg {
+        let n = self.nodes.len();
+        let mut reach = vec![false; n];
+        let mut queue = vec![ENTRY];
+        reach[ENTRY] = true;
+        while let Some(v) = queue.pop() {
+            for &s in &self.nodes[v].succs {
+                if !reach[s] {
+                    reach[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+        reach[EXIT] = true; // the exit survives even when unreachable
+        let mut remap = vec![usize::MAX; n];
+        let mut kept = 0usize;
+        for (id, r) in reach.iter().enumerate() {
+            if *r {
+                remap[id] = kept;
+                kept += 1;
+            }
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(kept);
+        for (id, node) in self.nodes.drain(..).enumerate() {
+            if !reach[id] {
+                continue;
+            }
+            let succs: Vec<NodeId> = node
+                .succs
+                .iter()
+                .filter(|&&s| reach[s])
+                .map(|&s| remap[s])
+                .collect();
+            nodes.push(Node {
+                tokens: node.tokens,
+                succs,
+                preds: Vec::new(),
+                loop_head: node.loop_head,
+            });
+        }
+        for id in 0..nodes.len() {
+            let succs = nodes[id].succs.clone();
+            for s in succs {
+                if !nodes[s].preds.contains(&id) {
+                    nodes[s].preds.push(id);
+                }
+            }
+        }
+        let back_edges = self
+            .back_edges
+            .iter()
+            .filter(|(f, t)| reach[*f] && reach[*t])
+            .map(|&(f, t)| (remap[f], remap[t]))
+            .collect();
+        Cfg {
+            nodes,
+            entry: remap[ENTRY],
+            exit: remap[EXIT],
+            back_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg_of(body_src: &str) -> (Cfg, Vec<Token>) {
+        let tokens = lex(body_src).tokens;
+        (Cfg::build(&tokens), tokens)
+    }
+
+    /// The token texts covered by each non-empty node, for shape assertions.
+    fn node_texts(cfg: &Cfg, tokens: &[Token]) -> Vec<String> {
+        cfg.nodes
+            .iter()
+            .filter(|n| !n.tokens.is_empty())
+            .map(|n| {
+                tokens[n.tokens.clone()]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_is_one_node() {
+        let (cfg, tokens) = cfg_of("let a = 1; f(a); g(a);");
+        let texts = node_texts(&cfg, &tokens);
+        assert_eq!(texts.len(), 1, "{texts:?}");
+        assert!(texts[0].starts_with("let a"));
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn if_else_is_a_diamond() {
+        let (cfg, _) = cfg_of("pre(); if c { a(); } else { b(); } post();");
+        // entry, exit, cond, then, else, join(+post) — all reachable.
+        let exit_preds = &cfg.nodes[cfg.exit].preds;
+        assert_eq!(exit_preds.len(), 1);
+        // The join node has two predecessors (then, else).
+        let join = exit_preds[0];
+        assert_eq!(cfg.nodes[join].preds.len(), 2, "{cfg:?}");
+    }
+
+    #[test]
+    fn if_without_else_has_a_skip_edge() {
+        let (cfg, tokens) = cfg_of("if c { a(); } post();");
+        // The condition node must edge both into the then-branch and past it.
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("c"))
+            })
+            .unwrap();
+        assert_eq!(cfg.nodes[cond].succs.len(), 2, "{cfg:?}");
+    }
+
+    #[test]
+    fn else_if_chains_nest() {
+        let (cfg, _) = cfg_of("if a { x(); } else if b { y(); } else { z(); } post();");
+        // All three branch bodies reach the exit.
+        assert!(cfg.nodes.len() >= 7);
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn loop_with_break_has_back_edge_and_after() {
+        let (cfg, tokens) = cfg_of("loop { step(); if done { break; } } post();");
+        assert_eq!(cfg.back_edges.len(), 1);
+        let (_, head) = cfg.back_edges[0];
+        assert!(cfg.nodes[head].loop_head);
+        // `post` is reachable (via the break).
+        let post = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("post"))
+        });
+        assert!(post.is_some(), "{cfg:?}");
+    }
+
+    #[test]
+    fn infinite_loop_prunes_continuation_but_keeps_exit() {
+        let (cfg, tokens) = cfg_of("loop { step(); } post();");
+        // `post` is dead code and pruned.
+        let post = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("post"))
+        });
+        assert!(post.is_none(), "{cfg:?}");
+        assert!(cfg.exit < cfg.nodes.len());
+        assert_eq!(cfg.back_edges.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_exits_from_header() {
+        let (cfg, tokens) = cfg_of("while c { body(); } post();");
+        let head = cfg.nodes.iter().position(|n| n.loop_head).unwrap();
+        assert_eq!(cfg.nodes[head].succs.len(), 2, "{cfg:?}");
+        let post = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("post"))
+        });
+        assert!(post.is_some());
+        assert_eq!(cfg.back_edges.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_with_continue() {
+        let (cfg, _) = cfg_of("for x in xs { if skip(x) { continue; } work(x); } post();");
+        // Two back edges: the continue and the body fall-through.
+        assert_eq!(cfg.back_edges.len(), 2, "{cfg:?}");
+        for &(_, to) in &cfg.back_edges {
+            assert!(cfg.nodes[to].loop_head);
+        }
+    }
+
+    #[test]
+    fn labelled_break_targets_the_outer_loop() {
+        let (cfg, tokens) = cfg_of("'outer: loop { loop { break 'outer; } } post();");
+        let post = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("post"))
+        });
+        assert!(post.is_some(), "{cfg:?}");
+    }
+
+    #[test]
+    fn return_edges_to_exit_and_prunes_dead_code() {
+        let (cfg, tokens) = cfg_of("if c { return early(); } late();");
+        let late = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("late"))
+        });
+        assert!(late.is_some(), "late() is reachable when c is false");
+        // The return node edges to exit.
+        let ret = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                !n.tokens.is_empty()
+                    && tokens[n.tokens.clone()]
+                        .iter()
+                        .any(|t| t.is_ident("return"))
+            })
+            .unwrap();
+        assert!(cfg.nodes[ret].succs.contains(&cfg.exit), "{cfg:?}");
+    }
+
+    #[test]
+    fn question_mark_splits_the_node() {
+        let (cfg, tokens) = cfg_of("let x = f()?; g(x);");
+        let q = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_punct("?"))
+            })
+            .unwrap();
+        assert!(cfg.nodes[q].succs.contains(&cfg.exit));
+        assert_eq!(cfg.nodes[q].succs.len(), 2);
+    }
+
+    #[test]
+    fn match_arms_branch_and_join() {
+        let (cfg, tokens) =
+            cfg_of("match v { A => a(), B(x) if g(x) => { b(x); } _ => {} } post();");
+        let post = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("post"))
+            })
+            .unwrap();
+        // The node before post (the join) has three arm predecessors.
+        let join_preds = cfg.nodes[post].preds.len().max(
+            cfg.nodes[post]
+                .preds
+                .first()
+                .map(|&p| cfg.nodes[p].preds.len())
+                .unwrap_or(0),
+        );
+        assert!(join_preds >= 3, "{cfg:?}");
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_items_are_skipped() {
+        let (cfg, tokens) = cfg_of("fn helper() { loop {} } outer();");
+        assert!(cfg.back_edges.is_empty(), "{cfg:?}");
+        let outer = cfg.nodes.iter().position(|n| {
+            !n.tokens.is_empty() && tokens[n.tokens.clone()].iter().any(|t| t.is_ident("outer"))
+        });
+        assert!(outer.is_some());
+    }
+
+    #[test]
+    fn every_node_reachable_and_edges_consistent() {
+        let (cfg, _) = cfg_of(
+            "if a { while b { if c { break; } step()?; } } else { match v { X => r(), _ => {} } } tail();",
+        );
+        crate::cfg::tests::assert_well_formed(&cfg);
+    }
+
+    /// Shared well-formedness assertions (also used by the proptest suite).
+    pub(crate) fn assert_well_formed(cfg: &Cfg) {
+        // Entry/exit ids are valid and distinct.
+        assert!(cfg.entry < cfg.nodes.len());
+        assert!(cfg.exit < cfg.nodes.len());
+        assert_ne!(cfg.entry, cfg.exit);
+        // Every node except possibly the exit is reachable from the entry.
+        let mut reach = vec![false; cfg.nodes.len()];
+        let mut queue = vec![cfg.entry];
+        reach[cfg.entry] = true;
+        while let Some(v) = queue.pop() {
+            for &s in &cfg.nodes[v].succs {
+                assert!(s < cfg.nodes.len(), "edge to out-of-range node");
+                if !reach[s] {
+                    reach[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+        for (id, r) in reach.iter().enumerate() {
+            assert!(*r || id == cfg.exit, "node {id} unreachable from entry");
+        }
+        // succ/pred lists mirror each other exactly.
+        for (id, node) in cfg.nodes.iter().enumerate() {
+            for &s in &node.succs {
+                assert!(
+                    cfg.nodes[s].preds.contains(&id),
+                    "edge {id}->{s} missing from preds"
+                );
+            }
+            for &p in &node.preds {
+                assert!(
+                    cfg.nodes[p].succs.contains(&id),
+                    "pred {p} of {id} missing the succ edge"
+                );
+            }
+        }
+        // Back edges are real edges targeting loop headers.
+        for &(f, t) in &cfg.back_edges {
+            assert!(
+                cfg.nodes[f].succs.contains(&t),
+                "back edge {f}->{t} not an edge"
+            );
+            assert!(
+                cfg.nodes[t].loop_head,
+                "back edge target {t} not a loop head"
+            );
+        }
+        // The exit has no successors.
+        assert!(cfg.nodes[cfg.exit].succs.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for CFG well-formedness: random byte strings are decoded
+//! into Rust-ish statement trees, rendered to token streams, built into
+//! CFGs, and checked against the structural invariants every dataflow
+//! client relies on (valid ids, mirrored succ/pred lists, reachability,
+//! back edges targeting loop heads, disjoint token ranges). The decoder
+//! deliberately produces malformed shapes too — `break` outside any loop,
+//! empty bodies, dead code after `return` — because the builder promises
+//! totality over arbitrary token streams, not just compiling Rust.
+//!
+//! The vendored proptest shim has no recursive/one-of combinators, so the
+//! tree shape comes from a plain byte decoder over `collection::vec` input:
+//! every byte string decodes to some program, and exhausted input decodes
+//! to leaf statements, so decoding always terminates.
+
+use crate::cfg::Cfg;
+use crate::lexer::lex;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// A byte cursor; reads 0 once the input is exhausted (kind 0 is a leaf, so
+/// running dry always closes the remaining constructs).
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Decoder<'_> {
+    fn next(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+}
+
+const MAX_DEPTH: usize = 4;
+
+fn render_stmts(d: &mut Decoder, depth: usize, out: &mut String) {
+    let count = (d.next() % 4) as usize;
+    for _ in 0..count {
+        render_stmt(d, depth, out);
+    }
+}
+
+fn render_stmt(d: &mut Decoder, depth: usize, out: &mut String) {
+    // Structured kinds degrade to leaves once the depth budget is spent.
+    let kind = if depth >= MAX_DEPTH {
+        d.next() % 6
+    } else {
+        d.next() % 13
+    };
+    match kind {
+        0 => {
+            let _ = write!(out, "f{}(); ", d.next() % 4);
+        }
+        1 => {
+            let k = d.next() % 4;
+            let _ = write!(out, "let x{k} = f{k}(); ");
+        }
+        2 => {
+            let _ = write!(out, "g{}()?; ", d.next() % 4);
+        }
+        3 => out.push_str("return; "),
+        4 => out.push_str("break; "),
+        5 => out.push_str("continue; "),
+        6 | 7 => {
+            out.push_str("if cond { ");
+            render_stmts(d, depth + 1, out);
+            out.push_str("} ");
+            if kind == 7 {
+                out.push_str("else { ");
+                render_stmts(d, depth + 1, out);
+                out.push_str("} ");
+            }
+        }
+        8 => {
+            out.push_str("while cond { ");
+            render_stmts(d, depth + 1, out);
+            out.push_str("} ");
+        }
+        9 => {
+            out.push_str("loop { ");
+            render_stmts(d, depth + 1, out);
+            out.push_str("} ");
+        }
+        10 => {
+            out.push_str("for item in items { ");
+            render_stmts(d, depth + 1, out);
+            out.push_str("} ");
+        }
+        11 => {
+            out.push_str("match v { ");
+            let arms = 1 + (d.next() % 3) as usize;
+            for i in 0..arms {
+                let _ = write!(out, "V{i} => {{ ");
+                render_stmts(d, depth + 1, out);
+                out.push_str("} ");
+            }
+            out.push_str("_ => { } } ");
+        }
+        _ => {
+            out.push_str("{ ");
+            render_stmts(d, depth + 1, out);
+            out.push_str("} ");
+        }
+    }
+}
+
+/// Decodes `bytes` into a function body and builds its CFG.
+fn build(bytes: &[u8]) -> (String, Cfg) {
+    let mut src = String::new();
+    let mut d = Decoder { bytes, pos: 0 };
+    // Top level: a generous statement budget so bodies get interesting.
+    for _ in 0..1 + (d.next() % 6) {
+        render_stmt(&mut d, 0, &mut src);
+    }
+    let cfg = Cfg::build(&lex(&src).tokens);
+    (src, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core invariant bundle: the same assertions the hand-written unit
+    /// tests use, over arbitrary statement trees.
+    #[test]
+    fn arbitrary_bodies_build_well_formed_cfgs(bytes in collection::vec(0u8..=255, 0..64)) {
+        let (_, cfg) = build(&bytes);
+        crate::cfg::tests::assert_well_formed(&cfg);
+    }
+
+    /// Token ranges never overlap: every token lands in at most one node, so
+    /// a transfer function is applied at most once per token per pass.
+    #[test]
+    fn node_token_ranges_are_disjoint(bytes in collection::vec(0u8..=255, 0..64)) {
+        let (src, cfg) = build(&bytes);
+        let mut ranges: Vec<_> = cfg
+            .nodes
+            .iter()
+            .filter(|n| !n.tokens.is_empty())
+            .map(|n| n.tokens.clone())
+            .collect();
+        ranges.sort_by_key(|r| r.start);
+        for pair in ranges.windows(2) {
+            prop_assert!(
+                pair[0].end <= pair[1].start,
+                "overlapping node ranges {:?} and {:?} in {:?}",
+                pair[0],
+                pair[1],
+                src
+            );
+        }
+    }
+
+    /// `reverse_postorder` (the worklist seed order) enumerates every
+    /// entry-reachable node exactly once, entry first.
+    #[test]
+    fn reverse_postorder_covers_reachable_nodes_once(bytes in collection::vec(0u8..=255, 0..64)) {
+        let (src, cfg) = build(&bytes);
+        let rpo = cfg.reverse_postorder();
+        prop_assert_eq!(rpo.first().copied(), Some(cfg.entry));
+        let mut seen = vec![false; cfg.nodes.len()];
+        for &id in &rpo {
+            prop_assert!(id < cfg.nodes.len());
+            prop_assert!(!seen[id], "node {} visited twice in {:?}", id, src);
+            seen[id] = true;
+        }
+        // Reachability from entry, recomputed independently.
+        let mut reach = vec![false; cfg.nodes.len()];
+        let mut queue = vec![cfg.entry];
+        reach[cfg.entry] = true;
+        while let Some(v) = queue.pop() {
+            for &s in &cfg.nodes[v].succs {
+                if !reach[s] {
+                    reach[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+        for id in 0..cfg.nodes.len() {
+            prop_assert!(
+                seen[id] == reach[id],
+                "rpo/reachability disagree on node {} in {:?}",
+                id,
+                src
+            );
+        }
+    }
+
+    /// Construction is deterministic: the same token stream always yields
+    /// the identical CFG (required for the per-function `CfgCache`).
+    #[test]
+    fn construction_is_deterministic(bytes in collection::vec(0u8..=255, 0..64)) {
+        let (src_a, a) = build(&bytes);
+        let (src_b, b) = build(&bytes);
+        prop_assert_eq!(src_a, src_b);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -1,0 +1,266 @@
+//! A generic forward dataflow framework over [`Cfg`]s.
+//!
+//! Facts are bits in a rule-defined universe. A rule supplies a transfer
+//! function mapping a node's IN set to its OUT set (typically by replaying
+//! the node's tokens over the bitset); the engine iterates a worklist in
+//! reverse postorder until the fixpoint.
+//!
+//! Two meet semantics cover the registered analyses:
+//!
+//! * [`Meet::Union`] — *may* analyses (reaching definitions for
+//!   `clauseref-across-gc`): a fact holds at a node if it holds on **some**
+//!   path. Unvisited inputs start empty.
+//! * [`Meet::Intersect`] — *must* analyses (`budget-before-solve`): a fact
+//!   holds only if it holds on **every** path. Non-entry inputs start at ⊤
+//!   (all bits set) and are narrowed; the entry starts from the caller's
+//!   boundary value.
+
+use crate::cfg::Cfg;
+
+/// A fixed-width bitset over a fact universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` facts.
+    pub fn empty(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set (⊤ of a must analysis) over `len` facts.
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Sets bit `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// `true` if bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates the set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// How facts combine where paths meet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Meet {
+    /// Some-path semantics (may analysis).
+    Union,
+    /// All-paths semantics (must analysis).
+    Intersect,
+}
+
+/// The fixpoint solution: per-node IN and OUT sets.
+#[derive(Debug)]
+pub struct Solution {
+    /// Facts holding on entry to each node.
+    pub input: Vec<BitSet>,
+    /// Facts holding on exit from each node.
+    pub output: Vec<BitSet>,
+}
+
+/// Runs a forward dataflow analysis to its fixpoint.
+///
+/// `boundary` is the IN set of the entry node. `transfer(node, in)` must be
+/// monotone in `in` for termination (gen/kill transfers are).
+pub fn forward(
+    cfg: &Cfg,
+    universe: usize,
+    meet: Meet,
+    boundary: BitSet,
+    transfer: &mut dyn FnMut(usize, &BitSet) -> BitSet,
+) -> Solution {
+    let n = cfg.nodes.len();
+    let top = match meet {
+        Meet::Union => BitSet::empty(universe),
+        Meet::Intersect => BitSet::full(universe),
+    };
+    let mut input: Vec<BitSet> = vec![top.clone(); n];
+    let mut output: Vec<BitSet> = vec![top; n];
+    input[cfg.entry] = boundary;
+    output[cfg.entry] = transfer(cfg.entry, &input[cfg.entry]);
+
+    let order = cfg.reverse_postorder();
+    let mut dirty = vec![true; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in &order {
+            if !dirty[id] {
+                continue;
+            }
+            dirty[id] = false;
+            if id != cfg.entry {
+                let preds = &cfg.nodes[id].preds;
+                let mut acc = match meet {
+                    Meet::Union => BitSet::empty(universe),
+                    Meet::Intersect => BitSet::full(universe),
+                };
+                // A must-analysis node with no predecessors keeps ⊤; it can
+                // only be the (unreachable) exit after a diverging body.
+                for &p in preds {
+                    match meet {
+                        Meet::Union => acc.union_with(&output[p]),
+                        Meet::Intersect => acc.intersect_with(&output[p]),
+                    }
+                }
+                if preds.is_empty() && meet == Meet::Union {
+                    acc = BitSet::empty(universe);
+                }
+                input[id] = acc;
+            }
+            let out = transfer(id, &input[id]);
+            if out != output[id] {
+                output[id] = out;
+                for &s in &cfg.nodes[id].succs {
+                    dirty[s] = true;
+                }
+                changed = true;
+            }
+        }
+    }
+    Solution { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::lexer::lex;
+
+    #[test]
+    fn must_analysis_requires_all_paths() {
+        let tokens = lex("if c { check(); } solve();").tokens;
+        let cfg = Cfg::build(&tokens);
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            let node = &cfg.nodes[id];
+            if tokens[node.tokens.clone()]
+                .iter()
+                .any(|t| t.is_ident("check"))
+            {
+                out.insert(0);
+            }
+            out
+        };
+        let sol = forward(&cfg, 1, Meet::Intersect, BitSet::empty(1), &mut transfer);
+        // The node containing `solve` must NOT have the bit: one path skips
+        // the check.
+        let solve_node = cfg
+            .nodes
+            .iter()
+            .position(|n| tokens[n.tokens.clone()].iter().any(|t| t.is_ident("solve")))
+            .unwrap();
+        assert!(!sol.input[solve_node].contains(0));
+    }
+
+    #[test]
+    fn must_analysis_passes_when_both_branches_check() {
+        let tokens = lex("if c { check(); } else { check(); } solve();").tokens;
+        let cfg = Cfg::build(&tokens);
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if tokens[cfg.nodes[id].tokens.clone()]
+                .iter()
+                .any(|t| t.is_ident("check"))
+            {
+                out.insert(0);
+            }
+            out
+        };
+        let sol = forward(&cfg, 1, Meet::Intersect, BitSet::empty(1), &mut transfer);
+        let solve_node = cfg
+            .nodes
+            .iter()
+            .position(|n| tokens[n.tokens.clone()].iter().any(|t| t.is_ident("solve")))
+            .unwrap();
+        assert!(sol.input[solve_node].contains(0));
+    }
+
+    #[test]
+    fn may_analysis_unions_over_paths() {
+        let tokens = lex("if c { taint(); } use_it();").tokens;
+        let cfg = Cfg::build(&tokens);
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if tokens[cfg.nodes[id].tokens.clone()]
+                .iter()
+                .any(|t| t.is_ident("taint"))
+            {
+                out.insert(0);
+            }
+            out
+        };
+        let sol = forward(&cfg, 1, Meet::Union, BitSet::empty(1), &mut transfer);
+        let use_node = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                tokens[n.tokens.clone()]
+                    .iter()
+                    .any(|t| t.is_ident("use_it"))
+            })
+            .unwrap();
+        assert!(sol.input[use_node].contains(0));
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_propagates_around_back_edge() {
+        let tokens = lex("loop { if c { check(); } if d { break; } } solve();").tokens;
+        let cfg = Cfg::build(&tokens);
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if tokens[cfg.nodes[id].tokens.clone()]
+                .iter()
+                .any(|t| t.is_ident("check"))
+            {
+                out.insert(0);
+            }
+            out
+        };
+        let sol = forward(&cfg, 1, Meet::Intersect, BitSet::empty(1), &mut transfer);
+        let solve_node = cfg
+            .nodes
+            .iter()
+            .position(|n| tokens[n.tokens.clone()].iter().any(|t| t.is_ident("solve")))
+            .unwrap();
+        // The first iteration may break before ever checking.
+        assert!(!sol.input[solve_node].contains(0));
+    }
+}

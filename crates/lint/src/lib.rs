@@ -2,18 +2,28 @@
 //!
 //! A dependency-free, token-level scanner that enforces the cross-cutting
 //! invariants `rustc` and `clippy` cannot see: ClauseRef lifetimes across
-//! arena GC, cancellation-poll reachability from public entry points,
+//! arena GC, budget admission before solver invocations, lock-acquisition
+//! ordering, stats-counter parity between the portfolio merge and the
+//! benchmark CSVs, cancellation-poll reachability from public entry points,
 //! justified atomic orderings, panic-free library code, and
-//! `#![forbid(unsafe_code)]` crate headers. Run it as
+//! `#![forbid(unsafe_code)]` crate headers. The flow-sensitive rules run a
+//! gen/kill worklist analysis (see [`dataflow`]) over per-function CFGs
+//! built straight from the token stream (see [`cfg`]). Run it as
 //! `cargo run -p manthan3-lint -- check`; configuration and allowlists live
-//! in `lint.toml` at the workspace root.
+//! in `lint.toml` at the workspace root, and every allowlist entry must
+//! still suppress something — stale entries are themselves violations.
 
 #![forbid(unsafe_code)]
 
+pub mod cfg;
+#[cfg(test)]
+mod cfg_props;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use config::LintConfig;
@@ -43,6 +53,10 @@ pub fn check_workspace(root: &Path, config: &LintConfig) -> std::io::Result<Lint
 }
 
 /// Runs every rule over an already-built file set (used by fixture tests).
+///
+/// Allowlist entries are themselves checked: an entry that suppresses
+/// nothing is reported as a `stale-allowlist` violation, so suppressions
+/// cannot outlive the code they excused.
 pub fn check_files(files: Vec<SourceFile>, config: &LintConfig) -> LintReport {
     let workspace = Workspace { files };
     let mut report = LintReport {
@@ -51,12 +65,33 @@ pub fn check_files(files: Vec<SourceFile>, config: &LintConfig) -> LintReport {
     };
     for rule in rules::registry() {
         let allow = config.allowlist(rule.name());
+        let mut matched = vec![false; allow.len()];
         for diag in rule.check(&workspace, config) {
-            if allow.iter().any(|entry| allow_matches(entry, &diag)) {
+            let mut suppressed = false;
+            for (i, entry) in allow.iter().enumerate() {
+                if allow_matches(entry, &diag) {
+                    matched[i] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
                 report.suppressed += 1;
             } else {
                 report.diagnostics.push(diag);
             }
+        }
+        for (entry, _) in allow.iter().zip(&matched).filter(|(_, &m)| !m) {
+            report.diagnostics.push(Diagnostic {
+                rule: "stale-allowlist",
+                file: "lint.toml".to_string(),
+                line: 0,
+                symbol: None,
+                message: format!(
+                    "allowlist entry \"{entry}\" for rule `{}` suppresses nothing; \
+                     delete it (the code it excused no longer violates the rule)",
+                    rule.name()
+                ),
+            });
         }
     }
     report

@@ -1,10 +1,17 @@
-//! CLI driver: `manthan3-lint check [--root DIR] [--config FILE]` scans the
-//! workspace and exits 1 on violations; `manthan3-lint rules` lists the
-//! registered rules. Exit code 2 signals usage or configuration errors.
+//! CLI driver: `manthan3-lint check [--root DIR] [--config FILE]
+//! [--format text|json|sarif]` scans the workspace and exits 1 on
+//! violations; `manthan3-lint rules` lists the registered rules. Exit code 2
+//! signals usage or configuration errors.
+//!
+//! `--format text` (the default) prints one `file:line: [rule] message`
+//! line per finding; `json` a single machine-readable object; `sarif` a
+//! SARIF 2.1.0 log suitable for CI annotation upload. The human summary
+//! always goes to stderr so stdout stays parseable.
 
 #![forbid(unsafe_code)]
 
 use manthan3_lint::config::LintConfig;
+use manthan3_lint::sarif::{self, Format};
 use manthan3_lint::{check_workspace, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,6 +21,7 @@ fn main() -> ExitCode {
     let mut command = None;
     let mut root = PathBuf::from(".");
     let mut config_path = None;
+    let mut format = Format::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -26,6 +34,13 @@ fn main() -> ExitCode {
                 Some(file) => config_path = Some(PathBuf::from(file)),
                 None => return usage("--config needs a file"),
             },
+            "--format" => match it.next() {
+                Some(name) => match name.parse::<Format>() {
+                    Ok(f) => format = f,
+                    Err(err) => return usage(&err),
+                },
+                None => return usage("--format needs one of: text, json, sarif"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -36,12 +51,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("check") => run_check(&root, config_path),
+        Some("check") => run_check(&root, config_path, format),
         _ => usage("expected a subcommand: check | rules"),
     }
 }
 
-fn run_check(root: &std::path::Path, config_path: Option<PathBuf>) -> ExitCode {
+fn run_check(root: &std::path::Path, config_path: Option<PathBuf>, format: Format) -> ExitCode {
     let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
     let config = match LintConfig::load(&config_path) {
         Ok(config) => config,
@@ -52,8 +67,17 @@ fn run_check(root: &std::path::Path, config_path: Option<PathBuf>) -> ExitCode {
     };
     match check_workspace(root, &config) {
         Ok(report) => {
-            for diag in &report.diagnostics {
-                println!("{diag}");
+            match format {
+                Format::Text => {
+                    for diag in &report.diagnostics {
+                        println!("{diag}");
+                    }
+                }
+                Format::Json => print!(
+                    "{}",
+                    sarif::to_json(&report.diagnostics, report.files_scanned, report.suppressed)
+                ),
+                Format::Sarif => print!("{}", sarif::to_sarif(&report.diagnostics)),
             }
             eprintln!(
                 "manthan3-lint: {} file(s) scanned, {} violation(s), {} allowlisted",
@@ -76,6 +100,8 @@ fn run_check(root: &std::path::Path, config_path: Option<PathBuf>) -> ExitCode {
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("error: {message}");
-    eprintln!("usage: manthan3-lint <check|rules> [--root DIR] [--config FILE]");
+    eprintln!(
+        "usage: manthan3-lint <check|rules> [--root DIR] [--config FILE] [--format text|json|sarif]"
+    );
     ExitCode::from(2)
 }

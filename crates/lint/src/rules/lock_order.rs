@@ -1,0 +1,329 @@
+//! `lock-order`: a workspace-wide total order over `Mutex`/`RwLock`
+//! acquisition, derived from observed nesting. If lock B is ever acquired
+//! while lock A is held, the pair (A, B) is an ordering constraint; a cycle
+//! in the constraint graph is a deadlock candidate — two threads taking the
+//! cycle's locks in opposite orders can each hold one and wait forever for
+//! the other. Landing this before the synthesis-as-a-service daemon exists
+//! means its worker/janitor/store lock discipline is born checked.
+//!
+//! Mechanics, all token-level and name-based:
+//!
+//! * **Lock names** are harvested from declarations: a binding or field
+//!   whose type or initializer mentions `Mutex`/`RwLock` (`finished:
+//!   Mutex<…>`, `slots: Vec<Mutex<…>>`, `= Mutex::new(…)`).
+//! * An **acquisition site** is `name.lock(…)`, `name.read(…)`, or
+//!   `name.write(…)` (optionally through an index `name[i].lock(…)`) where
+//!   `name` is a harvested lock name — gating on harvested names keeps
+//!   `io::Read::read` and friends out.
+//! * A guard is assumed **held until the end of its enclosing block** (the
+//!   RAII default; an early `drop` only over-approximates the held range,
+//!   which can only add constraints, never hide one).
+//! * While held, a direct acquisition adds an edge, and a call to a
+//!   function that (transitively, over the name-union call graph) acquires
+//!   locks adds an edge per acquired lock.
+//!
+//! Distinct locks sharing a field name are merged by design: a name-level
+//! cycle is worth human eyes even when the runtime instances differ, and
+//! the allowlist takes the false positives.
+
+use super::support::is_call_at;
+use super::{Rule, Workspace};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct LockOrder;
+
+/// One observed nesting: `held` was held at `site` when `acquired` was
+/// taken (directly or through the call named `via`).
+#[derive(Debug, Clone)]
+struct Nesting {
+    held: String,
+    acquired: String,
+    file: String,
+    line: u32,
+    symbol: String,
+    via: Option<String>,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "Mutex/RwLock acquisition nesting must admit a workspace-wide total order (no cycles)"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let methods_default = ["lock".to_string(), "read".to_string(), "write".to_string()];
+        let methods = config.list_or(self.name(), "acquire-methods", &methods_default);
+
+        let lock_names = harvest_lock_names(workspace);
+        if lock_names.is_empty() {
+            return Vec::new();
+        }
+
+        // Per-function direct acquisitions, and the transitive closure over
+        // the name-union call graph.
+        let mut direct: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        let mut calls: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for file in &workspace.files {
+            for f in &file.functions {
+                if f.in_test {
+                    continue;
+                }
+                let body = &file.tokens()[f.body.clone()];
+                let acquired: BTreeSet<String> = acquisition_sites(body, &lock_names, methods)
+                    .into_iter()
+                    .map(|(_, name)| name)
+                    .collect();
+                direct.entry(f.name.as_str()).or_default().extend(acquired);
+                calls
+                    .entry(f.name.as_str())
+                    .or_default()
+                    .extend(f.calls.iter().map(String::as_str));
+            }
+        }
+        let transitive = transitive_acquires(&direct, &calls);
+
+        // Observed nestings.
+        let mut nestings: Vec<Nesting> = Vec::new();
+        for file in &workspace.files {
+            for f in &file.functions {
+                if f.in_test {
+                    continue;
+                }
+                let body = &file.tokens()[f.body.clone()];
+                let sites = acquisition_sites(body, &lock_names, methods);
+                for &(at, ref held) in &sites {
+                    let held_until = enclosing_block_end(body, at);
+                    // Direct acquisitions inside the held range.
+                    for &(at2, ref acquired) in &sites {
+                        if at2 > at && at2 < held_until {
+                            nestings.push(Nesting {
+                                held: held.clone(),
+                                acquired: acquired.clone(),
+                                file: file.rel_path.clone(),
+                                line: body[at2].line,
+                                symbol: f.name.clone(),
+                                via: None,
+                            });
+                        }
+                    }
+                    // Calls that transitively acquire, inside the held range.
+                    for i in at + 1..held_until.min(body.len()) {
+                        if !is_call_at(body, i) {
+                            continue;
+                        }
+                        let callee = body[i].text.as_str();
+                        if methods.iter().any(|m| m == callee) {
+                            continue; // the acquisitions themselves
+                        }
+                        if let Some(acquires) = transitive.get(callee) {
+                            for acquired in acquires {
+                                nestings.push(Nesting {
+                                    held: held.clone(),
+                                    acquired: acquired.clone(),
+                                    file: file.rel_path.clone(),
+                                    line: body[i].line,
+                                    symbol: f.name.clone(),
+                                    via: Some(callee.to_string()),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        report_cycles(self.name(), &nestings)
+    }
+}
+
+/// Harvests the names of bindings/fields declared with a `Mutex`/`RwLock`
+/// type or initializer anywhere in the workspace (tests included — a lock
+/// is a lock).
+fn harvest_lock_names(workspace: &Workspace) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in &workspace.files {
+        let tokens = file.tokens();
+        for (i, t) in tokens.iter().enumerate() {
+            if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+                continue;
+            }
+            // Walk back over type/initializer tokens to the introducing
+            // `name :` or `name =`, bounded by the statement start.
+            let mut j = i;
+            let mut guard = 0;
+            while j > 0 && guard < 24 {
+                j -= 1;
+                guard += 1;
+                let t = &tokens[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_ident("let") {
+                    break;
+                }
+                if (t.is_punct(":") || t.is_punct("=")) && j > 0 {
+                    let prev = &tokens[j - 1];
+                    if prev.kind == TokenKind::Ident {
+                        names.insert(prev.text.clone());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+/// `(token index of the lock name, lock name)` for every acquisition in a
+/// body: `name.lock(`, `name.read(`, `name.write(`, `name[…].lock(`.
+fn acquisition_sites(
+    body: &[Token],
+    lock_names: &BTreeSet<String>,
+    methods: &[String],
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !lock_names.contains(&t.text) {
+            continue;
+        }
+        let mut j = i + 1;
+        // Optional index: `name[…]`.
+        if body.get(j).is_some_and(|t| t.is_punct("[")) {
+            let mut depth = 0i32;
+            while j < body.len() {
+                if body[j].is_punct("[") {
+                    depth += 1;
+                } else if body[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if body.get(j).is_some_and(|t| t.is_punct("."))
+            && body
+                .get(j + 1)
+                .is_some_and(|t| methods.iter().any(|m| t.is_ident(m)))
+            && body.get(j + 2).is_some_and(|t| t.is_punct("("))
+        {
+            out.push((i, t.text.clone()));
+        }
+    }
+    out
+}
+
+/// The token index one past the end of the block enclosing `at` (where a
+/// guard taken at `at` is dropped).
+fn enclosing_block_end(body: &[Token], at: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in body.iter().enumerate().skip(at) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+    }
+    body.len()
+}
+
+/// For every function name, the set of lock names it may acquire,
+/// transitively over the name-union call graph.
+fn transitive_acquires<'m>(
+    direct: &'m BTreeMap<&str, BTreeSet<String>>,
+    calls: &'m BTreeMap<&str, BTreeSet<&str>>,
+) -> BTreeMap<&'m str, BTreeSet<String>> {
+    let mut out: BTreeMap<&str, BTreeSet<String>> =
+        direct.iter().map(|(&k, v)| (k, v.clone())).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (name, callees) in calls {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in callees {
+                if let Some(acquires) = out.get(callee) {
+                    add.extend(acquires.iter().cloned());
+                }
+            }
+            let entry = out.entry(name).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+    }
+    out.retain(|_, v| !v.is_empty());
+    out
+}
+
+/// Builds the constraint graph and reports one diagnostic per edge that
+/// participates in a cycle (including self-edges: re-acquiring a held
+/// non-reentrant lock deadlocks on the spot).
+fn report_cycles(rule: &'static str, nestings: &[Nesting]) -> Vec<Diagnostic> {
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for n in nestings {
+        edges.entry(&n.held).or_default().insert(&n.acquired);
+    }
+    // A node set; detect which ordered pairs lie on a cycle: edge (a, b) is
+    // cyclic iff b reaches a.
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue = vec![from];
+        while let Some(v) = queue.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if v == to {
+                return true;
+            }
+            if let Some(next) = edges.get(v) {
+                queue.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for n in nestings {
+        if !reaches(&n.acquired, &n.held) {
+            continue; // edge not on a cycle; consistent with a total order
+        }
+        if !reported.insert((n.held.clone(), n.acquired.clone())) {
+            continue; // one report per ordered pair
+        }
+        let via = match &n.via {
+            Some(callee) => format!(" via call to `{callee}`"),
+            None => String::new(),
+        };
+        let detail = if n.held == n.acquired {
+            format!(
+                "lock `{}` may be re-acquired while already held{via}; \
+                 non-reentrant locks deadlock on the spot",
+                n.held
+            )
+        } else {
+            format!(
+                "lock `{}` is acquired while `{}` is held{via}, but the reverse \
+                 nesting also exists — deadlock candidate; pick one global order",
+                n.acquired, n.held
+            )
+        };
+        out.push(Diagnostic {
+            rule,
+            file: n.file.clone(),
+            line: n.line,
+            symbol: Some(n.symbol.clone()),
+            message: detail,
+        });
+    }
+    out
+}

@@ -3,16 +3,23 @@
 //! not the rules, so rule output is always the ground truth.
 
 mod atomic_ordering;
+mod budget_before_solve;
 mod cancel_poll;
 mod clauseref_across_gc;
 mod forbid_unsafe_header;
+mod lock_order;
 mod no_unwrap_in_lib;
+mod stats_counter_parity;
+pub(crate) mod support;
 
 pub use atomic_ordering::AtomicOrdering;
+pub use budget_before_solve::BudgetBeforeSolve;
 pub use cancel_poll::CancelPoll;
 pub use clauseref_across_gc::ClauseRefAcrossGc;
 pub use forbid_unsafe_header::ForbidUnsafeHeader;
+pub use lock_order::LockOrder;
 pub use no_unwrap_in_lib::NoUnwrapInLib;
+pub use stats_counter_parity::StatsCounterParity;
 
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
@@ -54,5 +61,8 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(NoUnwrapInLib),
         Box::new(CancelPoll),
         Box::new(ClauseRefAcrossGc),
+        Box::new(BudgetBeforeSolve),
+        Box::new(LockOrder),
+        Box::new(StatsCounterParity),
     ]
 }

@@ -1,0 +1,265 @@
+//! `stats-counter-parity`: every field of the configured stats structs
+//! (`OracleStats`, `SolverStats`) must (a) be reachable in a portfolio merge
+//! function and (b) be named in a harness CSV scope. A counter that is
+//! incremented but never merged vanishes when portfolio workers are
+//! absorbed into the winning oracle's totals; one that is merged but never
+//! exported is invisible to the benchmark CSVs the paper-reproduction
+//! tables are built from. Both failure modes have already happened once —
+//! this rule makes the third time a CI failure instead of a silent zero.
+//!
+//! Mechanics:
+//!
+//! * Struct fields are parsed token-level from `struct <Name> { … }`
+//!   (attributes and `pub`/`pub(crate)` skipped; nested angle/paren/bracket
+//!   depth tracked so generic field types don't desynchronize the scan).
+//! * **Merge reachability**: the field's name appears as an identifier in
+//!   the body of at least one configured merge function (`absorb`,
+//!   `bill_solver_delta`), anywhere in the workspace.
+//! * **CSV presence**: the field's name appears in a configured CSV scope
+//!   (`crates/bench/src`) as an identifier or inside a string literal
+//!   (covering both `stats.field` pushes and `"field"` header rows).
+//!
+//! Name-level matching biases toward passing: a same-named field in another
+//! struct can mask a miss, but a diagnostic here is always a field that no
+//! merge fn or CSV mentions under any spelling.
+
+use super::{Rule, Workspace};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+pub struct StatsCounterParity;
+
+/// One parsed stats-struct field.
+struct Field {
+    strukt: String,
+    name: String,
+    file: String,
+    line: u32,
+}
+
+impl Rule for StatsCounterParity {
+    fn name(&self) -> &'static str {
+        "stats-counter-parity"
+    }
+
+    fn description(&self) -> &'static str {
+        "every stats struct field is merged by the portfolio and exported to a harness CSV"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let structs_default = ["OracleStats".to_string(), "SolverStats".to_string()];
+        let structs = config.list_or(self.name(), "structs", &structs_default);
+        let merge_default = ["absorb".to_string(), "bill_solver_delta".to_string()];
+        let merge_fns = config.list_or(self.name(), "merge-fns", &merge_default);
+        let csv_default = ["crates/bench/src".to_string()];
+        let csv_scopes = config.list_or(self.name(), "csv-scopes", &csv_default);
+
+        let fields = collect_fields(workspace, structs);
+        let merged = merge_fn_idents(workspace, merge_fns);
+        let exported = csv_scope_names(workspace, csv_scopes);
+
+        let mut out = Vec::new();
+        for field in &fields {
+            let in_merge = merged.contains(&field.name);
+            let in_csv = exported.iter().any(|name| name == &field.name)
+                || exported_literals(workspace, csv_scopes, &field.name);
+            if in_merge && in_csv {
+                continue;
+            }
+            let mut missing = Vec::new();
+            if !in_merge {
+                missing.push(format!("any merge fn ({})", merge_fns.join("/")));
+            }
+            if !in_csv {
+                missing.push(format!("any CSV scope ({})", csv_scopes.join(", ")));
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                file: field.file.clone(),
+                line: field.line,
+                symbol: Some(format!("{}::{}", field.strukt, field.name)),
+                message: format!(
+                    "stats counter `{}::{}` is not referenced in {}; it will read \
+                     as zero in portfolio totals or benchmark reports",
+                    field.strukt,
+                    field.name,
+                    missing.join(" or ")
+                ),
+            });
+        }
+        out
+    }
+}
+
+/// Parses the fields of every configured struct, wherever it is declared.
+fn collect_fields(workspace: &Workspace, structs: &[String]) -> Vec<Field> {
+    let mut out = Vec::new();
+    for file in &workspace.files {
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            if !tokens[i].is_ident("struct") {
+                continue;
+            }
+            let Some(name_tok) = tokens.get(i + 1) else {
+                continue;
+            };
+            if !structs.iter().any(|s| name_tok.is_ident(s)) {
+                continue;
+            }
+            let Some(open) = (i + 2..tokens.len()).find(|&j| tokens[j].is_punct("{")) else {
+                continue;
+            };
+            // Unit/tuple structs or a trait bound sneaking a `{` in: require
+            // the brace to directly follow the name (no generics on stats
+            // structs in this workspace).
+            if open != i + 2 {
+                continue;
+            }
+            let mut j = open + 1;
+            let mut brace_depth = 1i32;
+            while j < tokens.len() && brace_depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct("{") {
+                    brace_depth += 1;
+                    j += 1;
+                    continue;
+                }
+                if t.is_punct("}") {
+                    brace_depth -= 1;
+                    j += 1;
+                    continue;
+                }
+                if brace_depth != 1 {
+                    j += 1;
+                    continue;
+                }
+                // At a field start: skip attributes and visibility.
+                if t.is_punct("#") {
+                    j = skip_attr(tokens.len(), file, j);
+                    continue;
+                }
+                if t.is_ident("pub") {
+                    j += 1;
+                    if file.tokens().get(j).is_some_and(|t| t.is_punct("(")) {
+                        j = skip_balanced(file, j, "(", ")");
+                    }
+                    continue;
+                }
+                if t.kind == TokenKind::Ident && tokens.get(j + 1).is_some_and(|t| t.is_punct(":"))
+                {
+                    out.push(Field {
+                        strukt: name_tok.text.clone(),
+                        name: t.text.clone(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                    });
+                    // Skip the type to the separating `,` (or the struct's
+                    // closing brace, handled at loop top).
+                    j += 2;
+                    let mut depth = 0i32;
+                    while j < tokens.len() {
+                        let t = &tokens[j];
+                        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                            depth += 1;
+                        } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                            depth -= 1;
+                        } else if t.is_punct(",") && depth <= 0 {
+                            j += 1;
+                            break;
+                        } else if t.is_punct("}") && depth <= 0 {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips an attribute `#[…]` starting at the `#`.
+fn skip_attr(len: usize, file: &SourceFile, at: usize) -> usize {
+    let tokens = file.tokens();
+    let mut j = at + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+        return skip_balanced(file, j, "[", "]");
+    }
+    j = j.min(len);
+    j
+}
+
+/// Skips a balanced `open…close` group starting at `open`; returns the index
+/// one past the closer.
+fn skip_balanced(file: &SourceFile, at: usize, open: &str, close: &str) -> usize {
+    let tokens = file.tokens();
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open) {
+            depth += 1;
+        } else if tokens[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Every identifier appearing in the body of any configured merge function.
+fn merge_fn_idents(workspace: &Workspace, merge_fns: &[String]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in &workspace.files {
+        for f in &file.functions {
+            if f.in_test || !merge_fns.iter().any(|m| m == &f.name) {
+                continue;
+            }
+            for t in &file.tokens()[f.body.clone()] {
+                if t.kind == TokenKind::Ident {
+                    out.insert(t.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every identifier appearing anywhere in the CSV scopes.
+fn csv_scope_names(workspace: &Workspace, scopes: &[String]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in &workspace.files {
+        if !scopes.iter().any(|s| file.rel_path.starts_with(s.as_str())) {
+            continue;
+        }
+        for t in file.tokens() {
+            if t.kind == TokenKind::Ident {
+                out.insert(t.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// `true` if `name` occurs inside any string literal in the CSV scopes
+/// (header rows name counters as `"field"` literals).
+fn exported_literals(workspace: &Workspace, scopes: &[String], name: &str) -> bool {
+    for file in &workspace.files {
+        if !scopes.iter().any(|s| file.rel_path.starts_with(s.as_str())) {
+            continue;
+        }
+        for t in file.tokens() {
+            if t.kind == TokenKind::Literal && t.text.contains(name) {
+                return true;
+            }
+        }
+    }
+    false
+}

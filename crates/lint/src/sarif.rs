@@ -1,0 +1,214 @@
+//! Output emitters: plain text, line-oriented JSON, and SARIF 2.1.0.
+//!
+//! SARIF is the interchange format CI annotation actions consume
+//! (`github/codeql-action/upload-sarif` and friends): one `run` carrying the
+//! tool's rule metadata plus one `result` per diagnostic, each with a
+//! physical location. The JSON is emitted by hand — the workspace is
+//! offline, so no serde — with full string escaping.
+
+use crate::diag::Diagnostic;
+use crate::rules;
+use std::fmt::Write as _;
+
+/// The report formats `manthan3-lint -- check --format <fmt>` can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// One `file:line: [rule] message` line per finding (the default).
+    #[default]
+    Text,
+    /// A single JSON object: `{"diagnostics": [...], "summary": {...}}`.
+    Json,
+    /// SARIF 2.1.0, suitable for CI upload.
+    Sarif,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "sarif" => Ok(Format::Sarif),
+            other => Err(format!(
+                "unknown format {other:?} (expected \"text\", \"json\", or \"sarif\")"
+            )),
+        }
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a single JSON object.
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let symbol = match &d.symbol {
+            Some(s) => format!("\"{}\"", esc(s)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"symbol\": {}, \"message\": \"{}\"}}{}",
+            esc(d.rule),
+            esc(&d.file),
+            d.line,
+            symbol,
+            esc(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\"files_scanned\": {files_scanned}, \"violations\": {}, \"suppressed\": {suppressed}}}\n}}\n",
+        diags.len()
+    );
+    out
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log with one run.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"manthan3-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/manthan3\",\n");
+    out.push_str("          \"rules\": [\n");
+    // Registered rules plus the driver-level stale-allowlist check.
+    let registry = rules::registry();
+    let mut descriptors: Vec<(String, String)> = registry
+        .iter()
+        .map(|r| (r.name().to_string(), r.description().to_string()))
+        .collect();
+    descriptors.push((
+        "stale-allowlist".to_string(),
+        "every lint.toml allowlist entry must still suppress at least one violation".to_string(),
+    ));
+    for (i, (id, desc)) in descriptors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            esc(id),
+            esc(desc),
+            if i + 1 < descriptors.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}{}\n",
+            esc(d.rule),
+            esc(&d.message),
+            esc(&d.file),
+            d.line.max(1),
+            if i + 1 < diags.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "budget-before-solve",
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            symbol: Some("solve".into()),
+            message: "a \"quoted\" message\nwith a newline".into(),
+        }
+    }
+
+    /// A minimal JSON well-formedness scanner: balanced braces/brackets
+    /// outside strings, all strings terminated, no raw control characters.
+    fn assert_valid_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                } else {
+                    assert!((c as u32) >= 0x20, "raw control char in string: {c:?}");
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced closer");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced braces/brackets");
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let s = to_json(&[diag()], 3, 1);
+        assert_valid_json(&s);
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\\n"));
+        assert!(s.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = to_sarif(&[diag()]);
+        assert_valid_json(&s);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"budget-before-solve\""));
+        assert!(s.contains("\"startLine\": 12"));
+        // Every registered rule is described in the driver metadata.
+        for rule in crate::rules::registry() {
+            assert!(s.contains(&format!("\"id\": \"{}\"", rule.name())));
+        }
+    }
+
+    #[test]
+    fn sarif_with_no_findings_is_still_valid() {
+        assert_valid_json(&to_sarif(&[]));
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("sarif".parse::<Format>().unwrap(), Format::Sarif);
+        assert_eq!("json".parse::<Format>().unwrap(), Format::Json);
+        assert_eq!("text".parse::<Format>().unwrap(), Format::Text);
+        assert!("yaml".parse::<Format>().is_err());
+    }
+}

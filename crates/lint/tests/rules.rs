@@ -90,21 +90,26 @@ fn cancel_poll_fires_on_unreachable_poll() {
 }
 
 #[test]
-fn clauseref_across_gc_fires_on_stale_use_only() {
+fn clauseref_across_gc_fires_on_may_stale_uses_only() {
     let diags = run_rule(
         &rules::ClauseRefAcrossGc,
         vec![fixture("clauseref_across_gc.rs", "crates/sat/src/gc.rs")],
     );
-    assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].symbol.as_deref(), Some("stale_use"));
+    let symbols: Vec<_> = diags.iter().filter_map(|d| d.symbol.as_deref()).collect();
+    // `stale_use` is the straight-line case; `loop_stale` is reached only
+    // through the loop back edge. `safe_use`, `rebound_use`, and
+    // `remapped_use` (the `cref = forward(cref)` idiom) stay clean.
+    assert_eq!(symbols, ["stale_use", "loop_stale"], "{diags:?}");
     assert!(diags[0].message.contains("maybe_collect_garbage"));
 }
 
 #[test]
 fn allowlist_suppresses_by_function() {
-    let config =
-        LintConfig::parse("[clauseref-across-gc]\nallow = [\"crates/sat/src/gc.rs::stale_use\"]\n")
-            .expect("config parses");
+    let config = LintConfig::parse(
+        "[clauseref-across-gc]\nallow = [\"crates/sat/src/gc.rs::stale_use\", \
+         \"crates/sat/src/gc.rs::loop_stale\"]\n",
+    )
+    .expect("config parses");
     let report = check_files(
         vec![fixture("clauseref_across_gc.rs", "crates/sat/src/gc.rs")],
         &config,
@@ -115,7 +120,107 @@ fn allowlist_suppresses_by_function() {
         .filter(|d| d.rule == "clauseref-across-gc")
         .collect();
     assert!(gc_diags.is_empty(), "{gc_diags:?}");
-    assert!(report.suppressed >= 1);
+    assert!(report.suppressed >= 2);
+}
+
+#[test]
+fn stale_allowlist_entry_is_reported() {
+    let config = LintConfig::parse(
+        "[clauseref-across-gc]\nallow = [\"crates/sat/src/gc.rs::no_such_fn\"]\n",
+    )
+    .expect("config parses");
+    let report = check_files(
+        vec![fixture("clauseref_across_gc.rs", "crates/sat/src/gc.rs")],
+        &config,
+    );
+    let stale: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "stale-allowlist")
+        .collect();
+    assert_eq!(stale.len(), 1, "{:?}", report.diagnostics);
+    assert!(stale[0].message.contains("no_such_fn"));
+    assert!(stale[0].message.contains("clauseref-across-gc"));
+}
+
+#[test]
+fn budget_before_solve_fires_on_unchecked_paths_only() {
+    let diags = run_rule(
+        &rules::BudgetBeforeSolve,
+        vec![fixture(
+            "budget_before_solve.rs",
+            "crates/maxsat/src/engine.rs",
+        )],
+    );
+    let symbols: Vec<_> = diags.iter().filter_map(|d| d.symbol.as_deref()).collect();
+    // `solve_checked` dominates its invocation with a check; the branch-only
+    // check in `solve_branchy` leaves the fall-through path unchecked.
+    assert_eq!(symbols, ["solve_unchecked", "solve_branchy"], "{diags:?}");
+    assert!(diags[0].message.contains("solve_with_assumptions"));
+}
+
+#[test]
+fn budget_before_solve_ignores_out_of_scope_files() {
+    let diags = run_rule(
+        &rules::BudgetBeforeSolve,
+        vec![fixture(
+            "budget_before_solve.rs",
+            "crates/portfolio/src/engine.rs",
+        )],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_order_fires_on_cyclic_nesting() {
+    let diags = run_rule(
+        &rules::LockOrder,
+        vec![fixture("lock_order_cycle.rs", "crates/daemon/src/locks.rs")],
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    let symbols: Vec<_> = diags.iter().filter_map(|d| d.symbol.as_deref()).collect();
+    assert!(symbols.contains(&"ab"), "{diags:?}");
+    assert!(symbols.contains(&"ba"), "{diags:?}");
+    // The `ba` edge is observed through the call graph, not directly.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("via call to `lock_jobs`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_accepts_a_consistent_total_order() {
+    let diags = run_rule(
+        &rules::LockOrder,
+        vec![fixture(
+            "lock_order_consistent.rs",
+            "crates/daemon/src/locks.rs",
+        )],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn stats_counter_parity_requires_merge_and_csv() {
+    let diags = run_rule(
+        &rules::StatsCounterParity,
+        vec![
+            fixture("stats_parity.rs", "crates/core/src/stats.rs"),
+            fixture("stats_parity_csv.rs", "crates/bench/src/report.rs"),
+        ],
+    );
+    let symbols: Vec<_> = diags.iter().filter_map(|d| d.symbol.as_deref()).collect();
+    // `merged_and_exported` satisfies both sides; the other two each miss
+    // exactly one.
+    assert_eq!(
+        symbols,
+        ["OracleStats::never_merged", "OracleStats::never_exported"],
+        "{diags:?}"
+    );
+    assert!(diags[0].message.contains("merge fn"), "{diags:?}");
+    assert!(diags[1].message.contains("CSV scope"), "{diags:?}");
 }
 
 /// The capstone: the real workspace, scanned under the real `lint.toml`,

@@ -336,7 +336,15 @@ impl MaxSatSolver {
 
     /// Finds an assignment satisfying all hard clauses that minimizes the
     /// total weight of violated soft clauses.
+    ///
+    /// An already-exhausted shared call allowance is refused up front —
+    /// the internal probes would each be refused anyway, so this skips
+    /// straight to the verdict an out-of-budget search would reach.
     pub fn solve(&mut self) -> MaxSatResult {
+        if self.calls.as_ref().is_some_and(|calls| calls.exhausted()) {
+            self.model = None;
+            return MaxSatResult::Unknown;
+        }
         self.solve_under_assumptions(&[])
     }
 
@@ -389,10 +397,11 @@ impl MaxSatSolver {
         if self.is_cancelled() {
             return Probe::Cancelled;
         }
-        if let Some(calls) = &self.calls {
-            if !calls.try_acquire() {
-                return Probe::Refused;
-            }
+        // Admission on the straight-line path: a missing allowance admits,
+        // a present one is drawn from (and refuses when spent).
+        let admitted = self.calls.as_ref().is_none_or(|calls| calls.try_acquire());
+        if !admitted {
+            return Probe::Refused;
         }
         self.stats.probes += 1;
         match self.solver.solve_with_assumptions(assumptions) {
