@@ -1091,6 +1091,128 @@ fn bench_compositional(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance benchmark of the certifying solver layer (ISSUE 10): every
+/// UNSAT verdict the engine reaches across the `suite(7, 1)` workload —
+/// under both the modern and the pre-PR legacy solver profile — must come
+/// with a DRAT certificate the independent `manthan3-drat` checker accepts.
+/// A single rejection is a soundness alarm and fails the bench outright.
+/// Certification may not change any verdict, and the logging + in-process
+/// checking overhead must stay bounded relative to the plain run.
+///
+/// The criterion-timed series then tracks certified-vs-plain synthesis on
+/// one repair-heavy instance, so the proof-logging overhead has a
+/// machine-readable trajectory across PRs.
+fn bench_certified(c: &mut Criterion) {
+    let instances = suite(7, 1);
+
+    let mut checked_total = 0u64;
+    let mut proof_bytes_total = 0u64;
+    let mut certified_wall = Duration::ZERO;
+    let mut plain_wall = Duration::ZERO;
+    for instance in &instances {
+        for profile in [SolverProfile::Modern, SolverProfile::Legacy] {
+            let start = Instant::now();
+            let certified = Manthan3::new(Manthan3Config {
+                certify: true,
+                solver_profile: profile,
+                ..Manthan3Config::default()
+            })
+            .synthesize(&instance.dqbf);
+            certified_wall += start.elapsed();
+
+            let start = Instant::now();
+            let plain = Manthan3::new(Manthan3Config {
+                solver_profile: profile,
+                ..Manthan3Config::default()
+            })
+            .synthesize(&instance.dqbf);
+            plain_wall += start.elapsed();
+
+            // Soundness: no rejected certificates, anywhere, ever.
+            assert_eq!(
+                certified.stats.oracle.certificates_rejected, 0,
+                "instance {} ({profile:?}) produced a rejected DRAT certificate",
+                instance.name
+            );
+            assert!(
+                certified.stats.certification_failure.is_none(),
+                "instance {} ({profile:?}) surfaced a certification failure",
+                instance.name
+            );
+            // Certification is observation, not interference: verdicts agree
+            // with the plain run, and a synthesized vector still passes the
+            // independent whole-formula check.
+            assert_eq!(
+                std::mem::discriminant(&certified.outcome),
+                std::mem::discriminant(&plain.outcome),
+                "certification changed the verdict on instance {}",
+                instance.name
+            );
+            if let SynthesisOutcome::Realizable(vector) = &certified.outcome {
+                assert!(verify::check(&instance.dqbf, vector).is_valid());
+            }
+            checked_total += certified.stats.oracle.certificates_checked;
+            proof_bytes_total += certified.stats.oracle.proof_bytes;
+        }
+    }
+    assert!(
+        checked_total > 0,
+        "the suite produced no UNSAT verdicts to certify"
+    );
+    assert!(
+        proof_bytes_total > 0,
+        "certifying runs logged no proof bytes"
+    );
+    let overhead = certified_wall.as_secs_f64() / plain_wall.as_secs_f64().max(1e-9);
+    println!(
+        "certified acceptance: {checked_total} UNSAT certificates checked, 0 rejected, \
+         {proof_bytes_total} proof bytes over {} instances x 2 profiles — certified \
+         {:.2}s vs plain {:.2}s ({overhead:.2}x overhead)",
+        instances.len(),
+        certified_wall.as_secs_f64(),
+        plain_wall.as_secs_f64(),
+    );
+    // Proof logging + in-process RUP/RAT checking must not dominate the run.
+    // The bound is deliberately loose (checking is quadratic on the hardest
+    // refutations) but still catches pathological regressions.
+    assert!(
+        overhead <= 5.0,
+        "certification overhead {overhead:.2}x exceeds the 5x acceptance bound \
+         (certified {certified_wall:?}, plain {plain_wall:?})"
+    );
+
+    // Timed series on one repair-heavy instance: the certified-vs-plain gap
+    // is the per-PR proof-logging overhead trajectory.
+    let timed = instances
+        .iter()
+        .find(|instance| {
+            Manthan3::new(Manthan3Config::default())
+                .synthesize(&instance.dqbf)
+                .stats
+                .repair_iterations
+                > 0
+        })
+        .expect("the suite contains a repair-heavy instance");
+    let mut group = c.benchmark_group("certified");
+    group.bench_function("certified", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Manthan3::new(Manthan3Config {
+                    certify: true,
+                    ..Manthan3Config::default()
+                })
+                .synthesize(&timed.dqbf),
+            )
+        })
+    });
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            std::hint::black_box(Manthan3::new(Manthan3Config::default()).synthesize(&timed.dqbf))
+        })
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -1103,6 +1225,6 @@ criterion_group! {
     config = config();
     targets = bench_engines, bench_verification_session, bench_repair_session,
         bench_repair_core_guided, bench_sharded_sampling, bench_portfolio,
-        bench_solver_modernization, bench_compositional
+        bench_solver_modernization, bench_compositional, bench_certified
 }
 criterion_main!(synthesis);

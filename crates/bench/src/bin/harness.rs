@@ -22,7 +22,7 @@
 //!         [--repair-strategy linear|core-guided]
 //!         [--solver-profile modern|legacy]
 //!         [--max-cluster-size N] [--compose-repairs on|off]
-//!         [--ablations] [--quick]
+//!         [--certify] [--ablations] [--quick]
 //! ```
 //!
 //! `--engine NAME` (repeatable) adds an engine to the run set; the set
@@ -46,6 +46,15 @@
 //! `arena_collections`, `arena_live_words`, `budget_exhaustions`, and the
 //! `*_solvers_constructed` / `samplers_constructed` provenance counters) and
 //! the matching `summary_table.csv` rows report its effect.
+//! `--certify` arms the certifying solver layer: every SAT and MaxSAT solver
+//! the Manthan3-family oracles construct logs DRAT proofs, every UNSAT
+//! verdict is checked in-process by the independent `manthan3-drat` checker,
+//! and the per-run `models_verified` / `certificates_checked` /
+//! `certificates_rejected` / `proof_bytes` / `proof_adds` / `proof_deletes` /
+//! `certify_wall_s` columns of `runs.csv` (with matching `summary_table.csv`
+//! rows) report the proof traffic and checking cost. A rejected certificate
+//! — a soundness alarm — is dumped under the output directory as a
+//! `certify_failure_*.cnf` / `.drat` pair for offline reproduction.
 //! `--engine compositional` adds the dependency-driven compositional engine
 //! (partition the outputs into clusters, synthesize them concurrently,
 //! compose with coupled-residue repair); `--max-cluster-size N` caps the
@@ -77,6 +86,7 @@ struct Args {
     solver_profile: SolverProfile,
     max_cluster_size: Option<usize>,
     compose_repairs: bool,
+    certify: bool,
 }
 
 /// Aborts with a diagnostic on stderr and exit status 2 (flag-parsing
@@ -89,7 +99,7 @@ fn usage_error(message: &str) -> ! {
          [--repair-strategy linear|core-guided] \
          [--solver-profile modern|legacy] \
          [--max-cluster-size N] [--compose-repairs on|off] \
-         [--ablations] [--quick]"
+         [--certify] [--ablations] [--quick]"
     );
     std::process::exit(2);
 }
@@ -123,6 +133,7 @@ fn parse_args() -> Args {
         solver_profile: SolverProfile::default(),
         max_cluster_size: None,
         compose_repairs: true,
+        certify: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -173,6 +184,7 @@ fn parse_args() -> Args {
                 )),
                 None => usage_error("--compose-repairs requires a value"),
             },
+            "--certify" => args.certify = true,
             "--ablations" => args.ablations = true,
             "--quick" => {
                 args.scale = 1;
@@ -206,9 +218,45 @@ fn main() {
             solver_profile: args.solver_profile,
             max_cluster_size: args.max_cluster_size,
             compose_repairs: args.compose_repairs,
+            certify: args.certify,
         },
     );
     println!("finished in {:?}", start.elapsed());
+
+    // A rejected certificate is a soundness alarm: dump the offending CNF
+    // and DRAT proof next to the CSVs so the rejection reproduces offline
+    // (`manthan3-drat <stem>.cnf <stem>.drat`), and say so loudly.
+    for record in &records {
+        let Some(failure) = &record.certification_failure else {
+            continue;
+        };
+        let stem = format!("certify_failure_{}_{}", record.instance, record.engine);
+        let max_var = failure
+            .cnf
+            .iter()
+            .flatten()
+            .map(|l| l.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        let mut dimacs = format!("p cnf {max_var} {}\n", failure.cnf.len());
+        for clause in &failure.cnf {
+            for l in clause {
+                dimacs.push_str(&l.to_string());
+                dimacs.push(' ');
+            }
+            dimacs.push_str("0\n");
+        }
+        std::fs::create_dir_all(&args.out).expect("create output dir");
+        std::fs::write(args.out.join(format!("{stem}.cnf")), dimacs)
+            .expect("write rejected-certificate CNF");
+        std::fs::write(args.out.join(format!("{stem}.drat")), &failure.proof)
+            .expect("write rejected-certificate proof");
+        eprintln!(
+            "warning: {} on {} produced a REJECTED certificate ({}); \
+             dumped {stem}.cnf / {stem}.drat",
+            record.engine, record.instance, failure.reason
+        );
+    }
 
     // Raw records, including the per-run MaxSAT oracle counters behind the
     // summary's incremental-vs-fresh aggregates.
@@ -256,6 +304,13 @@ fn main() {
                 r.oracle.vivify_strengthened.to_string(),
                 r.oracle.arena_collections.to_string(),
                 r.oracle.arena_live_words.to_string(),
+                r.oracle.models_verified.to_string(),
+                r.oracle.certificates_checked.to_string(),
+                r.oracle.certificates_rejected.to_string(),
+                r.oracle.proof_bytes.to_string(),
+                r.oracle.proof_adds.to_string(),
+                r.oracle.proof_deletes.to_string(),
+                format!("{:.4}", r.oracle.certify_nanos as f64 / 1e9),
                 r.oracle.budget_exhaustions.to_string(),
                 r.oracle.sat_solvers_constructed.to_string(),
                 r.oracle.maxsat_solvers_constructed.to_string(),
@@ -302,6 +357,13 @@ fn main() {
             "vivify_strengthened",
             "arena_collections",
             "arena_live_words",
+            "models_verified",
+            "certificates_checked",
+            "certificates_rejected",
+            "proof_bytes",
+            "proof_adds",
+            "proof_deletes",
+            "certify_wall_s",
             "budget_exhaustions",
             "sat_solvers_constructed",
             "maxsat_solvers_constructed",

@@ -21,8 +21,8 @@ pub mod report;
 
 use manthan3_baselines::{ArbiterConfig, ArbiterSolver, ExpansionConfig, ExpansionSolver};
 use manthan3_core::{
-    CompositionalConfig, CompositionalEngine, Manthan3, Manthan3Config, OracleStats,
-    RepairStrategy, SolverProfile, SynthesisOutcome,
+    CertificationFailure, CompositionalConfig, CompositionalEngine, Manthan3, Manthan3Config,
+    OracleStats, RepairStrategy, SolverProfile, SynthesisOutcome,
 };
 use manthan3_dqbf::verify;
 use manthan3_gen::Instance;
@@ -56,6 +56,16 @@ pub struct RunOptions {
     /// monolithic re-synthesis (`--compose-repairs off`). Ignored by every
     /// other engine.
     pub compose_repairs: bool,
+    /// Certify UNSAT verdicts in-process (`--certify`): every solver the
+    /// Manthan3 oracle constructs logs DRAT proofs, and every UNSAT answer
+    /// is checked immediately by the independent `manthan3-drat` checker.
+    /// Reaches the Manthan3 engine, the compositional engine, and the
+    /// portfolio's Manthan3 racer; the baselines keep their defaults. The
+    /// per-run `certificates_checked` / `certificates_rejected` /
+    /// `proof_bytes` / `proof_adds` / `proof_deletes` / `certify_wall_s`
+    /// columns of `runs.csv` and the matching `summary_table.csv` rows
+    /// report the proof traffic and checking cost.
+    pub certify: bool,
 }
 
 impl Default for RunOptions {
@@ -66,6 +76,7 @@ impl Default for RunOptions {
             solver_profile: SolverProfile::default(),
             max_cluster_size: None,
             compose_repairs: true,
+            certify: false,
         }
     }
 }
@@ -178,6 +189,13 @@ pub struct RunRecord {
     /// work, i.e. what a sequential schedule would have paid (zero for
     /// non-compositional runs).
     pub cluster_wall_sum: Duration,
+    /// The first rejected DRAT certificate of a certifying run
+    /// ([`RunOptions::certify`]), with the offending CNF and proof — the
+    /// harness dumps it for offline reproduction. `None` on sound runs, on
+    /// uncertified runs, and for the portfolio (whose racers merge counters
+    /// only; a rejection there still shows in
+    /// `oracle.certificates_rejected`).
+    pub certification_failure: Option<Box<CertificationFailure>>,
 }
 
 impl RunRecord {
@@ -232,6 +250,8 @@ pub fn run_engine_with(
     let mut clusters = 0usize;
     let mut cluster_wall_max = Duration::ZERO;
     let mut cluster_wall_sum = Duration::ZERO;
+    // Filled in by the certifying Manthan3-family engines on a rejection.
+    let mut certification_failure = None;
     let (outcome, oracle, repair_iterations, sample_wall, record_shards) = match engine {
         EngineKind::Manthan3 => {
             let config = Manthan3Config {
@@ -239,9 +259,11 @@ pub fn run_engine_with(
                 sample_shards,
                 repair_strategy: options.repair_strategy,
                 solver_profile: options.solver_profile,
+                certify: options.certify,
                 ..Manthan3Config::default()
             };
             let result = Manthan3::new(config).synthesize(&instance.dqbf);
+            certification_failure = result.stats.certification_failure;
             (
                 result.outcome,
                 result.stats.oracle,
@@ -271,6 +293,7 @@ pub fn run_engine_with(
             config.manthan3.sample_shards = sample_shards;
             config.manthan3.repair_strategy = options.repair_strategy;
             config.manthan3.solver_profile = options.solver_profile;
+            config.manthan3.certify = options.certify;
             let result = Portfolio::new(config).run(&instance.dqbf);
             let oracle = result.merged_oracle_stats();
             (result.outcome, oracle, 0, Duration::ZERO, sample_shards)
@@ -282,6 +305,7 @@ pub fn run_engine_with(
                     sample_shards,
                     repair_strategy: options.repair_strategy,
                     solver_profile: options.solver_profile,
+                    certify: options.certify,
                     ..Manthan3Config::default()
                 },
                 max_cluster_size: options.max_cluster_size,
@@ -289,6 +313,7 @@ pub fn run_engine_with(
                 threads: 0,
             };
             let result = CompositionalEngine::new(config).synthesize(&instance.dqbf);
+            certification_failure = result.stats.certification_failure;
             clusters = result.stats.clusters;
             cluster_wall_max = result
                 .stats
@@ -335,6 +360,7 @@ pub fn run_engine_with(
         clusters,
         cluster_wall_max,
         cluster_wall_sum,
+        certification_failure,
     }
 }
 
@@ -546,6 +572,37 @@ mod tests {
         let plain = run_engine(EngineKind::Manthan3, &instance, Duration::from_secs(5));
         assert_eq!(plain.clusters, 0);
         assert_eq!(plain.cluster_wall_sum, Duration::ZERO);
+    }
+
+    #[test]
+    fn certified_runs_check_every_unsat_verdict() {
+        let params = PlantedParams {
+            num_universals: 3,
+            num_existentials: 2,
+            max_dependencies: 2,
+            ..PlantedParams::default()
+        };
+        let instance = planted_true(&params, 11);
+        let options = RunOptions {
+            certify: true,
+            ..RunOptions::default()
+        };
+        for engine in [EngineKind::Manthan3, EngineKind::Compositional] {
+            let record = run_engine_with(engine, &instance, Duration::from_secs(5), options);
+            assert!(record.synthesized, "{engine} failed: {}", record.outcome);
+            assert!(
+                record.oracle.certificates_checked > 0,
+                "{engine}: a successful certifying run ends on a certified UNSAT verify"
+            );
+            assert_eq!(record.oracle.certificates_rejected, 0, "{engine}");
+            assert!(record.oracle.proof_bytes > 0, "{engine}");
+            assert!(record.certification_failure.is_none(), "{engine}");
+        }
+        // Uncertified runs leave the proof counters (and the failure slot)
+        // untouched.
+        let plain = run_engine(EngineKind::Manthan3, &instance, Duration::from_secs(5));
+        assert_eq!(plain.oracle.certificates_checked, 0);
+        assert!(plain.certification_failure.is_none());
     }
 
     #[test]

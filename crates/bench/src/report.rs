@@ -210,6 +210,23 @@ pub struct Summary {
     /// Arena words occupied by live clauses at the end of each run, summed
     /// across runs.
     pub arena_live_words: usize,
+    /// SAT models re-verified against the full clause database across every
+    /// run (a debug-build self-check; 0 in release harness runs).
+    pub models_verified: u64,
+    /// DRAT certificates of UNSAT verdicts handed to the in-process checker
+    /// across every run (0 unless `--certify` ran).
+    pub certificates_checked: u64,
+    /// Checked certificates the independent checker rejected across every
+    /// run — any non-zero value is a soundness alarm.
+    pub certificates_rejected: u64,
+    /// Total DRAT proof bytes across all checked certificates.
+    pub proof_bytes: u64,
+    /// Total clause-addition proof steps across all checked certificates.
+    pub proof_adds: u64,
+    /// Total clause-deletion proof steps across all checked certificates.
+    pub proof_deletes: u64,
+    /// Total wall-clock seconds spent inside the in-process proof checker.
+    pub certify_wall_s: f64,
     /// Calls refused because a budget was exhausted, across every run.
     pub budget_exhaustions: usize,
     /// CDCL solvers constructed through the oracles across every run.
@@ -371,6 +388,16 @@ pub fn summary(records: &[RunRecord]) -> Summary {
     let vivify_strengthened: u64 = records.iter().map(|r| r.oracle.vivify_strengthened).sum();
     let arena_collections: u64 = records.iter().map(|r| r.oracle.arena_collections).sum();
     let arena_live_words: usize = records.iter().map(|r| r.oracle.arena_live_words).sum();
+    let models_verified: u64 = records.iter().map(|r| r.oracle.models_verified).sum();
+    let certificates_checked: u64 = records.iter().map(|r| r.oracle.certificates_checked).sum();
+    let certificates_rejected: u64 = records.iter().map(|r| r.oracle.certificates_rejected).sum();
+    let proof_bytes: u64 = records.iter().map(|r| r.oracle.proof_bytes).sum();
+    let proof_adds: u64 = records.iter().map(|r| r.oracle.proof_adds).sum();
+    let proof_deletes: u64 = records.iter().map(|r| r.oracle.proof_deletes).sum();
+    let certify_wall_s: f64 = records
+        .iter()
+        .map(|r| r.oracle.certify_nanos as f64 / 1e9)
+        .sum();
     let budget_exhaustions: usize = records.iter().map(|r| r.oracle.budget_exhaustions).sum();
     let sat_solvers_constructed: usize = records
         .iter()
@@ -428,6 +455,13 @@ pub fn summary(records: &[RunRecord]) -> Summary {
         vivify_strengthened,
         arena_collections,
         arena_live_words,
+        models_verified,
+        certificates_checked,
+        certificates_rejected,
+        proof_bytes,
+        proof_adds,
+        proof_deletes,
+        certify_wall_s,
         budget_exhaustions,
         sat_solvers_constructed,
         maxsat_solvers_constructed,
@@ -597,6 +631,28 @@ impl Summary {
             "arena_live_words".into(),
             self.arena_live_words.to_string(),
         ]);
+        // Certification counters: the bench trajectory of the certifying
+        // solver layer (`--certify`: DRAT proof traffic and the in-process
+        // checking cost; rejections are a soundness alarm and must be 0).
+        rows.push(vec![
+            "models_verified".into(),
+            self.models_verified.to_string(),
+        ]);
+        rows.push(vec![
+            "certificates_checked".into(),
+            self.certificates_checked.to_string(),
+        ]);
+        rows.push(vec![
+            "certificates_rejected".into(),
+            self.certificates_rejected.to_string(),
+        ]);
+        rows.push(vec!["proof_bytes".into(), self.proof_bytes.to_string()]);
+        rows.push(vec!["proof_adds".into(), self.proof_adds.to_string()]);
+        rows.push(vec!["proof_deletes".into(), self.proof_deletes.to_string()]);
+        rows.push(vec![
+            "certify_wall_s".into(),
+            format!("{:.4}", self.certify_wall_s),
+        ]);
         rows.push(vec![
             "budget_exhaustions".into(),
             self.budget_exhaustions.to_string(),
@@ -690,6 +746,19 @@ impl fmt::Display for Summary {
             self.maxsat_solvers_constructed,
             self.samplers_constructed
         )?;
+        if self.certificates_checked > 0 {
+            write!(
+                f,
+                "\ncertification:             {} UNSAT certificates checked, {} rejected \
+                 ({} proof bytes, {} adds + {} deletes, {:.2}s checking)",
+                self.certificates_checked,
+                self.certificates_rejected,
+                self.proof_bytes,
+                self.proof_adds,
+                self.proof_deletes,
+                self.certify_wall_s
+            )?;
+        }
         if let (Some(synthesized), Some(decided)) =
             (self.portfolio_synthesized, self.portfolio_decided)
         {
@@ -734,6 +803,7 @@ mod tests {
             clusters: 0,
             cluster_wall_max: Duration::ZERO,
             cluster_wall_sum: Duration::ZERO,
+            certification_failure: None,
         }
     }
 
@@ -1048,6 +1118,56 @@ mod tests {
             .iter()
             .any(|r| r[0] == "samplers_constructed" && r[1] == "1"));
         assert!(s.to_string().contains("SAT solver layer"));
+    }
+
+    #[test]
+    fn certification_counters_aggregate_into_the_summary() {
+        // No certified runs: the counters stay zero and the Display line is
+        // suppressed.
+        let s = summary(&sample_records());
+        assert_eq!(s.certificates_checked, 0);
+        assert!(!s.to_string().contains("certification:"));
+        assert!(s
+            .rows()
+            .iter()
+            .any(|r| r[0] == "certificates_checked" && r[1] == "0"));
+
+        let mut records = sample_records();
+        records[0].oracle.models_verified = 5;
+        records[0].oracle.certificates_checked = 3;
+        records[0].oracle.proof_bytes = 1024;
+        records[0].oracle.proof_adds = 40;
+        records[0].oracle.proof_deletes = 12;
+        records[0].oracle.certify_nanos = 1_500_000_000;
+        records[3].oracle.certificates_checked = 2;
+        records[3].oracle.certificates_rejected = 1;
+        records[3].oracle.proof_bytes = 476;
+        records[3].oracle.proof_adds = 10;
+        records[3].oracle.certify_nanos = 500_000_000;
+        let s = summary(&records);
+        assert_eq!(s.models_verified, 5);
+        assert_eq!(s.certificates_checked, 5);
+        assert_eq!(s.certificates_rejected, 1);
+        assert_eq!(s.proof_bytes, 1500);
+        assert_eq!(s.proof_adds, 50);
+        assert_eq!(s.proof_deletes, 12);
+        assert!((s.certify_wall_s - 2.0).abs() < 1e-9);
+        let rows = s.rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "certificates_checked" && r[1] == "5"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "certificates_rejected" && r[1] == "1"));
+        assert!(rows.iter().any(|r| r[0] == "proof_bytes" && r[1] == "1500"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "certify_wall_s" && r[1] == "2.0000"));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == "models_verified" && r[1] == "5"));
+        assert!(s.to_string().contains("certification:"));
+        assert!(s.to_string().contains("1 rejected"));
     }
 
     #[test]

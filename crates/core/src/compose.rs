@@ -46,7 +46,7 @@ use crate::stats::SynthesisStats;
 use manthan3_cnf::Assignment;
 use manthan3_dqbf::decompose::{decompose, DecomposeOptions, Decomposition};
 use manthan3_dqbf::{Dqbf, HenkinVector};
-use manthan3_sat::CallBudget;
+use manthan3_sat::{CallBudget, SolverConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -138,9 +138,21 @@ impl CompositionalEngine {
         dqbf.validate().expect("well-formed DQBF");
         let run_start = Instant::now();
 
+        // Annotate every cluster with its Padoa-defined outputs: the probe
+        // is a few conflict-budgeted SAT calls per output — cheap next to a
+        // synthesis pipeline — and the annotation drives the launch order of
+        // the cluster phase (most-defined first; see `run_clusters`). The
+        // probe runs inside `manthan3-dqbf` with its own solvers, like
+        // unique-definition preprocessing, so it is not counted in
+        // `OracleStats`.
+        const DEFINITION_PROBE_CONFLICTS: u64 = 256;
         let options = DecomposeOptions {
             max_cluster_size: self.config.max_cluster_size,
-            definition_probe: None,
+            definition_probe: Some(SolverConfig::budgeted(
+                budget
+                    .conflicts_per_call()
+                    .unwrap_or(DEFINITION_PROBE_CONFLICTS),
+            )),
         };
         let decomposition = decompose(dqbf, &options);
 
@@ -181,6 +193,7 @@ impl CompositionalEngine {
             .with_repair_strategy(self.config.engine.repair_strategy)
             .with_solver_profile(self.config.engine.solver_profile)
             .with_restart_policy(self.config.engine.restart_policy)
+            .with_certification(self.config.engine.certify)
             .with_call_allowance(pool.clone())
     }
 
@@ -236,7 +249,19 @@ impl CompositionalEngine {
                 Manthan3::new(self.cluster_engine_config(sub.existentials().len(), total_outputs))
             })
             .collect();
-        let next_cluster = AtomicUsize::new(0);
+        // Launch order: clusters with more Padoa-defined outputs first
+        // (ties in cluster order — the sort is stable). A defined output is
+        // synthesized by definition extraction alone, skipping sampling,
+        // learning, and repair, so definition-rich clusters are the cheap
+        // ones: front-loading them frees workers for the expensive
+        // free-output clusters quickly and surfaces an early Unrealizable
+        // (which preempts the whole phase) before the long tail starts.
+        let mut schedule: Vec<usize> = (0..n).collect();
+        schedule
+            .sort_by_key(|&i| std::cmp::Reverse(decomposition.clusters[i].defined_outputs.len()));
+        stats.cluster_schedule = schedule.clone();
+        let schedule_ref = &schedule;
+        let next_ticket = AtomicUsize::new(0);
         let finished: Mutex<Vec<(usize, Duration, SynthesisResult)>> = Mutex::new(Vec::new());
         let subproblems_ref = &subproblems;
         let engines_ref = &engines;
@@ -250,14 +275,15 @@ impl CompositionalEngine {
                         break;
                     }
                     // ordering: Relaxed suffices — only RMW atomicity makes
-                    // cluster indices unique; `subproblems_ref` was written
-                    // before the scope spawned the workers, so its visibility
-                    // comes from thread creation, not this counter.
+                    // tickets unique; `subproblems_ref`/`schedule_ref` were
+                    // written before the scope spawned the workers, so their
+                    // visibility comes from thread creation, not this counter.
                     // Model-checked by manthan3-conc `ticket/relaxed-fetch-add`.
-                    let index = next_cluster.fetch_add(1, Ordering::Relaxed);
-                    let Some(sub) = subproblems_ref.get(index) else {
+                    let ticket = next_ticket.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = schedule_ref.get(ticket) else {
                         break;
                     };
+                    let sub = &subproblems_ref[index];
                     let cluster_start = Instant::now();
                     let result = engines_ref[index]
                         .synthesize_with_oracle(sub, self.cluster_oracle(budget, pool));
@@ -513,6 +539,12 @@ fn absorb_pipeline_stats(total: &mut SynthesisStats, part: &SynthesisStats) {
     total.maxsat_calls += part.maxsat_calls;
     total.repair_sat_calls += part.repair_sat_calls;
     total.oracle.absorb(&part.oracle);
+    // A certifying run keeps the first rejected certificate it saw across
+    // the cluster/residue pipelines (the compose-time verify oracle reports
+    // rejections through its counters only).
+    if total.certification_failure.is_none() {
+        total.certification_failure = part.certification_failure.clone();
+    }
     total.sampling_time += part.sampling_time;
     total.learning_time += part.learning_time;
     total.verification_time += part.verification_time;
@@ -682,6 +714,39 @@ mod tests {
             panic!("expected realizable, got {:?}", result.outcome);
         };
         assert!(verify::check(&dqbf, vector).is_valid());
+    }
+
+    /// Satellite regression: the cluster phase launches Padoa-defined-rich
+    /// clusters first. Cluster 0 (`y1`, constrained only by `y1 ∨ x`) has no
+    /// defined outputs; cluster 1 (`y2 ↔ x`) has one — so the schedule must
+    /// start with cluster 1, while walls stay indexed in cluster order.
+    #[test]
+    fn schedules_defined_rich_clusters_first() {
+        let x = Var::new(0);
+        let (y1, y2) = (Var::new(1), Var::new(2));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y1, [x]);
+        dqbf.add_existential(y2, [x]);
+        dqbf.add_clause([y1.positive(), x.positive()]);
+        dqbf.add_clause([y2.negative(), x.positive()]);
+        dqbf.add_clause([y2.positive(), x.negative()]);
+        let result = CompositionalEngine::default().synthesize(&dqbf);
+        let SynthesisOutcome::Realizable(vector) = &result.outcome else {
+            panic!("expected realizable, got {:?}", result.outcome);
+        };
+        assert!(verify::check(&dqbf, vector).is_valid());
+        assert_eq!(result.stats.clusters, 2);
+        assert_eq!(result.stats.cluster_schedule, vec![1, 0]);
+        assert_eq!(result.stats.cluster_walls.len(), 2);
+        // Monolithic degeneration reports no schedule.
+        let mut mono = Dqbf::new();
+        mono.add_universal(x);
+        mono.add_existential(y1, [x]);
+        mono.add_clause([y1.positive(), x.positive()]);
+        let single = CompositionalEngine::default().synthesize(&mono);
+        assert!(single.outcome.is_realizable());
+        assert!(single.stats.cluster_schedule.is_empty());
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub struct Manthan3Config {
     /// the profile's policy). The portfolio's restart-racing dimension sets
     /// this per racer.
     pub restart_policy: Option<RestartPolicy>,
+    /// Certify UNSAT verdicts in-process: every SAT and MaxSAT solver the
+    /// oracle constructs logs DRAT proofs, and every UNSAT answer routed
+    /// through the oracle is checked immediately by the independent
+    /// `manthan3-drat` checker (threaded Config → [`Oracle`](crate::Oracle)
+    /// via [`Oracle::with_certification`](crate::Oracle::with_certification);
+    /// the bench harness flag `--certify`). Checking never changes a
+    /// verdict; rejections are counted in
+    /// [`OracleStats::certificates_rejected`](crate::OracleStats::certificates_rejected)
+    /// and the first offender surfaces in
+    /// [`SynthesisStats::certification_failure`](crate::SynthesisStats).
+    pub certify: bool,
     /// Optional wall-clock budget for one synthesis call.
     pub time_budget: Option<Duration>,
     /// Optional conflict budget for each SAT oracle call (`None` = unlimited).
@@ -82,6 +93,7 @@ impl Default for Manthan3Config {
             repair_strategy: RepairStrategy::default(),
             solver_profile: SolverProfile::default(),
             restart_policy: None,
+            certify: false,
             time_budget: None,
             sat_conflict_budget: None,
             sat_call_budget: None,
@@ -144,6 +156,11 @@ mod tests {
         let c = Manthan3Config::default();
         assert_eq!(c.solver_profile, SolverProfile::Modern);
         assert_eq!(c.restart_policy, None);
+    }
+
+    #[test]
+    fn certification_defaults_off() {
+        assert!(!Manthan3Config::default().certify);
     }
 
     #[test]

@@ -153,7 +153,8 @@ impl Manthan3 {
         let oracle = Oracle::new(budget)
             .with_repair_strategy(self.config.repair_strategy)
             .with_solver_profile(self.config.solver_profile)
-            .with_restart_policy(self.config.restart_policy);
+            .with_restart_policy(self.config.restart_policy)
+            .with_certification(self.config.certify);
         self.synthesize_with_oracle(dqbf, oracle)
     }
 
@@ -181,6 +182,7 @@ impl Manthan3 {
 
         let mut stats = ctx.stats;
         stats.oracle = *ctx.oracle.stats();
+        stats.certification_failure = ctx.oracle.take_certification_failure();
         stats.total_time = ctx.oracle.budget().elapsed();
         SynthesisResult { outcome, stats }
     }
@@ -594,6 +596,57 @@ mod tests {
             cancelled.outcome,
             SynthesisOutcome::Unknown(UnknownReason::Cancelled)
         ));
+    }
+
+    /// Certification is threaded Config → Oracle: a certifying run checks
+    /// every UNSAT verdict of its pipeline in-process (a successful run has
+    /// at least one — the closing error-formula refutation of the final
+    /// verify), rejects none, and surfaces no retained failure.
+    #[test]
+    fn certifying_runs_check_their_unsat_verdicts() {
+        let dqbf = Dqbf::paper_example();
+        let config = Manthan3Config {
+            certify: true,
+            ..Manthan3Config::fast()
+        };
+        let result = Manthan3::new(config).synthesize(&dqbf);
+        match &result.outcome {
+            SynthesisOutcome::Realizable(vector) => assert!(check(&dqbf, vector).is_valid()),
+            other => panic!("expected Realizable, got {other:?}"),
+        }
+        let oracle = &result.stats.oracle;
+        assert!(
+            oracle.certificates_checked > 0,
+            "a successful run ends on an UNSAT verify verdict; it must be certified"
+        );
+        assert_eq!(oracle.certificates_rejected, 0);
+        assert!(oracle.proof_bytes > 0);
+        assert!(result.stats.certification_failure.is_none());
+
+        // The default leaves certification (and its counters) off.
+        let plain = Manthan3::new(Manthan3Config::fast()).synthesize(&dqbf);
+        assert_eq!(plain.stats.oracle.certificates_checked, 0);
+        assert_eq!(plain.stats.oracle.proof_bytes, 0);
+    }
+
+    #[test]
+    fn certifying_runs_certify_unrealizable_verdicts() {
+        // Unsatisfiable matrix: the preprocess stage's matrix check is the
+        // UNSAT verdict, and it must carry an accepted certificate.
+        let (x, y) = (Var::new(0), Var::new(1));
+        let mut dqbf = Dqbf::new();
+        dqbf.add_universal(x);
+        dqbf.add_existential(y, [x]);
+        dqbf.add_clause([y.positive()]);
+        dqbf.add_clause([y.negative()]);
+        let config = Manthan3Config {
+            certify: true,
+            ..Manthan3Config::fast()
+        };
+        let result = Manthan3::new(config).synthesize(&dqbf);
+        assert!(matches!(result.outcome, SynthesisOutcome::Unrealizable));
+        assert!(result.stats.oracle.certificates_checked > 0);
+        assert_eq!(result.stats.oracle.certificates_rejected, 0);
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //! one error-formula solver" (see [`crate::VerifySession`]).
 
 use manthan3_cnf::{Assignment, Cnf, Lit};
+use manthan3_drat::{check, parse_text_proof, CheckOutcome};
 use manthan3_maxsat::{MaxSatResult, MaxSatSolver, RepairStrategy};
 use manthan3_sampler::{SampleOutcome, Sampler, SamplerConfig, ShardedSampler, ShortfallReason};
 use manthan3_sat::{
-    CallBudget, CancelToken, RestartPolicy, SolveResult, Solver, SolverConfig, SolverProfile,
-    SolverStats,
+    CallBudget, CancelToken, Certificate, RestartPolicy, SolveResult, Solver, SolverConfig,
+    SolverProfile, SolverStats,
 };
 use std::time::{Duration, Instant};
 
@@ -229,6 +230,24 @@ pub struct OracleStats {
     /// Arena words occupied by live clauses in the most recently observed
     /// solver (a gauge, like [`OracleStats::learnt_db_live`]).
     pub arena_live_words: usize,
+    /// SAT models re-verified against the full clause database by
+    /// oracle-routed solvers (a debug-build self-check; 0 in release
+    /// builds).
+    pub models_verified: u64,
+    /// DRAT certificates of oracle-routed UNSAT verdicts handed to the
+    /// independent checker (only under [`Oracle::with_certification`]).
+    pub certificates_checked: u64,
+    /// Checked certificates the checker rejected — always 0 on a sound run;
+    /// the first offender is kept in [`Oracle::certification_failure`].
+    pub certificates_rejected: u64,
+    /// Total DRAT proof bytes across all checked certificates.
+    pub proof_bytes: u64,
+    /// Total clause-addition steps across all checked certificates.
+    pub proof_adds: u64,
+    /// Total clause-deletion steps across all checked certificates.
+    pub proof_deletes: u64,
+    /// Wall-clock nanoseconds spent inside the in-process proof checker.
+    pub certify_nanos: u64,
     /// Number of calls that gave up because a budget was exhausted.
     pub budget_exhaustions: usize,
 }
@@ -266,6 +285,13 @@ impl OracleStats {
         self.vivify_strengthened += other.vivify_strengthened;
         self.arena_collections += other.arena_collections;
         self.arena_live_words += other.arena_live_words;
+        self.models_verified += other.models_verified;
+        self.certificates_checked += other.certificates_checked;
+        self.certificates_rejected += other.certificates_rejected;
+        self.proof_bytes += other.proof_bytes;
+        self.proof_adds += other.proof_adds;
+        self.proof_deletes += other.proof_deletes;
+        self.certify_nanos += other.certify_nanos;
         self.budget_exhaustions += other.budget_exhaustions;
     }
 
@@ -293,10 +319,27 @@ impl OracleStats {
         self.vivify_candidates += after.vivify_candidates - before.vivify_candidates;
         self.vivify_strengthened += after.vivify_strengthened - before.vivify_strengthened;
         self.arena_collections += after.arena_collections - before.arena_collections;
+        self.models_verified += after.models_verified - before.models_verified;
         self.learnt_db_live = after.learnt_clauses;
         self.glue2_clauses = after.glue2_clauses;
         self.arena_live_words = after.arena_live_words;
     }
+}
+
+/// The evidence kept when an in-process certificate check fails: everything
+/// needed to reproduce the rejection offline (dump the CNF and proof, rerun
+/// `manthan3-drat`). Only the first rejection of an oracle is retained —
+/// one reproducible offender is what a bug report needs, and a broken
+/// tracer would otherwise accumulate every subsequent verdict's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificationFailure {
+    /// Why the checker (or the certificate plumbing before it) rejected.
+    pub reason: String,
+    /// The certificate CNF in DIMACS literals (empty when the solver
+    /// produced no certificate at all).
+    pub cnf: Vec<Vec<i32>>,
+    /// The rejected DRAT proof bytes.
+    pub proof: Vec<u8>,
 }
 
 /// Constructs solvers and funnels every solve call through the shared
@@ -324,6 +367,13 @@ pub struct Oracle {
     /// (`Manthan3Config::restart_policy`, the portfolio's restart-racing
     /// dimension).
     restart_policy: Option<RestartPolicy>,
+    /// When `true`, every constructed SAT and MaxSAT solver logs DRAT
+    /// proofs, and every UNSAT verdict routed through this oracle is checked
+    /// in-process by the independent `manthan3-drat` checker.
+    certify: bool,
+    /// The first rejected certificate, kept for offline reproduction
+    /// (boxed: the happy path pays one pointer, not the evidence).
+    certification_failure: Option<Box<CertificationFailure>>,
 }
 
 impl Oracle {
@@ -338,6 +388,8 @@ impl Oracle {
             repair_strategy: RepairStrategy::default(),
             solver_profile: SolverProfile::default(),
             restart_policy: None,
+            certify: false,
+            certification_failure: None,
         }
     }
 
@@ -374,6 +426,41 @@ impl Oracle {
         self
     }
 
+    /// Enables in-process certification (builder style): every SAT and
+    /// MaxSAT solver this oracle constructs logs DRAT proofs
+    /// ([`SolverConfig::proof_logging`]), and every UNSAT verdict routed
+    /// through the oracle — top-level solves and the closing refutation of a
+    /// MaxSAT probe loop alike — is immediately checked by the independent
+    /// `manthan3-drat` checker. Rejections are counted in
+    /// [`OracleStats::certificates_rejected`] and the first offender is kept
+    /// in [`Oracle::certification_failure`]; checking never changes a
+    /// verdict. Samplers are exempt: they claim models, never
+    /// unsatisfiability, so there is nothing to certify.
+    pub fn with_certification(mut self, enabled: bool) -> Self {
+        self.certify = enabled;
+        self
+    }
+
+    /// `true` when [`Oracle::with_certification`] armed in-process checking.
+    pub fn certification_enabled(&self) -> bool {
+        self.certify
+    }
+
+    /// The first rejected certificate of this oracle, `None` on a sound run
+    /// (or when certification is off).
+    pub fn certification_failure(&self) -> Option<&CertificationFailure> {
+        self.certification_failure.as_deref()
+    }
+
+    /// Moves the first rejected certificate out of the oracle (the engine
+    /// surfaces it through
+    /// [`SynthesisStats`](crate::SynthesisStats::certification_failure) so
+    /// the harness can dump the offending CNF and proof for offline
+    /// reproduction).
+    pub fn take_certification_failure(&mut self) -> Option<Box<CertificationFailure>> {
+        self.certification_failure.take()
+    }
+
     /// The strategy handed to constructed MaxSAT solvers.
     pub fn repair_strategy(&self) -> RepairStrategy {
         self.repair_strategy
@@ -393,6 +480,7 @@ impl Oracle {
         if let Some(policy) = self.restart_policy {
             config.restart_policy = policy;
         }
+        config.proof_logging = self.certify;
         config
     }
 
@@ -500,7 +588,57 @@ impl Oracle {
         if result == SolveResult::Unknown {
             self.stats.budget_exhaustions += 1;
         }
+        if self.certify && result == SolveResult::Unsat {
+            self.check_unsat_certificate(solver.certificate());
+        }
         result
+    }
+
+    /// Hands one UNSAT verdict's certificate to the independent checker,
+    /// billing the proof volume and check time to the statistics. A missing
+    /// certificate is itself a rejection — under certification every
+    /// oracle-routed UNSAT claim must come with evidence. The first
+    /// rejection's CNF and proof are retained for offline reproduction.
+    fn check_unsat_certificate(&mut self, certificate: Option<Certificate>) {
+        let started = Instant::now();
+        self.stats.certificates_checked += 1;
+        let verdict = match &certificate {
+            None => Err("UNSAT verdict carried no certificate \
+                 (was the solver constructed outside this oracle, \
+                 without proof logging?)"
+                .to_string()),
+            Some(cert) => {
+                self.stats.proof_bytes += cert.proof.len() as u64;
+                self.stats.proof_adds += cert.adds;
+                self.stats.proof_deletes += cert.deletes;
+                std::str::from_utf8(&cert.proof)
+                    .map_err(|e| format!("certificate proof is not ASCII DRAT: {e}"))
+                    .and_then(|text| {
+                        parse_text_proof(text)
+                            .map_err(|e| format!("certificate proof failed to parse: {e}"))
+                    })
+                    .and_then(|proof| match check(&cert.dimacs_cnf(), &proof) {
+                        CheckOutcome::Verified(_) => Ok(()),
+                        CheckOutcome::Rejected { step, reason } => {
+                            Err(format!("checker rejected step {step}: {reason}"))
+                        }
+                        CheckOutcome::Cancelled => {
+                            Err("checker cancelled mid-verification".to_string())
+                        }
+                    })
+            }
+        };
+        self.stats.certify_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Err(reason) = verdict {
+            self.stats.certificates_rejected += 1;
+            if self.certification_failure.is_none() {
+                let (cnf, proof) = certificate
+                    .map(|c| (c.dimacs_cnf(), c.proof))
+                    .unwrap_or_default();
+                self.certification_failure =
+                    Some(Box::new(CertificationFailure { reason, cnf, proof }));
+            }
+        }
     }
 
     /// Constructs a MaxSAT solver with the budget's per-call conflict limit,
@@ -558,6 +696,25 @@ impl Oracle {
         self.stats.maxsat_cores += solver.stats().cores - before.cores;
         if matches!(result, MaxSatResult::Unknown | MaxSatResult::Cancelled) {
             self.stats.budget_exhaustions += 1;
+        }
+        if self.certify {
+            match result {
+                // A hard-UNSAT verdict is an unsatisfiability claim and
+                // must come with evidence: the probe loop's closing
+                // refutation.
+                MaxSatResult::HardUnsat => self.check_unsat_certificate(solver.certificate()),
+                // An optimum proved by refuting the bound below it leaves
+                // that refutation's certificate behind; optimums reached on
+                // a final SAT probe leave none. Check opportunistically —
+                // the optimality *lower bound* is what gets certified.
+                MaxSatResult::Optimum { .. } => {
+                    if let Some(cert) = solver.certificate() {
+                        self.check_unsat_certificate(Some(cert));
+                    }
+                }
+                // Budget and cancellation give-ups claim nothing.
+                MaxSatResult::Unknown | MaxSatResult::Cancelled => {}
+            }
         }
         result
     }
@@ -745,6 +902,93 @@ mod tests {
         assert_eq!(stats.sat_solvers_constructed, 1);
         assert_eq!(stats.sat_calls, 2);
         assert_eq!(stats.budget_exhaustions, 0);
+    }
+
+    /// Under [`Oracle::with_certification`] every UNSAT verdict is checked
+    /// in-process: constructed solvers inherit proof logging, the checker
+    /// accepts the certificates, and the proof-volume counters fill in.
+    #[test]
+    fn certification_checks_unsat_verdicts_in_process() {
+        let mut oracle = Oracle::new(Budget::unlimited()).with_certification(true);
+        assert!(oracle.certification_enabled());
+        let mut solver = oracle.new_solver();
+        assert!(solver.config().proof_logging);
+        solver.add_clause([lit(1), lit(2)]);
+        solver.add_clause([lit(-1), lit(2)]);
+        // A SAT verdict claims nothing; no check happens.
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Sat);
+        assert_eq!(oracle.stats().certificates_checked, 0);
+        assert_eq!(
+            oracle.solve_with_assumptions(&mut solver, &[lit(-2)]),
+            SolveResult::Unsat
+        );
+        let stats = oracle.stats();
+        assert_eq!(stats.certificates_checked, 1);
+        assert_eq!(stats.certificates_rejected, 0);
+        assert!(stats.proof_bytes > 0);
+        assert!(stats.proof_adds > 0);
+        assert!(oracle.certification_failure().is_none());
+    }
+
+    /// An UNSAT verdict from a solver that logs no proofs (constructed
+    /// outside the oracle) is a certification failure, not a silent pass:
+    /// under certification every unsatisfiability claim needs evidence.
+    #[test]
+    fn certification_flags_missing_certificates() {
+        let mut oracle = Oracle::new(Budget::unlimited()).with_certification(true);
+        let mut foreign = Solver::new();
+        foreign.add_clause([lit(1)]);
+        foreign.add_clause([lit(-1)]);
+        assert_eq!(oracle.solve(&mut foreign), SolveResult::Unsat);
+        let stats = oracle.stats();
+        assert_eq!(stats.certificates_checked, 1);
+        assert_eq!(stats.certificates_rejected, 1);
+        let failure = oracle.certification_failure().expect("first offender kept");
+        assert!(failure.reason.contains("no certificate"));
+        assert!(failure.cnf.is_empty() && failure.proof.is_empty());
+    }
+
+    /// The MaxSAT path certifies its probe loop's closing refutation: a
+    /// hard-UNSAT verdict must check out, and an optimum proved by refuting
+    /// the bound below it is certified opportunistically.
+    #[test]
+    fn certification_covers_maxsat_hard_unsat_verdicts() {
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            let mut oracle = Oracle::new(Budget::unlimited())
+                .with_certification(true)
+                .with_repair_strategy(strategy);
+            let mut maxsat = oracle.new_maxsat();
+            assert!(maxsat.solver_config().proof_logging);
+            maxsat.add_hard([lit(1), lit(2)]);
+            maxsat.add_hard([lit(-1)]);
+            maxsat.add_hard([lit(-2)]);
+            maxsat.add_soft([lit(3)], 1);
+            assert_eq!(
+                oracle.solve_maxsat(&mut maxsat),
+                MaxSatResult::HardUnsat,
+                "{strategy}"
+            );
+            let stats = oracle.stats();
+            assert_eq!(stats.certificates_checked, 1, "{strategy}");
+            assert_eq!(stats.certificates_rejected, 0, "{strategy}");
+            assert!(oracle.certification_failure().is_none(), "{strategy}");
+        }
+    }
+
+    /// Certification is off by default: constructed solvers do not log
+    /// proofs and UNSAT verdicts are not checked.
+    #[test]
+    fn certification_is_off_by_default() {
+        let mut oracle = Oracle::new(Budget::unlimited());
+        assert!(!oracle.certification_enabled());
+        let mut solver = oracle.new_solver();
+        assert!(!solver.config().proof_logging);
+        solver.add_clause([lit(1)]);
+        solver.add_clause([lit(-1)]);
+        assert_eq!(oracle.solve(&mut solver), SolveResult::Unsat);
+        assert_eq!(oracle.stats().certificates_checked, 0);
+        assert_eq!(oracle.stats().proof_bytes, 0);
+        assert!(oracle.certification_failure().is_none());
     }
 
     #[test]

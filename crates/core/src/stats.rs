@@ -1,4 +1,4 @@
-use crate::oracle::OracleStats;
+use crate::oracle::{CertificationFailure, OracleStats};
 use std::time::Duration;
 
 /// Counters and timings collected during one synthesis run.
@@ -47,6 +47,15 @@ pub struct SynthesisStats {
     /// Per-cluster synthesis wall-clock times, in cluster order (empty for
     /// monolithic runs).
     pub cluster_walls: Vec<Duration>,
+    /// The order (cluster indices) in which the compositional engine
+    /// launched its clusters: most Padoa-defined outputs first, ties in
+    /// cluster order. Empty for monolithic runs.
+    pub cluster_schedule: Vec<usize>,
+    /// The first rejected DRAT certificate of a certifying run
+    /// ([`Manthan3Config::certify`](crate::Manthan3Config)), with the
+    /// offending CNF and proof for offline reproduction. Always `None` on a
+    /// sound run or when certification is off.
+    pub certification_failure: Option<Box<CertificationFailure>>,
     /// Whole-formula verify calls made at composition time.
     pub compose_verifies: usize,
     /// Cross-cluster (coupled-residue) repair rounds at composition time.

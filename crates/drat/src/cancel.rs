@@ -1,0 +1,53 @@
+//! Cooperative cancellation for long proof checks.
+//!
+//! The checker is used inside budgeted synthesis runs (the harness checks
+//! every UNSAT verdict in-process), so it must stay preemptible like every
+//! other long-running component of the workspace. Depending on
+//! `manthan3-sat`'s `CancelToken` would drag the whole solver into the
+//! trusted core, so the checker carries its own minimal flag with the same
+//! polling contract (`is_cancelled()` between proof chunks).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag; cancelling is
+/// idempotent and sticky.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// A fresh, uncancelled flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation. All clones observe it.
+    pub fn cancel(&self) {
+        // ordering: Release pairs with the Acquire in `is_cancelled` so a
+        // checker observing the flag also observes everything the canceller
+        // wrote before raising it.
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelFlag::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in `cancel`.
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let flag = CancelFlag::new();
+        let clone = flag.clone();
+        assert!(!clone.is_cancelled());
+        flag.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

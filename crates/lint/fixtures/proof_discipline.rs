@@ -1,0 +1,53 @@
+//! Proof discipline: emit-covered and uncovered clause-arena mutations.
+
+pub struct Solver;
+
+impl Solver {
+    fn emit_add(&mut self, _lits: &[i32]) {}
+
+    fn emit_delete(&mut self, _lits: &[i32]) {}
+
+    fn alloc(&mut self, _lits: &[i32]) -> u32 {
+        0
+    }
+
+    fn delete(&mut self, _cref: u32) {}
+
+    // Clean: the emit precedes the allocation on every path.
+    pub fn learn_logged(&mut self, lits: &[i32]) -> u32 {
+        self.emit_add(lits);
+        self.alloc(lits)
+    }
+
+    // Clean: the emit follows the deletion on every path.
+    pub fn retire_logged(&mut self, cref: u32, lits: &[i32]) {
+        self.delete(cref);
+        self.emit_delete(lits);
+    }
+
+    // Fires: no emit anywhere around the allocation.
+    pub fn learn_unlogged(&mut self, lits: &[i32]) -> u32 {
+        self.alloc(lits)
+    }
+
+    // Fires: the emit happens on the `verbose` branch only; the
+    // fall-through path retires the clause with no log entry.
+    pub fn retire_branchy(&mut self, cref: u32, lits: &[i32], verbose: bool) {
+        self.delete(cref);
+        if verbose {
+            self.emit_delete(lits);
+        }
+    }
+
+    // Clean: `retire_logged` is safe (its own event is covered), so the
+    // call needs no emit here.
+    pub fn maintain(&mut self, cref: u32, lits: &[i32]) {
+        self.retire_logged(cref, lits);
+    }
+
+    // Fires (indirectly): `learn_unlogged` may mutate the arena and is not
+    // safe, and no emit covers the call.
+    pub fn maintain_unlogged(&mut self, lits: &[i32]) {
+        self.learn_unlogged(lits);
+    }
+}

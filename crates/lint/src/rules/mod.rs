@@ -9,6 +9,7 @@ mod clauseref_across_gc;
 mod forbid_unsafe_header;
 mod lock_order;
 mod no_unwrap_in_lib;
+mod proof_discipline;
 mod stats_counter_parity;
 pub(crate) mod support;
 
@@ -19,6 +20,7 @@ pub use clauseref_across_gc::ClauseRefAcrossGc;
 pub use forbid_unsafe_header::ForbidUnsafeHeader;
 pub use lock_order::LockOrder;
 pub use no_unwrap_in_lib::NoUnwrapInLib;
+pub use proof_discipline::ProofDiscipline;
 pub use stats_counter_parity::StatsCounterParity;
 
 use crate::config::LintConfig;
@@ -62,6 +64,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(CancelPoll),
         Box::new(ClauseRefAcrossGc),
         Box::new(BudgetBeforeSolve),
+        Box::new(ProofDiscipline),
         Box::new(LockOrder),
         Box::new(StatsCounterParity),
     ]

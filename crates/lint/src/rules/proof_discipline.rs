@@ -1,0 +1,343 @@
+//! `proof-discipline`: every function in the proof-logged crates that
+//! appends to or deletes from the clause arena must reach a `ProofTracer`
+//! emit on all paths through the mutation. The DRAT certificate is only as
+//! sound as the log's completeness — an arena write the tracer never sees
+//! is a clause the checker never propagates, and the proof it would have
+//! carried silently vanishes. This rule makes the invariant survive future
+//! solver work by construction instead of by review.
+//!
+//! The analysis mirrors `budget-before-solve`: intra-procedural over each
+//! function's CFG with interprocedural summaries over the name-union call
+//! graph:
+//!
+//! * **may-mutate** (least fixpoint): names that (transitively) reach a
+//!   mutation marker — a call to such a name is itself a mutation event
+//!   unless the callee is safe.
+//! * **always-emits** (least fixpoint): a function that performs a tracer
+//!   emit on *every* entry-to-exit path summarizes as a gen at its call
+//!   sites.
+//! * **safe** (greatest fixpoint): a function whose own mutation events are
+//!   all emit-covered needs no emit around calls to it — its logging is
+//!   internal (this is how `reduce_db`/`simplify` callers stay clean).
+//!
+//! A mutation event is *covered* when a tracer emit happens before it on
+//! all paths from the entry, or after it on all paths to the exit — the
+//! two-sided must-form of "every path through the mutation logs". This is
+//! slightly stronger than the per-path disjunction (a function emitting
+//! before the mutation on one path and after it on another would be
+//! flagged), which biases toward reporting only shapes where some path
+//! plausibly skips the log entirely; in the solver the emit is adjacent to
+//! the mutation, so the gap never bites. The one deliberate exception — the
+//! original-formula load, whose clauses enter the certificate CNF verbatim
+//! rather than through the proof — is allowlisted in `lint.toml`.
+
+use super::support::{body_token_line, call_sites, is_call_at, CfgCache};
+use super::{Rule, Workspace};
+use crate::cfg::{Cfg, Node};
+use crate::config::LintConfig;
+use crate::dataflow::{forward, BitSet, Meet};
+use crate::diag::Diagnostic;
+use crate::source::{FnItem, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct ProofDiscipline;
+
+impl Rule for ProofDiscipline {
+    fn name(&self) -> &'static str {
+        "proof-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "every clause-arena mutation reaches a ProofTracer emit on all paths"
+    }
+
+    fn check(&self, workspace: &Workspace, config: &LintConfig) -> Vec<Diagnostic> {
+        let scopes_default = [
+            "crates/sat/src".to_string(),
+            "crates/maxsat/src".to_string(),
+        ];
+        let scopes = config.list_or(self.name(), "scopes", &scopes_default);
+        let emits_default = [
+            "emit_add".to_string(),
+            "emit_delete".to_string(),
+            "emit_original".to_string(),
+        ];
+        let emits = config.list_or(self.name(), "emit-markers", &emits_default);
+        let mutations_default = [
+            "alloc".to_string(),
+            "delete".to_string(),
+            "remove_lit".to_string(),
+        ];
+        let mutations = config.list_or(self.name(), "mutation-markers", &mutations_default);
+
+        let mut analysis = Analysis {
+            workspace,
+            cfgs: CfgCache::default(),
+            emits,
+            mutations,
+            may_mutate: BTreeSet::new(),
+            always_emits: BTreeSet::new(),
+            safe: BTreeSet::new(),
+        };
+        analysis.compute_summaries();
+
+        let mut out = Vec::new();
+        for file in &workspace.files {
+            if !scopes.iter().any(|s| file.rel_path.starts_with(s.as_str())) {
+                continue;
+            }
+            for f in &file.functions {
+                if f.in_test {
+                    continue;
+                }
+                for event in analysis.uncovered_events(file, f) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel_path.clone(),
+                        line: event.line,
+                        symbol: Some(f.name.clone()),
+                        message: event.message,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An emit-uncovered mutation event, ready to report.
+struct UncoveredEvent {
+    line: u32,
+    message: String,
+}
+
+struct Analysis<'a> {
+    workspace: &'a Workspace,
+    cfgs: CfgCache,
+    emits: &'a [String],
+    mutations: &'a [String],
+    /// Names that may (transitively) mutate the clause arena.
+    may_mutate: BTreeSet<String>,
+    /// Names whose every fn emits on every entry-to-exit path.
+    always_emits: BTreeSet<String>,
+    /// Names whose every fn has all its mutation events emit-covered.
+    safe: BTreeSet<String>,
+}
+
+impl<'a> Analysis<'a> {
+    fn compute_summaries(&mut self) {
+        let ws = self.workspace;
+        let mut fns_by_name: BTreeMap<&'a str, Vec<(&'a SourceFile, &'a FnItem)>> = BTreeMap::new();
+        for file in &ws.files {
+            for f in &file.functions {
+                if !f.in_test {
+                    fns_by_name
+                        .entry(f.name.as_str())
+                        .or_default()
+                        .push((file, f));
+                }
+            }
+        }
+
+        // may_mutate: least fixpoint over the name-union call graph.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (name, fns) in &fns_by_name {
+                if self.may_mutate.contains(*name) {
+                    continue;
+                }
+                let hits = fns.iter().any(|(_, f)| {
+                    f.calls.iter().any(|c| {
+                        self.mutations.iter().any(|m| m == c) || self.may_mutate.contains(c)
+                    })
+                });
+                if hits {
+                    self.may_mutate.insert((*name).to_string());
+                    changed = true;
+                }
+            }
+        }
+
+        // always_emits: least fixpoint; every fn of the name must emit at
+        // exit on all paths, given the current gen set.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (name, fns) in &fns_by_name {
+                if self.always_emits.contains(*name) {
+                    continue;
+                }
+                let all =
+                    !fns.is_empty() && fns.iter().all(|(file, f)| self.emits_at_exit(file, f));
+                if all {
+                    self.always_emits.insert((*name).to_string());
+                    changed = true;
+                }
+            }
+        }
+
+        // safe: greatest fixpoint; start optimistic, strike out functions
+        // with uncovered events until stable.
+        self.safe = fns_by_name.keys().map(|n| n.to_string()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (name, fns) in &fns_by_name {
+                if !self.safe.contains(*name) {
+                    continue;
+                }
+                let bad = fns
+                    .iter()
+                    .any(|(file, f)| !self.uncovered_events(file, f).is_empty());
+                if bad {
+                    self.safe.remove(*name);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// `true` if an emit-marker call (or an always-emits callee call)
+    /// happens on every path from `f`'s entry to its exit.
+    fn emits_at_exit(&mut self, file: &SourceFile, f: &FnItem) -> bool {
+        if f.body.is_empty() {
+            return false;
+        }
+        let body = &file.tokens()[f.body.clone()];
+        let gens = self.gen_positions(body);
+        if gens.is_empty() {
+            return false; // cheap cut: no gen anywhere
+        }
+        let cfg = self.cfgs.cfg(file, f).clone();
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if cfg.nodes[id].tokens.clone().any(|i| gens.contains(&i)) {
+                out.insert(0);
+            }
+            out
+        };
+        let sol = forward(&cfg, 1, Meet::Intersect, BitSet::empty(1), &mut transfer);
+        sol.input[cfg.exit].contains(0)
+    }
+
+    /// Body-relative positions of gen calls: emit markers and calls to
+    /// always-emits names.
+    fn gen_positions(&self, body: &[crate::lexer::Token]) -> BTreeSet<usize> {
+        (0..body.len())
+            .filter(|&i| {
+                is_call_at(body, i)
+                    && (self.emits.iter().any(|e| body[i].is_ident(e))
+                        || self.always_emits.contains(&body[i].text))
+            })
+            .collect()
+    }
+
+    /// The mutation events of `f` not emit-covered, with report lines.
+    fn uncovered_events(&mut self, file: &SourceFile, f: &FnItem) -> Vec<UncoveredEvent> {
+        if f.body.is_empty() {
+            return Vec::new();
+        }
+        let body = &file.tokens()[f.body.clone()];
+        let gens = self.gen_positions(body);
+        let events: Vec<(usize, String, bool)> = call_sites(file, f)
+            .into_iter()
+            .filter_map(|(i, name)| {
+                if self.mutations.iter().any(|m| m == name) {
+                    Some((i, name.to_string(), true))
+                } else if self.may_mutate.contains(name)
+                    && !self.safe.contains(name)
+                    && !self.always_emits.contains(name)
+                {
+                    Some((i, name.to_string(), false))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let cfg = self.cfgs.cfg(file, f).clone();
+        let mut transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if cfg.nodes[id].tokens.clone().any(|i| gens.contains(&i)) {
+                out.insert(0);
+            }
+            out
+        };
+        // Forward must "emitted already" and (via the reversed graph)
+        // backward must "emits later": the node-boundary halves of the
+        // two-sided coverage check. Token order inside the event's own node
+        // is resolved per event below.
+        let fwd = forward(&cfg, 1, Meet::Intersect, BitSet::empty(1), &mut transfer);
+        let rev_cfg = reversed(&cfg);
+        let mut rev_transfer = |id: usize, input: &BitSet| {
+            let mut out = input.clone();
+            if rev_cfg.nodes[id].tokens.clone().any(|i| gens.contains(&i)) {
+                out.insert(0);
+            }
+            out
+        };
+        let bwd = forward(
+            &rev_cfg,
+            1,
+            Meet::Intersect,
+            BitSet::empty(1),
+            &mut rev_transfer,
+        );
+        let mut out = Vec::new();
+        for (node_id, node) in cfg.nodes.iter().enumerate() {
+            for i in node.tokens.clone() {
+                let Some((_, name, direct)) = events.iter().find(|(e, _, _)| *e == i) else {
+                    continue;
+                };
+                let before = fwd.input[node_id].contains(0)
+                    || node.tokens.clone().any(|j| j < i && gens.contains(&j));
+                let after = bwd.input[node_id].contains(0)
+                    || node.tokens.clone().any(|j| j > i && gens.contains(&j));
+                if before || after {
+                    continue;
+                }
+                let line = body_token_line(file, f, i);
+                let message = if *direct {
+                    format!(
+                        "clause-arena mutation `{}` is not covered by a ProofTracer \
+                         emit ({}) on some path",
+                        name,
+                        self.emits.join("/"),
+                    )
+                } else {
+                    format!(
+                        "call to `{}` may mutate the clause arena, and no ProofTracer \
+                         emit ({}) covers it on some path",
+                        name,
+                        self.emits.join("/"),
+                    )
+                };
+                out.push(UncoveredEvent { line, message });
+            }
+        }
+        out
+    }
+}
+
+/// The edge-reversed CFG: running the forward must-solver over it yields the
+/// backward "on all paths to the exit" analysis the coverage check needs.
+fn reversed(cfg: &Cfg) -> Cfg {
+    Cfg {
+        nodes: cfg
+            .nodes
+            .iter()
+            .map(|n| Node {
+                tokens: n.tokens.clone(),
+                succs: n.preds.clone(),
+                preds: n.succs.clone(),
+                loop_head: false,
+            })
+            .collect(),
+        entry: cfg.exit,
+        exit: cfg.entry,
+        back_edges: Vec::new(),
+    }
+}

@@ -172,6 +172,41 @@ fn budget_before_solve_ignores_out_of_scope_files() {
 }
 
 #[test]
+fn proof_discipline_fires_on_uncovered_mutations_only() {
+    let diags = run_rule(
+        &rules::ProofDiscipline,
+        vec![fixture(
+            "proof_discipline.rs",
+            "crates/sat/src/discipline.rs",
+        )],
+    );
+    let symbols: Vec<_> = diags.iter().filter_map(|d| d.symbol.as_deref()).collect();
+    // `learn_logged`/`retire_logged` cover their mutations on both sides;
+    // `maintain` calls a safe mutator. The branch-only emit in
+    // `retire_branchy` leaves the fall-through path unlogged, and
+    // `maintain_unlogged` reaches the arena through a non-safe callee.
+    assert_eq!(
+        symbols,
+        ["learn_unlogged", "retire_branchy", "maintain_unlogged"],
+        "{diags:?}"
+    );
+    assert!(diags[0].message.contains("alloc"), "{diags:?}");
+    assert!(diags[2].message.contains("may mutate"), "{diags:?}");
+}
+
+#[test]
+fn proof_discipline_ignores_out_of_scope_files() {
+    let diags = run_rule(
+        &rules::ProofDiscipline,
+        vec![fixture(
+            "proof_discipline.rs",
+            "crates/core/src/discipline.rs",
+        )],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn lock_order_fires_on_cyclic_nesting() {
     let diags = run_rule(
         &rules::LockOrder,

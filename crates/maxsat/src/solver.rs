@@ -206,6 +206,35 @@ impl MaxSatSolver {
         self.solver.stats()
     }
 
+    /// DRAT certificate of the internal solver's most recent UNSAT probe,
+    /// when proof logging is enabled on the configuration this instance was
+    /// constructed with (`SolverConfig::proof_logging`).
+    ///
+    /// The probe loop ends on an UNSAT verdict exactly when the search
+    /// proved something: [`MaxSatResult::HardUnsat`] (the hard clauses —
+    /// plus any caller assumptions — were refuted) or a linear-search
+    /// optimum whose final act was refuting the bound below the reported
+    /// cost. In both cases the certificate covers that closing refutation,
+    /// with the probe's assumptions (including any totalizer bound literal)
+    /// scoped in as unit clauses of the certificate CNF. A probe loop that
+    /// ends on a SAT verdict withdraws the certificate, exactly like
+    /// [`Solver::certificate`](manthan3_sat::Solver::certificate).
+    pub fn certificate(&self) -> Option<manthan3_sat::Certificate> {
+        self.solver.certificate()
+    }
+
+    /// Size in bytes of the internal solver's accumulated DRAT log (0 when
+    /// proof logging is disabled).
+    pub fn proof_len(&self) -> usize {
+        self.solver.proof_len()
+    }
+
+    /// Cumulative (additions, deletions) recorded in the internal solver's
+    /// DRAT log.
+    pub fn proof_steps(&self) -> (u64, u64) {
+        self.solver.proof_steps()
+    }
+
     /// The configuration of the underlying CDCL solver (as constructed —
     /// the way the oracle layer verifies its profile reached the solver).
     pub fn solver_config(&self) -> &SolverConfig {
@@ -998,6 +1027,51 @@ mod tests {
             assert_eq!(s.violated_softs(), vec![cheap]);
             s.maintain();
         }
+    }
+
+    /// A proof-logging MaxSAT solve whose probe loop ends UNSAT yields a
+    /// certificate the independent checker accepts; SAT-terminated searches
+    /// withdraw it.
+    #[test]
+    fn hard_unsat_probes_yield_checkable_certificates() {
+        use manthan3_drat::{check, parse_text_proof, CheckOutcome};
+        for strategy in [RepairStrategy::Linear, RepairStrategy::CoreGuided] {
+            let mut s = MaxSatSolver::with_config(SolverConfig::default().with_proof_logging(true));
+            s.set_strategy(strategy);
+            s.add_hard([lit(1), lit(2)]);
+            s.add_hard([lit(-1)]);
+            s.add_hard([lit(-2)]);
+            s.add_soft([lit(3)], 1);
+            assert_eq!(s.solve(), MaxSatResult::HardUnsat, "{strategy}");
+            let cert = s.certificate().expect("hard-unsat probe certificate");
+            let text = std::str::from_utf8(&cert.proof).expect("text DRAT");
+            let proof = parse_text_proof(text).expect("well-formed proof");
+            assert!(
+                matches!(check(&cert.dimacs_cnf(), &proof), CheckOutcome::Verified(_)),
+                "{strategy}: certificate rejected"
+            );
+            assert!(s.proof_len() > 0, "{strategy}");
+            assert!(s.proof_steps().0 > 0, "{strategy}");
+        }
+    }
+
+    /// The relaxed instance is satisfiable, so the optimum search ends on a
+    /// SAT probe: no certificate is claimed, and logging stays off (zero
+    /// proof bytes) unless the configuration asks for it.
+    #[test]
+    fn sat_terminated_searches_withdraw_the_certificate() {
+        let mut s = MaxSatSolver::with_config(SolverConfig::default().with_proof_logging(true));
+        s.add_hard([lit(1), lit(2)]);
+        s.add_soft([lit(-1)], 1);
+        s.add_soft([lit(-2)], 1);
+        assert_eq!(s.solve(), MaxSatResult::Optimum { cost: 1 });
+        assert!(s.certificate().is_none());
+        let mut silent = MaxSatSolver::new();
+        silent.add_hard([lit(1)]);
+        silent.add_hard([lit(-1)]);
+        assert_eq!(silent.solve(), MaxSatResult::HardUnsat);
+        assert_eq!(silent.proof_len(), 0);
+        assert!(silent.certificate().is_none());
     }
 
     #[test]

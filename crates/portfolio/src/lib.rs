@@ -233,6 +233,11 @@ pub struct EngineReport {
     /// racer synthesized concurrently (`Some(1)` when it delegated to the
     /// monolithic pipeline); `None` for every other engine.
     pub clusters: Option<usize>,
+    /// The Padoa-informed launch order of a
+    /// [`PortfolioEngine::Compositional`] racer's clusters — cluster indices,
+    /// most defined outputs first (empty when the racer degenerated to the
+    /// monolithic pipeline); `None` for every other engine.
+    pub cluster_schedule: Option<Vec<usize>>,
     /// The engine's own verdict (losers typically report
     /// [`UnknownReason::Cancelled`]).
     pub outcome: SynthesisOutcome,
@@ -322,6 +327,7 @@ struct RawReport {
     repair_strategy: Option<RepairStrategy>,
     restart_policy: Option<RestartPolicy>,
     clusters: Option<usize>,
+    cluster_schedule: Option<Vec<usize>>,
     outcome: SynthesisOutcome,
     runtime: Duration,
     oracle: OracleStats,
@@ -490,7 +496,11 @@ impl Portfolio {
                     let Some(&job) = jobs_ref.get(index) else {
                         break;
                     };
-                    let (outcome, oracle, clusters) = self.dispatch(job, dqbf, budget.clone());
+                    let (outcome, oracle, cluster_phase) = self.dispatch(job, dqbf, budget.clone());
+                    let (clusters, cluster_schedule) = match cluster_phase {
+                        Some((n, schedule)) => (Some(n), Some(schedule)),
+                        None => (None, None),
+                    };
                     let runtime = race_start.elapsed();
                     // Only certificate-checked vectors (or falsity proofs)
                     // may stop the race.
@@ -523,6 +533,7 @@ impl Portfolio {
                             repair_strategy: job.repair_strategy,
                             restart_policy: job.restart_policy,
                             clusters,
+                            cluster_schedule,
                             outcome,
                             runtime,
                             oracle,
@@ -550,6 +561,7 @@ impl Portfolio {
                 repair_strategy: r.repair_strategy,
                 restart_policy: r.restart_policy,
                 clusters: r.clusters,
+                cluster_schedule: r.cluster_schedule,
                 outcome: r.outcome,
                 runtime: r.runtime,
                 oracle: r.oracle,
@@ -565,14 +577,15 @@ impl Portfolio {
     }
 
     /// Runs one racer of the fan-out under a clone of the race budget. The
-    /// third element of the return is the cluster count of a compositional
-    /// run (`None` for every other engine).
+    /// third element of the return is the cluster count and Padoa-informed
+    /// launch schedule of a compositional run (`None` for every other
+    /// engine).
     fn dispatch(
         &self,
         job: JobSpec,
         dqbf: &Dqbf,
         budget: Budget,
-    ) -> (SynthesisOutcome, OracleStats, Option<usize>) {
+    ) -> (SynthesisOutcome, OracleStats, Option<(usize, Vec<usize>)>) {
         match job.engine {
             PortfolioEngine::Manthan3 => {
                 let mut config = self.config.manthan3.clone();
@@ -610,7 +623,12 @@ impl Portfolio {
                 };
                 let result = CompositionalEngine::new(config).synthesize_with_budget(dqbf, budget);
                 let clusters = result.stats.clusters.max(1);
-                (result.outcome, result.stats.oracle, Some(clusters))
+                let schedule = result.stats.cluster_schedule;
+                (
+                    result.outcome,
+                    result.stats.oracle,
+                    Some((clusters, schedule)),
+                )
             }
         }
     }
@@ -740,13 +758,21 @@ mod tests {
             .report(PortfolioEngine::Compositional)
             .expect("compositional raced");
         // The paper example decomposes into two clusters; even a cancelled
-        // loser knows its partition.
+        // loser knows its partition — and the Padoa-informed launch order
+        // over it (a permutation of the cluster indices).
         assert_eq!(compositional.clusters, Some(2));
+        let schedule = compositional
+            .cluster_schedule
+            .as_ref()
+            .expect("compositional racers report their launch order");
+        let mut sorted = schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
         assert!(result
             .reports
             .iter()
             .filter(|r| r.engine != PortfolioEngine::Compositional)
-            .all(|r| r.clusters.is_none()));
+            .all(|r| r.clusters.is_none() && r.cluster_schedule.is_none()));
     }
 
     #[test]

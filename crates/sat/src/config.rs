@@ -161,6 +161,12 @@ pub struct SolverConfig {
     /// [`SolveResult::Unknown`](crate::SolveResult::Unknown) at its next
     /// poll point.
     pub cancel: Option<CancelToken>,
+    /// If `true`, the solver records a DRAT proof log of every clause
+    /// addition and deletion, and every UNSAT verdict yields a checkable
+    /// [`Certificate`](crate::Certificate) through
+    /// [`Solver::certificate`](crate::Solver::certificate). Off by default:
+    /// logging costs time and memory proportional to the clause traffic.
+    pub proof_logging: bool,
     /// Seed for the solver's internal pseudo random number generator.
     pub seed: u64,
 }
@@ -184,6 +190,7 @@ impl Default for SolverConfig {
             boxed_clause_storage: false,
             max_conflicts: None,
             cancel: None,
+            proof_logging: false,
             seed: 91_648_253,
         }
     }
@@ -240,6 +247,12 @@ impl SolverConfig {
     /// Attaches a cancellation token (builder style).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Enables or disables DRAT proof logging (builder style).
+    pub fn with_proof_logging(mut self, enabled: bool) -> Self {
+        self.proof_logging = enabled;
         self
     }
 }

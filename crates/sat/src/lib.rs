@@ -11,7 +11,11 @@
 //!   **unsatisfiable core** over the assumption literals (the mechanism
 //!   Manthan3 uses to compute repair cubes from `UnsatCore(G_k)`),
 //! * configurable randomized branching and polarities, used by the
-//!   constrained sampler crate `manthan3-sampler`.
+//!   constrained sampler crate `manthan3-sampler`,
+//! * optional **DRAT proof logging** ([`SolverConfig::proof_logging`]):
+//!   every UNSAT verdict — including assumption-scoped verdicts of
+//!   incremental sessions — yields a [`Certificate`] checkable by the
+//!   independent `manthan3-drat` crate.
 //!
 //! # Examples
 //!
@@ -40,11 +44,13 @@ mod cancel;
 mod config;
 mod lbd;
 mod luby;
+pub mod proof;
 pub mod restart;
 mod solver;
 
 pub use cancel::{CallBudget, CancelToken};
 pub use config::{ReductionPolicy, SolverConfig, SolverProfile};
+pub use proof::{Certificate, ProofTracer};
 pub use restart::RestartPolicy;
 pub use solver::{SolveResult, Solver, SolverStats};
 

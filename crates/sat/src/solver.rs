@@ -1,6 +1,7 @@
 use crate::arena::{ClauseArena, ClauseRef};
 use crate::config::{ReductionPolicy, SolverConfig};
 use crate::lbd::GlueStamps;
+use crate::proof::{Certificate, ProofTracer};
 use crate::restart::RestartScheduler;
 use manthan3_cnf::{Assignment, Cnf, Lit, Var};
 use rand::rngs::SmallRng;
@@ -61,6 +62,10 @@ pub struct SolverStats {
     pub vivify_candidates: u64,
     /// Vivification attempts that strengthened (shortened) their clause.
     pub vivify_strengthened: u64,
+    /// SAT verdicts whose full model was re-verified against every live
+    /// clause of the database (debug builds verify every SAT verdict;
+    /// release builds skip the check, leaving this at 0).
+    pub models_verified: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -165,6 +170,7 @@ pub struct Solver {
     /// so the first [`Solver::inprocess`] call always runs.
     clauses_since_inprocess: u64,
     stats: SolverStats,
+    tracer: ProofTracer,
     rng: SmallRng,
 }
 
@@ -189,6 +195,7 @@ impl Solver {
         } else {
             ClauseArena::new()
         };
+        let tracer = ProofTracer::new(config.proof_logging);
         Solver {
             config,
             arena,
@@ -220,6 +227,7 @@ impl Solver {
             max_learnts,
             clauses_since_inprocess: u64::MAX,
             stats: SolverStats::default(),
+            tracer,
             rng,
         }
     }
@@ -312,6 +320,14 @@ impl Solver {
         if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
             self.ensure_vars(max + 1);
         }
+        // The certificate CNF carries the clause exactly as the caller gave
+        // it; any preprocessing below is logged as an add/delete pair.
+        self.tracer.emit_original(&lits);
+        let input = if self.tracer.is_active() {
+            lits.clone()
+        } else {
+            Vec::new()
+        };
         lits.sort();
         lits.dedup();
         // Detect tautologies and drop falsified / satisfied literals at level 0.
@@ -332,15 +348,29 @@ impl Solver {
         }
         lits.truncate(write);
 
+        // Preprocessing changed the clause: derive the processed form (RUP —
+        // the stripped literals are falsified by level-0 facts the checker
+        // has already propagated) and retire the caller's original. The
+        // empty clause is handled below instead, where `ok` goes false.
+        if self.tracer.is_active() && !lits.is_empty() && lits != input {
+            self.tracer.emit_add(&lits);
+            self.tracer.emit_delete(&input);
+        }
+
         match lits.len() {
             0 => {
                 self.ok = false;
+                // All literals were falsified at level 0, so the checker's
+                // persistent propagation already conflicts: the empty clause
+                // is admitted immediately.
+                self.tracer.emit_add(&[]);
                 false
             }
             1 => {
                 self.unchecked_enqueue(lits[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.tracer.emit_add(&[]);
                 }
                 self.ok
             }
@@ -783,12 +813,27 @@ impl Solver {
             if protect_glue && self.arena.lbd(cref) <= 2 {
                 continue;
             }
+            let lits = self.traced_lits(cref);
             self.arena.delete(cref);
+            self.tracer.emit_delete(&lits);
             deleted.push(cref);
         }
         self.finish_deletions(&deleted);
         self.maybe_collect_garbage();
         self.debug_check_watches();
+    }
+
+    /// The clause's literals, materialized for proof logging — empty (and
+    /// allocation-free) when the tracer is off, in which case the emit call
+    /// the vector feeds is a no-op anyway.
+    fn traced_lits(&self, cref: ClauseRef) -> Vec<Lit> {
+        if self.tracer.is_active() {
+            (0..self.arena.len(cref))
+                .map(|i| self.arena.lit(cref, i))
+                .collect()
+        } else {
+            Vec::new()
+        }
     }
 
     /// `true` if the clause is the reason of a currently assigned literal.
@@ -969,6 +1014,7 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            self.tracer.emit_add(&[]);
             return;
         }
         // Level-0 facts are permanent: their reason clauses are no longer
@@ -987,7 +1033,9 @@ impl Solver {
                 val == VALUE_TRUE && self.levels[idx] == 0
             });
             if satisfied {
+                let lits = self.traced_lits(cref);
                 self.arena.delete(cref);
+                self.tracer.emit_delete(&lits);
                 deleted.push(cref);
                 continue;
             }
@@ -996,13 +1044,21 @@ impl Solver {
             // would have been moved, propagated, or reported as a conflict),
             // so only positions ≥ 2 can hold falsified level-0 literals and
             // the watcher lists stay valid across the strip.
-            let mut k = self.arena.len(cref);
-            while k > 2 {
-                k -= 1;
-                let l = self.arena.lit(cref, k);
-                if self.lit_value(l) == VALUE_FALSE && self.levels[l.var().index()] == 0 {
+            let falsified: Vec<usize> = (2..self.arena.len(cref))
+                .rev()
+                .filter(|&k| {
+                    let l = self.arena.lit(cref, k);
+                    self.lit_value(l) == VALUE_FALSE && self.levels[l.var().index()] == 0
+                })
+                .collect();
+            if !falsified.is_empty() {
+                let before = self.traced_lits(cref);
+                for &k in &falsified {
                     self.arena.remove_lit(cref, k);
                 }
+                let after = self.traced_lits(cref);
+                self.tracer.emit_add(&after);
+                self.tracer.emit_delete(&before);
             }
             debug_assert!((0..2).all(|i| {
                 let l = self.arena.lit(cref, i);
@@ -1040,6 +1096,7 @@ impl Solver {
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.ok = false;
+            self.tracer.emit_add(&[]);
             return;
         }
         for i in 0..self.trail.len() {
@@ -1154,7 +1211,9 @@ impl Solver {
                             self.arena.clear_learnt(c);
                             self.learnt_refs.retain(|&r| r != c);
                         }
+                        let d_lits = self.traced_lits(d);
                         self.arena.delete(d);
+                        self.tracer.emit_delete(&d_lits);
                         deleted.push(d);
                         self.stats.inprocess_subsumed += 1;
                     }
@@ -1188,7 +1247,14 @@ impl Solver {
             // invariant: the caller found `lit` via this clause's own
             // occurrence entry, so the literal is present.
             .expect("literal to strengthen away is in the clause");
+        let before = self.traced_lits(cref);
         self.arena.remove_lit(cref, pos);
+        // The strengthened clause is the resolvent of this clause with its
+        // self-subsuming partner — RUP while both are still in the checker's
+        // formula, which is why the add precedes the delete.
+        let after = self.traced_lits(cref);
+        self.tracer.emit_add(&after);
+        self.tracer.emit_delete(&before);
         self.reattach_rewritten(cref);
     }
 
@@ -1210,21 +1276,34 @@ impl Solver {
             }
         }
         if satisfied {
+            let lits = self.traced_lits(cref);
             self.arena.delete(cref);
+            self.tracer.emit_delete(&lits);
             self.finish_deletions_detached(cref);
             return;
         }
         match nonfalse.len() {
             0 => {
                 self.ok = false;
+                // Every literal is falsified by level-0 facts the checker
+                // has already propagated, so it sits at a contradiction and
+                // admits the empty clause immediately.
+                self.tracer.emit_add(&[]);
             }
             1 => {
                 let unit = self.arena.lit(cref, nonfalse[0]);
+                let lits = self.traced_lits(cref);
                 self.arena.delete(cref);
+                // The unit is RUP against the clause itself (its other
+                // literals are falsified level-0 facts), so add it before
+                // retiring the clause.
+                self.tracer.emit_add(&[unit]);
+                self.tracer.emit_delete(&lits);
                 self.finish_deletions_detached(cref);
                 self.unchecked_enqueue(unit, None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.tracer.emit_add(&[]);
                 }
             }
             _ => {
@@ -1315,8 +1394,15 @@ impl Solver {
             }
             self.cancel_until(0);
             if kept.len() < lits.len() {
-                // Replace the clause with its strengthened form.
+                // Replace the clause with its strengthened form. The kept
+                // prefix is RUP while the original clause is still in the
+                // checker's formula (assuming its negation replays the
+                // vivification propagations and either re-derives a kept
+                // literal, conflicts, or falsifies the original clause), so
+                // the add precedes the delete.
                 self.arena.delete(cref);
+                self.tracer.emit_add(&kept);
+                self.tracer.emit_delete(&lits);
                 self.finish_deletions_detached(cref);
                 self.stats.inprocess_strengthened += 1;
                 self.stats.vivify_strengthened += 1;
@@ -1329,12 +1415,14 @@ impl Solver {
                         VALUE_TRUE => {}
                         VALUE_FALSE => {
                             self.ok = false;
+                            self.tracer.emit_add(&[]);
                             return;
                         }
                         _ => {
                             self.unchecked_enqueue(kept[0], None);
                             if self.propagate().is_some() {
                                 self.ok = false;
+                                self.tracer.emit_add(&[]);
                                 return;
                             }
                         }
@@ -1380,6 +1468,7 @@ impl Solver {
                 self.conflicts_since_rephase += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.tracer.emit_add(&[]);
                     self.conflict_core.clear();
                     return SearchStatus::Unsat;
                 }
@@ -1392,6 +1481,7 @@ impl Solver {
                     }
                 }
                 let (learnt, backtrack_level, glue) = self.analyze(confl);
+                self.tracer.emit_add(&learnt);
                 scheduler.on_conflict(glue, self.trail.len());
                 self.cancel_until(backtrack_level);
                 if learnt.len() == 1 {
@@ -1496,6 +1586,9 @@ impl Solver {
         self.have_model = false;
         self.conflict_core.clear();
         if !self.ok {
+            // The empty clause is already in the persistent log; the
+            // certificate needs no assumption units.
+            self.tracer.note_unsat(&[]);
             return SolveResult::Unsat;
         }
         if self.cancelled() {
@@ -1520,6 +1613,8 @@ impl Solver {
         self.assumptions = assumptions.to_vec();
         if self.decision_level() == 0 && self.propagate().is_some() {
             self.ok = false;
+            self.tracer.emit_add(&[]);
+            self.tracer.note_unsat(&[]);
             self.assumptions.clear();
             return SolveResult::Unsat;
         }
@@ -1532,10 +1627,29 @@ impl Solver {
                 SearchStatus::Sat => {
                     self.model_values = self.values.clone();
                     self.have_model = true;
+                    self.debug_verify_model();
+                    self.tracer.note_inconclusive();
                     break SolveResult::Sat;
                 }
-                SearchStatus::Unsat => break SolveResult::Unsat,
-                SearchStatus::Budget => break SolveResult::Unknown,
+                SearchStatus::Unsat => {
+                    if self.ok {
+                        // Assumption-scoped UNSAT: the core clause is an
+                        // assumption-free RUP lemma (assuming the whole core
+                        // replays the propagations that falsified the
+                        // failing assumption), and together with the
+                        // certificate's assumption units it propagates to a
+                        // contradiction — the per-solve empty-clause tail.
+                        let core_clause: Vec<Lit> =
+                            self.conflict_core.iter().map(|&l| !l).collect();
+                        self.tracer.emit_add(&core_clause);
+                    }
+                    self.tracer.note_unsat(&self.assumptions);
+                    break SolveResult::Unsat;
+                }
+                SearchStatus::Budget => {
+                    self.tracer.note_inconclusive();
+                    break SolveResult::Unknown;
+                }
                 SearchStatus::Restart => continue,
             }
         };
@@ -1580,6 +1694,44 @@ impl Solver {
     /// independently of any assumptions.
     pub fn is_known_unsat(&self) -> bool {
         !self.ok
+    }
+
+    /// The DRAT certificate for the most recent UNSAT verdict: the original
+    /// clauses plus one unit clause per assumption of the failing solve, and
+    /// a proof deriving the empty clause. Returns `None` when
+    /// [`SolverConfig::proof_logging`] is off or the last verdict was not
+    /// [`SolveResult::Unsat`].
+    pub fn certificate(&self) -> Option<Certificate> {
+        self.tracer.certificate()
+    }
+
+    /// Size of the persistent proof log in bytes (0 when proof logging is
+    /// off).
+    pub fn proof_len(&self) -> usize {
+        self.tracer.proof_len()
+    }
+
+    /// Proof addition and deletion steps emitted so far (0 when proof
+    /// logging is off).
+    pub fn proof_steps(&self) -> (u64, u64) {
+        self.tracer.step_counts()
+    }
+
+    /// Debug-build sanity check behind every SAT verdict: the recorded full
+    /// model must satisfy every live clause of the database. Release builds
+    /// skip the scan entirely.
+    fn debug_verify_model(&mut self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        for &cref in &self.clause_refs {
+            let satisfied = self.arena.lit_codes(cref).iter().any(|&code| {
+                let v = self.model_values[(code as usize) >> 1];
+                (if code & 1 == 0 { v } else { -v }) == VALUE_TRUE
+            });
+            assert!(satisfied, "SAT model leaves a live clause unsatisfied");
+        }
+        self.stats.models_verified += 1;
     }
 
     /// Allocates a fresh activation literal for guarded (retractable)

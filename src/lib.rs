@@ -19,6 +19,7 @@
 //! | [`aig`] | `manthan3-aig` | And-Inverter Graphs (ABC stand-in) |
 //! | [`dtree`] | `manthan3-dtree` | ID3/Gini decision trees (scikit-learn stand-in) |
 //! | [`dqbf`] | `manthan3-dqbf` | DQBF formulas, DQDIMACS, certificates |
+//! | [`drat`] | `manthan3-drat` | dependency-free RUP/DRAT proof checker (trusted core) |
 //! | [`core`] | `manthan3-core` | the synthesis pipeline and the shared oracle layer |
 //! | [`baselines`] | `manthan3-baselines` | HQS2-like and Pedant-like engines (same oracle layer) |
 //! | [`portfolio`] | `manthan3-portfolio` | parallel engine race with cooperative cancellation |
@@ -54,6 +55,7 @@ pub use manthan3_baselines as baselines;
 pub use manthan3_cnf as cnf;
 pub use manthan3_core as core;
 pub use manthan3_dqbf as dqbf;
+pub use manthan3_drat as drat;
 pub use manthan3_dtree as dtree;
 pub use manthan3_gen as gen;
 pub use manthan3_maxsat as maxsat;
